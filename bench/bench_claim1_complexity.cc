@@ -1,0 +1,77 @@
+// Reproduces Claim 1 (Sec. 5.1): the graph coarsening module's cost grows
+// as O(N²) in the source graph size (for fixed downsampling ratio the
+// series below doubles N and the per-iteration time should roughly
+// quadruple), and the full HAP forward is dominated by that term.
+// google-benchmark reports ns/op for each N.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/coarsening.h"
+#include "graph/generators.h"
+
+namespace hap::bench {
+namespace {
+
+constexpr int kFeatureDim = 32;
+
+void BM_CoarseningForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  CoarseningConfig config;
+  config.in_features = kFeatureDim;
+  // Fixed downsampling ratio r = 1/4 (Claim 1's setting).
+  config.num_clusters = std::max(1, n / 4);
+  CoarseningModule module(config, &rng);
+  module.set_training(false);
+  Graph g = ConnectedErdosRenyi(n, 8.0 / n, &rng);
+  Tensor h = Tensor::Randn(n, kFeatureDim, &rng);
+  Tensor adj = g.AdjacencyMatrix();
+  for (auto _ : state) {
+    NoGradGuard guard;
+    CoarsenResult result = module.Forward(h, adj);
+    benchmark::DoNotOptimize(result.h.data());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CoarseningForward)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_MoaAttentionOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  CoarseningConfig config;
+  config.in_features = kFeatureDim;
+  config.num_clusters = std::max(1, n / 4);
+  CoarseningModule module(config, &rng);
+  Tensor h = Tensor::Randn(n, kFeatureDim, &rng);
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor m = module.ComputeAttention(module.ComputeGCont(h));
+    benchmark::DoNotOptimize(m.data());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MoaAttentionOnly)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_HapModelForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  HapConfig config = DefaultHapConfig(kFeatureDim, 32);
+  auto model = MakeHapModel(config, &rng);
+  model->set_training(false);
+  Graph g = ConnectedErdosRenyi(n, 8.0 / n, &rng);
+  Tensor h = Tensor::Randn(n, kFeatureDim, &rng);
+  Tensor adj = g.AdjacencyMatrix();
+  for (auto _ : state) {
+    NoGradGuard guard;
+    Tensor e = model->Embed(h, adj);
+    benchmark::DoNotOptimize(e.data());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_HapModelForward)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+}  // namespace
+}  // namespace hap::bench
+
+BENCHMARK_MAIN();

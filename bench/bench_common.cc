@@ -1,0 +1,11 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+namespace hap::bench {
+
+int FastOr(int fast_value, int value) {
+  return std::getenv("HAP_BENCH_FAST") != nullptr ? fast_value : value;
+}
+
+}  // namespace hap::bench

@@ -1,0 +1,18 @@
+#ifndef HAP_BENCH_BENCH_COMMON_H_
+#define HAP_BENCH_BENCH_COMMON_H_
+
+#include "train/model_zoo.h"
+
+namespace hap::bench {
+
+using hap::ClassifierMethodNames;
+using hap::DefaultHapConfig;
+using hap::MakeEmbedderByName;
+
+/// Scales a benchmark workload down when HAP_BENCH_FAST is set in the
+/// environment (useful for smoke runs); returns `value` or `fast_value`.
+int FastOr(int fast_value, int value);
+
+}  // namespace hap::bench
+
+#endif  // HAP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,142 @@
+// Reproduces Fig. 4: t-SNE visualisation of graph-level representations
+// from HAP, SAGPool, MeanAttPool and DiffPool on PROTEINS* and COLLAB*.
+// Each method's classifier is trained, every graph's final embedding is
+// projected to 2-D with exact t-SNE, coordinates are written to
+// fig4_<dataset>_<method>.csv and the silhouette score (separability of
+// the cluster border, Sec. 6.2) is printed. Also prints the Fig. 1 /
+// MOA receptive-field statistic: attention mass inside the 1-hop
+// neighbourhood of each node's dominant cluster peer group.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "core/coarsening.h"
+#include "graph/datasets.h"
+#include "train/classifier.h"
+#include "viz/csv.h"
+#include "viz/tsne.h"
+
+namespace hap::bench {
+namespace {
+
+constexpr int kHidden = 32;
+
+std::string Slug(std::string name) {
+  for (char& c : name) {
+    if (c == '*' ) c = 's';
+    if (c == '-') c = '_';
+  }
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  return name;
+}
+
+void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
+  auto data = PrepareDataset(dataset);
+  Split split = SplitIndices(static_cast<int>(data.size()), data_rng);
+  const std::vector<std::string> methods = {"HAP", "SAGPool", "MeanAttPool",
+                                            "DiffPool"};
+  TextTable table({"Method", "Test acc (%)", "Silhouette"});
+  for (const std::string& method : methods) {
+    Rng rng(0xf19 ^ std::hash<std::string>{}(method));
+    GraphClassifier model(
+        MakeEmbedderByName(method, dataset.feature_spec.FeatureDim(), kHidden,
+                           &rng),
+        dataset.num_classes, kHidden, &rng);
+    TrainConfig config;
+    config.epochs = FastOr(4, 20);
+    config.patience = config.epochs;
+    ClassificationResult trained =
+        TrainClassifier(&model, data, split, config);
+    model.set_training(false);
+    // Embed every graph and project.
+    std::vector<std::vector<double>> points;
+    std::vector<int> labels;
+    for (const PreparedGraph& graph : data) {
+      Tensor e = model.Embed(graph);
+      std::vector<double> p(e.cols());
+      for (int c = 0; c < e.cols(); ++c) p[c] = e.At(0, c);
+      points.push_back(std::move(p));
+      labels.push_back(graph.label);
+    }
+    TsneOptions options;
+    options.iterations = FastOr(120, 400);
+    auto coords = TsneEmbed(points, options);
+    std::vector<std::vector<double>> coords2d;
+    std::vector<std::vector<std::string>> rows;
+    for (size_t i = 0; i < coords.size(); ++i) {
+      coords2d.push_back({coords[i][0], coords[i][1]});
+      rows.push_back({std::to_string(coords[i][0]),
+                      std::to_string(coords[i][1]),
+                      std::to_string(labels[i])});
+    }
+    const double silhouette = SilhouetteScore(coords2d, labels);
+    const std::string path =
+        "fig4_" + Slug(dataset.name) + "_" + Slug(method) + ".csv";
+    Status status = WriteCsv(path, {"x", "y", "label"}, rows);
+    if (!status.ok()) {
+      std::fprintf(stderr, "  [fig4] csv write failed: %s\n",
+                   status.ToString().c_str());
+    }
+    table.AddRow({method, TextTable::Num(100.0 * trained.test_accuracy),
+                  TextTable::Num(silhouette, 3)});
+    std::fprintf(stderr, "  [fig4] %s / %s: silhouette %.3f -> %s\n",
+                 method.c_str(), dataset.name.c_str(), silhouette,
+                 path.c_str());
+  }
+  std::printf("Fig. 4 (%s): t-SNE separability of graph embeddings\n%s\n",
+              dataset.name.c_str(), table.ToString().c_str());
+}
+
+/// Fig. 1 statistic: fraction of each node's MOA attention that lands on
+/// the cluster most favoured by its 1-hop neighbours — high values mean
+/// the soft substructure extractor respects locality while the remaining
+/// mass is free to capture high-order dependency.
+void ReceptiveFieldStatistic() {
+  Rng rng(99);
+  GraphDataset ds = MakeProteinsLike(FastOr(6, 20), &rng);
+  CoarseningConfig config;
+  config.in_features = ds.feature_spec.FeatureDim();
+  config.num_clusters = 8;
+  CoarseningModule module(config, &rng);
+  module.set_training(false);
+  double neighbor_agreement = 0.0;
+  int counted = 0;
+  for (const Graph& g : ds.graphs) {
+    Tensor h = NodeFeatures(g, ds.feature_spec);
+    module.Forward(h, g.AdjacencyMatrix());
+    const Tensor& m = module.last_attention();
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      if (g.Degree(u) == 0) continue;
+      // Dominant cluster of u's neighbourhood (mean attention of peers).
+      std::vector<double> peer(m.cols(), 0.0);
+      for (int v : g.Neighbors(u)) {
+        for (int c = 0; c < m.cols(); ++c) peer[c] += m.At(v, c);
+      }
+      int top = 0;
+      for (int c = 1; c < m.cols(); ++c) {
+        if (peer[c] > peer[top]) top = c;
+      }
+      neighbor_agreement += m.At(u, top);
+      ++counted;
+    }
+  }
+  std::printf(
+      "Fig. 1 statistic: mean MOA attention mass on the 1-hop dominant "
+      "cluster = %.3f (uniform would be %.3f); the remainder is the "
+      "high-order channel.\n\n",
+      neighbor_agreement / counted, 1.0 / 8.0);
+}
+
+int Main() {
+  Rng data_rng(20240704);
+  ReceptiveFieldStatistic();
+  RunDataset(MakeProteinsLike(FastOr(30, 120), &data_rng), &data_rng);
+  RunDataset(MakeCollabLike(FastOr(24, 90), &data_rng), &data_rng);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hap::bench
+
+int main() { return hap::bench::Main(); }

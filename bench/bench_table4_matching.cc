@@ -1,0 +1,86 @@
+// Reproduces Table 4: graph matching accuracy (percent) versus graph size
+// |V| ∈ {20, 30, 40, 50} for GMN, GMN-HAP (GMN with its pooling replaced
+// by HAP's coarsening module) and HAP. Pairs are generated per Sec. 6.1.1
+// with edge probability in [0.2, 0.5].
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "matching/pair_data.h"
+#include "train/matching_trainer.h"
+#include "train/pair_scorer.h"
+
+namespace hap::bench {
+namespace {
+
+constexpr int kFeatureDim = 12;
+
+FeatureSpec MatchingFeatures() {
+  return {FeatureKind::kRelativeDegreeBuckets, kFeatureDim, 0};
+}
+
+std::unique_ptr<PairScorer> MakeScorer(const std::string& name, Rng* rng) {
+  if (name == "GMN" || name == "GMN-HAP") {
+    GmnConfig config;
+    config.feature_dim = kFeatureDim;
+    config.hidden_dim = 24;
+    config.layers = 2;
+    return std::make_unique<GmnPairScorer>(
+        config,
+        name == "GMN" ? GmnModel::Pooling::kGatedSum
+                      : GmnModel::Pooling::kHapCoarsen,
+        rng);
+  }
+  // HAP: independent hierarchical embeddings.
+  HapConfig config = DefaultHapConfig(kFeatureDim, 24);
+  return std::make_unique<EmbedderPairScorer>(MakeHapModel(config, rng));
+}
+
+int Main() {
+  const int pairs = FastOr(24, 240);
+  const int epochs = FastOr(4, 30);
+  const std::vector<int> sizes = {20, 30, 40, 50};
+  const std::vector<std::string> models = {"GMN", "GMN-HAP", "HAP"};
+
+  std::vector<std::string> headers = {"Model"};
+  for (int size : sizes) headers.push_back("|V|=" + std::to_string(size));
+  TextTable table(headers);
+
+  // Pre-generate one corpus per size, shared by all models.
+  std::vector<std::vector<PreparedPair>> data;
+  std::vector<Split> splits;
+  Rng data_rng(20240704);
+  for (int size : sizes) {
+    auto raw = MakeMatchingPairs(pairs, size, &data_rng);
+    data.push_back(PreparePairs(raw, MatchingFeatures()));
+    splits.push_back(SplitIndices(pairs, &data_rng));
+  }
+
+  for (const std::string& model_name : models) {
+    std::vector<std::string> row = {model_name};
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      Rng model_rng(0xabcd ^ std::hash<std::string>{}(model_name) ^ s);
+      auto scorer = MakeScorer(model_name, &model_rng);
+      TrainConfig config;
+      config.epochs = epochs;
+      config.lr = 0.005f;
+      config.patience = epochs;
+      MatchingTrainResult result =
+          TrainMatcher(scorer.get(), data[s], splits[s], config);
+      row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      std::fprintf(stderr, "  [table4] %s |V|=%d: %.2f%%\n",
+                   model_name.c_str(), sizes[s],
+                   100.0 * result.test_accuracy);
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("Table 4: graph matching accuracy (%%) vs graph size\n%s\n",
+              table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hap::bench
+
+int main() { return hap::bench::Main(); }

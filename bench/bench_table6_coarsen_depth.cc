@@ -1,0 +1,130 @@
+// Reproduces Table 6: effect of the number of graph coarsening modules.
+// Baseline is HAP-MeanAttPool; Coarsen=K replaces the pooling with K
+// stacked HAP coarsening modules. Tasks: graph matching (|V| ∈ {20..50})
+// and graph similarity learning (AIDS*, LINUX*).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "matching/pair_data.h"
+#include "train/matching_trainer.h"
+#include "train/pair_scorer.h"
+#include "train/similarity_trainer.h"
+
+namespace hap::bench {
+namespace {
+
+/// Cluster schedule per depth: the final module always collapses to one
+/// cluster ("coarsened to a 1D vector", Sec. 4.5).
+std::vector<int> ClusterSchedule(int depth) {
+  switch (depth) {
+    case 1:
+      return {1};
+    case 2:
+      return {8, 1};
+    default:
+      return {12, 4, 1};
+  }
+}
+
+std::unique_ptr<GraphEmbedder> MakeModel(int depth, int feature_dim,
+                                         int hidden, Rng* rng) {
+  HapConfig config = DefaultHapConfig(feature_dim, hidden);
+  if (depth == 0) {
+    // Baseline: the coarsening slot holds MeanAttPool.
+    config.cluster_sizes = {1};
+    return MakeHapVariant(CoarsenerKind::kMeanAttPool, config, rng);
+  }
+  config.cluster_sizes = ClusterSchedule(depth);
+  return MakeHapModel(config, rng);
+}
+
+int Main() {
+  const int match_pairs = FastOr(20, 200);
+  const int pool_size = FastOr(14, 40);
+  const int triplets = FastOr(30, 300);
+  const int epochs = FastOr(4, 24);
+  const int hidden = 24;
+
+  Rng data_rng(20240704);
+  const std::vector<int> match_sizes = {20, 30, 40, 50};
+  const FeatureSpec match_spec{FeatureKind::kRelativeDegreeBuckets, 12, 0};
+  std::vector<std::vector<PreparedPair>> match_data;
+  std::vector<Split> match_splits;
+  for (int size : match_sizes) {
+    match_data.push_back(PreparePairs(
+        MakeMatchingPairs(match_pairs, size, &data_rng), match_spec));
+    match_splits.push_back(SplitIndices(match_pairs, &data_rng));
+  }
+
+  struct SimCorpus {
+    std::string name;
+    FeatureSpec spec;
+    std::vector<PreparedGraph> prepared;
+    std::vector<GraphTriplet> train, test;
+  };
+  std::vector<SimCorpus> sim_corpora;
+  auto build = [&](const std::string& name, std::vector<Graph> pool,
+                   FeatureSpec spec) {
+    SimCorpus corpus;
+    corpus.name = name;
+    corpus.spec = spec;
+    corpus.prepared = PrepareGraphs(pool, spec);
+    auto ged = PairwiseGedMatrix(pool);
+    corpus.train = MakeTriplets(ged, triplets, &data_rng);
+    corpus.test = MakeTriplets(ged, triplets / 2, &data_rng);
+    sim_corpora.push_back(std::move(corpus));
+  };
+  build("AIDS*", MakeAidsLikePool(pool_size, &data_rng),
+        {FeatureKind::kNodeLabelOneHot, 10, 0});
+  build("LINUX*", MakeLinuxLikePool(pool_size, &data_rng),
+        {FeatureKind::kDegreeOneHot, 8, 0});
+
+  std::vector<std::string> headers = {"Model"};
+  for (int size : match_sizes) headers.push_back("|V|=" + std::to_string(size));
+  for (const SimCorpus& corpus : sim_corpora) headers.push_back(corpus.name);
+  TextTable table(headers);
+
+  for (int depth = 0; depth <= 3; ++depth) {
+    const std::string label =
+        depth == 0 ? "baseline" : "Coarsen=" + std::to_string(depth);
+    std::vector<std::string> row = {label};
+    TrainConfig config;
+    config.epochs = epochs;
+    config.patience = epochs;
+    for (size_t s = 0; s < match_sizes.size(); ++s) {
+      Rng rng(0xdeb7 ^ depth * 131 ^ s);
+      EmbedderPairScorer scorer(
+          MakeModel(depth, match_spec.FeatureDim(), hidden, &rng));
+      config.lr = 0.005f;
+      MatchingTrainResult result =
+          TrainMatcher(&scorer, match_data[s], match_splits[s], config);
+      row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      std::fprintf(stderr, "  [table6] %s / match |V|=%d: %.2f%%\n",
+                   label.c_str(), match_sizes[s],
+                   100.0 * result.test_accuracy);
+    }
+    for (const SimCorpus& corpus : sim_corpora) {
+      Rng rng(0xdeb7 ^ depth * 977);
+      EmbedderPairScorer scorer(
+          MakeModel(depth, corpus.spec.FeatureDim(), hidden, &rng));
+      config.lr = 0.005f;
+      SimilarityTrainResult result = TrainSimilarity(
+          &scorer, corpus.prepared, corpus.train, corpus.test, config);
+      row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      std::fprintf(stderr, "  [table6] %s / %s: %.2f%%\n", label.c_str(),
+                   corpus.name.c_str(), 100.0 * result.test_accuracy);
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf(
+      "Table 6: effect of the number of graph coarsening modules (%%)\n%s\n",
+      table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hap::bench
+
+int main() { return hap::bench::Main(); }

@@ -1,0 +1,65 @@
+// Graph matching: decide whether one graph is (isomorphic to a subgraph
+// of) another. Demonstrates the Sec. 6.1.1 corpus construction with our
+// VF2 substrate, then trains HAP's hierarchical pair scorer and compares
+// its decisions against exact VF2 answers on held-out pairs.
+
+#include <cstdio>
+
+#include "core/hap_model.h"
+#include "matching/pair_data.h"
+#include "matching/vf2.h"
+#include "train/matching_trainer.h"
+#include "train/pair_scorer.h"
+
+int main() {
+  using namespace hap;
+  Rng rng(2024);
+
+  // 1. Build a labeled pair corpus: positives are connected subgraphs 1-3
+  //    nodes smaller, negatives add 3-7 nodes at the same edge probability.
+  const int num_pairs = 100;
+  std::vector<GraphPair> pairs = MakeMatchingPairs(num_pairs, /*nodes=*/16, &rng);
+  std::printf("Generated %d pairs, e.g. %s vs %s (label %d)\n",
+              num_pairs, pairs[0].g1.ToString().c_str(),
+              pairs[0].g2.ToString().c_str(), pairs[0].label);
+
+  // 2. Sanity-check a few positives against the exact VF2 matcher.
+  int verified = 0;
+  for (const GraphPair& pair : pairs) {
+    if (pair.label == 1 && verified < 3) {
+      const bool sub = Vf2SubgraphIsomorphic(pair.g2, pair.g1,
+                                             /*respect_labels=*/false);
+      std::printf("  VF2 confirms positive pair: %s\n", sub ? "yes" : "NO!");
+      ++verified;
+    }
+  }
+
+  // 3. Train HAP's pair scorer: both graphs are embedded hierarchically
+  //    and compared per level (Eq. 22-23).
+  FeatureSpec spec{FeatureKind::kRelativeDegreeBuckets, 12, 0};
+  auto data = PreparePairs(pairs, spec);
+  Split split = SplitIndices(num_pairs, &rng);
+  HapConfig config;
+  config.feature_dim = spec.FeatureDim();
+  config.hidden_dim = 24;
+  config.cluster_sizes = {8, 1};
+  EmbedderPairScorer scorer(MakeHapModel(config, &rng));
+  TrainConfig train_config;
+  train_config.epochs = 15;
+  train_config.lr = 0.005f;
+  MatchingTrainResult result =
+      TrainMatcher(&scorer, data, split, train_config);
+  std::printf("\nHAP matching accuracy: train %.1f%%  test %.1f%%\n",
+              100.0 * result.train_accuracy, 100.0 * result.test_accuracy);
+
+  // 4. Show per-pair similarity scores on a few test pairs.
+  scorer.set_training(false);
+  std::printf("\nHeld-out decisions (similarity = exp(-0.5 * distance)):\n");
+  for (size_t i = 0; i < split.test.size() && i < 5; ++i) {
+    const PreparedPair& pair = data[split.test[i]];
+    const bool predicted = PredictMatch(scorer, pair);
+    std::printf("  pair #%d: label %d -> predicted %s\n", split.test[i],
+                pair.label, predicted ? "match" : "no match");
+  }
+  return 0;
+}

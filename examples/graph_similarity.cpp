@@ -1,0 +1,70 @@
+// Graph similarity learning: rank which of two graphs is closer to a query
+// under graph edit distance. Demonstrates the whole GED substrate — exact
+// A*, beam search, bipartite approximations — and HAP's learned relative
+// similarity (Eq. 24).
+
+#include <cstdio>
+
+#include "core/hap_model.h"
+#include "ged/ged.h"
+#include "graph/datasets.h"
+#include "train/pair_scorer.h"
+#include "train/similarity_trainer.h"
+
+int main() {
+  using namespace hap;
+  Rng rng(7);
+
+  // 1. A pool of small molecules (<= 10 nodes: exact GED is feasible).
+  std::vector<Graph> pool = MakeAidsLikePool(/*num_graphs=*/30, &rng);
+  std::printf("Pool of %zu molecule-like graphs (max 10 nodes)\n\n",
+              pool.size());
+
+  // 2. One pair, all algorithms. Approximations are upper bounds.
+  const Graph& a = pool[0];
+  const Graph& b = pool[1];
+  std::printf("GED(%s, %s):\n", a.ToString().c_str(), b.ToString().c_str());
+  std::printf("  exact A*      : %.0f (expansions: %lld)\n",
+              ExactGed(a, b).cost,
+              static_cast<long long>(ExactGed(a, b).expansions));
+  std::printf("  Beam1         : %.0f\n", BeamGed(a, b, 1).cost);
+  std::printf("  Beam80        : %.0f\n", BeamGed(a, b, 80).cost);
+  std::printf("  Hungarian (RB): %.0f\n", BipartiteGedHungarian(a, b).cost);
+  std::printf("  VJ (label-only): %.0f\n\n", BipartiteGedVj(a, b).cost);
+
+  // 3. Exact ground truth for the whole pool and triplets ⟨a, b, c⟩ with
+  //    relative proximity r = GED(a,b) - GED(a,c).
+  auto ged = PairwiseGedMatrix(pool);
+  auto train_triplets = MakeTriplets(ged, 150, &rng);
+  auto test_triplets = MakeTriplets(ged, 60, &rng);
+
+  // 4. Train HAP to reproduce the ordering from embeddings alone.
+  FeatureSpec spec{FeatureKind::kNodeLabelOneHot, 10, 0};
+  auto prepared = PrepareGraphs(pool, spec);
+  HapConfig config;
+  config.feature_dim = spec.FeatureDim();
+  config.hidden_dim = 24;
+  config.cluster_sizes = {4, 1};
+  EmbedderPairScorer scorer(MakeHapModel(config, &rng));
+  TrainConfig train_config;
+  train_config.epochs = 15;
+  train_config.lr = 0.005f;
+  SimilarityTrainResult result = TrainSimilarity(
+      &scorer, prepared, train_triplets, test_triplets, train_config);
+  std::printf("HAP triplet ordering accuracy: train %.1f%%  test %.1f%%\n",
+              100.0 * result.train_accuracy, 100.0 * result.test_accuracy);
+
+  // 5. Compare with the conventional baselines on the same triplets.
+  auto beam1 = PairwiseApproxGedMatrix(pool, [](const Graph& x, const Graph& y) {
+    return BeamGed(x, y, 1).cost;
+  });
+  auto hungarian =
+      PairwiseApproxGedMatrix(pool, [](const Graph& x, const Graph& y) {
+        return BipartiteGedHungarian(x, y).cost;
+      });
+  std::printf("Beam1 triplet accuracy    : %.1f%%\n",
+              100.0 * TripletAccuracyFromMatrix(test_triplets, beam1));
+  std::printf("Hungarian triplet accuracy: %.1f%%\n",
+              100.0 * TripletAccuracyFromMatrix(test_triplets, hungarian));
+  return 0;
+}

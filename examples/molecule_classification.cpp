@@ -1,0 +1,64 @@
+// Molecule classification with high-order structure — the scenario the
+// paper's MUTAG analysis highlights (Sec. 6.2): both classes contain the
+// same nitro motifs; only their *relative placement* on the ring differs,
+// so a pooler must capture dependency beyond the 1-hop neighbourhood.
+//
+// This example trains HAP and two ablations of its own design choices
+// (GCont off, Gumbel soft sampling off) to show what each contributes.
+
+#include <cstdio>
+
+#include "core/hap_model.h"
+#include "graph/datasets.h"
+#include "train/classifier.h"
+
+namespace {
+
+hap::ClassificationResult RunOne(const char* label, bool use_gcont,
+                                 bool use_gumbel,
+                                 const hap::GraphDataset& dataset,
+                                 const std::vector<hap::PreparedGraph>& data,
+                                 const hap::Split& split) {
+  using namespace hap;
+  Rng rng(1234);
+  HapConfig config;
+  config.feature_dim = dataset.feature_spec.FeatureDim();
+  config.hidden_dim = 32;
+  config.cluster_sizes = {8, 1};
+  config.use_gcont = use_gcont;
+  config.use_gumbel = use_gumbel;
+  // GAT node & cluster embeddings keep the sparse motif signal crisp on
+  // molecules (the paper reports the better of GAT/GCN; here GAT wins).
+  config.encoder = EncoderKind::kGat;
+  GraphClassifier model(MakeHapModel(config, &rng), dataset.num_classes, 32,
+                        &rng);
+  TrainConfig train_config;
+  train_config.epochs = 25;
+  ClassificationResult result =
+      TrainClassifier(&model, data, split, train_config);
+  std::printf("  %-28s test accuracy %.1f%% (best epoch %d)\n", label,
+              100.0 * result.test_accuracy, result.best_epoch);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hap;
+  Rng rng(42);
+  GraphDataset dataset = MakeMutagLike(/*num_graphs=*/160, &rng);
+  std::printf("MUTAG*-like molecules:\n%s\n",
+              DatasetStatistics({dataset}).c_str());
+  std::printf(
+      "Every molecule carries two nitro groups; mutagenic-like molecules\n"
+      "have them on adjacent ring atoms, others on opposite atoms.\n\n");
+
+  std::vector<PreparedGraph> data = PrepareDataset(dataset);
+  Split split = SplitIndices(static_cast<int>(data.size()), &rng);
+
+  std::printf("HAP design-choice ablation:\n");
+  RunOne("HAP (full)", true, true, dataset, data, split);
+  RunOne("HAP w/o GCont guidance", false, true, dataset, data, split);
+  RunOne("HAP w/o Gumbel sampling", true, false, dataset, data, split);
+  return 0;
+}

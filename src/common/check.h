@@ -1,0 +1,71 @@
+#ifndef HAP_COMMON_CHECK_H_
+#define HAP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hap::internal {
+
+/// Formats the tail of a failed check message and aborts. Used only by the
+/// HAP_CHECK family of macros below; not part of the public API.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "HAP_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Stream sink that lets `HAP_CHECK(x) << "detail"` accumulate a message and
+/// abort when destroyed. Only ever constructed on the failure path.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+/// Lowers a CheckMessage stream chain to void so it can sit in the false
+/// branch of the HAP_CHECK ternary. `&` binds looser than `<<`.
+struct Voidify {
+  void operator&(CheckMessage&) {}
+  void operator&(CheckMessage&&) {}
+};
+
+}  // namespace hap::internal
+
+/// Aborts the process with a diagnostic when `condition` is false.
+/// Invariant violations in this library are programming errors, so they
+/// terminate rather than unwinding (the library is built without exceptions
+/// on hot paths). Additional context can be streamed:
+///   HAP_CHECK(rows > 0) << "empty matrix in " << name;
+#define HAP_CHECK(condition)                   \
+  (condition) ? (void)0                        \
+              : ::hap::internal::Voidify() &   \
+                    ::hap::internal::CheckMessage(__FILE__, __LINE__, #condition)
+
+#define HAP_CHECK_EQ(a, b) HAP_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HAP_CHECK_NE(a, b) HAP_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HAP_CHECK_LT(a, b) HAP_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HAP_CHECK_LE(a, b) HAP_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HAP_CHECK_GT(a, b) HAP_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HAP_CHECK_GE(a, b) HAP_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // HAP_COMMON_CHECK_H_

@@ -1,0 +1,41 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hap {
+
+int Rng::UniformInt(int n) {
+  HAP_CHECK_GT(n, 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t r = NextU64();
+  while (r >= limit) r = NextU64();
+  return static_cast<int>(r % bound);
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller transform; guard against log(0).
+  double u1 = Uniform();
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  have_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gumbel() {
+  double u = Uniform();
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(-std::log(u));
+}
+
+}  // namespace hap

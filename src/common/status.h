@@ -1,0 +1,101 @@
+#ifndef HAP_COMMON_STATUS_H_
+#define HAP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace hap {
+
+/// Error categories for recoverable failures. Mirrors the Abseil canonical
+/// codes we actually need.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kResourceExhausted,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status type for recoverable errors (bad user input, file I/O,
+/// timeouts in search algorithms). Invariant violations use HAP_CHECK
+/// instead. Cheap to copy for the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder. `value()` CHECK-fails if the status is not OK, so
+/// callers must test `ok()` first on fallible paths.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    HAP_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    HAP_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    HAP_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    HAP_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hap
+
+#endif  // HAP_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef HAP_COMMON_TABLE_H_
+#define HAP_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hap {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// rows in the same layout as the paper's tables. Cells are strings; numeric
+/// helpers format with a fixed precision.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals (for accuracy percentages).
+  static std::string Num(double value, int precision = 2);
+
+  /// Renders the table with aligned columns and a header separator.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (for piping into plotting tools).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hap
+
+#endif  // HAP_COMMON_TABLE_H_

@@ -1,0 +1,132 @@
+#include "core/coarsening.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/gumbel.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+CoarseningModule::CoarseningModule(const CoarseningConfig& config, Rng* rng)
+    : config_(config), noise_rng_(rng->Fork()) {
+  HAP_CHECK_GT(config_.in_features, 0);
+  HAP_CHECK_GT(config_.num_clusters, 0);
+  if (config_.use_gcont) {
+    gcont_transform_ =
+        Tensor::Xavier(config_.in_features, config_.num_clusters, rng);
+    attn_row_ = Tensor::Xavier(config_.num_clusters, 1, rng);
+    attn_col_ = Tensor::Xavier(config_.num_clusters, 1, rng);
+  } else {
+    cluster_seeds_ =
+        Tensor::Xavier(config_.num_clusters, config_.in_features, rng);
+    attn_row_ = Tensor::Xavier(config_.in_features, 1, rng);
+    attn_col_ = Tensor::Xavier(config_.in_features, 1, rng);
+  }
+}
+
+Tensor CoarseningModule::ComputeGCont(const Tensor& h) const {
+  HAP_CHECK(config_.use_gcont);
+  HAP_CHECK_EQ(h.cols(), config_.in_features);
+  Tensor c = MatMul(h, gcont_transform_);
+  if (config_.normalize_gcont) {
+    // Differentiable whole-matrix standardisation; see the config comment.
+    const int n = c.rows(), k = c.cols();
+    Tensor mean = ReduceMeanAll(c);  // (1,1)
+    Tensor mean_full =
+        MatMul(Tensor::Ones(n, 1), MatMul(mean, Tensor::Ones(1, k)));
+    Tensor centered = Sub(c, mean_full);
+    Tensor stddev =
+        Sqrt(AddScalar(ReduceMeanAll(Square(centered)), 1e-6f));  // (1,1)
+    Tensor stddev_full =
+        MatMul(Tensor::Ones(n, 1), MatMul(stddev, Tensor::Ones(1, k)));
+    c = Div(centered, stddev_full);
+  }
+  return c;
+}
+
+Tensor CoarseningModule::ComputeAttention(const Tensor& c_or_h) const {
+  const int n = c_or_h.rows();
+  Tensor logits;
+  if (config_.use_gcont) {
+    const Tensor& c = c_or_h;
+    HAP_CHECK_EQ(c.cols(), config_.num_clusters);
+    // Row operand: s₁_i = a₁ · C_{i,:}.
+    Tensor row_scores = MatMul(c, attn_row_);  // (N, 1)
+    Tensor col_scores;                         // (N', 1)
+    if (config_.paper_literal_relaxation) {
+      // Paper-literal Claim 3: the comparison of C_{:,j} ∈ ℝᴺ against
+      // a₂ ∈ ℝ^{N'} uses only the first min(N, N') entries; missing
+      // entries are implicit zero padding. Order-dependent (see header).
+      const int effective = std::min(n, config_.num_clusters);
+      Tensor c_block = SliceRows(c, 0, effective);           // (eff, N')
+      Tensor a2_block = SliceRows(attn_col_, 0, effective);  // (eff, 1)
+      col_scores = MatMul(Transpose(c_block), a2_block);
+    } else {
+      // Invariant relaxation: s₂_j = a₂ · ĉ_j with ĉ_j = Cᵀ C_{:,j} / N,
+      // i.e. the column compared through C's own content. Summing over all
+      // source nodes makes the operand permutation invariant (Claim 2).
+      Tensor projected = MatMul(c, attn_col_);  // (N, 1)
+      col_scores = MulScalar(MatMul(Transpose(c), projected),
+                             1.0f / static_cast<float>(n));
+    }
+    logits = OuterSum(row_scores, Transpose(col_scores));  // (N, N')
+    if (config_.bilinear_moa) {
+      // Cross-attention interaction C_{i,:}·ĉ_j with ĉ_j = CᵀC_{:,j}/N:
+      // the node-dependent term that makes MOA adaptive (see the config
+      // comment). (C Cᵀ C)/N computed right-to-left: O(N·N'²).
+      Tensor interaction = MulScalar(
+          MatMul(c, MatMul(Transpose(c), c)), 1.0f / static_cast<float>(n));
+      logits = Add(logits, interaction);
+    }
+  } else {
+    // Ablated GCont: attention between node features and cluster seeds.
+    const Tensor& h = c_or_h;
+    HAP_CHECK_EQ(h.cols(), config_.in_features);
+    Tensor row_scores = MatMul(h, attn_row_);              // (N, 1)
+    Tensor col_scores = MatMul(cluster_seeds_, attn_col_);  // (N', 1)
+    logits = OuterSum(row_scores, Transpose(col_scores));
+    if (config_.bilinear_moa) {
+      // Node-feature · cluster-seed interaction.
+      logits = Add(logits, MatMul(h, Transpose(cluster_seeds_)));
+    }
+  }
+  return SoftmaxRows(LeakyRelu(logits, config_.leaky_slope));  // Eq. 14-15
+}
+
+CoarsenResult CoarseningModule::Forward(const Tensor& h,
+                                        const Tensor& adjacency) const {
+  HAP_CHECK_EQ(h.rows(), adjacency.rows());
+  HAP_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  Tensor m = config_.use_gcont ? ComputeAttention(ComputeGCont(h))
+                               : ComputeAttention(h);
+  last_attention_ = m;
+  CoarsenResult result;
+  Tensor m_t = Transpose(m);
+  if (config_.normalize_cluster_mass) {
+    // H' = D_M⁻¹ Mᵀ H: attention-weighted member mean (see config).
+    Tensor mass = ClampMin(ReduceSumCols(m_t), 1e-9f);  // (N', 1)
+    Tensor inv_mass = Div(Tensor::Ones(mass.rows(), 1), mass);
+    result.h = ScaleRows(MatMul(m_t, h), inv_mass);
+  } else {
+    result.h = MatMul(m_t, h);  // Eq. 17 literal
+  }
+  Tensor coarse_adj = MatMul(m_t, MatMul(adjacency, m));  // Eq. 18
+  result.adjacency =
+      config_.use_gumbel
+          ? GumbelSoftSample(coarse_adj, config_.tau, &noise_rng_, training_)
+          : coarse_adj;
+  return result;
+}
+
+void CoarseningModule::CollectParameters(std::vector<Tensor>* out) const {
+  if (config_.use_gcont) {
+    out->push_back(gcont_transform_);
+  } else {
+    out->push_back(cluster_seeds_);
+  }
+  out->push_back(attn_row_);
+  out->push_back(attn_col_);
+}
+
+}  // namespace hap

@@ -1,0 +1,88 @@
+#include "core/embedder.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+FlatEmbedder::FlatEmbedder(std::unique_ptr<GnnEncoder> encoder,
+                           std::unique_ptr<Readout> readout)
+    : encoder_(std::move(encoder)), readout_(std::move(readout)) {
+  embedding_dim_ = readout_->OutFeatures(encoder_->out_features());
+}
+
+std::vector<Tensor> FlatEmbedder::EmbedLevels(const Tensor& h,
+                                              const Tensor& adjacency) const {
+  Tensor encoded = encoder_->Forward(h, adjacency);
+  return {readout_->Forward(encoded, adjacency)};
+}
+
+void FlatEmbedder::CollectParameters(std::vector<Tensor>* out) const {
+  encoder_->CollectParameters(out);
+  readout_->CollectParameters(out);
+}
+
+HierarchicalEmbedder::HierarchicalEmbedder(
+    std::vector<std::unique_ptr<GnnEncoder>> encoders,
+    std::vector<std::unique_ptr<Coarsener>> coarseners)
+    : encoders_(std::move(encoders)), coarseners_(std::move(coarseners)) {
+  HAP_CHECK_EQ(encoders_.size(), coarseners_.size());
+  HAP_CHECK(!encoders_.empty());
+  embedding_dim_ = encoders_.back()->out_features();
+}
+
+std::vector<Tensor> HierarchicalEmbedder::EmbedLevels(
+    const Tensor& h, const Tensor& adjacency) const {
+  std::vector<Tensor> levels;
+  Tensor features = h;
+  Tensor adj = adjacency;
+  for (size_t stage = 0; stage < encoders_.size(); ++stage) {
+    Tensor encoded = encoders_[stage]->Forward(features, adj);
+    CoarsenResult coarse = coarseners_[stage]->Forward(encoded, adj);
+    features = coarse.h;
+    adj = coarse.adjacency;
+    // Level embedding: mean over the coarsened clusters (collapses to the
+    // cluster feature itself once N' = 1).
+    levels.push_back(ReduceMeanRows(features));
+  }
+  return levels;
+}
+
+void HierarchicalEmbedder::CollectParameters(std::vector<Tensor>* out) const {
+  for (const auto& encoder : encoders_) encoder->CollectParameters(out);
+  for (const auto& coarsener : coarseners_) coarsener->CollectParameters(out);
+}
+
+void HierarchicalEmbedder::set_training(bool training) {
+  for (const auto& coarsener : coarseners_) coarsener->set_training(training);
+}
+
+GcnConcatEmbedder::GcnConcatEmbedder(int in_features, int hidden_dim,
+                                     int num_layers, Rng* rng) {
+  HAP_CHECK_GE(num_layers, 1);
+  int in = in_features;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    layers_.push_back(
+        std::make_unique<GcnLayer>(in, hidden_dim, rng, Activation::kRelu));
+    in = hidden_dim;
+  }
+  embedding_dim_ = hidden_dim * num_layers;
+}
+
+std::vector<Tensor> GcnConcatEmbedder::EmbedLevels(
+    const Tensor& h, const Tensor& adjacency) const {
+  Tensor x = h;
+  Tensor concat;
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, adjacency);
+    Tensor pooled = ReduceMeanRows(x);
+    concat = concat.defined() ? ConcatCols(concat, pooled) : pooled;
+  }
+  return {concat};
+}
+
+void GcnConcatEmbedder::CollectParameters(std::vector<Tensor>* out) const {
+  for (const auto& layer : layers_) layer->CollectParameters(out);
+}
+
+}  // namespace hap

@@ -1,0 +1,24 @@
+#include "core/gumbel.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+Tensor GumbelSoftSample(const Tensor& adjacency, float tau, Rng* rng,
+                        bool training, float eps) {
+  HAP_CHECK_GT(tau, 0.0f);
+  Tensor logits = Log(ClampMin(adjacency, eps));
+  if (training) {
+    HAP_CHECK(rng != nullptr);
+    Tensor noise(adjacency.rows(), adjacency.cols());
+    float* data = noise.mutable_data();
+    for (int64_t i = 0; i < noise.size(); ++i) {
+      data[i] = static_cast<float>(rng->Gumbel());
+    }
+    logits = Add(logits, noise);
+  }
+  return SoftmaxRows(MulScalar(logits, 1.0f / tau));
+}
+
+}  // namespace hap

@@ -1,0 +1,22 @@
+#ifndef HAP_CORE_GUMBEL_H_
+#define HAP_CORE_GUMBEL_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// Gumbel-Softmax soft sampling of a coarsened adjacency (Eq. 19):
+///   Ã'_ij = softmax_j( (log A'_ij + g_ij) / tau ),  g = -log(-log U).
+///
+/// With the paper's tau = 0.1 the rows approach one-hot, sparsifying the
+/// fully-connected coarsened graph while keeping it connected (every row
+/// retains mass). Entries are floored at `eps` before the log. When
+/// `training` is false the noise is omitted, making inference
+/// deterministic — the expectation path documented in DESIGN.md.
+Tensor GumbelSoftSample(const Tensor& adjacency, float tau, Rng* rng,
+                        bool training, float eps = 1e-9f);
+
+}  // namespace hap
+
+#endif  // HAP_CORE_GUMBEL_H_

@@ -1,0 +1,84 @@
+#include "ged/edit_path.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hap {
+
+std::string EditOp::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case Kind::kSubstituteNode:
+      out << "substitute node " << a << " -> label " << label;
+      break;
+    case Kind::kDeleteNode:
+      out << "delete node " << a;
+      break;
+    case Kind::kInsertNode:
+      out << "insert node " << a << " (label " << label << ")";
+      break;
+    case Kind::kDeleteEdge:
+      out << "delete edge (" << a << ", " << b << ")";
+      break;
+    case Kind::kInsertEdge:
+      out << "insert edge (" << a << ", " << b << ")";
+      break;
+  }
+  return out.str();
+}
+
+std::vector<EditOp> EditPathFromMapping(const Graph& g1, const Graph& g2,
+                                        const std::vector<int>& mapping) {
+  HAP_CHECK_EQ(static_cast<int>(mapping.size()), g1.num_nodes());
+  std::vector<int> inverse(g2.num_nodes(), -1);
+  for (int u = 0; u < g1.num_nodes(); ++u) {
+    if (mapping[u] >= 0) {
+      HAP_CHECK_LT(mapping[u], g2.num_nodes());
+      HAP_CHECK_EQ(inverse[mapping[u]], -1) << "mapping is not injective";
+      inverse[mapping[u]] = u;
+    }
+  }
+  std::vector<EditOp> path;
+  // Edge deletions first (so node deletions are legal), in g1 ids.
+  for (const auto& [u, w] : g1.Edges()) {
+    const int mu = mapping[u], mw = mapping[w];
+    if (mu < 0 || mw < 0 || !g2.HasEdge(mu, mw)) {
+      path.push_back({EditOp::Kind::kDeleteEdge, u, w, -1});
+    }
+  }
+  // Node deletions.
+  for (int u = 0; u < g1.num_nodes(); ++u) {
+    if (mapping[u] < 0) path.push_back({EditOp::Kind::kDeleteNode, u, -1, -1});
+  }
+  // Node substitutions (relabels).
+  for (int u = 0; u < g1.num_nodes(); ++u) {
+    const int v = mapping[u];
+    if (v >= 0 && g1.node_label(u) != g2.node_label(v)) {
+      path.push_back(
+          {EditOp::Kind::kSubstituteNode, u, -1, g2.node_label(v)});
+    }
+  }
+  // Node insertions (named by their g2 id).
+  for (int v = 0; v < g2.num_nodes(); ++v) {
+    if (inverse[v] < 0) {
+      path.push_back({EditOp::Kind::kInsertNode, v, -1, g2.node_label(v)});
+    }
+  }
+  // Edge insertions, in g2 ids.
+  for (const auto& [v, x] : g2.Edges()) {
+    const int pv = inverse[v], px = inverse[x];
+    if (pv < 0 || px < 0 || !g1.HasEdge(pv, px)) {
+      path.push_back({EditOp::Kind::kInsertEdge, v, x, -1});
+    }
+  }
+  return path;
+}
+
+std::string EditPathToString(const std::vector<EditOp>& path) {
+  std::ostringstream out;
+  for (const EditOp& op : path) out << op.ToString() << "\n";
+  return out.str();
+}
+
+}  // namespace hap

@@ -1,0 +1,40 @@
+#ifndef HAP_GED_EDIT_PATH_H_
+#define HAP_GED_EDIT_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hap {
+
+/// One elementary graph edit operation under the uniform cost model.
+struct EditOp {
+  enum class Kind {
+    kSubstituteNode,  // relabel g1 node u -> g2 label
+    kDeleteNode,      // remove g1 node u
+    kInsertNode,      // add g2 node v
+    kDeleteEdge,      // remove g1 edge (u, w)
+    kInsertEdge,      // add g2 edge (v, x)
+  };
+  Kind kind;
+  int a = -1;  // first endpoint / node (g1 ids for delete/substitute)
+  int b = -1;  // second endpoint (edges only)
+  int label = -1;  // new label for substitutions / inserted nodes
+
+  std::string ToString() const;
+};
+
+/// Expands a node mapping (as returned by the GED solvers) into the
+/// explicit edit path it induces. The number of operations equals
+/// GedFromMapping(g1, g2, mapping) under unit costs — verified by tests —
+/// and applying the path to g1 yields a graph isomorphic to g2.
+std::vector<EditOp> EditPathFromMapping(const Graph& g1, const Graph& g2,
+                                        const std::vector<int>& mapping);
+
+/// Renders a path as one operation per line (debugging / CLI output).
+std::string EditPathToString(const std::vector<EditOp>& path);
+
+}  // namespace hap
+
+#endif  // HAP_GED_EDIT_PATH_H_

@@ -1,0 +1,358 @@
+#include "ged/ged.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+#include "ged/hungarian.h"
+
+namespace hap {
+
+namespace {
+
+constexpr double kSoftInf = 1e9;
+
+/// A partial A* state: g1 nodes [0, depth) are mapped (to a g2 node or -1).
+struct SearchState {
+  std::vector<int> mapping;
+  uint32_t used_mask = 0;  // g2 nodes already consumed (n2 <= 31).
+  int depth = 0;
+  double g = 0.0;
+  double f = 0.0;
+};
+
+struct StateGreater {
+  bool operator()(const SearchState& a, const SearchState& b) const {
+    return a.f > b.f;
+  }
+};
+
+/// Incremental edit cost of extending `state` by mapping g1 node `depth`
+/// to `target` (-1 = delete).
+double ExtensionCost(const Graph& g1, const Graph& g2,
+                     const SearchState& state, int target) {
+  const int k = state.depth;
+  double cost = 0.0;
+  if (target < 0) {
+    cost += 1.0;  // Node deletion.
+  } else if (g1.node_label(k) != g2.node_label(target)) {
+    cost += 1.0;  // Node substitution.
+  }
+  for (int i = 0; i < k; ++i) {
+    const bool e1 = g1.HasEdge(i, k);
+    const int image = state.mapping[i];
+    if (image < 0 || target < 0) {
+      if (e1) cost += 1.0;  // Edge loses an endpoint: deletion.
+      continue;
+    }
+    const bool e2 = g2.HasEdge(image, target);
+    if (e1 != e2) cost += 1.0;  // Edge deletion or insertion.
+  }
+  return cost;
+}
+
+/// Cost of completing a full-depth state: insert every unused g2 node and
+/// every g2 edge incident to an unused node.
+double CompletionCost(const Graph& g2, uint32_t used_mask) {
+  double cost = 0.0;
+  for (int u = 0; u < g2.num_nodes(); ++u) {
+    if (!(used_mask & (1u << u))) cost += 1.0;
+  }
+  for (const auto& [u, v] : g2.Edges()) {
+    if (!(used_mask & (1u << u)) || !(used_mask & (1u << v))) cost += 1.0;
+  }
+  return cost;
+}
+
+/// Admissible heuristic: remaining node-count imbalance, a label-multiset
+/// lower bound on substitutions, and the imbalance of edges fully inside
+/// the remaining/unused regions.
+double Heuristic(const Graph& g1, const Graph& g2, const SearchState& state) {
+  const int r1 = g1.num_nodes() - state.depth;
+  int r2 = 0;
+  for (int u = 0; u < g2.num_nodes(); ++u) {
+    if (!(state.used_mask & (1u << u))) ++r2;
+  }
+  double h = std::abs(r1 - r2);
+  // Label multiset surplus among nodes that could still be matched.
+  constexpr int kMaxLabels = 32;
+  std::array<int, kMaxLabels> c1{}, c2{};
+  for (int u = state.depth; u < g1.num_nodes(); ++u) {
+    const int label = g1.node_label(u);
+    if (label >= 0 && label < kMaxLabels) ++c1[label];
+  }
+  for (int u = 0; u < g2.num_nodes(); ++u) {
+    if (state.used_mask & (1u << u)) continue;
+    const int label = g2.node_label(u);
+    if (label >= 0 && label < kMaxLabels) ++c2[label];
+  }
+  int matchable = 0;
+  for (int label = 0; label < kMaxLabels; ++label) {
+    matchable += std::min(c1[label], c2[label]);
+  }
+  h += std::max(0, std::min(r1, r2) - matchable);
+  // Edge imbalance inside the untouched regions.
+  int e1 = 0;
+  for (const auto& [u, v] : g1.Edges()) {
+    if (u >= state.depth && v >= state.depth) ++e1;
+  }
+  int e2 = 0;
+  for (const auto& [u, v] : g2.Edges()) {
+    if (!(state.used_mask & (1u << u)) && !(state.used_mask & (1u << v))) ++e2;
+  }
+  h += std::abs(e1 - e2);
+  return h;
+}
+
+std::vector<SearchState> ExpandState(const Graph& g1, const Graph& g2,
+                                     const SearchState& state) {
+  std::vector<SearchState> children;
+  const int n2 = g2.num_nodes();
+  children.reserve(n2 + 1);
+  for (int target = -1; target < n2; ++target) {
+    if (target >= 0 && (state.used_mask & (1u << target))) continue;
+    SearchState child = state;
+    child.g += ExtensionCost(g1, g2, state, target);
+    child.mapping.push_back(target);
+    if (target >= 0) child.used_mask |= 1u << target;
+    ++child.depth;
+    child.f = child.g + Heuristic(g1, g2, child);
+    children.push_back(std::move(child));
+  }
+  return children;
+}
+
+GedResult FinishFromState(const Graph& g2, SearchState state,
+                          int64_t expansions) {
+  GedResult result;
+  result.cost = state.g + CompletionCost(g2, state.used_mask);
+  result.mapping = std::move(state.mapping);
+  result.expansions = expansions;
+  return result;
+}
+
+}  // namespace
+
+double GedFromMapping(const Graph& g1, const Graph& g2,
+                      const std::vector<int>& mapping) {
+  HAP_CHECK_EQ(static_cast<int>(mapping.size()), g1.num_nodes());
+  std::vector<int> inverse(g2.num_nodes(), -1);
+  double cost = 0.0;
+  for (int i = 0; i < g1.num_nodes(); ++i) {
+    const int image = mapping[i];
+    if (image < 0) {
+      cost += 1.0;  // deletion
+      continue;
+    }
+    HAP_CHECK_LT(image, g2.num_nodes());
+    HAP_CHECK_EQ(inverse[image], -1) << "mapping is not injective";
+    inverse[image] = i;
+    if (g1.node_label(i) != g2.node_label(image)) cost += 1.0;
+  }
+  for (int u = 0; u < g2.num_nodes(); ++u) {
+    if (inverse[u] < 0) cost += 1.0;  // insertion
+  }
+  for (const auto& [i, j] : g1.Edges()) {
+    const int a = mapping[i], b = mapping[j];
+    if (a < 0 || b < 0 || !g2.HasEdge(a, b)) cost += 1.0;  // edge deletion
+  }
+  for (const auto& [u, v] : g2.Edges()) {
+    const int a = inverse[u], b = inverse[v];
+    if (a < 0 || b < 0 || !g1.HasEdge(a, b)) cost += 1.0;  // edge insertion
+  }
+  return cost;
+}
+
+GedResult ExactGed(const Graph& g1, const Graph& g2, int64_t max_expansions) {
+  HAP_CHECK_LE(g2.num_nodes(), 31) << "A*-GED bitmask limit";
+  std::priority_queue<SearchState, std::vector<SearchState>, StateGreater>
+      open;
+  SearchState root;
+  root.f = Heuristic(g1, g2, root);
+  open.push(root);
+  int64_t expansions = 0;
+  // Track the best complete solution seen, for the budget-exceeded path.
+  bool have_best = false;
+  GedResult best;
+  best.cost = kSoftInf;
+  while (!open.empty()) {
+    SearchState state = open.top();
+    open.pop();
+    if (state.depth == g1.num_nodes()) {
+      GedResult result = FinishFromState(g2, std::move(state), expansions);
+      // The first completed state popped would be optimal if completion
+      // cost were folded into f; fold it here by re-queueing once.
+      if (!have_best || result.cost < best.cost) {
+        best = std::move(result);
+        have_best = true;
+      }
+      // With an admissible h the frontier minimum bounds the optimum:
+      if (open.empty() || open.top().f >= best.cost) {
+        best.exact = true;
+        best.expansions = expansions;
+        return best;
+      }
+      continue;
+    }
+    ++expansions;
+    if (expansions > max_expansions) {
+      // Budget exhausted: finish greedily from the current state.
+      while (state.depth < g1.num_nodes()) {
+        auto children = ExpandState(g1, g2, state);
+        state = *std::min_element(
+            children.begin(), children.end(),
+            [](const SearchState& a, const SearchState& b) { return a.f < b.f; });
+      }
+      GedResult result = FinishFromState(g2, std::move(state), expansions);
+      if (!have_best || result.cost < best.cost) best = std::move(result);
+      best.exact = false;
+      best.expansions = expansions;
+      return best;
+    }
+    for (SearchState& child : ExpandState(g1, g2, state)) {
+      // Fold the completion cost into f at the final depth so popping a
+      // complete state is meaningful.
+      if (child.depth == g1.num_nodes()) {
+        child.f = child.g + CompletionCost(g2, child.used_mask);
+      }
+      open.push(std::move(child));
+    }
+  }
+  HAP_CHECK(have_best);
+  return best;
+}
+
+GedResult BeamGed(const Graph& g1, const Graph& g2, int beam_width) {
+  HAP_CHECK_GE(beam_width, 1);
+  HAP_CHECK_LE(g2.num_nodes(), 31);
+  std::vector<SearchState> frontier(1);
+  frontier[0].f = Heuristic(g1, g2, frontier[0]);
+  int64_t expansions = 0;
+  GedResult best;
+  best.cost = kSoftInf;
+  for (int depth = 0; depth < g1.num_nodes(); ++depth) {
+    std::vector<SearchState> next;
+    for (const SearchState& state : frontier) {
+      ++expansions;
+      for (SearchState& child : ExpandState(g1, g2, state)) {
+        next.push_back(std::move(child));
+      }
+    }
+    if (depth + 1 == g1.num_nodes()) {
+      // All children are complete mappings: evaluate every one before any
+      // truncation so a wider beam cannot lose a completed solution.
+      for (SearchState& state : next) {
+        GedResult candidate =
+            FinishFromState(g2, std::move(state), expansions);
+        if (candidate.cost < best.cost) best = std::move(candidate);
+      }
+      break;
+    }
+    const size_t keep = std::min(next.size(), static_cast<size_t>(beam_width));
+    std::partial_sort(next.begin(), next.begin() + keep, next.end(),
+                      [](const SearchState& a, const SearchState& b) {
+                        return a.f < b.f;
+                      });
+    next.resize(keep);
+    frontier = std::move(next);
+  }
+  if (best.cost >= kSoftInf) {
+    // g1 has no nodes: the edit path inserts all of g2.
+    SearchState empty;
+    best = FinishFromState(g2, std::move(empty), expansions);
+  }
+  best.exact = false;
+  best.expansions = expansions;
+  return best;
+}
+
+namespace {
+
+GedResult BipartiteGed(const Graph& g1, const Graph& g2,
+                       bool with_structure_costs) {
+  const int n1 = g1.num_nodes(), n2 = g2.num_nodes();
+  const int n = n1 + n2;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n1; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      double c = g1.node_label(i) == g2.node_label(j) ? 0.0 : 1.0;
+      if (with_structure_costs) {
+        // Local structure estimate: surplus incident edges must be edited.
+        // Each edge is shared by two endpoints, hence the 0.5 factor.
+        c += 0.5 * std::abs(g1.Degree(i) - g2.Degree(j));
+      }
+      cost[i][j] = c;
+    }
+    for (int j = 0; j < n1; ++j) {
+      cost[i][n2 + j] =
+          i == j ? 1.0 + (with_structure_costs ? 0.5 * g1.Degree(i) : 0.0)
+                 : kSoftInf;
+    }
+  }
+  for (int i = 0; i < n2; ++i) {
+    for (int j = 0; j < n2; ++j) {
+      cost[n1 + i][j] =
+          i == j ? 1.0 + (with_structure_costs ? 0.5 * g2.Degree(i) : 0.0)
+                 : kSoftInf;
+    }
+    // Bottom-right block stays 0 (epsilon-to-epsilon).
+  }
+  AssignmentResult assignment = SolveAssignment(cost);
+  GedResult result;
+  result.mapping.assign(n1, -1);
+  for (int i = 0; i < n1; ++i) {
+    const int column = assignment.assignment[i];
+    if (column < n2) result.mapping[i] = column;
+  }
+  result.cost = GedFromMapping(g1, g2, result.mapping);
+  result.exact = false;
+  result.expansions = static_cast<int64_t>(n) * n * n;
+  return result;
+}
+
+void BruteForceRecurse(const Graph& g1, const Graph& g2,
+                       std::vector<int>* mapping, std::vector<bool>* used,
+                       GedResult* best) {
+  const int depth = static_cast<int>(mapping->size());
+  if (depth == g1.num_nodes()) {
+    const double cost = GedFromMapping(g1, g2, *mapping);
+    ++best->expansions;
+    if (cost < best->cost) {
+      best->cost = cost;
+      best->mapping = *mapping;
+    }
+    return;
+  }
+  for (int target = -1; target < g2.num_nodes(); ++target) {
+    if (target >= 0 && (*used)[target]) continue;
+    mapping->push_back(target);
+    if (target >= 0) (*used)[target] = true;
+    BruteForceRecurse(g1, g2, mapping, used, best);
+    if (target >= 0) (*used)[target] = false;
+    mapping->pop_back();
+  }
+}
+
+}  // namespace
+
+GedResult BipartiteGedHungarian(const Graph& g1, const Graph& g2) {
+  return BipartiteGed(g1, g2, /*with_structure_costs=*/true);
+}
+
+GedResult BipartiteGedVj(const Graph& g1, const Graph& g2) {
+  return BipartiteGed(g1, g2, /*with_structure_costs=*/false);
+}
+
+GedResult BruteForceGed(const Graph& g1, const Graph& g2) {
+  GedResult best;
+  best.cost = kSoftInf;
+  std::vector<int> mapping;
+  std::vector<bool> used(g2.num_nodes(), false);
+  BruteForceRecurse(g1, g2, &mapping, &used, &best);
+  best.exact = true;
+  return best;
+}
+
+}  // namespace hap

@@ -1,0 +1,63 @@
+#ifndef HAP_GED_GED_H_
+#define HAP_GED_GED_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hap {
+
+/// Uniform edit-cost model: node insertion/deletion cost 1, node
+/// substitution cost 1 when labels differ (0 otherwise), edge
+/// insertion/deletion cost 1. Matches the unit-cost convention used by the
+/// GED literature the paper builds on (Riesen & Bunke; Blumenthal &
+/// Gamper).
+struct GedResult {
+  double cost = 0.0;
+  /// mapping[i] = image of g1's node i in g2, or -1 for deletion.
+  std::vector<int> mapping;
+  /// False when a bounded search (A* expansion cap) had to stop early; the
+  /// returned cost is then an upper bound from the best mapping found.
+  bool exact = true;
+  /// Search effort (A*/beam node expansions) for complexity reporting.
+  int64_t expansions = 0;
+};
+
+/// Edit cost induced by a complete node mapping (deletions = -1; g2 nodes
+/// not covered are insertions). This is an upper bound on GED for any
+/// mapping and equals GED for the optimal one.
+double GedFromMapping(const Graph& g1, const Graph& g2,
+                      const std::vector<int>& mapping);
+
+/// Exact GED by A* search over node mappings with an admissible
+/// label-multiset heuristic. Exponential worst case — intended for graphs
+/// of ≤ ~10 nodes (the paper's own protocol; Sec. 6.4). If `max_expansions`
+/// is exceeded the best found upper bound is returned with exact = false.
+GedResult ExactGed(const Graph& g1, const Graph& g2,
+                   int64_t max_expansions = 2'000'000);
+
+/// Beam-search GED (Neuhaus, Riesen & Bunke): A* restricted to the best
+/// `beam_width` frontier states per depth. Beam1 is greedy best-first;
+/// Beam80 reproduces the paper's "Beam80" baseline. Always returns an
+/// upper bound.
+GedResult BeamGed(const Graph& g1, const Graph& g2, int beam_width);
+
+/// Bipartite GED approximation (Riesen & Bunke, "Hungarian"): the
+/// (n1+n2)² assignment problem over node substitutions enriched with local
+/// edge-degree costs, solved exactly with the Hungarian method; the cost of
+/// the induced edit path is returned (an upper bound).
+GedResult BipartiteGedHungarian(const Graph& g1, const Graph& g2);
+
+/// Bipartite approximation in the Volgenant-Jonker style of Fankhauser et
+/// al. ("Speeding up GED through fast bipartite matching"): same assignment
+/// machinery over a cheaper label-only cost matrix — faster, usually
+/// looser, which is exactly how the VJ row behaves in Fig. 5.
+GedResult BipartiteGedVj(const Graph& g1, const Graph& g2);
+
+/// Brute-force exact GED by enumerating all injective partial mappings.
+/// O((n2+1)^n1) — tests only (≤ 4-5 nodes).
+GedResult BruteForceGed(const Graph& g1, const Graph& g2);
+
+}  // namespace hap
+
+#endif  // HAP_GED_GED_H_

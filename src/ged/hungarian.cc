@@ -1,0 +1,92 @@
+#include "ged/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace hap {
+
+AssignmentResult SolveAssignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  AssignmentResult result;
+  if (n == 0) return result;
+  for (const auto& row : cost) HAP_CHECK_EQ(static_cast<int>(row.size()), n);
+
+  // Shortest augmenting path with dual potentials; 1-based helper arrays.
+  // p[j] = row assigned to column j (0 = none); u, v are dual variables.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double current = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (current < minv[j]) {
+          minv[j] = current;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.assign(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) result.assignment[p[j] - 1] = j - 1;
+  }
+  for (int i = 0; i < n; ++i) {
+    HAP_CHECK_GE(result.assignment[i], 0);
+    result.cost += cost[i][result.assignment[i]];
+  }
+  return result;
+}
+
+AssignmentResult SolveAssignmentBruteForce(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  AssignmentResult best;
+  if (n == 0) return best;
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  best.cost = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += cost[i][perm[i]];
+    if (total < best.cost) {
+      best.cost = total;
+      best.assignment = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace hap

@@ -1,0 +1,27 @@
+#ifndef HAP_GED_HUNGARIAN_H_
+#define HAP_GED_HUNGARIAN_H_
+
+#include <vector>
+
+namespace hap {
+
+/// Solution of a linear sum assignment problem (LSAP).
+struct AssignmentResult {
+  /// assignment[row] = column matched to `row`.
+  std::vector<int> assignment;
+  double cost = 0.0;
+};
+
+/// Solves the square LSAP min_σ Σ_i cost[i][σ(i)] exactly in O(n³) using
+/// the shortest-augmenting-path ("Jonker-Volgenant style") formulation of
+/// the Hungarian method with dual potentials. `cost` is row-major n x n.
+/// Entries may be large (used as soft infinities) but must be finite.
+AssignmentResult SolveAssignment(const std::vector<std::vector<double>>& cost);
+
+/// Brute-force LSAP by permutation enumeration; O(n!) — only for tests.
+AssignmentResult SolveAssignmentBruteForce(
+    const std::vector<std::vector<double>>& cost);
+
+}  // namespace hap
+
+#endif  // HAP_GED_HUNGARIAN_H_

@@ -1,0 +1,47 @@
+#include "gnn/encoder.h"
+
+#include "common/check.h"
+
+namespace hap {
+
+GnnEncoder::GnnEncoder(EncoderKind kind, const std::vector<int>& dims,
+                       Rng* rng, Activation final_activation)
+    : kind_(kind) {
+  HAP_CHECK_GE(dims.size(), 2u);
+  out_features_ = dims.back();
+  const int num_layers = static_cast<int>(dims.size()) - 1;
+  for (int layer = 0; layer < num_layers; ++layer) {
+    const Activation activation =
+        layer + 1 == num_layers ? final_activation : Activation::kRelu;
+    if (kind_ == EncoderKind::kGcn) {
+      gcn_layers_.push_back(std::make_unique<GcnLayer>(
+          dims[layer], dims[layer + 1], rng, activation));
+    } else if (kind_ == EncoderKind::kGat) {
+      gat_layers_.push_back(std::make_unique<GatLayer>(
+          dims[layer], dims[layer + 1], rng, activation));
+    } else {
+      gin_layers_.push_back(std::make_unique<GinLayer>(
+          dims[layer], dims[layer + 1], rng, activation));
+    }
+  }
+}
+
+Tensor GnnEncoder::Forward(const Tensor& h, const Tensor& adjacency) const {
+  Tensor x = h;
+  if (kind_ == EncoderKind::kGcn) {
+    for (const auto& layer : gcn_layers_) x = layer->Forward(x, adjacency);
+  } else if (kind_ == EncoderKind::kGat) {
+    for (const auto& layer : gat_layers_) x = layer->Forward(x, adjacency);
+  } else {
+    for (const auto& layer : gin_layers_) x = layer->Forward(x, adjacency);
+  }
+  return x;
+}
+
+void GnnEncoder::CollectParameters(std::vector<Tensor>* out) const {
+  for (const auto& layer : gcn_layers_) layer->CollectParameters(out);
+  for (const auto& layer : gat_layers_) layer->CollectParameters(out);
+  for (const auto& layer : gin_layers_) layer->CollectParameters(out);
+}
+
+}  // namespace hap

@@ -1,0 +1,35 @@
+#include "gnn/gat.h"
+
+#include "common/check.h"
+#include "gnn/propagation.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+GatLayer::GatLayer(int in_features, int out_features, Rng* rng,
+                   Activation activation, float leaky_slope)
+    : linear_(in_features, out_features, rng, /*bias=*/false),
+      attn_self_(Tensor::Xavier(out_features, 1, rng)),
+      attn_neighbor_(Tensor::Xavier(out_features, 1, rng)),
+      activation_(activation),
+      leaky_slope_(leaky_slope) {}
+
+Tensor GatLayer::Forward(const Tensor& h, const Tensor& adjacency) const {
+  HAP_CHECK_EQ(h.rows(), adjacency.rows());
+  Tensor wh = linear_.Forward(h);                       // (N, out)
+  Tensor self_scores = MatMul(wh, attn_self_);          // (N, 1)
+  Tensor neighbor_scores = MatMul(wh, attn_neighbor_);  // (N, 1)
+  Tensor logits = LeakyRelu(
+      OuterSum(self_scores, Transpose(neighbor_scores)), leaky_slope_);
+  Tensor attention =
+      SoftmaxRows(Add(logits, NeighborhoodLogMask(adjacency)));
+  return ApplyActivation(MatMul(attention, wh), activation_);
+}
+
+void GatLayer::CollectParameters(std::vector<Tensor>* out) const {
+  linear_.CollectParameters(out);
+  out->push_back(attn_self_);
+  out->push_back(attn_neighbor_);
+}
+
+}  // namespace hap

@@ -1,0 +1,37 @@
+#include "gnn/gcn.h"
+
+#include "common/check.h"
+#include "gnn/propagation.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+Tensor ApplyActivation(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+  }
+  HAP_CHECK(false) << "unreachable";
+  return x;
+}
+
+GcnLayer::GcnLayer(int in_features, int out_features, Rng* rng,
+                   Activation activation)
+    : linear_(in_features, out_features, rng, /*bias=*/true),
+      activation_(activation) {}
+
+Tensor GcnLayer::Forward(const Tensor& h, const Tensor& adjacency) const {
+  HAP_CHECK_EQ(h.rows(), adjacency.rows());
+  Tensor propagated = MatMul(SymNormalize(adjacency), h);
+  return ApplyActivation(linear_.Forward(propagated), activation_);
+}
+
+void GcnLayer::CollectParameters(std::vector<Tensor>* out) const {
+  linear_.CollectParameters(out);
+}
+
+}  // namespace hap

@@ -1,0 +1,41 @@
+#ifndef HAP_GNN_GCN_H_
+#define HAP_GNN_GCN_H_
+
+#include "tensor/module.h"
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// Activation applied after a GNN layer.
+enum class Activation { kNone, kRelu, kTanh };
+
+/// Applies `activation` to `x`.
+Tensor ApplyActivation(const Tensor& x, Activation activation);
+
+/// Graph convolution layer (Kipf & Welling; Eq. 12):
+///   H_{k+1} = act( D̃^{-1/2} Ã D̃^{-1/2} H_k W_k ).
+///
+/// Forward takes the *raw* (possibly weighted, possibly gradient-carrying)
+/// adjacency; normalisation happens inside so coarsened graphs propagate
+/// gradients through their edge weights.
+class GcnLayer : public Module {
+ public:
+  GcnLayer(int in_features, int out_features, Rng* rng,
+           Activation activation = Activation::kRelu);
+
+  /// h: (N, in), adjacency: (N, N) raw weights (no self-loops required).
+  Tensor Forward(const Tensor& h, const Tensor& adjacency) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  int in_features() const { return linear_.in_features(); }
+  int out_features() const { return linear_.out_features(); }
+
+ private:
+  Linear linear_;
+  Activation activation_;
+};
+
+}  // namespace hap
+
+#endif  // HAP_GNN_GCN_H_

@@ -1,0 +1,28 @@
+#include "gnn/gin.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+GinLayer::GinLayer(int in_features, int out_features, Rng* rng,
+                   Activation activation, float eps)
+    : mlp1_(in_features, out_features, rng),
+      mlp2_(out_features, out_features, rng),
+      activation_(activation),
+      eps_(eps) {}
+
+Tensor GinLayer::Forward(const Tensor& h, const Tensor& adjacency) const {
+  HAP_CHECK_EQ(h.rows(), adjacency.rows());
+  Tensor aggregated =
+      Add(MulScalar(h, 1.0f + eps_), MatMul(adjacency, h));
+  Tensor hidden = Relu(mlp1_.Forward(aggregated));
+  return ApplyActivation(mlp2_.Forward(hidden), activation_);
+}
+
+void GinLayer::CollectParameters(std::vector<Tensor>* out) const {
+  mlp1_.CollectParameters(out);
+  mlp2_.CollectParameters(out);
+}
+
+}  // namespace hap

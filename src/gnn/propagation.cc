@@ -1,0 +1,39 @@
+#include "gnn/propagation.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+Tensor AddIdentity(const Tensor& a) {
+  HAP_CHECK_EQ(a.rows(), a.cols());
+  return Add(a, Tensor::Identity(a.rows()));
+}
+
+Tensor SymNormalize(const Tensor& a, float eps) {
+  Tensor a_tilde = AddIdentity(a);
+  Tensor degree = ClampMin(ReduceSumCols(a_tilde), eps);     // (n,1)
+  Tensor inv_sqrt = Div(Tensor::Ones(degree.rows(), 1), Sqrt(degree));
+  Tensor row_scaled = ScaleRows(a_tilde, inv_sqrt);
+  return ScaleCols(row_scaled, Transpose(inv_sqrt));
+}
+
+Tensor RowNormalize(const Tensor& a, float eps) {
+  Tensor a_tilde = AddIdentity(a);
+  Tensor degree = ClampMin(ReduceSumCols(a_tilde), eps);
+  Tensor inv = Div(Tensor::Ones(degree.rows(), 1), degree);
+  return ScaleRows(a_tilde, inv);
+}
+
+Tensor NeighborhoodLogMask(const Tensor& a) {
+  Tensor a_tilde = AddIdentity(a);
+  Tensor hard_mask(a_tilde.rows(), a_tilde.cols());
+  for (int r = 0; r < a_tilde.rows(); ++r) {
+    for (int c = 0; c < a_tilde.cols(); ++c) {
+      if (a_tilde.At(r, c) == 0.0f) hard_mask.Set(r, c, -1e9f);
+    }
+  }
+  return Add(Log(ClampMin(a_tilde, 1e-9f)), hard_mask);
+}
+
+}  // namespace hap

@@ -1,0 +1,200 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace hap {
+
+Graph ErdosRenyi(int n, double p, Rng* rng) {
+  HAP_CHECK_GE(n, 0);
+  HAP_CHECK(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->Bernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph ConnectedErdosRenyi(int n, double p, Rng* rng) {
+  Graph g = ErdosRenyi(n, p, rng);
+  // Join components with random cross edges until connected.
+  while (!g.IsConnected()) {
+    std::vector<int> component = g.ComponentOf(0);
+    std::vector<bool> inside(n, false);
+    for (int u : component) inside[u] = true;
+    std::vector<int> outside;
+    for (int u = 0; u < n; ++u) {
+      if (!inside[u]) outside.push_back(u);
+    }
+    const int u = component[rng->UniformInt(static_cast<int>(component.size()))];
+    const int v = outside[rng->UniformInt(static_cast<int>(outside.size()))];
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph BarabasiAlbert(int n, int m, Rng* rng) {
+  HAP_CHECK_GE(m, 1);
+  HAP_CHECK_GT(n, m);
+  Graph g(n);
+  // Seed: star over the first m+1 nodes so every seed node has degree >= 1.
+  for (int v = 1; v <= m; ++v) g.AddEdge(0, v);
+  // Attachment pool: nodes appear proportionally to their degree.
+  std::vector<int> pool;
+  for (int v = 1; v <= m; ++v) {
+    pool.push_back(0);
+    pool.push_back(v);
+  }
+  for (int u = m + 1; u < n; ++u) {
+    std::vector<int> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const int candidate = pool[rng->UniformInt(static_cast<int>(pool.size()))];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (int v : targets) {
+      g.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  return g;
+}
+
+Graph PlantedPartition(const std::vector<int>& sizes, double p_in,
+                       double p_out, Rng* rng) {
+  int n = 0;
+  for (int s : sizes) {
+    HAP_CHECK_GT(s, 0);
+    n += s;
+  }
+  Graph g(n);
+  std::vector<int> community(n);
+  {
+    int node = 0;
+    for (size_t c = 0; c < sizes.size(); ++c) {
+      for (int i = 0; i < sizes[c]; ++i) community[node++] = static_cast<int>(c);
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    g.set_node_label(u, community[u]);
+    for (int v = u + 1; v < n; ++v) {
+      const double p = community[u] == community[v] ? p_in : p_out;
+      if (rng->Bernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph RandomTree(int n, Rng* rng) {
+  HAP_CHECK_GE(n, 1);
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.AddEdge(0, 1);
+    return g;
+  }
+  // Decode a random Prüfer sequence.
+  std::vector<int> prufer(n - 2);
+  for (int& x : prufer) x = rng->UniformInt(n);
+  std::vector<int> degree(n, 1);
+  for (int x : prufer) ++degree[x];
+  std::vector<bool> used(n, false);
+  for (int x : prufer) {
+    int leaf = -1;
+    for (int u = 0; u < n; ++u) {
+      if (degree[u] == 1 && !used[u]) {
+        leaf = u;
+        break;
+      }
+    }
+    g.AddEdge(leaf, x);
+    used[leaf] = true;
+    --degree[x];
+    --degree[leaf];
+  }
+  std::vector<int> last;
+  for (int u = 0; u < n; ++u) {
+    if (degree[u] == 1 && !used[u]) last.push_back(u);
+  }
+  HAP_CHECK_EQ(last.size(), 2u);
+  g.AddEdge(last[0], last[1]);
+  return g;
+}
+
+Graph Cycle(int n) {
+  HAP_CHECK_GE(n, 3);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) g.AddEdge(u, (u + 1) % n);
+  return g;
+}
+
+Graph Path(int n) {
+  HAP_CHECK_GE(n, 1);
+  Graph g(n);
+  for (int u = 0; u + 1 < n; ++u) g.AddEdge(u, u + 1);
+  return g;
+}
+
+Graph Star(int n) {
+  HAP_CHECK_GE(n, 2);
+  Graph g(n);
+  for (int u = 1; u < n; ++u) g.AddEdge(0, u);
+  return g;
+}
+
+Graph Complete(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph DisjointUnion(const Graph& a, const Graph& b) {
+  Graph g(a.num_nodes() + b.num_nodes());
+  g.set_label(a.label());
+  for (int u = 0; u < a.num_nodes(); ++u) g.set_node_label(u, a.node_label(u));
+  for (int u = 0; u < b.num_nodes(); ++u) {
+    g.set_node_label(a.num_nodes() + u, b.node_label(u));
+  }
+  for (const auto& [u, v] : a.Edges()) g.AddEdge(u, v, a.EdgeWeight(u, v));
+  for (const auto& [u, v] : b.Edges()) {
+    g.AddEdge(a.num_nodes() + u, a.num_nodes() + v, b.EdgeWeight(u, v));
+  }
+  return g;
+}
+
+Graph AttachMotif(const Graph& base, const Graph& motif, int attach_node) {
+  HAP_CHECK(attach_node >= 0 && attach_node < base.num_nodes());
+  HAP_CHECK_GE(motif.num_nodes(), 1);
+  const int base_n = base.num_nodes();
+  Graph g(base_n + motif.num_nodes() - 1);
+  g.set_label(base.label());
+  for (int u = 0; u < base_n; ++u) g.set_node_label(u, base.node_label(u));
+  for (const auto& [u, v] : base.Edges()) g.AddEdge(u, v, base.EdgeWeight(u, v));
+  // Motif node 0 maps onto attach_node, others append after the base nodes.
+  auto map_node = [&](int u) { return u == 0 ? attach_node : base_n + u - 1; };
+  for (int u = 1; u < motif.num_nodes(); ++u) {
+    g.set_node_label(map_node(u), motif.node_label(u));
+  }
+  for (const auto& [u, v] : motif.Edges()) {
+    g.AddEdge(map_node(u), map_node(v), motif.EdgeWeight(u, v));
+  }
+  return g;
+}
+
+std::vector<int> RandomPermutation(int n, Rng* rng) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng->Shuffle(&perm);
+  return perm;
+}
+
+}  // namespace hap

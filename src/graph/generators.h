@@ -1,0 +1,59 @@
+#ifndef HAP_GRAPH_GENERATORS_H_
+#define HAP_GRAPH_GENERATORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace hap {
+
+/// Random graph generators used to build the synthetic benchmark corpora.
+/// All generators are deterministic given `rng` state.
+
+/// G(n, p) Erdős–Rényi graph (possibly disconnected).
+Graph ErdosRenyi(int n, double p, Rng* rng);
+
+/// Erdős–Rényi conditioned on connectivity: extra random edges join
+/// components until the graph is connected.
+Graph ConnectedErdosRenyi(int n, double p, Rng* rng);
+
+/// Barabási–Albert preferential attachment with `m` edges per new node.
+Graph BarabasiAlbert(int n, int m, Rng* rng);
+
+/// Planted-partition graph: `sizes[i]` nodes per community, edge
+/// probability `p_in` inside and `p_out` across communities. Node labels
+/// record the community id.
+Graph PlantedPartition(const std::vector<int>& sizes, double p_in,
+                       double p_out, Rng* rng);
+
+/// Uniform random spanning tree over n nodes (random Prüfer sequence).
+Graph RandomTree(int n, Rng* rng);
+
+/// Simple cycle of n >= 3 nodes.
+Graph Cycle(int n);
+
+/// Simple path of n nodes.
+Graph Path(int n);
+
+/// Star with one hub and n-1 leaves (hub is node 0).
+Graph Star(int n);
+
+/// Complete graph.
+Graph Complete(int n);
+
+/// Disjoint union of two graphs (no connecting edges); labels carried over
+/// from `a`.
+Graph DisjointUnion(const Graph& a, const Graph& b);
+
+/// Glues `motif` into `base`: motif node 0 is identified with
+/// `attach_node` of the base graph; remaining motif nodes are appended.
+/// Motif node labels are preserved on the new nodes.
+Graph AttachMotif(const Graph& base, const Graph& motif, int attach_node);
+
+/// A random permutation of 0..n-1.
+std::vector<int> RandomPermutation(int n, Rng* rng);
+
+}  // namespace hap
+
+#endif  // HAP_GRAPH_GENERATORS_H_

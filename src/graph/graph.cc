@@ -1,0 +1,219 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hap {
+
+Graph::Graph(int num_nodes)
+    : num_nodes_(num_nodes),
+      weights_(static_cast<size_t>(num_nodes) * num_nodes, 0.0f),
+      adj_(num_nodes),
+      node_labels_(num_nodes, 0) {
+  HAP_CHECK_GE(num_nodes, 0);
+}
+
+void Graph::AddEdge(int u, int v, float weight) {
+  HAP_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_)
+      << "edge (" << u << "," << v << ") out of range N=" << num_nodes_;
+  HAP_CHECK_NE(u, v) << "self-loops are not supported";
+  HAP_CHECK_GT(weight, 0.0f);
+  if (weights_[Index(u, v)] == 0.0f) {
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    ++num_edges_;
+  }
+  weights_[Index(u, v)] = weight;
+  weights_[Index(v, u)] = weight;
+}
+
+void Graph::RemoveEdge(int u, int v) {
+  HAP_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  if (weights_[Index(u, v)] == 0.0f) return;
+  weights_[Index(u, v)] = 0.0f;
+  weights_[Index(v, u)] = 0.0f;
+  std::erase(adj_[u], v);
+  std::erase(adj_[v], u);
+  --num_edges_;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  HAP_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  return weights_[Index(u, v)] != 0.0f;
+}
+
+float Graph::EdgeWeight(int u, int v) const {
+  HAP_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  return weights_[Index(u, v)];
+}
+
+const std::vector<int>& Graph::Neighbors(int u) const {
+  HAP_CHECK(u >= 0 && u < num_nodes_);
+  return adj_[u];
+}
+
+int Graph::Degree(int u) const {
+  HAP_CHECK(u >= 0 && u < num_nodes_);
+  return static_cast<int>(adj_[u].size());
+}
+
+std::vector<int> Graph::Degrees() const {
+  std::vector<int> degrees(num_nodes_);
+  for (int u = 0; u < num_nodes_; ++u) {
+    degrees[u] = static_cast<int>(adj_[u].size());
+  }
+  return degrees;
+}
+
+int Graph::MaxDegree() const {
+  int best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, static_cast<int>(nbrs.size()));
+  return best;
+}
+
+std::vector<std::pair<int, int>> Graph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(num_edges_);
+  for (int u = 0; u < num_nodes_; ++u) {
+    for (int v : adj_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+int Graph::AddNode(int node_label) {
+  const int old_n = num_nodes_;
+  const int new_n = old_n + 1;
+  std::vector<float> grown(static_cast<size_t>(new_n) * new_n, 0.0f);
+  for (int u = 0; u < old_n; ++u) {
+    for (int v = 0; v < old_n; ++v) {
+      grown[static_cast<size_t>(u) * new_n + v] = weights_[Index(u, v)];
+    }
+  }
+  weights_ = std::move(grown);
+  num_nodes_ = new_n;
+  adj_.emplace_back();
+  node_labels_.push_back(node_label);
+  return old_n;
+}
+
+int Graph::node_label(int u) const {
+  HAP_CHECK(u >= 0 && u < num_nodes_);
+  return node_labels_[u];
+}
+
+void Graph::set_node_label(int u, int label) {
+  HAP_CHECK(u >= 0 && u < num_nodes_);
+  node_labels_[u] = label;
+}
+
+Tensor Graph::AdjacencyMatrix() const {
+  return Tensor::FromVector(num_nodes_, num_nodes_, weights_);
+}
+
+Tensor Graph::NormalizedAdjacency() const {
+  const int n = num_nodes_;
+  std::vector<float> a = weights_;
+  for (int i = 0; i < n; ++i) a[static_cast<size_t>(i) * n + i] += 1.0f;
+  std::vector<double> inv_sqrt_degree(n);
+  for (int i = 0; i < n; ++i) {
+    double d = 0.0;
+    for (int j = 0; j < n; ++j) d += a[static_cast<size_t>(i) * n + j];
+    inv_sqrt_degree[i] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i) * n + j] = static_cast<float>(
+          a[static_cast<size_t>(i) * n + j] * inv_sqrt_degree[i] *
+          inv_sqrt_degree[j]);
+    }
+  }
+  return Tensor::FromVector(n, n, std::move(a));
+}
+
+Graph Graph::Permuted(const std::vector<int>& perm) const {
+  HAP_CHECK_EQ(static_cast<int>(perm.size()), num_nodes_);
+  std::vector<bool> seen(num_nodes_, false);
+  for (int p : perm) {
+    HAP_CHECK(p >= 0 && p < num_nodes_ && !seen[p]) << "not a permutation";
+    seen[p] = true;
+  }
+  Graph out(num_nodes_);
+  out.label_ = label_;
+  for (int u = 0; u < num_nodes_; ++u) {
+    out.node_labels_[perm[u]] = node_labels_[u];
+  }
+  for (const auto& [u, v] : Edges()) {
+    out.AddEdge(perm[u], perm[v], EdgeWeight(u, v));
+  }
+  return out;
+}
+
+Graph Graph::InducedSubgraph(const std::vector<int>& nodes) const {
+  Graph out(static_cast<int>(nodes.size()));
+  out.label_ = label_;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    HAP_CHECK(nodes[i] >= 0 && nodes[i] < num_nodes_);
+    out.node_labels_[i] = node_labels_[nodes[i]];
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      const float w = EdgeWeight(nodes[i], nodes[j]);
+      if (w != 0.0f) {
+        out.AddEdge(static_cast<int>(i), static_cast<int>(j), w);
+      }
+    }
+  }
+  return out;
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes_ <= 1) return true;
+  return static_cast<int>(ComponentOf(0).size()) == num_nodes_;
+}
+
+std::vector<int> Graph::ComponentOf(int start) const {
+  HAP_CHECK(start >= 0 && start < num_nodes_);
+  std::vector<bool> visited(num_nodes_, false);
+  std::vector<int> order;
+  std::deque<int> queue = {start};
+  visited[start] = true;
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (int v : adj_[u]) {
+      if (!visited[v]) {
+        visited[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<int> Graph::LargestComponent() const {
+  std::vector<bool> visited(num_nodes_, false);
+  std::vector<int> best;
+  for (int u = 0; u < num_nodes_; ++u) {
+    if (visited[u]) continue;
+    std::vector<int> component = ComponentOf(u);
+    for (int v : component) visited[v] = true;
+    if (component.size() > best.size()) best = std::move(component);
+  }
+  return best;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream out;
+  out << "Graph(N=" << num_nodes_ << ", E=" << num_edges_
+      << ", label=" << label_ << ")";
+  return out.str();
+}
+
+}  // namespace hap

@@ -1,0 +1,98 @@
+#ifndef HAP_GRAPH_GRAPH_H_
+#define HAP_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// An undirected weighted graph with optional integer node labels and an
+/// optional integer graph label.
+///
+/// Graphs in this library are small (the paper's corpora stay under ~600
+/// nodes), so adjacency is kept both as a dense row-major weight matrix (for
+/// tensor ops and GED) and as adjacency lists (for traversals and
+/// generators). The two views are kept in sync by AddEdge/RemoveEdge.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes);
+
+  int num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges.
+  int num_edges() const { return num_edges_; }
+
+  /// Adds (or overwrites) the undirected edge {u, v} with `weight`.
+  /// Self-loops are rejected.
+  void AddEdge(int u, int v, float weight = 1.0f);
+
+  /// Removes the undirected edge {u, v} if present.
+  void RemoveEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+  float EdgeWeight(int u, int v) const;
+
+  const std::vector<int>& Neighbors(int u) const;
+  int Degree(int u) const;
+  std::vector<int> Degrees() const;
+  int MaxDegree() const;
+
+  /// All undirected edges as (u, v) with u < v.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// Appends an isolated node; returns its index.
+  int AddNode(int node_label = 0);
+
+  int node_label(int u) const;
+  void set_node_label(int u, int label);
+  const std::vector<int>& node_labels() const { return node_labels_; }
+
+  int label() const { return label_; }
+  void set_label(int label) { label_ = label; }
+
+  /// Dense adjacency as an (N, N) tensor (no autograd).
+  Tensor AdjacencyMatrix() const;
+
+  /// Symmetric-normalised adjacency with self-loops,
+  /// D̃^{-1/2} (A + I) D̃^{-1/2} — the GCN propagation operator (Eq. 12).
+  Tensor NormalizedAdjacency() const;
+
+  /// Returns the graph with nodes renamed by `perm`: node u becomes
+  /// perm[u]. Used by the permutation-invariance property tests (Claim 2).
+  Graph Permuted(const std::vector<int>& perm) const;
+
+  /// Induced subgraph on `nodes` (in the given order); node labels and the
+  /// graph label are carried over.
+  Graph InducedSubgraph(const std::vector<int>& nodes) const;
+
+  /// True when every node is reachable from node 0 (empty graphs count as
+  /// connected).
+  bool IsConnected() const;
+
+  /// Connected component containing `start`, in BFS order.
+  std::vector<int> ComponentOf(int start) const;
+
+  /// Nodes of the largest connected component.
+  std::vector<int> LargestComponent() const;
+
+  /// Short description for logs: "Graph(N=.., E=.., label=..)".
+  std::string ToString() const;
+
+ private:
+  int num_nodes_ = 0;
+  int num_edges_ = 0;
+  std::vector<float> weights_;        // Dense N*N, symmetric, zero diagonal.
+  std::vector<std::vector<int>> adj_;  // Neighbor lists.
+  std::vector<int> node_labels_;
+  int label_ = -1;
+
+  size_t Index(int u, int v) const {
+    return static_cast<size_t>(u) * num_nodes_ + v;
+  }
+};
+
+}  // namespace hap
+
+#endif  // HAP_GRAPH_GRAPH_H_

@@ -1,0 +1,102 @@
+#include "graph/wl.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace hap {
+
+namespace {
+
+/// One joint refinement round over any number of graphs. `colors[g][u]`
+/// holds graph g's node u color; signatures are renumbered consistently
+/// across all graphs so colors stay comparable.
+void RefineJointly(const std::vector<const Graph*>& graphs,
+                   std::vector<std::vector<int>>* colors) {
+  std::map<std::pair<int, std::vector<int>>, int> signature_ids;
+  std::vector<std::vector<int>> next(colors->size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const Graph& graph = *graphs[g];
+    next[g].resize(graph.num_nodes());
+    for (int u = 0; u < graph.num_nodes(); ++u) {
+      std::vector<int> neighborhood;
+      neighborhood.reserve(graph.Neighbors(u).size());
+      for (int v : graph.Neighbors(u)) {
+        neighborhood.push_back((*colors)[g][v]);
+      }
+      std::sort(neighborhood.begin(), neighborhood.end());
+      auto signature = std::make_pair((*colors)[g][u], std::move(neighborhood));
+      auto [it, unused] = signature_ids.emplace(
+          std::move(signature), static_cast<int>(signature_ids.size()));
+      next[g][u] = it->second;
+    }
+  }
+  *colors = std::move(next);
+}
+
+std::vector<std::vector<int>> InitialColors(
+    const std::vector<const Graph*>& graphs) {
+  // Renumber node labels jointly.
+  std::map<int, int> label_ids;
+  std::vector<std::vector<int>> colors(graphs.size());
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    colors[g].resize(graphs[g]->num_nodes());
+    for (int u = 0; u < graphs[g]->num_nodes(); ++u) {
+      auto [it, unused] = label_ids.emplace(
+          graphs[g]->node_label(u), static_cast<int>(label_ids.size()));
+      colors[g][u] = it->second;
+    }
+  }
+  return colors;
+}
+
+std::map<int, int> Histogram(const std::vector<int>& colors) {
+  std::map<int, int> histogram;
+  for (int c : colors) ++histogram[c];
+  return histogram;
+}
+
+}  // namespace
+
+std::vector<int> WlColors(const Graph& g, int iterations) {
+  std::vector<const Graph*> graphs = {&g};
+  auto colors = InitialColors(graphs);
+  for (int round = 0; round < iterations; ++round) {
+    RefineJointly(graphs, &colors);
+  }
+  return colors[0];
+}
+
+bool WlTestIsomorphic(const Graph& g1, const Graph& g2, int iterations) {
+  if (g1.num_nodes() != g2.num_nodes() || g1.num_edges() != g2.num_edges()) {
+    return false;
+  }
+  std::vector<const Graph*> graphs = {&g1, &g2};
+  auto colors = InitialColors(graphs);
+  if (Histogram(colors[0]) != Histogram(colors[1])) return false;
+  for (int round = 0; round < iterations; ++round) {
+    RefineJointly(graphs, &colors);
+    if (Histogram(colors[0]) != Histogram(colors[1])) return false;
+  }
+  return true;
+}
+
+double WlSubtreeKernel(const Graph& g1, const Graph& g2, int iterations) {
+  std::vector<const Graph*> graphs = {&g1, &g2};
+  auto colors = InitialColors(graphs);
+  double kernel = 0.0;
+  for (int round = 0; round <= iterations; ++round) {
+    auto h1 = Histogram(colors[0]);
+    const auto h2 = Histogram(colors[1]);
+    for (const auto& [color, count] : h1) {
+      auto it = h2.find(color);
+      if (it != h2.end()) {
+        kernel += static_cast<double>(count) * it->second;
+      }
+    }
+    if (round < iterations) RefineJointly(graphs, &colors);
+  }
+  return kernel;
+}
+
+}  // namespace hap

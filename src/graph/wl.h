@@ -1,0 +1,33 @@
+#ifndef HAP_GRAPH_WL_H_
+#define HAP_GRAPH_WL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hap {
+
+/// Weisfeiler-Lehman color refinement (the label method SortPooling [23]
+/// builds on, and a fast necessary condition for isomorphism used to
+/// pre-screen VF2 calls).
+
+/// Returns the stable WL colors of every node after `iterations` rounds of
+/// refinement starting from the node labels. Colors are small consecutive
+/// integers; their absolute values are only meaningful within one call, so
+/// use WlColorHistogramsEqual for cross-graph comparison.
+std::vector<int> WlColors(const Graph& g, int iterations);
+
+/// Refines two graphs *jointly* so colors are comparable, and returns true
+/// iff their color histograms match after `iterations` rounds — a
+/// necessary condition for isomorphism (the 1-WL test).
+bool WlTestIsomorphic(const Graph& g1, const Graph& g2, int iterations = 3);
+
+/// WL subtree kernel value: the number of matching (color, count) pairs
+/// summed over refinement rounds 0..iterations, jointly refined. A simple
+/// domain-agnostic graph-proximity metric in the spirit the paper's
+/// related work discusses (UGRAPHEMB, Sec. 2.2).
+double WlSubtreeKernel(const Graph& g1, const Graph& g2, int iterations = 3);
+
+}  // namespace hap
+
+#endif  // HAP_GRAPH_WL_H_

@@ -1,0 +1,57 @@
+#include "matching/pair_data.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/generators.h"
+
+namespace hap {
+
+Graph RandomConnectedSubgraph(const Graph& g, int remove, Rng* rng) {
+  HAP_CHECK_LT(remove, g.num_nodes());
+  std::vector<int> nodes(g.num_nodes());
+  for (int u = 0; u < g.num_nodes(); ++u) nodes[u] = u;
+  rng->Shuffle(&nodes);
+  // Drop `remove` nodes, then keep the largest connected component of the
+  // remainder (so the result is the maximum connected subgraph).
+  nodes.resize(g.num_nodes() - remove);
+  std::sort(nodes.begin(), nodes.end());
+  Graph induced = g.InducedSubgraph(nodes);
+  std::vector<int> component = induced.LargestComponent();
+  std::sort(component.begin(), component.end());
+  return induced.InducedSubgraph(component);
+}
+
+std::vector<GraphPair> MakeMatchingPairs(int num_pairs, int num_nodes,
+                                         Rng* rng, int first_label) {
+  std::vector<GraphPair> pairs;
+  pairs.reserve(num_pairs);
+  for (int i = 0; i < num_pairs; ++i) {
+    const double p = rng->Uniform(0.2, 0.5);
+    GraphPair pair;
+    pair.g1 = ConnectedErdosRenyi(num_nodes, p, rng);
+    pair.label = (i + first_label) % 2;
+    Graph partner;
+    if (pair.label == 1) {
+      partner = RandomConnectedSubgraph(pair.g1, rng->UniformInt(1, 3), rng);
+    } else {
+      partner = pair.g1;
+      const int additions = rng->UniformInt(3, 7);
+      for (int a = 0; a < additions; ++a) {
+        const int fresh = partner.AddNode();
+        for (int u = 0; u < fresh; ++u) {
+          if (rng->Bernoulli(p)) partner.AddEdge(fresh, u);
+        }
+        if (partner.Degree(fresh) == 0) {
+          partner.AddEdge(fresh, rng->UniformInt(fresh));
+        }
+      }
+    }
+    pair.g2 =
+        partner.Permuted(RandomPermutation(partner.num_nodes(), rng));
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace hap

@@ -1,0 +1,35 @@
+#ifndef HAP_MATCHING_PAIR_DATA_H_
+#define HAP_MATCHING_PAIR_DATA_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace hap {
+
+/// A labeled graph pair for the matching task: label 1 = matching
+/// (the smaller graph is a connected subgraph of the larger), 0 = not.
+struct GraphPair {
+  Graph g1;
+  Graph g2;
+  int label = 0;
+};
+
+/// Synthetic matching corpus per Sec. 6.1.1: base graphs are connected
+/// G(n, p) with p ∈ [0.2, 0.5]. A positive partner is the largest connected
+/// subgraph after randomly removing 1–3 nodes; a negative partner randomly
+/// adds 3–7 nodes at the same edge probability. Partner node order is
+/// shuffled so node identity carries no signal. Labels alternate starting
+/// from `first_label` (callers generating pairs one at a time pass an
+/// alternating value to keep the corpus balanced).
+std::vector<GraphPair> MakeMatchingPairs(int num_pairs, int num_nodes,
+                                         Rng* rng, int first_label = 1);
+
+/// Extracts a random connected induced subgraph with `remove` fewer nodes
+/// (the "maximum connected subgraph" step of the corpus construction).
+Graph RandomConnectedSubgraph(const Graph& g, int remove, Rng* rng);
+
+}  // namespace hap
+
+#endif  // HAP_MATCHING_PAIR_DATA_H_

@@ -1,0 +1,108 @@
+#include "matching/vf2.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hap {
+
+namespace {
+
+/// Shared recursive matcher. `induced` demands non-edges map to non-edges
+/// (induced subgraph isomorphism); with `exact_size` it degenerates to
+/// graph isomorphism.
+class Vf2Matcher {
+ public:
+  Vf2Matcher(const Graph& pattern, const Graph& target, bool induced,
+             bool respect_labels)
+      : pattern_(pattern),
+        target_(target),
+        induced_(induced),
+        respect_labels_(respect_labels),
+        core_pattern_(pattern.num_nodes(), -1),
+        core_target_(target.num_nodes(), -1) {}
+
+  bool Match() { return Recurse(0); }
+
+ private:
+  bool Feasible(int p, int t) const {
+    if (respect_labels_ && pattern_.node_label(p) != target_.node_label(t)) {
+      return false;
+    }
+    if (target_.Degree(t) < pattern_.Degree(p)) return false;
+    // Consistency with already-mapped nodes.
+    for (int q : pattern_.Neighbors(p)) {
+      const int image = core_pattern_[q];
+      if (image >= 0 && !target_.HasEdge(image, t)) return false;
+    }
+    if (induced_) {
+      for (int u : target_.Neighbors(t)) {
+        const int preimage = core_target_[u];
+        if (preimage >= 0 && !pattern_.HasEdge(preimage, p)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(int depth) {
+    if (depth == pattern_.num_nodes()) return true;
+    // Pick the next pattern node: prefer one adjacent to the mapped core
+    // (keeps the partial mapping connected, cutting the branching factor).
+    int p = -1;
+    for (int candidate = 0; candidate < pattern_.num_nodes(); ++candidate) {
+      if (core_pattern_[candidate] >= 0) continue;
+      bool touches_core = false;
+      for (int q : pattern_.Neighbors(candidate)) {
+        if (core_pattern_[q] >= 0) {
+          touches_core = true;
+          break;
+        }
+      }
+      if (touches_core) {
+        p = candidate;
+        break;
+      }
+      if (p < 0) p = candidate;
+    }
+    for (int t = 0; t < target_.num_nodes(); ++t) {
+      if (core_target_[t] >= 0 || !Feasible(p, t)) continue;
+      core_pattern_[p] = t;
+      core_target_[t] = p;
+      if (Recurse(depth + 1)) return true;
+      core_pattern_[p] = -1;
+      core_target_[t] = -1;
+    }
+    return false;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  bool induced_;
+  bool respect_labels_;
+  std::vector<int> core_pattern_;
+  std::vector<int> core_target_;
+};
+
+}  // namespace
+
+bool Vf2Isomorphic(const Graph& g1, const Graph& g2, bool respect_labels) {
+  if (g1.num_nodes() != g2.num_nodes() || g1.num_edges() != g2.num_edges()) {
+    return false;
+  }
+  // Degree-sequence quick reject.
+  std::vector<int> d1 = g1.Degrees(), d2 = g2.Degrees();
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  if (d1 != d2) return false;
+  return Vf2Matcher(g1, g2, /*induced=*/true, respect_labels).Match();
+}
+
+bool Vf2SubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                           bool respect_labels) {
+  if (pattern.num_nodes() > target.num_nodes() ||
+      pattern.num_edges() > target.num_edges()) {
+    return false;
+  }
+  return Vf2Matcher(pattern, target, /*induced=*/true, respect_labels).Match();
+}
+
+}  // namespace hap

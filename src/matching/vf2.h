@@ -1,0 +1,25 @@
+#ifndef HAP_MATCHING_VF2_H_
+#define HAP_MATCHING_VF2_H_
+
+#include "graph/graph.h"
+
+namespace hap {
+
+/// VF2-style (sub)graph isomorphism testing (Cordella et al., TPAMI'04) —
+/// the library the paper uses to build its synthetic matching corpus
+/// (Sec. 6.1.1). Depth-first state-space search with the standard
+/// look-ahead pruning (degree and neighbourhood-consistency rules).
+/// Exponential worst case; intended for the small graphs of this corpus.
+
+/// True iff g1 and g2 are isomorphic. When `respect_labels` is set the
+/// bijection must preserve node labels.
+bool Vf2Isomorphic(const Graph& g1, const Graph& g2,
+                   bool respect_labels = true);
+
+/// True iff `pattern` is isomorphic to an *induced* subgraph of `target`.
+bool Vf2SubgraphIsomorphic(const Graph& pattern, const Graph& target,
+                           bool respect_labels = true);
+
+}  // namespace hap
+
+#endif  // HAP_MATCHING_VF2_H_

@@ -1,0 +1,30 @@
+#include "pooling/diffpool.h"
+
+#include "tensor/ops.h"
+
+namespace hap {
+
+DiffPoolCoarsener::DiffPoolCoarsener(int in_features, int num_clusters,
+                                     Rng* rng)
+    : assign_layer_(in_features, num_clusters, rng, Activation::kNone),
+      embed_layer_(in_features, in_features, rng, Activation::kRelu),
+      num_clusters_(num_clusters) {}
+
+CoarsenResult DiffPoolCoarsener::Forward(const Tensor& h,
+                                         const Tensor& adjacency) const {
+  Tensor assignment = SoftmaxRows(assign_layer_.Forward(h, adjacency));
+  last_assignment_ = assignment;
+  Tensor embedded = embed_layer_.Forward(h, adjacency);
+  CoarsenResult result;
+  result.h = MatMul(Transpose(assignment), embedded);
+  result.adjacency =
+      MatMul(Transpose(assignment), MatMul(adjacency, assignment));
+  return result;
+}
+
+void DiffPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {
+  assign_layer_.CollectParameters(out);
+  embed_layer_.CollectParameters(out);
+}
+
+}  // namespace hap

@@ -1,0 +1,65 @@
+#include "pooling/flat.h"
+
+#include "tensor/ops.h"
+
+namespace hap {
+
+Tensor SumReadout::Forward(const Tensor& h, const Tensor& adjacency) const {
+  (void)adjacency;
+  return ReduceSumRows(h);
+}
+
+void SumReadout::CollectParameters(std::vector<Tensor>* out) const {
+  (void)out;
+}
+
+Tensor MeanReadout::Forward(const Tensor& h, const Tensor& adjacency) const {
+  (void)adjacency;
+  return ReduceMeanRows(h);
+}
+
+void MeanReadout::CollectParameters(std::vector<Tensor>* out) const {
+  (void)out;
+}
+
+Tensor MaxReadout::Forward(const Tensor& h, const Tensor& adjacency) const {
+  (void)adjacency;
+  return ReduceMaxRows(h);
+}
+
+void MaxReadout::CollectParameters(std::vector<Tensor>* out) const {
+  (void)out;
+}
+
+MeanAttReadout::MeanAttReadout(int in_features, Rng* rng)
+    : weight_(Tensor::Xavier(in_features, in_features, rng)) {}
+
+Tensor MeanAttReadout::Forward(const Tensor& h,
+                               const Tensor& adjacency) const {
+  (void)adjacency;
+  Tensor content = Tanh(MatMul(ReduceMeanRows(h), weight_));  // (1, F)
+  Tensor scores = Sigmoid(MatMul(h, Transpose(content)));     // (N, 1)
+  return MatMul(Transpose(scores), h);                        // (1, F)
+}
+
+void MeanAttReadout::CollectParameters(std::vector<Tensor>* out) const {
+  out->push_back(weight_);
+}
+
+GatedSumReadout::GatedSumReadout(int in_features, Rng* rng)
+    : gate_(in_features, 1, rng), value_(in_features, in_features, rng) {}
+
+Tensor GatedSumReadout::Forward(const Tensor& h,
+                                const Tensor& adjacency) const {
+  (void)adjacency;
+  Tensor gates = Sigmoid(gate_.Forward(h));   // (N, 1)
+  Tensor values = Tanh(value_.Forward(h));    // (N, F)
+  return ReduceSumRows(ScaleRows(values, gates));
+}
+
+void GatedSumReadout::CollectParameters(std::vector<Tensor>* out) const {
+  gate_.CollectParameters(out);
+  value_.CollectParameters(out);
+}
+
+}  // namespace hap

@@ -1,0 +1,38 @@
+#ifndef HAP_POOLING_MINCUT_H_
+#define HAP_POOLING_MINCUT_H_
+
+#include "pooling/readout.h"
+#include "tensor/module.h"
+
+namespace hap {
+
+/// MinCutPool (Bianchi, Grattarola & Alippi, ICML'20) — the unsupervised
+/// pooling method of the paper's related work (Sec. 2.2): the cluster
+/// assignment S = softmax(MLP(H)) is optimised with two auxiliary terms on
+/// top of the task loss,
+///   L_cut   = -Tr(Sᵀ A S) / Tr(Sᵀ D S)            (relaxed normalised cut)
+///   L_ortho = ‖SᵀS/‖SᵀS‖_F − I/√k‖_F              (balanced clusters),
+/// while H' = SᵀH, A' = SᵀAS like DiffPool. Call auxiliary_loss() right
+/// after Forward() and add it to the task loss.
+class MinCutPoolCoarsener : public Coarsener {
+ public:
+  MinCutPoolCoarsener(int in_features, int num_clusters, Rng* rng);
+
+  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  void CollectParameters(std::vector<Tensor>* out) const override;
+
+  /// Cut + orthogonality regulariser from the most recent Forward().
+  const Tensor& auxiliary_loss() const { return last_aux_loss_; }
+
+  int num_clusters() const { return num_clusters_; }
+
+ private:
+  Linear assign1_;
+  Linear assign2_;
+  int num_clusters_;
+  mutable Tensor last_aux_loss_;
+};
+
+}  // namespace hap
+
+#endif  // HAP_POOLING_MINCUT_H_

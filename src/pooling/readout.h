@@ -1,0 +1,46 @@
+#ifndef HAP_POOLING_READOUT_H_
+#define HAP_POOLING_READOUT_H_
+
+#include "tensor/module.h"
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// A flat pooler: collapses node features (N, F) + adjacency (N, N) into a
+/// single graph-level embedding (1, F_out). Implementations cover the
+/// "universal" and "Top-K" baseline families of Table 3.
+class Readout : public Module {
+ public:
+  ~Readout() override = default;
+
+  virtual Tensor Forward(const Tensor& h, const Tensor& adjacency) const = 0;
+
+  /// Output embedding width given `in_features` wide node features.
+  virtual int OutFeatures(int in_features) const { return in_features; }
+};
+
+/// Result of one graph-coarsening step.
+struct CoarsenResult {
+  Tensor h;          // (N', F) cluster features
+  Tensor adjacency;  // (N', N') coarsened weighted adjacency
+};
+
+/// A hierarchical pooler: maps a graph level (H, A) to a coarser level
+/// (H', A'). The output size N' is implementation-defined — fixed for
+/// assignment-based methods (DiffPool, StructPool, HAP's coarsening module)
+/// and ratio-based for Top-K methods (gPool, SAGPool, ASAP).
+class Coarsener : public Module {
+ public:
+  ~Coarsener() override = default;
+
+  virtual CoarsenResult Forward(const Tensor& h,
+                                const Tensor& adjacency) const = 0;
+
+  /// Toggles training-only stochasticity (HAP's Gumbel soft sampling);
+  /// deterministic coarseners ignore it.
+  virtual void set_training(bool training) { (void)training; }
+};
+
+}  // namespace hap
+
+#endif  // HAP_POOLING_READOUT_H_

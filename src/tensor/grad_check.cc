@@ -1,0 +1,54 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hap {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& loss_fn,
+    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+  for (Tensor& t : inputs) {
+    HAP_CHECK(t.requires_grad());
+    t.ZeroGrad();
+  }
+  Tensor loss = loss_fn(inputs);
+  HAP_CHECK(loss.rows() == 1 && loss.cols() == 1);
+  loss.Backward();
+
+  GradCheckResult result;
+  result.ok = true;
+  for (Tensor& t : inputs) {
+    for (int r = 0; r < t.rows(); ++r) {
+      for (int c = 0; c < t.cols(); ++c) {
+        const float original = t.At(r, c);
+        t.Set(r, c, original + static_cast<float>(epsilon));
+        double plus;
+        {
+          NoGradGuard guard;
+          plus = loss_fn(inputs).Item();
+        }
+        t.Set(r, c, original - static_cast<float>(epsilon));
+        double minus;
+        {
+          NoGradGuard guard;
+          minus = loss_fn(inputs).Item();
+        }
+        t.Set(r, c, original);
+        const double numeric = (plus - minus) / (2.0 * epsilon);
+        const double analytic =
+            t.grad().empty() ? 0.0 : static_cast<double>(t.GradAt(r, c));
+        const double abs_err = std::abs(analytic - numeric);
+        const double rel_err = abs_err / std::max(1.0, std::abs(numeric));
+        result.max_abs_error = std::max(result.max_abs_error, abs_err);
+        result.max_rel_error = std::max(result.max_rel_error, rel_err);
+        if (rel_err > tolerance) result.ok = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hap

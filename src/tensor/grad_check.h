@@ -1,0 +1,33 @@
+#ifndef HAP_TENSOR_GRAD_CHECK_H_
+#define HAP_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// Result of a numerical-vs-analytic gradient comparison.
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// Compares reverse-mode gradients of `loss_fn` (a scalar function of the
+/// given leaf inputs) against central finite differences. Used by the test
+/// suite to validate every op's backward implementation.
+///
+/// `inputs` must be leaf tensors with requires_grad set; `loss_fn` must be
+/// deterministic in them. `epsilon` is the finite-difference step and
+/// `tolerance` the max permitted |analytic - numeric| after normalising by
+/// max(1, |numeric|).
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& loss_fn,
+    std::vector<Tensor> inputs, double epsilon = 1e-3,
+    double tolerance = 2e-2);
+
+}  // namespace hap
+
+#endif  // HAP_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,100 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hap {
+
+Optimizer::Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {
+  for (const Tensor& p : params_) {
+    HAP_CHECK(p.defined() && p.requires_grad())
+        << "optimizer parameter must be a trainable leaf";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (const Tensor& p : params_) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Tensor& p : params_) {
+      auto& grad = p.impl().grad;
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;  // Never touched by backward this step.
+    float* data = p.mutable_data();
+    const auto& grad = p.grad();
+    for (int64_t j = 0; j < p.size(); ++j) {
+      if (momentum_ > 0.0f) {
+        velocity_[i][j] = momentum_ * velocity_[i][j] + grad[j];
+        data[j] -= lr_ * velocity_[i][j];
+      } else {
+        data[j] -= lr_ * grad[j];
+      }
+    }
+  }
+  ZeroGrad();
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    if (p.grad().empty()) continue;
+    float* data = p.mutable_data();
+    const auto& grad = p.grad();
+    for (int64_t j = 0; j < p.size(); ++j) {
+      float g = grad[j];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * data[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0f - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0f - beta2_) * g * g;
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      data[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+  ZeroGrad();
+}
+
+}  // namespace hap

@@ -1,0 +1,103 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace hap {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'A', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream* stream, T value) {
+  stream->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* stream, T* value) {
+  stream->read(reinterpret_cast<char*>(value), sizeof(T));
+  return stream->good();
+}
+
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& params,
+                      std::ostream* stream) {
+  if (stream == nullptr || !stream->good()) {
+    return Status::InvalidArgument("bad output stream");
+  }
+  stream->write(kMagic, sizeof(kMagic));
+  WritePod(stream, kVersion);
+  WritePod(stream, static_cast<uint64_t>(params.size()));
+  for (const Tensor& p : params) {
+    if (!p.defined()) return Status::InvalidArgument("undefined parameter");
+    WritePod(stream, static_cast<uint32_t>(p.rows()));
+    WritePod(stream, static_cast<uint32_t>(p.cols()));
+    stream->write(reinterpret_cast<const char*>(p.data()),
+                  static_cast<std::streamsize>(p.size() * sizeof(float)));
+  }
+  stream->flush();
+  if (!stream->good()) return Status::Internal("checkpoint write failed");
+  return Status::Ok();
+}
+
+Status LoadParameters(std::istream* stream, std::vector<Tensor>* params) {
+  if (stream == nullptr || !stream->good()) {
+    return Status::InvalidArgument("bad input stream");
+  }
+  char magic[4];
+  stream->read(magic, sizeof(magic));
+  if (!stream->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a HAP checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(stream, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(stream, &count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  if (count != params->size()) {
+    return Status::FailedPrecondition(
+        "checkpoint holds " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params->size()));
+  }
+  for (Tensor& p : *params) {
+    uint32_t rows = 0, cols = 0;
+    if (!ReadPod(stream, &rows) || !ReadPod(stream, &cols)) {
+      return Status::InvalidArgument("truncated checkpoint tensor header");
+    }
+    if (static_cast<int>(rows) != p.rows() ||
+        static_cast<int>(cols) != p.cols()) {
+      return Status::FailedPrecondition(
+          "shape mismatch: checkpoint " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " vs model " + std::to_string(p.rows()) +
+          "x" + std::to_string(p.cols()));
+    }
+    stream->read(reinterpret_cast<char*>(p.mutable_data()),
+                 static_cast<std::streamsize>(p.size() * sizeof(float)));
+    if (!stream->good()) {
+      return Status::InvalidArgument("truncated checkpoint tensor data");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::NotFound("cannot open " + path);
+  return SaveParameters(module.Parameters(), &out);
+}
+
+Status LoadModule(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::vector<Tensor> params = module->Parameters();
+  return LoadParameters(&in, &params);
+}
+
+}  // namespace hap

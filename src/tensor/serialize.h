@@ -1,0 +1,34 @@
+#ifndef HAP_TENSOR_SERIALIZE_H_
+#define HAP_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/module.h"
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// Binary checkpoint format for parameter lists.
+///
+/// Layout: magic "HAPT" + u32 version + u64 tensor count, then per tensor
+/// u32 rows, u32 cols, rows*cols little-endian f32. Checkpoints are
+/// structural: loading requires the exact same parameter shapes in the
+/// same order (i.e. the same model configuration), which is verified.
+
+/// Writes `params` to `stream`.
+Status SaveParameters(const std::vector<Tensor>& params, std::ostream* stream);
+
+/// Reads a checkpoint from `stream` into `params` (in place; shapes must
+/// match the checkpoint exactly).
+Status LoadParameters(std::istream* stream, std::vector<Tensor>* params);
+
+/// Convenience: save/load a module's parameters to/from a file path.
+Status SaveModule(const Module& module, const std::string& path);
+Status LoadModule(Module* module, const std::string& path);
+
+}  // namespace hap
+
+#endif  // HAP_TENSOR_SERIALIZE_H_

@@ -1,0 +1,116 @@
+#include "tensor/sparse.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace hap {
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float threshold) {
+  CsrMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.row_ptr_.assign(out.rows_ + 1, 0);
+  for (int r = 0; r < out.rows_; ++r) {
+    for (int c = 0; c < out.cols_; ++c) {
+      const float v = dense.At(r, c);
+      if (std::abs(v) > threshold) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int>(out.col_idx_.size());
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
+                                  const std::vector<int>& row_indices,
+                                  const std::vector<int>& col_indices,
+                                  const std::vector<float>& values) {
+  HAP_CHECK_EQ(row_indices.size(), col_indices.size());
+  HAP_CHECK_EQ(row_indices.size(), values.size());
+  // Accumulate duplicates in row-major order.
+  std::map<std::pair<int, int>, float> cells;
+  for (size_t i = 0; i < values.size(); ++i) {
+    HAP_CHECK(row_indices[i] >= 0 && row_indices[i] < rows);
+    HAP_CHECK(col_indices[i] >= 0 && col_indices[i] < cols);
+    cells[{row_indices[i], col_indices[i]}] += values[i];
+  }
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_.assign(rows + 1, 0);
+  for (const auto& [cell, value] : cells) {
+    out.col_idx_.push_back(cell.second);
+    out.values_.push_back(value);
+    ++out.row_ptr_[cell.first + 1];
+  }
+  for (int r = 0; r < rows; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  return out;
+}
+
+double CsrMatrix::Density() const {
+  const int64_t total = static_cast<int64_t>(rows_) * cols_;
+  return total == 0 ? 0.0 : static_cast<double>(nnz()) / total;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor dense(rows_, cols_);
+  float* data = dense.mutable_data();
+  for (int r = 0; r < rows_; ++r) {
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      data[static_cast<size_t>(r) * cols_ + col_idx_[i]] = values_[i];
+    }
+  }
+  return dense;
+}
+
+Tensor SpMatMul(const CsrMatrix& a, const Tensor& x) {
+  HAP_CHECK_EQ(a.cols(), x.rows());
+  const int m = a.rows(), n = x.cols();
+  // Capture the CSR arrays by value into the backward closure (they are
+  // cheap shared vectors relative to training state, and the matrix is
+  // immutable data).
+  const std::vector<int> row_ptr = a.row_ptr();
+  const std::vector<int> col_idx = a.col_idx();
+  const std::vector<float> values = a.values();
+  Tensor out = MakeOpResult(
+      m, n, {x},
+      [row_ptr, col_idx, values, m, n](internal::TensorImpl& node) {
+        internal::TensorImpl& px = *node.parents[0];
+        px.EnsureGrad();
+        // dX[c,:] += A[r,c] * dOut[r,:]
+        for (int r = 0; r < m; ++r) {
+          const float* grad_row = node.grad.data() + static_cast<size_t>(r) * n;
+          for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            float* x_row =
+                px.grad.data() + static_cast<size_t>(col_idx[i]) * n;
+            const float v = values[i];
+            for (int j = 0; j < n; ++j) x_row[j] += v * grad_row[j];
+          }
+        }
+      });
+  float* o = out.mutable_data();
+  for (int r = 0; r < m; ++r) {
+    float* out_row = o + static_cast<size_t>(r) * n;
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const float* x_row = x.data() + static_cast<size_t>(col_idx[i]) * n;
+      const float v = values[i];
+      for (int j = 0; j < n; ++j) out_row[j] += v * x_row[j];
+    }
+  }
+  return out;
+}
+
+double EdgeDensity(const Tensor& dense, float threshold) {
+  if (dense.size() == 0) return 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense.data()[i]) > threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(dense.size());
+}
+
+}  // namespace hap

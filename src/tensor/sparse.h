@@ -1,0 +1,63 @@
+#ifndef HAP_TENSOR_SPARSE_H_
+#define HAP_TENSOR_SPARSE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// Compressed sparse row matrix of fixed weights (no autograd through the
+/// sparse values themselves — in this library sparse matrices hold input
+/// adjacencies, whose entries are data, not parameters).
+///
+/// Sec. 4.4.4 motivates HAP's soft sampling with exactly this distinction:
+/// message passing over a sparse adjacency costs O(|E|) instead of
+/// O(|V|²). CsrMatrix + SpMatMul realise that fast path for the
+/// uncoarsened input levels.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from a dense matrix, keeping entries with |value| > threshold.
+  static CsrMatrix FromDense(const Tensor& dense, float threshold = 0.0f);
+
+  /// Builds directly from triplets (row, col, value); duplicates are
+  /// summed.
+  static CsrMatrix FromTriplets(int rows, int cols,
+                                const std::vector<int>& row_indices,
+                                const std::vector<int>& col_indices,
+                                const std::vector<float>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Fraction of stored entries, nnz / (rows*cols).
+  double Density() const;
+
+  Tensor ToDense() const;
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_ptr_;   // size rows_+1
+  std::vector<int> col_idx_;   // size nnz
+  std::vector<float> values_;  // size nnz
+};
+
+/// Sparse-dense product A(m,k) * X(k,n) -> (m,n) in O(nnz * n).
+/// Differentiable with respect to X only: dX += Aᵀ dOut.
+Tensor SpMatMul(const CsrMatrix& a, const Tensor& x);
+
+/// Fraction of entries of `dense` with |value| > threshold — used by the
+/// soft-sampling ablation to report coarsened edge density.
+double EdgeDensity(const Tensor& dense, float threshold = 1e-4f);
+
+}  // namespace hap
+
+#endif  // HAP_TENSOR_SPARSE_H_

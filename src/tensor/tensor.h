@@ -1,0 +1,157 @@
+#ifndef HAP_TENSOR_TENSOR_H_
+#define HAP_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace hap {
+
+namespace internal {
+
+/// Backing storage + autograd bookkeeping for one tensor node. Reference-
+/// counted and shared by the `Tensor` value handles; op results hold strong
+/// references to their inputs so the tape stays alive until backward.
+struct TensorImpl {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // Allocated lazily by Tensor::Backward().
+  bool requires_grad = false;
+
+  // Autograd tape edges. `backward_fn` reads this node's grad and
+  // accumulates into the parents' grads.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t size() const { return static_cast<int64_t>(rows) * cols; }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// When true (the default), ops with differentiable inputs record backward
+/// functions. Wrap evaluation-only code in a NoGradGuard to skip taping.
+bool GradEnabled();
+
+/// RAII scope that disables autograd taping (used during evaluation so no
+/// tape memory is retained).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// A 2-D float tensor with reverse-mode autograd.
+///
+/// `Tensor` is a cheap value handle over shared storage: copies alias the
+/// same data (like a shared_ptr), which is what optimizers rely on to update
+/// parameters in place. All tensors are rank-2; row vectors are 1xN and
+/// column vectors Nx1. The default-constructed Tensor is null and only
+/// useful as a placeholder.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a zero-filled rows x cols tensor.
+  Tensor(int rows, int cols, bool requires_grad = false);
+
+  /// Builds a tensor from row-major `values` (size must be rows*cols).
+  static Tensor FromVector(int rows, int cols, std::vector<float> values,
+                           bool requires_grad = false);
+
+  /// Builds a 1xN row vector.
+  static Tensor RowVector(std::vector<float> values,
+                          bool requires_grad = false);
+
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor Ones(int rows, int cols, bool requires_grad = false);
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+  static Tensor Identity(int n);
+
+  /// I.i.d. normal(0, stddev) entries drawn from `rng`.
+  static Tensor Randn(int rows, int cols, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+
+  /// Glorot/Xavier-uniform initialisation: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  static Tensor Xavier(int rows, int cols, Rng* rng,
+                       bool requires_grad = true);
+
+  bool defined() const { return impl_ != nullptr; }
+  int rows() const { return impl().rows; }
+  int cols() const { return impl().cols; }
+  int64_t size() const { return impl().size(); }
+
+  float At(int r, int c) const;
+  /// Sets an element. Only valid on leaf tensors (no recorded parents):
+  /// mutating an op output would silently corrupt the tape.
+  void Set(int r, int c, float value);
+
+  const float* data() const { return impl().data.data(); }
+  float* mutable_data() { return impl_->data.data(); }
+  const std::vector<float>& values() const { return impl().data; }
+
+  bool requires_grad() const { return impl().requires_grad; }
+  /// Marks this tensor as a trainable leaf.
+  Tensor& set_requires_grad(bool value);
+
+  /// Gradient of the last Backward() with respect to this tensor. Zero-sized
+  /// until backward has touched this node.
+  const std::vector<float>& grad() const { return impl().grad; }
+  float GradAt(int r, int c) const;
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this (scalar, 1x1) tensor.
+  /// Accumulates into `.grad()` of every reachable tensor that requires
+  /// grad. Gradients are accumulated, not overwritten; call ZeroGrad() on
+  /// parameters (or use an optimizer) between steps.
+  void Backward() const;
+
+  /// Scalar convenience: value of a 1x1 tensor.
+  float Item() const;
+
+  /// Deep copy with no autograd history (a fresh leaf).
+  Tensor Detach() const;
+
+  /// Human-readable dump (small tensors only; for debugging and tests).
+  std::string ToString() const;
+
+  /// Internal: access the implementation node (used by ops).
+  const std::shared_ptr<internal::TensorImpl>& impl_ptr() const {
+    return impl_;
+  }
+  internal::TensorImpl& impl() const {
+    HAP_CHECK(impl_ != nullptr) << "use of undefined Tensor";
+    return *impl_;
+  }
+
+  /// Internal: wraps an existing impl node.
+  static Tensor FromImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Creates an op-result tensor: shape, inputs, and a backward function that
+/// accumulates into the inputs' grads. Skips taping when grad is globally
+/// disabled or no input requires grad. Used by ops.cc and by user-defined
+/// custom ops.
+Tensor MakeOpResult(int rows, int cols,
+                    std::vector<Tensor> inputs,
+                    std::function<void(internal::TensorImpl&)> backward_fn);
+
+}  // namespace hap
+
+#endif  // HAP_TENSOR_TENSOR_H_

@@ -1,0 +1,117 @@
+#include "train/classifier.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace hap {
+
+GraphClassifier::GraphClassifier(std::unique_ptr<GraphEmbedder> embedder,
+                                 int num_classes, int head_hidden, Rng* rng)
+    : embedder_(std::move(embedder)),
+      head1_(embedder_->embedding_dim() * embedder_->NumLevels(), head_hidden,
+             rng),
+      head2_(head_hidden, num_classes, rng) {}
+
+Tensor GraphClassifier::Logits(const PreparedGraph& graph) const {
+  std::vector<Tensor> levels =
+      embedder_->EmbedLevels(graph.h, graph.adjacency);
+  Tensor joined = levels[0];
+  for (size_t level = 1; level < levels.size(); ++level) {
+    joined = ConcatCols(joined, levels[level]);
+  }
+  return head2_.Forward(Relu(head1_.Forward(joined)));
+}
+
+int GraphClassifier::Predict(const PreparedGraph& graph) const {
+  NoGradGuard guard;
+  Tensor logits = Logits(graph);
+  int best = 0;
+  for (int c = 1; c < logits.cols(); ++c) {
+    if (logits.At(0, c) > logits.At(0, best)) best = c;
+  }
+  return best;
+}
+
+Tensor GraphClassifier::Loss(const PreparedGraph& graph) const {
+  HAP_CHECK_GE(graph.label, 0);
+  return NllLoss(LogSoftmaxRows(Logits(graph)), {graph.label});
+}
+
+void GraphClassifier::CollectParameters(std::vector<Tensor>* out) const {
+  embedder_->CollectParameters(out);
+  head1_.CollectParameters(out);
+  head2_.CollectParameters(out);
+}
+
+Tensor GraphClassifier::Embed(const PreparedGraph& graph) const {
+  NoGradGuard guard;
+  return embedder_->Embed(graph.h, graph.adjacency);
+}
+
+double EvaluateClassifier(const GraphClassifier& model,
+                          const std::vector<PreparedGraph>& data,
+                          const std::vector<int>& indices) {
+  if (indices.empty()) return 0.0;
+  int correct = 0;
+  for (int index : indices) {
+    if (model.Predict(data[index]) == data[index].label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+ClassificationResult TrainClassifier(GraphClassifier* model,
+                                     const std::vector<PreparedGraph>& data,
+                                     const Split& split,
+                                     const TrainConfig& config) {
+  Rng rng(config.seed);
+  Adam optimizer(model->Parameters(), config.lr);
+  std::vector<int> order = split.train;
+  ClassificationResult result;
+  double best_val = -1.0;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    model->set_training(true);
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (int index : order) {
+      Tensor loss = model->Loss(data[index]);
+      epoch_loss += loss.Item();
+      // Scale so accumulated batch gradients are means, not sums (keeps
+      // the effective step size independent of batch_size).
+      MulScalar(loss, 1.0f / config.batch_size).Backward();
+      if (++in_batch >= config.batch_size) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(config.clip_norm);
+      optimizer.Step();
+    }
+    model->set_training(false);
+    const double val = EvaluateClassifier(*model, data, split.val);
+    if (val > best_val) {
+      best_val = val;
+      result.best_epoch = epoch;
+      result.val_accuracy = val;
+      result.test_accuracy = EvaluateClassifier(*model, data, split.test);
+      result.train_accuracy = EvaluateClassifier(*model, data, split.train);
+      epochs_since_best = 0;
+    } else if (config.patience > 0 && ++epochs_since_best >= config.patience) {
+      break;
+    }
+    if (config.verbose) {
+      std::printf("epoch %d loss %.4f val %.4f\n", epoch,
+                  epoch_loss / std::max<size_t>(order.size(), 1), val);
+    }
+  }
+  return result;
+}
+
+}  // namespace hap

@@ -1,0 +1,87 @@
+#ifndef HAP_TRAIN_CLASSIFIER_H_
+#define HAP_TRAIN_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/embedder.h"
+#include "graph/datasets.h"
+#include "train/prepared.h"
+
+namespace hap {
+
+/// Shared trainer knobs. Defaults follow Sec. 6.1.3 (Adam, lr 0.01 for
+/// classification) scaled to the synthetic corpora.
+struct TrainConfig {
+  int epochs = 30;
+  float lr = 0.01f;
+  int batch_size = 8;
+  double clip_norm = 5.0;
+  /// Early stopping patience in epochs of no validation improvement;
+  /// <= 0 disables early stopping.
+  int patience = 10;
+  uint64_t seed = 17;
+  bool verbose = false;
+  /// Matching/similarity only: train on the final (coarsest) level's
+  /// distance alone instead of the hierarchical multi-level loss of
+  /// Sec. 4.5 — the "hierarchical vs final-only" ablation of DESIGN.md.
+  bool final_level_only = false;
+};
+
+/// Graph classifier: any GraphEmbedder followed by the paper's two
+/// fully-connected prediction layers (Eq. 20) and softmax cross-entropy
+/// (Eq. 21). In line with the hierarchical prediction strategy
+/// (Sec. 4.5.2, "fully utilize the hierarchical intermediate features of
+/// coarsened graphs"), the head consumes the concatenation of every
+/// level's graph embedding (for flat embedders that is just the single
+/// final embedding).
+class GraphClassifier : public Module {
+ public:
+  GraphClassifier(std::unique_ptr<GraphEmbedder> embedder, int num_classes,
+                  int head_hidden, Rng* rng);
+
+  /// Unnormalised class scores, (1, num_classes).
+  Tensor Logits(const PreparedGraph& graph) const;
+
+  /// Arg-max prediction (no autograd).
+  int Predict(const PreparedGraph& graph) const;
+
+  /// Cross-entropy loss of one example.
+  Tensor Loss(const PreparedGraph& graph) const;
+
+  void CollectParameters(std::vector<Tensor>* out) const override;
+  void set_training(bool training) { embedder_->set_training(training); }
+  const GraphEmbedder& embedder() const { return *embedder_; }
+
+  /// Final graph embedding (eval mode; for t-SNE visualisation).
+  Tensor Embed(const PreparedGraph& graph) const;
+
+ private:
+  std::unique_ptr<GraphEmbedder> embedder_;
+  Linear head1_;
+  Linear head2_;
+};
+
+/// Outcome of a classification training run.
+struct ClassificationResult {
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  int best_epoch = 0;
+};
+
+/// Accuracy of `model` over the given examples (eval mode).
+double EvaluateClassifier(const GraphClassifier& model,
+                          const std::vector<PreparedGraph>& data,
+                          const std::vector<int>& indices);
+
+/// Trains with Adam + minibatch gradient accumulation; keeps the test
+/// accuracy at the best-validation epoch (the paper's protocol).
+ClassificationResult TrainClassifier(GraphClassifier* model,
+                                     const std::vector<PreparedGraph>& data,
+                                     const Split& split,
+                                     const TrainConfig& config);
+
+}  // namespace hap
+
+#endif  // HAP_TRAIN_CLASSIFIER_H_

@@ -1,0 +1,63 @@
+#include "train/cross_validation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/generators.h"
+
+namespace hap {
+
+std::vector<Split> KFoldSplits(int n, int folds, Rng* rng,
+                               double val_fraction_of_train) {
+  HAP_CHECK_GE(folds, 2);
+  HAP_CHECK_GE(n, folds);
+  std::vector<int> order = RandomPermutation(n, rng);
+  std::vector<Split> splits(folds);
+  for (int fold = 0; fold < folds; ++fold) {
+    const int begin = static_cast<int>(static_cast<int64_t>(n) * fold / folds);
+    const int end =
+        static_cast<int>(static_cast<int64_t>(n) * (fold + 1) / folds);
+    Split& split = splits[fold];
+    for (int i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        split.test.push_back(order[i]);
+      } else {
+        split.train.push_back(order[i]);
+      }
+    }
+    // Carve the validation set off the end of the training portion.
+    const int val_count = std::max(
+        1, static_cast<int>(split.train.size() * val_fraction_of_train));
+    split.val.assign(split.train.end() - val_count, split.train.end());
+    split.train.resize(split.train.size() - val_count);
+  }
+  return splits;
+}
+
+CrossValidationResult CrossValidateClassifier(
+    const std::function<std::unique_ptr<GraphClassifier>(int fold)>&
+        model_factory,
+    const std::vector<PreparedGraph>& data, int folds,
+    const TrainConfig& config, Rng* rng) {
+  CrossValidationResult result;
+  std::vector<Split> splits =
+      KFoldSplits(static_cast<int>(data.size()), folds, rng);
+  for (int fold = 0; fold < folds; ++fold) {
+    std::unique_ptr<GraphClassifier> model = model_factory(fold);
+    HAP_CHECK(model != nullptr);
+    ClassificationResult fold_result =
+        TrainClassifier(model.get(), data, splits[fold], config);
+    result.fold_accuracies.push_back(fold_result.test_accuracy);
+  }
+  double sum = 0.0;
+  for (double accuracy : result.fold_accuracies) sum += accuracy;
+  result.mean_accuracy = sum / folds;
+  double var = 0.0;
+  for (double accuracy : result.fold_accuracies) {
+    var += (accuracy - result.mean_accuracy) * (accuracy - result.mean_accuracy);
+  }
+  result.stddev = std::sqrt(var / folds);
+  return result;
+}
+
+}  // namespace hap

@@ -1,0 +1,124 @@
+#include "train/matching_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace hap {
+
+std::vector<PreparedPair> PreparePairs(const std::vector<GraphPair>& pairs,
+                                       const FeatureSpec& spec) {
+  std::vector<PreparedPair> prepared;
+  prepared.reserve(pairs.size());
+  for (const GraphPair& pair : pairs) {
+    PreparedPair p;
+    p.g1 = PrepareGraph(pair.g1, spec);
+    p.g2 = PrepareGraph(pair.g2, spec);
+    p.label = pair.label;
+    prepared.push_back(std::move(p));
+  }
+  return prepared;
+}
+
+Tensor MatchingLoss(const std::vector<Tensor>& distances, int label,
+                    float scale) {
+  HAP_CHECK(!distances.empty());
+  HAP_CHECK(label == 0 || label == 1);
+  Tensor total;
+  for (const Tensor& distance : distances) {
+    Tensor similarity = Exp(MulScalar(distance, -scale));  // Eq. 22
+    Tensor term =
+        label == 1
+            ? Neg(Log(ClampMin(similarity, 1e-7f)))
+            : Neg(Log(ClampMin(
+                  Sub(Tensor::Ones(1, 1), similarity), 1e-7f)));
+    total = total.defined() ? Add(total, term) : term;
+  }
+  return MulScalar(total, 1.0f / static_cast<float>(distances.size()));
+}
+
+bool PredictMatch(const PairScorer& scorer, const PreparedPair& pair,
+                  float scale) {
+  NoGradGuard guard;
+  std::vector<Tensor> distances = scorer.PairDistances(pair.g1, pair.g2);
+  double mean_similarity = 0.0;
+  for (const Tensor& distance : distances) {
+    mean_similarity += std::exp(-scale * distance.Item());
+  }
+  mean_similarity /= static_cast<double>(distances.size());
+  return mean_similarity > 0.5;
+}
+
+double EvaluateMatcher(const PairScorer& scorer,
+                       const std::vector<PreparedPair>& data,
+                       const std::vector<int>& indices, float scale) {
+  if (indices.empty()) return 0.0;
+  int correct = 0;
+  for (int index : indices) {
+    const bool predicted = PredictMatch(scorer, data[index], scale);
+    if (predicted == (data[index].label == 1)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(indices.size());
+}
+
+MatchingTrainResult TrainMatcher(PairScorer* scorer,
+                                 const std::vector<PreparedPair>& data,
+                                 const Split& split, const TrainConfig& config,
+                                 float scale) {
+  Rng rng(config.seed);
+  Adam optimizer(scorer->Parameters(), config.lr);
+  std::vector<int> order = split.train;
+  MatchingTrainResult result;
+  double best_val = -1.0;
+  int epochs_since_best = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    scorer->set_training(true);
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (int index : order) {
+      const PreparedPair& pair = data[index];
+      std::vector<Tensor> distances = scorer->PairDistances(pair.g1, pair.g2);
+      if (config.final_level_only && distances.size() > 1) {
+        distances = {distances.back()};
+      }
+      Tensor loss = MatchingLoss(distances, pair.label, scale);
+      epoch_loss += loss.Item();
+      // Mean-of-batch gradient (see classifier.cc).
+      MulScalar(loss, 1.0f / config.batch_size).Backward();
+      if (++in_batch >= config.batch_size) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(config.clip_norm);
+      optimizer.Step();
+    }
+    scorer->set_training(false);
+    const double val = EvaluateMatcher(*scorer, data, split.val, scale);
+    if (val > best_val) {
+      best_val = val;
+      result.best_epoch = epoch;
+      result.val_accuracy = val;
+      result.test_accuracy = EvaluateMatcher(*scorer, data, split.test, scale);
+      result.train_accuracy =
+          EvaluateMatcher(*scorer, data, split.train, scale);
+      epochs_since_best = 0;
+    } else if (config.patience > 0 && ++epochs_since_best >= config.patience) {
+      break;
+    }
+    if (config.verbose) {
+      std::printf("epoch %d loss %.4f val %.4f\n", epoch,
+                  epoch_loss / std::max<size_t>(order.size(), 1), val);
+    }
+  }
+  return result;
+}
+
+}  // namespace hap

@@ -1,0 +1,55 @@
+#ifndef HAP_TRAIN_MATCHING_TRAINER_H_
+#define HAP_TRAIN_MATCHING_TRAINER_H_
+
+#include <vector>
+
+#include "graph/datasets.h"
+#include "matching/pair_data.h"
+#include "train/classifier.h"
+#include "train/pair_scorer.h"
+
+namespace hap {
+
+/// A matching example with both sides featurised.
+struct PreparedPair {
+  PreparedGraph g1;
+  PreparedGraph g2;
+  int label = 0;
+};
+
+/// Featurises matching pairs with a shared spec.
+std::vector<PreparedPair> PreparePairs(const std::vector<GraphPair>& pairs,
+                                       const FeatureSpec& spec);
+
+/// Hierarchical matching loss (Eq. 22-23): similarity s^k =
+/// exp(-scale · d^k) per level, averaged binary cross-entropy against the
+/// pair label. (The paper's Eq. 23 writes only the positive term; the
+/// negative term is required for the loss to be informative and is
+/// included here — see DESIGN.md.)
+Tensor MatchingLoss(const std::vector<Tensor>& distances, int label,
+                    float scale = 0.5f);
+
+/// Match prediction: mean level similarity > 0.5.
+bool PredictMatch(const PairScorer& scorer, const PreparedPair& pair,
+                  float scale = 0.5f);
+
+double EvaluateMatcher(const PairScorer& scorer,
+                       const std::vector<PreparedPair>& data,
+                       const std::vector<int>& indices, float scale = 0.5f);
+
+/// Outcome of a matching training run.
+struct MatchingTrainResult {
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  int best_epoch = 0;
+};
+
+MatchingTrainResult TrainMatcher(PairScorer* scorer,
+                                 const std::vector<PreparedPair>& data,
+                                 const Split& split, const TrainConfig& config,
+                                 float scale = 0.5f);
+
+}  // namespace hap
+
+#endif  // HAP_TRAIN_MATCHING_TRAINER_H_

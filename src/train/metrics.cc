@@ -1,0 +1,108 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hap {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  HAP_CHECK_GT(num_classes, 0);
+}
+
+void ConfusionMatrix::Add(int true_label, int predicted_label) {
+  HAP_CHECK(true_label >= 0 && true_label < num_classes_);
+  HAP_CHECK(predicted_label >= 0 && predicted_label < num_classes_);
+  ++counts_[static_cast<size_t>(true_label) * num_classes_ + predicted_label];
+  ++total_;
+}
+
+int ConfusionMatrix::count(int true_label, int predicted_label) const {
+  HAP_CHECK(true_label >= 0 && true_label < num_classes_);
+  HAP_CHECK(predicted_label >= 0 && predicted_label < num_classes_);
+  return counts_[static_cast<size_t>(true_label) * num_classes_ +
+                 predicted_label];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  int correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / total_;
+}
+
+double ConfusionMatrix::Precision(int label) const {
+  int predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted += count(t, label);
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(count(label, label)) / predicted;
+}
+
+double ConfusionMatrix::Recall(int label) const {
+  int actual = 0;
+  for (int p = 0; p < num_classes_; ++p) actual += count(label, p);
+  return actual == 0 ? 0.0
+                     : static_cast<double>(count(label, label)) / actual;
+}
+
+double ConfusionMatrix::F1(int label) const {
+  const double p = Precision(label), r = Recall(label);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double total = 0.0;
+  for (int c = 0; c < num_classes_; ++c) total += F1(c);
+  return total / num_classes_;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream out;
+  out << "confusion (rows = true, cols = predicted):\n";
+  for (int t = 0; t < num_classes_; ++t) {
+    for (int p = 0; p < num_classes_; ++p) {
+      out << count(t, p) << (p + 1 == num_classes_ ? "\n" : "\t");
+    }
+  }
+  return out.str();
+}
+
+double BinaryAuc(const std::vector<double>& scores,
+                 const std::vector<int>& labels) {
+  HAP_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  int positives = 0;
+  for (int label : labels) {
+    HAP_CHECK(label == 0 || label == 1);
+    positives += label;
+  }
+  const int negatives = static_cast<int>(n) - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  // Midrank-based Mann-Whitney U.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) positive_rank_sum += ranks[k];
+  }
+  const double u =
+      positive_rank_sum - static_cast<double>(positives) * (positives + 1) / 2.0;
+  return u / (static_cast<double>(positives) * negatives);
+}
+
+}  // namespace hap

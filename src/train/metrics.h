@@ -1,0 +1,46 @@
+#ifndef HAP_TRAIN_METRICS_H_
+#define HAP_TRAIN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace hap {
+
+/// Multi-class confusion matrix and derived scores for classifier
+/// evaluation beyond plain accuracy.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int true_label, int predicted_label);
+
+  int num_classes() const { return num_classes_; }
+  int count(int true_label, int predicted_label) const;
+  int total() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision of one class: TP / (TP + FP). Zero when undefined.
+  double Precision(int label) const;
+  /// Recall of one class: TP / (TP + FN). Zero when undefined.
+  double Recall(int label) const;
+  /// Harmonic mean of precision and recall. Zero when undefined.
+  double F1(int label) const;
+  /// Unweighted mean of per-class F1.
+  double MacroF1() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_classes_;
+  int total_ = 0;
+  std::vector<int> counts_;  // num_classes x num_classes row-major
+};
+
+/// Area under the ROC curve for binary scores (higher score = more likely
+/// positive). Ties are handled by midrank. Returns 0.5 when degenerate.
+double BinaryAuc(const std::vector<double>& scores,
+                 const std::vector<int>& labels);
+
+}  // namespace hap
+
+#endif  // HAP_TRAIN_METRICS_H_

@@ -1,0 +1,37 @@
+#ifndef HAP_TRAIN_MODEL_ZOO_H_
+#define HAP_TRAIN_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/embedder.h"
+#include "core/hap_model.h"
+
+namespace hap {
+
+/// The graph-classification methods of Table 3, constructible by name —
+/// the registry behind the benchmark harness and the CLI tool.
+/// Names: GCN-concat, SumPool, MeanPool, MeanAttPool, Set2Set,
+/// SortPooling, AttPool-global, AttPool-local, gPool, SAGPool, DiffPool,
+/// ASAP, StructPool, MinCutPool, HAP, HAP-GAT.
+const std::vector<std::string>& ClassifierMethodNames();
+
+/// True when `name` is a known method (including the HAP-GAT variant that
+/// does not appear in the default list).
+bool IsKnownMethod(const std::string& name);
+
+/// Builds the graph embedder for one method. `feature_dim` is the
+/// dataset's input width, `hidden` the node-embedding width. CHECK-fails
+/// on unknown names (validate with IsKnownMethod for user input).
+std::unique_ptr<GraphEmbedder> MakeEmbedderByName(const std::string& name,
+                                                  int feature_dim, int hidden,
+                                                  Rng* rng);
+
+/// Standard HAP configuration shared by benches and the CLI (two
+/// embedding layers before each of two coarsening modules, Sec. 6.1.3).
+HapConfig DefaultHapConfig(int feature_dim, int hidden);
+
+}  // namespace hap
+
+#endif  // HAP_TRAIN_MODEL_ZOO_H_

@@ -1,0 +1,49 @@
+#include "train/pair_scorer.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+EmbedderPairScorer::EmbedderPairScorer(
+    std::unique_ptr<GraphEmbedder> embedder)
+    : embedder_(std::move(embedder)) {}
+
+std::vector<Tensor> EmbedderPairScorer::PairDistances(
+    const PreparedGraph& a, const PreparedGraph& b) const {
+  std::vector<Tensor> levels_a = embedder_->EmbedLevels(a.h, a.adjacency);
+  std::vector<Tensor> levels_b = embedder_->EmbedLevels(b.h, b.adjacency);
+  HAP_CHECK_EQ(levels_a.size(), levels_b.size());
+  std::vector<Tensor> distances;
+  distances.reserve(levels_a.size());
+  for (size_t level = 0; level < levels_a.size(); ++level) {
+    distances.push_back(EuclideanDistance(levels_a[level], levels_b[level]));
+  }
+  return distances;
+}
+
+void EmbedderPairScorer::CollectParameters(std::vector<Tensor>* out) const {
+  embedder_->CollectParameters(out);
+}
+
+void EmbedderPairScorer::set_training(bool training) {
+  embedder_->set_training(training);
+}
+
+GmnPairScorer::GmnPairScorer(const GmnConfig& config,
+                             GmnModel::Pooling pooling, Rng* rng)
+    : gmn_(config, pooling, rng) {}
+
+std::vector<Tensor> GmnPairScorer::PairDistances(
+    const PreparedGraph& a, const PreparedGraph& b) const {
+  auto [e1, e2] = gmn_.EmbedPair(a.h, a.adjacency, b.h, b.adjacency);
+  return {EuclideanDistance(e1, e2)};
+}
+
+void GmnPairScorer::CollectParameters(std::vector<Tensor>* out) const {
+  gmn_.CollectParameters(out);
+}
+
+void GmnPairScorer::set_training(bool training) { gmn_.set_training(training); }
+
+}  // namespace hap

@@ -1,0 +1,33 @@
+#ifndef HAP_TRAIN_PREPARED_H_
+#define HAP_TRAIN_PREPARED_H_
+
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/featurize.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// A graph pre-converted to its tensor inputs so training loops do not
+/// re-featurise every epoch. Both tensors are gradient-free leaves.
+struct PreparedGraph {
+  Tensor h;          // (N, F) initial node features
+  Tensor adjacency;  // (N, N) raw weights
+  int label = -1;
+};
+
+/// Featurises one graph.
+PreparedGraph PrepareGraph(const Graph& g, const FeatureSpec& spec);
+
+/// Featurises a whole classification dataset, preserving order.
+std::vector<PreparedGraph> PrepareDataset(const GraphDataset& dataset);
+
+/// Featurises an arbitrary graph list with a shared spec.
+std::vector<PreparedGraph> PrepareGraphs(const std::vector<Graph>& graphs,
+                                         const FeatureSpec& spec);
+
+}  // namespace hap
+
+#endif  // HAP_TRAIN_PREPARED_H_

@@ -1,0 +1,248 @@
+#include "train/similarity_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "ged/ged.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace hap {
+
+std::vector<std::vector<double>> PairwiseGedMatrix(
+    const std::vector<Graph>& pool, int64_t max_expansions) {
+  const int n = static_cast<int>(pool.size());
+  std::vector<std::vector<double>> ged(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const GedResult result = ExactGed(pool[i], pool[j], max_expansions);
+      ged[i][j] = result.cost;
+      ged[j][i] = result.cost;
+    }
+  }
+  return ged;
+}
+
+std::vector<std::vector<double>> PairwiseApproxGedMatrix(
+    const std::vector<Graph>& pool,
+    const std::function<double(const Graph&, const Graph&)>& approx) {
+  const int n = static_cast<int>(pool.size());
+  std::vector<std::vector<double>> ged(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ged[i][j] = approx(pool[i], pool[j]);
+      ged[j][i] = ged[i][j];
+    }
+  }
+  return ged;
+}
+
+std::vector<GraphTriplet> MakeTriplets(
+    const std::vector<std::vector<double>>& ged, int count, Rng* rng) {
+  const int n = static_cast<int>(ged.size());
+  HAP_CHECK_GE(n, 3);
+  std::vector<GraphTriplet> triplets;
+  triplets.reserve(count);
+  int attempts = 0;
+  while (static_cast<int>(triplets.size()) < count && attempts < count * 50) {
+    ++attempts;
+    GraphTriplet t;
+    t.a = rng->UniformInt(n);
+    t.b = rng->UniformInt(n);
+    t.c = rng->UniformInt(n);
+    if (t.a == t.b || t.a == t.c || t.b == t.c) continue;
+    t.relative_ged = ged[t.a][t.b] - ged[t.a][t.c];
+    if (t.relative_ged == 0.0) continue;  // No defined ordering.
+    triplets.push_back(t);
+  }
+  HAP_CHECK(!triplets.empty()) << "could not sample informative triplets";
+  return triplets;
+}
+
+double TripletAccuracyFromMatrix(
+    const std::vector<GraphTriplet>& triplets,
+    const std::vector<std::vector<double>>& approx_ged) {
+  HAP_CHECK(!triplets.empty());
+  int correct = 0;
+  for (const GraphTriplet& t : triplets) {
+    const double approx_relative = approx_ged[t.a][t.b] - approx_ged[t.a][t.c];
+    if ((approx_relative > 0.0) == (t.relative_ged > 0.0) &&
+        approx_relative != 0.0) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(triplets.size());
+}
+
+Tensor TripletLoss(PairScorer* scorer, const std::vector<PreparedGraph>& pool,
+                   const GraphTriplet& triplet, bool final_level_only) {
+  std::vector<Tensor> d_ab =
+      scorer->PairDistances(pool[triplet.a], pool[triplet.b]);
+  std::vector<Tensor> d_ac =
+      scorer->PairDistances(pool[triplet.a], pool[triplet.c]);
+  HAP_CHECK_EQ(d_ab.size(), d_ac.size());
+  if (final_level_only && d_ab.size() > 1) {
+    d_ab = {d_ab.back()};
+    d_ac = {d_ac.back()};
+  }
+  Tensor total;
+  for (size_t level = 0; level < d_ab.size(); ++level) {
+    Tensor gap = Sub(d_ab[level], d_ac[level]);
+    Tensor error = AddScalar(gap, static_cast<float>(-triplet.relative_ged));
+    Tensor term = Square(error);
+    total = total.defined() ? Add(total, term) : term;
+  }
+  return MulScalar(total, 1.0f / static_cast<float>(d_ab.size()));
+}
+
+double EvaluateTripletScorer(const PairScorer& scorer,
+                             const std::vector<PreparedGraph>& pool,
+                             const std::vector<GraphTriplet>& triplets) {
+  if (triplets.empty()) return 0.0;
+  NoGradGuard guard;
+  int correct = 0;
+  for (const GraphTriplet& t : triplets) {
+    const double d_ab = scorer.PairDistances(pool[t.a], pool[t.b]).back().Item();
+    const double d_ac = scorer.PairDistances(pool[t.a], pool[t.c]).back().Item();
+    if (((d_ab - d_ac) > 0.0) == (t.relative_ged > 0.0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(triplets.size());
+}
+
+SimilarityTrainResult TrainSimilarity(
+    PairScorer* scorer, const std::vector<PreparedGraph>& pool,
+    const std::vector<GraphTriplet>& train_triplets,
+    const std::vector<GraphTriplet>& test_triplets,
+    const TrainConfig& config) {
+  Rng rng(config.seed);
+  Adam optimizer(scorer->Parameters(), config.lr);
+  std::vector<int> order(train_triplets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  SimilarityTrainResult result;
+  double best_train = -1.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    scorer->set_training(true);
+    rng.Shuffle(&order);
+    int in_batch = 0;
+    for (int index : order) {
+      Tensor loss = TripletLoss(scorer, pool, train_triplets[index],
+                                config.final_level_only);
+      // Mean-of-batch gradient (see classifier.cc).
+      MulScalar(loss, 1.0f / config.batch_size).Backward();
+      if (++in_batch >= config.batch_size) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(config.clip_norm);
+      optimizer.Step();
+    }
+    scorer->set_training(false);
+    const double train_acc =
+        EvaluateTripletScorer(*scorer, pool, train_triplets);
+    if (train_acc > best_train) {
+      best_train = train_acc;
+      result.best_epoch = epoch;
+      result.train_accuracy = train_acc;
+      result.test_accuracy = EvaluateTripletScorer(*scorer, pool, test_triplets);
+    }
+    if (config.verbose) {
+      std::printf("epoch %d train-triplet-acc %.4f\n", epoch, train_acc);
+    }
+  }
+  return result;
+}
+
+SimilarityTrainResult TrainSimGnn(
+    SimGnnModel* model, const std::vector<PreparedGraph>& pool,
+    const std::vector<std::vector<double>>& exact_ged,
+    const std::vector<GraphTriplet>& train_triplets,
+    const std::vector<GraphTriplet>& test_triplets,
+    const TrainConfig& config) {
+  Rng rng(config.seed);
+  Adam optimizer(model->Parameters(), config.lr);
+  // Mean GED normaliser for the similarity target exp(-ged/mean).
+  double mean_ged = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < exact_ged.size(); ++i) {
+    for (size_t j = i + 1; j < exact_ged.size(); ++j) {
+      mean_ged += exact_ged[i][j];
+      ++pairs;
+    }
+  }
+  mean_ged = pairs > 0 ? mean_ged / pairs : 1.0;
+  const int n = static_cast<int>(pool.size());
+
+  auto predict = [&](int i, int j) {
+    return model
+        ->PredictSimilarity(pool[i].h, pool[i].adjacency, pool[j].h,
+                            pool[j].adjacency)
+        .Item();
+  };
+  auto triplet_accuracy = [&](const std::vector<GraphTriplet>& triplets) {
+    NoGradGuard guard;
+    if (triplets.empty()) return 0.0;
+    int correct = 0;
+    for (const GraphTriplet& t : triplets) {
+      // Higher similarity = smaller GED.
+      const double relative = predict(t.a, t.c) - predict(t.a, t.b);
+      if ((relative > 0.0) == (t.relative_ged > 0.0)) ++correct;
+    }
+    return static_cast<double>(correct) / triplets.size();
+  };
+
+  // Supervision pairs come from the *training triplets* only (the same
+  // data budget every learned model gets); SimGNN regresses their absolute
+  // similarities while the others learn the relative objective.
+  std::vector<std::pair<int, int>> train_pairs;
+  for (const GraphTriplet& t : train_triplets) {
+    train_pairs.emplace_back(t.a, t.b);
+    train_pairs.emplace_back(t.a, t.c);
+  }
+  HAP_CHECK(!train_pairs.empty());
+  (void)n;
+  SimilarityTrainResult result;
+  double best_train = -1.0;
+  const int pairs_per_epoch =
+      std::max<int>(32, static_cast<int>(train_pairs.size()));
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    int in_batch = 0;
+    for (int step = 0; step < pairs_per_epoch; ++step) {
+      const auto [i, j] =
+          train_pairs[rng.UniformInt(static_cast<int>(train_pairs.size()))];
+      const float target = static_cast<float>(
+          std::exp(-exact_ged[i][j] / std::max(mean_ged, 1e-9)));
+      Tensor predicted = model->PredictSimilarity(
+          pool[i].h, pool[i].adjacency, pool[j].h, pool[j].adjacency);
+      Tensor loss = Square(AddScalar(predicted, -target));
+      // Mean-of-batch gradient (see classifier.cc).
+      MulScalar(loss, 1.0f / config.batch_size).Backward();
+      if (++in_batch >= config.batch_size) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.ClipGradNorm(config.clip_norm);
+      optimizer.Step();
+    }
+    const double train_acc = triplet_accuracy(train_triplets);
+    if (train_acc > best_train) {
+      best_train = train_acc;
+      result.best_epoch = epoch;
+      result.train_accuracy = train_acc;
+      result.test_accuracy = triplet_accuracy(test_triplets);
+    }
+    if (config.verbose) {
+      std::printf("simgnn epoch %d train-triplet-acc %.4f\n", epoch, train_acc);
+    }
+  }
+  return result;
+}
+
+}  // namespace hap

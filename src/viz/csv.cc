@@ -1,0 +1,33 @@
+#include "viz/csv.h"
+
+#include <fstream>
+
+namespace hap {
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("row arity does not match header");
+    }
+    emit(row);
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace hap

@@ -1,0 +1,19 @@
+#ifndef HAP_VIZ_CSV_H_
+#define HAP_VIZ_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hap {
+
+/// Writes a CSV file with the given header and rows (all stringified by
+/// the caller). Returns an error status when the file cannot be opened.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace hap
+
+#endif  // HAP_VIZ_CSV_H_

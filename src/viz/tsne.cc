@@ -1,0 +1,167 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hap {
+
+namespace {
+
+std::vector<std::vector<double>> SquaredDistances(
+    const std::vector<std::vector<double>>& points) {
+  const size_t n = points.size();
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (size_t k = 0; k < points[i].size(); ++k) {
+        const double diff = points[i][k] - points[j][k];
+        sum += diff * diff;
+      }
+      d2[i][j] = sum;
+      d2[j][i] = sum;
+    }
+  }
+  return d2;
+}
+
+/// Row-conditional probabilities with per-point bandwidth found by binary
+/// search so the row entropy matches log(perplexity).
+std::vector<std::vector<double>> ConditionalP(
+    const std::vector<std::vector<double>>& d2, double perplexity) {
+  const size_t n = d2.size();
+  const double target_entropy = std::log(perplexity);
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    double beta_lo = 0.0, beta_hi = std::numeric_limits<double>::infinity();
+    double beta = 1.0;
+    for (int iter = 0; iter < 50; ++iter) {
+      double sum = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        p[i][j] = std::exp(-beta * d2[i][j]);
+        sum += p[i][j];
+      }
+      if (sum <= 0.0) sum = 1e-12;
+      double entropy = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        p[i][j] /= sum;
+        if (p[i][j] > 1e-12) entropy -= p[i][j] * std::log(p[i][j]);
+      }
+      if (std::abs(entropy - target_entropy) < 1e-4) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::array<double, 2>> TsneEmbed(
+    const std::vector<std::vector<double>>& points,
+    const TsneOptions& options) {
+  const size_t n = points.size();
+  HAP_CHECK_GE(n, 2u);
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+  auto d2 = SquaredDistances(points);
+  auto cond = ConditionalP(d2, std::max(perplexity, 2.0));
+  // Symmetrised joint distribution.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      p[i][j] = std::max((cond[i][j] + cond[j][i]) / (2.0 * n), 1e-12);
+    }
+  }
+  Rng rng(options.seed);
+  std::vector<std::array<double, 2>> y(n);
+  for (auto& row : y) {
+    row[0] = rng.Normal() * 1e-2;
+    row[1] = rng.Normal() * 1e-2;
+  }
+  std::vector<std::array<double, 2>> velocity(n, {0.0, 0.0});
+  std::vector<std::array<double, 2>> gradient(n);
+  std::vector<std::vector<double>> q(n, std::vector<double>(n, 0.0));
+  const int exaggeration_end = options.iterations / 4;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? options.exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double dx = y[i][0] - y[j][0];
+        const double dy = y[i][1] - y[j][1];
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i][j] = w;
+        q[j][i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+    for (size_t i = 0; i < n; ++i) gradient[i] = {0.0, 0.0};
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double coeff =
+            4.0 * (exaggeration * p[i][j] - q[i][j] / q_sum) * q[i][j];
+        gradient[i][0] += coeff * (y[i][0] - y[j][0]);
+        gradient[i][1] += coeff * (y[i][1] - y[j][1]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (int k = 0; k < 2; ++k) {
+        velocity[i][k] = options.momentum * velocity[i][k] -
+                         options.learning_rate * gradient[i][k];
+        y[i][k] += velocity[i][k];
+      }
+    }
+  }
+  return y;
+}
+
+double SilhouetteScore(const std::vector<std::vector<double>>& points,
+                       const std::vector<int>& labels) {
+  const size_t n = points.size();
+  HAP_CHECK_EQ(labels.size(), n);
+  HAP_CHECK_GE(n, 2u);
+  auto d2 = SquaredDistances(points);
+  int num_labels = 0;
+  for (int label : labels) num_labels = std::max(num_labels, label + 1);
+  double total = 0.0;
+  int counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> sum_by_label(num_labels, 0.0);
+    std::vector<int> count_by_label(num_labels, 0);
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sum_by_label[labels[j]] += std::sqrt(d2[i][j]);
+      ++count_by_label[labels[j]];
+    }
+    const int own = labels[i];
+    if (count_by_label[own] == 0) continue;  // Singleton cluster.
+    const double a = sum_by_label[own] / count_by_label[own];
+    double b = std::numeric_limits<double>::infinity();
+    for (int label = 0; label < num_labels; ++label) {
+      if (label == own || count_by_label[label] == 0) continue;
+      b = std::min(b, sum_by_label[label] / count_by_label[label]);
+    }
+    if (std::isinf(b)) continue;  // Only one cluster present.
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+}  // namespace hap

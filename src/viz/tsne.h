@@ -1,0 +1,38 @@
+#ifndef HAP_VIZ_TSNE_H_
+#define HAP_VIZ_TSNE_H_
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hap {
+
+/// Options for the exact t-SNE solver.
+struct TsneOptions {
+  double perplexity = 15.0;
+  int iterations = 400;
+  double learning_rate = 30.0;
+  double momentum = 0.8;
+  /// Early exaggeration factor applied for the first quarter of iterations.
+  double exaggeration = 4.0;
+  uint64_t seed = 42;
+};
+
+/// Exact (O(n²)) t-SNE embedding of `points` (n rows, any width) into 2-D.
+/// Used to regenerate the Fig. 4 / Fig. 6 visualisations of graph-level
+/// embeddings: the bench writes the returned coordinates to CSV.
+/// Returns n rows of {x, y}.
+std::vector<std::array<double, 2>> TsneEmbed(
+    const std::vector<std::vector<double>>& points,
+    const TsneOptions& options = {});
+
+/// Mean silhouette coefficient of `points` under integer `labels` — the
+/// scalar proxy we report for "separability of the cluster border"
+/// (Sec. 6.2 visualisation discussion). Returns a value in [-1, 1].
+double SilhouetteScore(const std::vector<std::vector<double>>& points,
+                       const std::vector<int>& labels);
+
+}  // namespace hap
+
+#endif  // HAP_VIZ_TSNE_H_

@@ -1,0 +1,250 @@
+#include "core/coarsening.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tensor/ops.h"
+
+namespace hap {
+namespace {
+
+CoarseningConfig Config(int in_features, int clusters) {
+  CoarseningConfig config;
+  config.in_features = in_features;
+  config.num_clusters = clusters;
+  return config;
+}
+
+TEST(GContTest, ShapeMatchesEq13) {
+  Rng rng(1);
+  CoarseningModule module(Config(6, 4), &rng);
+  Tensor h = Tensor::Randn(9, 6, &rng);
+  Tensor c = module.ComputeGCont(h);
+  EXPECT_EQ(c.rows(), 9);   // rows = source nodes
+  EXPECT_EQ(c.cols(), 4);   // columns = target clusters
+}
+
+TEST(MoaTest, RowsAreDistributions) {
+  Rng rng(2);
+  CoarseningModule module(Config(6, 4), &rng);
+  Tensor h = Tensor::Randn(9, 6, &rng);
+  Tensor m = module.ComputeAttention(module.ComputeGCont(h));
+  EXPECT_EQ(m.rows(), 9);
+  EXPECT_EQ(m.cols(), 4);
+  for (int r = 0; r < 9; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_GE(m.At(r, c), 0.0f);
+      sum += m.At(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);  // Eq. 15 normalisation
+  }
+}
+
+TEST(MoaTest, FullyConnectedChannel) {
+  // Every node gets nonzero attention to every cluster — the "high-order
+  // dependency" channel: softmax output is strictly positive.
+  Rng rng(3);
+  CoarseningModule module(Config(4, 3), &rng);
+  Tensor h = Tensor::Randn(12, 4, &rng);
+  Tensor m = module.ComputeAttention(module.ComputeGCont(h));
+  for (int64_t i = 0; i < m.size(); ++i) EXPECT_GT(m.data()[i], 0.0f);
+}
+
+TEST(MoaTest, HandlesFewerNodesThanClusters) {
+  // Claim 3's zero padding: N < N' must still work.
+  Rng rng(4);
+  CoarseningModule module(Config(4, 6), &rng);
+  Tensor h = Tensor::Randn(3, 4, &rng);
+  Tensor m = module.ComputeAttention(module.ComputeGCont(h));
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 6);
+}
+
+TEST(RelaxationTest, TruncationEqualsZeroPaddedFullAttention) {
+  // Claim 3: comparing C_{:,j} ∈ ℝᴺ against the relaxed a ∈ ℝ^{2N'} with
+  // zero padding gives the same logits as the truncated inner product the
+  // paper-literal implementation uses. Verify by computing both explicitly.
+  Rng rng(5);
+  const int n = 7, clusters = 3;
+  CoarseningConfig literal = Config(4, clusters);
+  literal.paper_literal_relaxation = true;
+  literal.bilinear_moa = false;     // Plain Eq. 14 logits for this check.
+  literal.normalize_gcont = false;  // Hand formula uses the raw GCont.
+  CoarseningModule module(literal, &rng);
+  Tensor h = Tensor::Randn(n, 4, &rng);
+  Tensor c = module.ComputeGCont(h);
+  // Hand-compute: logits_ij = LeakyReLU(a1·C_{i,:} + a2_padded·C_{:,j}).
+  std::vector<Tensor> params;
+  module.CollectParameters(&params);
+  const Tensor& a1 = params[1];  // attn_row_
+  const Tensor& a2 = params[2];  // attn_col_
+  Tensor m = module.ComputeAttention(c);
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> logits(clusters);
+    for (int j = 0; j < clusters; ++j) {
+      double row_term = 0.0;
+      for (int k = 0; k < clusters; ++k) row_term += a1.At(k, 0) * c.At(i, k);
+      // a2 zero-padded to length N: only the first min(N, N') entries of
+      // the column participate.
+      double col_term = 0.0;
+      for (int k = 0; k < std::min(n, clusters); ++k) {
+        col_term += a2.At(k, 0) * c.At(k, j);
+      }
+      const double z = row_term + col_term;
+      logits[j] = static_cast<float>(z >= 0 ? z : 0.2 * z);
+    }
+    // Softmax and compare.
+    float mx = logits[0];
+    for (float v : logits) mx = std::max(mx, v);
+    double sum = 0;
+    for (float& v : logits) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    for (int j = 0; j < clusters; ++j) {
+      EXPECT_NEAR(m.At(i, j), logits[j] / sum, 1e-4);
+    }
+  }
+}
+
+TEST(RelaxationTest, LiteralTruncationIsOrderDependent) {
+  // Documents why the literal Claim 3 relaxation is not the default: the
+  // truncated column operand changes under node permutation, while the
+  // default invariant operand does not (covered by PermutationInvariance
+  // below). Here we just confirm the two variants genuinely differ.
+  Rng rng(55);
+  CoarseningConfig literal = Config(4, 3);
+  literal.paper_literal_relaxation = true;
+  CoarseningConfig invariant = Config(4, 3);
+  Rng rng_a(99), rng_b(99);
+  CoarseningModule literal_module(literal, &rng_a);
+  CoarseningModule invariant_module(invariant, &rng_b);
+  Tensor h = Tensor::Randn(9, 4, &rng);
+  Tensor m1 = literal_module.ComputeAttention(literal_module.ComputeGCont(h));
+  Tensor m2 =
+      invariant_module.ComputeAttention(invariant_module.ComputeGCont(h));
+  double diff = 0.0;
+  for (int64_t i = 0; i < m1.size(); ++i) {
+    diff += std::abs(m1.data()[i] - m2.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(CoarseningTest, OutputShapesEq17And18) {
+  Rng rng(6);
+  CoarseningModule module(Config(5, 4), &rng);
+  Graph g = ConnectedErdosRenyi(11, 0.4, &rng);
+  Tensor h = Tensor::Randn(11, 5, &rng);
+  CoarsenResult result = module.Forward(h, g.AdjacencyMatrix());
+  EXPECT_EQ(result.h.rows(), 4);
+  EXPECT_EQ(result.h.cols(), 5);
+  EXPECT_EQ(result.adjacency.rows(), 4);
+  EXPECT_EQ(result.adjacency.cols(), 4);
+}
+
+TEST(CoarseningTest, PermutationInvariance) {
+  // Claim 2: coarsened features must be identical when input nodes are
+  // renamed (evaluation mode: no Gumbel noise).
+  Rng rng(7);
+  CoarseningConfig config = Config(5, 3);
+  config.use_gumbel = false;
+  CoarseningModule module(config, &rng);
+  module.set_training(false);
+  Graph g = ConnectedErdosRenyi(9, 0.5, &rng);
+  Tensor h = Tensor::Randn(9, 5, &rng);
+  CoarsenResult base = module.Forward(h, g.AdjacencyMatrix());
+  std::vector<int> perm = RandomPermutation(9, &rng);
+  Graph pg = g.Permuted(perm);
+  Tensor ph(9, 5);
+  for (int u = 0; u < 9; ++u) {
+    for (int c = 0; c < 5; ++c) ph.Set(perm[u], c, h.At(u, c));
+  }
+  CoarsenResult permuted = module.Forward(ph, pg.AdjacencyMatrix());
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(base.h.At(r, c), permuted.h.At(r, c), 1e-4);
+    }
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(base.adjacency.At(r, c), permuted.adjacency.At(r, c), 1e-4);
+    }
+  }
+}
+
+TEST(CoarseningTest, GumbelSamplingOnlyInTraining) {
+  Rng rng(8);
+  CoarseningModule module(Config(4, 3), &rng);
+  Graph g = ConnectedErdosRenyi(7, 0.5, &rng);
+  Tensor h = Tensor::Randn(7, 4, &rng);
+  module.set_training(false);
+  CoarsenResult eval1 = module.Forward(h, g.AdjacencyMatrix());
+  CoarsenResult eval2 = module.Forward(h, g.AdjacencyMatrix());
+  for (int64_t i = 0; i < eval1.adjacency.size(); ++i) {
+    EXPECT_EQ(eval1.adjacency.data()[i], eval2.adjacency.data()[i]);
+  }
+  module.set_training(true);
+  CoarsenResult train1 = module.Forward(h, g.AdjacencyMatrix());
+  CoarsenResult train2 = module.Forward(h, g.AdjacencyMatrix());
+  bool any_diff = false;
+  for (int64_t i = 0; i < train1.adjacency.size(); ++i) {
+    any_diff |= train1.adjacency.data()[i] != train2.adjacency.data()[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CoarseningTest, GradientsFlowToAllParameters) {
+  Rng rng(9);
+  CoarseningModule module(Config(4, 3), &rng);
+  Graph g = ConnectedErdosRenyi(6, 0.5, &rng);
+  Tensor h = Tensor::Randn(6, 4, &rng);
+  CoarsenResult result = module.Forward(h, g.AdjacencyMatrix());
+  Tensor loss = Add(ReduceSumAll(Square(result.h)),
+                    ReduceSumAll(Square(result.adjacency)));
+  loss.Backward();
+  for (const Tensor& p : module.Parameters()) {
+    bool any = false;
+    for (float v : p.grad()) any |= v != 0.0f;
+    EXPECT_TRUE(any);
+  }
+}
+
+TEST(CoarseningTest, AblatedGContVariant) {
+  Rng rng(10);
+  CoarseningConfig config = Config(5, 3);
+  config.use_gcont = false;
+  CoarseningModule module(config, &rng);
+  Graph g = ConnectedErdosRenyi(8, 0.4, &rng);
+  CoarsenResult result =
+      module.Forward(Tensor::Randn(8, 5, &rng), g.AdjacencyMatrix());
+  EXPECT_EQ(result.h.rows(), 3);
+  EXPECT_EQ(module.Parameters().size(), 3u);  // seeds + a1 + a2
+}
+
+TEST(CoarseningTest, ExpansionWhenTargetLargerThanSource) {
+  // The paper's M is N x N' for any N, including N < N'.
+  Rng rng(11);
+  CoarseningModule module(Config(4, 8), &rng);
+  Graph g = Cycle(3);
+  CoarsenResult result =
+      module.Forward(Tensor::Randn(3, 4, &rng), g.AdjacencyMatrix());
+  EXPECT_EQ(result.h.rows(), 8);
+}
+
+TEST(ComplexityTest, AttentionCostQuadraticInNodes) {
+  // Claim 1 sanity check at the unit level: M has N*N' entries, linear in
+  // N for fixed N', so coarsening K levels with ratio r is O(rN²) overall.
+  Rng rng(12);
+  CoarseningModule module(Config(4, 4), &rng);
+  for (int n : {5, 17, 33}) {
+    Tensor h = Tensor::Randn(n, 4, &rng);
+    Tensor m = module.ComputeAttention(module.ComputeGCont(h));
+    EXPECT_EQ(m.rows(), n);
+    EXPECT_EQ(m.cols(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace hap

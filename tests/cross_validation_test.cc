@@ -1,0 +1,78 @@
+#include "train/cross_validation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/hap_model.h"
+
+namespace hap {
+namespace {
+
+TEST(KFoldTest, FoldsPartitionTheData) {
+  Rng rng(1);
+  const int n = 53, folds = 5;
+  auto splits = KFoldSplits(n, folds, &rng);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<int> all_test;
+  for (const Split& split : splits) {
+    for (int i : split.test) {
+      EXPECT_TRUE(all_test.insert(i).second) << "test sets overlap";
+    }
+    // train/val/test of one fold cover everything exactly once.
+    std::set<int> fold_union(split.train.begin(), split.train.end());
+    for (int i : split.val) EXPECT_TRUE(fold_union.insert(i).second);
+    for (int i : split.test) EXPECT_TRUE(fold_union.insert(i).second);
+    EXPECT_EQ(fold_union.size(), static_cast<size_t>(n));
+    EXPECT_FALSE(split.val.empty());
+  }
+  EXPECT_EQ(all_test.size(), static_cast<size_t>(n));
+}
+
+TEST(KFoldTest, FoldSizesBalanced) {
+  Rng rng(2);
+  auto splits = KFoldSplits(100, 10, &rng);
+  for (const Split& split : splits) {
+    EXPECT_EQ(split.test.size(), 10u);
+  }
+}
+
+TEST(KFoldDeathTest, RejectsDegenerateArguments) {
+  Rng rng(3);
+  EXPECT_DEATH(KFoldSplits(10, 1, &rng), "HAP_CHECK failed");
+  EXPECT_DEATH(KFoldSplits(3, 5, &rng), "HAP_CHECK failed");
+}
+
+TEST(CrossValidationTest, RunsAllFoldsAndAggregates) {
+  Rng rng(4);
+  GraphDataset ds = MakeImdbBinaryLike(40, &rng);
+  auto data = PrepareDataset(ds);
+  HapConfig config;
+  config.feature_dim = ds.feature_spec.FeatureDim();
+  config.hidden_dim = 8;
+  config.encoder_layers = 1;
+  config.cluster_sizes = {2, 1};
+  config.use_gumbel = false;
+  TrainConfig tc;
+  tc.epochs = 4;
+  Rng cv_rng(5);
+  CrossValidationResult result = CrossValidateClassifier(
+      [&](int fold) {
+        Rng model_rng(100 + fold);
+        return std::make_unique<GraphClassifier>(
+            MakeHapModel(config, &model_rng), ds.num_classes, 8, &model_rng);
+      },
+      data, /*folds=*/4, tc, &cv_rng);
+  ASSERT_EQ(result.fold_accuracies.size(), 4u);
+  for (double accuracy : result.fold_accuracies) {
+    EXPECT_GE(accuracy, 0.0);
+    EXPECT_LE(accuracy, 1.0);
+  }
+  double sum = 0;
+  for (double accuracy : result.fold_accuracies) sum += accuracy;
+  EXPECT_NEAR(result.mean_accuracy, sum / 4.0, 1e-12);
+  EXPECT_GE(result.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace hap

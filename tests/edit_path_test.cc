@@ -1,0 +1,87 @@
+#include "ged/edit_path.h"
+
+#include <gtest/gtest.h>
+
+#include "ged/ged.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace hap {
+namespace {
+
+TEST(EditPathTest, EmptyForIdenticalGraphs) {
+  Graph g = Cycle(4);
+  std::vector<int> identity = {0, 1, 2, 3};
+  EXPECT_TRUE(EditPathFromMapping(g, g, identity).empty());
+}
+
+TEST(EditPathTest, LengthEqualsMappingCost) {
+  Rng rng(1);
+  auto pool = MakeAidsLikePool(8, &rng);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      GedResult result = ExactGed(pool[i], pool[j]);
+      auto path = EditPathFromMapping(pool[i], pool[j], result.mapping);
+      EXPECT_EQ(static_cast<double>(path.size()), result.cost)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(EditPathTest, LengthEqualsCostForApproximateMappings) {
+  Rng rng(2);
+  auto pool = MakeLinuxLikePool(6, &rng);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      GedResult result = BipartiteGedHungarian(pool[i], pool[j]);
+      auto path = EditPathFromMapping(pool[i], pool[j], result.mapping);
+      EXPECT_EQ(static_cast<double>(path.size()), result.cost);
+    }
+  }
+}
+
+TEST(EditPathTest, OperationKindsMatchExpectations) {
+  // g1: path 0-1 with labels {0, 0}; g2: single node labeled 1.
+  Graph g1 = Path(2);
+  Graph g2(1);
+  g2.set_node_label(0, 1);
+  // Map node 0 -> 0 (substitute), delete node 1, delete edge.
+  auto path = EditPathFromMapping(g1, g2, {0, -1});
+  ASSERT_EQ(path.size(), 3u);
+  int deletes_edge = 0, deletes_node = 0, substitutes = 0;
+  for (const EditOp& op : path) {
+    deletes_edge += op.kind == EditOp::Kind::kDeleteEdge;
+    deletes_node += op.kind == EditOp::Kind::kDeleteNode;
+    substitutes += op.kind == EditOp::Kind::kSubstituteNode;
+  }
+  EXPECT_EQ(deletes_edge, 1);
+  EXPECT_EQ(deletes_node, 1);
+  EXPECT_EQ(substitutes, 1);
+}
+
+TEST(EditPathTest, InsertOpsForGrowingGraph) {
+  Graph g1(1);
+  Graph g2 = Path(3);
+  auto path = EditPathFromMapping(g1, g2, {0});
+  // 2 node insertions + 2 edge insertions.
+  EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(EditPathTest, ToStringMentionsEveryOp) {
+  Graph g1 = Path(2);
+  Graph g2(1);
+  g2.set_node_label(0, 1);
+  auto path = EditPathFromMapping(g1, g2, {0, -1});
+  const std::string rendered = EditPathToString(path);
+  EXPECT_NE(rendered.find("delete edge"), std::string::npos);
+  EXPECT_NE(rendered.find("delete node"), std::string::npos);
+  EXPECT_NE(rendered.find("substitute node"), std::string::npos);
+}
+
+TEST(EditPathDeathTest, NonInjectiveMappingChecks) {
+  Graph g1 = Path(2), g2 = Path(2);
+  EXPECT_DEATH(EditPathFromMapping(g1, g2, {0, 0}), "not injective");
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,142 @@
+// Property sweeps over the GED solver family: metric axioms of exact GED,
+// validity of returned mappings, monotonicity of beam search in the beam
+// width, and consistency between GedFromMapping and the search cost.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "ged/ged.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace hap {
+namespace {
+
+std::vector<Graph> SmallPool(uint64_t seed, int count) {
+  Rng rng(seed);
+  std::vector<Graph> pool;
+  for (int i = 0; i < count; ++i) {
+    const int n = rng.UniformInt(2, 7);
+    Graph g = RandomTree(n, &rng);
+    if (n >= 3 && rng.Bernoulli(0.5)) {
+      const int u = rng.UniformInt(n), v = rng.UniformInt(n);
+      if (u != v && !g.HasEdge(u, v)) g.AddEdge(u, v);
+    }
+    for (int u = 0; u < n; ++u) g.set_node_label(u, rng.UniformInt(3));
+    pool.push_back(std::move(g));
+  }
+  return pool;
+}
+
+class GedMetricSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GedMetricSweep, IdentityAxiom) {
+  auto pool = SmallPool(GetParam(), 5);
+  for (const Graph& g : pool) {
+    EXPECT_EQ(ExactGed(g, g).cost, 0.0);
+  }
+}
+
+TEST_P(GedMetricSweep, Symmetry) {
+  auto pool = SmallPool(GetParam() + 100, 5);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_NEAR(ExactGed(pool[i], pool[j]).cost,
+                  ExactGed(pool[j], pool[i]).cost, 1e-9);
+    }
+  }
+}
+
+TEST_P(GedMetricSweep, NonNegativityAndPositivityForDifferentSizes) {
+  auto pool = SmallPool(GetParam() + 200, 6);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      const double d = ExactGed(pool[i], pool[j]).cost;
+      EXPECT_GE(d, 0.0);
+      if (pool[i].num_nodes() != pool[j].num_nodes()) {
+        EXPECT_GE(d, std::abs(pool[i].num_nodes() - pool[j].num_nodes()));
+      }
+    }
+  }
+}
+
+TEST_P(GedMetricSweep, MappingIsValidAndReproducesCost) {
+  auto pool = SmallPool(GetParam() + 300, 5);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      GedResult result = ExactGed(pool[i], pool[j]);
+      ASSERT_EQ(static_cast<int>(result.mapping.size()),
+                pool[i].num_nodes());
+      EXPECT_NEAR(GedFromMapping(pool[i], pool[j], result.mapping),
+                  result.cost, 1e-9);
+    }
+  }
+}
+
+TEST_P(GedMetricSweep, EditPathUpperBoundsFromAnyAlgorithm) {
+  auto pool = SmallPool(GetParam() + 400, 4);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      const double exact = ExactGed(pool[i], pool[j]).cost;
+      for (const GedResult& approx :
+           {BeamGed(pool[i], pool[j], 3), BipartiteGedHungarian(pool[i], pool[j]),
+            BipartiteGedVj(pool[i], pool[j])}) {
+        EXPECT_GE(approx.cost, exact - 1e-9);
+        EXPECT_NEAR(GedFromMapping(pool[i], pool[j], approx.mapping),
+                    approx.cost, 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GedMetricSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+class BeamWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BeamWidthSweep, WideningTheBeamHelpsInAggregate) {
+  // Beam search is not pointwise monotone in the width (a wider beam can
+  // prune a state whose completion would have been cheaper), so the
+  // meaningful property is aggregate: total cost over a pool must not get
+  // worse, and every result stays an upper bound of the exact GED.
+  const int width = GetParam();
+  Rng rng(width);
+  auto pool = MakeLinuxLikePool(5, &rng);
+  double narrow_total = 0.0, wide_total = 0.0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const double exact = ExactGed(pool[i], pool[j]).cost;
+      const double narrow = BeamGed(pool[i], pool[j], width).cost;
+      const double wide = BeamGed(pool[i], pool[j], width * 4).cost;
+      EXPECT_GE(narrow, exact - 1e-9);
+      EXPECT_GE(wide, exact - 1e-9);
+      narrow_total += narrow;
+      wide_total += wide;
+    }
+  }
+  EXPECT_LE(wide_total, narrow_total + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BeamWidthSweep, ::testing::Values(1, 2, 5, 20));
+
+TEST(GedExpansionsTest, BeamExpandsLessThanExactOnHardInstances) {
+  Rng rng(9);
+  Graph g1 = ConnectedErdosRenyi(8, 0.4, &rng);
+  Graph g2 = ConnectedErdosRenyi(8, 0.45, &rng);
+  GedResult exact = ExactGed(g1, g2);
+  GedResult beam = BeamGed(g1, g2, 5);
+  EXPECT_LT(beam.expansions, exact.expansions);
+}
+
+TEST(GedLabelsTest, LabelMismatchRaisesCost) {
+  Graph a = Cycle(4), b = Cycle(4);
+  EXPECT_EQ(ExactGed(a, b).cost, 0.0);
+  b.set_node_label(0, 1);
+  EXPECT_EQ(ExactGed(a, b).cost, 1.0);
+  b.set_node_label(1, 1);
+  EXPECT_EQ(ExactGed(a, b).cost, 2.0);
+}
+
+}  // namespace
+}  // namespace hap

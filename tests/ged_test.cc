@@ -1,0 +1,190 @@
+#include "ged/ged.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace hap {
+namespace {
+
+TEST(GedMappingTest, IdentityMappingZeroCost) {
+  Graph g = Cycle(4);
+  EXPECT_EQ(GedFromMapping(g, g, {0, 1, 2, 3}), 0.0);
+}
+
+TEST(GedMappingTest, CountsNodeAndEdgeEdits) {
+  // g1 = path 0-1; g2 = single node: delete one node and one edge.
+  Graph g1 = Path(2);
+  Graph g2(1);
+  EXPECT_EQ(GedFromMapping(g1, g2, {0, -1}), 2.0);
+}
+
+TEST(GedMappingTest, LabelSubstitution) {
+  Graph g1(1), g2(1);
+  g1.set_node_label(0, 1);
+  g2.set_node_label(0, 2);
+  EXPECT_EQ(GedFromMapping(g1, g2, {0}), 1.0);
+}
+
+TEST(GedMappingTest, InsertionCost) {
+  Graph g1(1);
+  Graph g2 = Path(3);
+  // Map the single node onto g2 node 0: insert 2 nodes + 2 edges.
+  EXPECT_EQ(GedFromMapping(g1, g2, {0}), 4.0);
+}
+
+TEST(ExactGedTest, IdenticalGraphsZero) {
+  Rng rng(1);
+  Graph g = ConnectedErdosRenyi(6, 0.5, &rng);
+  GedResult result = ExactGed(g, g);
+  EXPECT_EQ(result.cost, 0.0);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(ExactGedTest, IsomorphicGraphsZero) {
+  Rng rng(2);
+  Graph g = ConnectedErdosRenyi(6, 0.5, &rng);
+  Graph p = g.Permuted(RandomPermutation(6, &rng));
+  EXPECT_EQ(ExactGed(g, p).cost, 0.0);
+}
+
+TEST(ExactGedTest, SingleEdgeDifference) {
+  Graph g1 = Cycle(4);
+  Graph g2 = Cycle(4);
+  g2.RemoveEdge(0, 1);
+  EXPECT_EQ(ExactGed(g1, g2).cost, 1.0);
+}
+
+TEST(ExactGedTest, MatchesBruteForceOnSmallGraphs) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g1 = ErdosRenyi(rng.UniformInt(2, 4), 0.5, &rng);
+    Graph g2 = ErdosRenyi(rng.UniformInt(2, 4), 0.5, &rng);
+    for (int u = 0; u < g1.num_nodes(); ++u) {
+      g1.set_node_label(u, rng.UniformInt(2));
+    }
+    for (int u = 0; u < g2.num_nodes(); ++u) {
+      g2.set_node_label(u, rng.UniformInt(2));
+    }
+    EXPECT_NEAR(ExactGed(g1, g2).cost, BruteForceGed(g1, g2).cost, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ExactGedTest, SymmetricOnPools) {
+  Rng rng(4);
+  auto pool = MakeAidsLikePool(6, &rng);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_NEAR(ExactGed(pool[i], pool[j]).cost,
+                  ExactGed(pool[j], pool[i]).cost, 1e-9);
+    }
+  }
+}
+
+TEST(ExactGedTest, TriangleInequalityOnSamples) {
+  Rng rng(5);
+  auto pool = MakeAidsLikePool(5, &rng);
+  auto d = [&](int a, int b) { return ExactGed(pool[a], pool[b]).cost; };
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      for (int c = 0; c < 5; ++c) {
+        EXPECT_LE(d(a, c), d(a, b) + d(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+class UpperBoundTest : public ::testing::TestWithParam<int> {};
+
+// Every approximate algorithm returns an upper bound on the exact GED.
+TEST_P(UpperBoundTest, ApproximationsNeverUndershoot) {
+  Rng rng(100 + GetParam());
+  auto pool = MakeAidsLikePool(8, &rng);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const double exact = ExactGed(pool[i], pool[j]).cost;
+      double approx = 0.0;
+      switch (GetParam()) {
+        case 0:
+          approx = BeamGed(pool[i], pool[j], 1).cost;
+          break;
+        case 1:
+          approx = BeamGed(pool[i], pool[j], 80).cost;
+          break;
+        case 2:
+          approx = BipartiteGedHungarian(pool[i], pool[j]).cost;
+          break;
+        case 3:
+          approx = BipartiteGedVj(pool[i], pool[j]).cost;
+          break;
+      }
+      EXPECT_GE(approx, exact - 1e-9);
+    }
+  }
+}
+
+std::string UpperBoundName(const ::testing::TestParamInfo<int>& info) {
+  static constexpr const char* kNames[] = {"Beam1", "Beam80", "Hungarian",
+                                           "VJ"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Approximations, UpperBoundTest,
+                         ::testing::Values(0, 1, 2, 3), UpperBoundName);
+
+TEST(BeamGedTest, WiderBeamNoWorseInAggregate) {
+  // Pointwise monotonicity does not hold for beam search (pruning is
+  // depth-local), but the aggregate quality must not degrade.
+  Rng rng(6);
+  auto pool = MakeLinuxLikePool(6, &rng);
+  double narrow_total = 0.0, wide_total = 0.0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      narrow_total += BeamGed(pool[i], pool[j], 1).cost;
+      wide_total += BeamGed(pool[i], pool[j], 80).cost;
+    }
+  }
+  EXPECT_LE(wide_total, narrow_total + 1e-9);
+}
+
+TEST(BeamGedTest, Beam80UsuallyExactOnTinyGraphs) {
+  Rng rng(7);
+  auto pool = MakeLinuxLikePool(8, &rng);
+  int exact_hits = 0, total = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const double exact = ExactGed(pool[i], pool[j]).cost;
+      if (BeamGed(pool[i], pool[j], 80).cost == exact) ++exact_hits;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(exact_hits) / total, 0.6);
+}
+
+TEST(BipartiteGedTest, HungarianAtLeastAsTightAsVjOnAverage) {
+  Rng rng(8);
+  auto pool = MakeAidsLikePool(10, &rng);
+  double hungarian_total = 0, vj_total = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      hungarian_total += BipartiteGedHungarian(pool[i], pool[j]).cost;
+      vj_total += BipartiteGedVj(pool[i], pool[j]).cost;
+    }
+  }
+  EXPECT_LE(hungarian_total, vj_total + 1e-6);
+}
+
+TEST(ExactGedTest, BudgetExhaustionFallsBackToUpperBound) {
+  Rng rng(9);
+  Graph g1 = ConnectedErdosRenyi(9, 0.4, &rng);
+  Graph g2 = ConnectedErdosRenyi(9, 0.4, &rng);
+  GedResult bounded = ExactGed(g1, g2, /*max_expansions=*/10);
+  EXPECT_FALSE(bounded.exact);
+  GedResult full = ExactGed(g1, g2);
+  EXPECT_GE(bounded.cost, full.cost - 1e-9);
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,118 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace hap {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiDensity) {
+  Rng rng(1);
+  const int n = 60;
+  Graph g = ErdosRenyi(n, 0.3, &rng);
+  const double max_edges = n * (n - 1) / 2.0;
+  EXPECT_NEAR(g.num_edges() / max_edges, 0.3, 0.05);
+}
+
+TEST(GeneratorsTest, ErdosRenyiExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(ErdosRenyi(10, 0.0, &rng).num_edges(), 0);
+  EXPECT_EQ(ErdosRenyi(10, 1.0, &rng).num_edges(), 45);
+}
+
+TEST(GeneratorsTest, ConnectedErdosRenyiIsConnected) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = ConnectedErdosRenyi(20, 0.05, &rng);
+    EXPECT_TRUE(g.IsConnected());
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDegreeSkew) {
+  Rng rng(4);
+  Graph g = BarabasiAlbert(100, 2, &rng);
+  EXPECT_TRUE(g.IsConnected());
+  // Preferential attachment produces hubs well above the mean degree.
+  EXPECT_GE(g.MaxDegree(), 10);
+  // Each new node adds m edges.
+  EXPECT_EQ(g.num_edges(), 2 + (100 - 3) * 2);
+}
+
+TEST(GeneratorsTest, PlantedPartitionCommunityStructure) {
+  Rng rng(5);
+  Graph g = PlantedPartition({20, 20}, 0.8, 0.02, &rng);
+  EXPECT_EQ(g.num_nodes(), 40);
+  int inside = 0, across = 0;
+  for (const auto& [u, v] : g.Edges()) {
+    if (g.node_label(u) == g.node_label(v)) {
+      ++inside;
+    } else {
+      ++across;
+    }
+  }
+  EXPECT_GT(inside, across * 5);
+}
+
+TEST(GeneratorsTest, RandomTreeIsTree) {
+  Rng rng(6);
+  for (int n : {1, 2, 3, 7, 20}) {
+    Graph g = RandomTree(n, &rng);
+    EXPECT_EQ(g.num_edges(), n - 1 >= 0 ? n - 1 : 0);
+    EXPECT_TRUE(g.IsConnected());
+  }
+}
+
+TEST(GeneratorsTest, FixedTopologies) {
+  EXPECT_EQ(Cycle(5).num_edges(), 5);
+  EXPECT_EQ(Path(5).num_edges(), 4);
+  EXPECT_EQ(Star(5).num_edges(), 4);
+  EXPECT_EQ(Star(5).Degree(0), 4);
+  EXPECT_EQ(Complete(5).num_edges(), 10);
+  for (int u = 0; u < 5; ++u) EXPECT_EQ(Cycle(5).Degree(u), 2);
+}
+
+TEST(GeneratorsTest, DisjointUnion) {
+  Graph a = Cycle(3);
+  a.set_node_label(0, 4);
+  Graph b = Path(2);
+  Graph u = DisjointUnion(a, b);
+  EXPECT_EQ(u.num_nodes(), 5);
+  EXPECT_EQ(u.num_edges(), 4);
+  EXPECT_EQ(u.node_label(0), 4);
+  EXPECT_TRUE(u.HasEdge(3, 4));
+  EXPECT_FALSE(u.IsConnected());
+}
+
+TEST(GeneratorsTest, AttachMotifSharesNode) {
+  Graph base = Path(3);
+  Graph motif = Star(3);  // node 0 hub + 2 leaves
+  motif.set_node_label(1, 8);
+  Graph g = AttachMotif(base, motif, 1);
+  EXPECT_EQ(g.num_nodes(), 3 + 2);
+  // Motif hub identified with base node 1: edges 1-3, 1-4.
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(1, 4));
+  EXPECT_EQ(g.node_label(3), 8);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GeneratorsTest, RandomPermutationIsPermutation) {
+  Rng rng(7);
+  std::vector<int> perm = RandomPermutation(10, &rng);
+  std::vector<bool> seen(10, false);
+  for (int p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 10);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng rng1(42), rng2(42);
+  Graph a = ErdosRenyi(20, 0.4, &rng1);
+  Graph b = ErdosRenyi(20, 0.4, &rng2);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,144 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hap {
+namespace {
+
+Graph Triangle() {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  return g;
+}
+
+TEST(GraphTest, AddAndQueryEdges) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3, 2.5f);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // Undirected.
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.EdgeWeight(2, 3), 2.5f);
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(GraphTest, DuplicateEdgeOverwritesWeight) {
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0f);
+  g.AddEdge(0, 1, 3.0f);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 3.0f);
+  EXPECT_EQ(g.Degree(0), 1);  // Adjacency list not duplicated.
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g = Triangle();
+  g.RemoveEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(0), 1);
+  g.RemoveEdge(0, 1);  // Idempotent.
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(GraphTest, AddNodeGrowsGraph) {
+  Graph g = Triangle();
+  const int fresh = g.AddNode(5);
+  EXPECT_EQ(fresh, 3);
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.node_label(3), 5);
+  EXPECT_TRUE(g.HasEdge(0, 1));  // Old edges intact.
+  g.AddEdge(3, 0);
+  EXPECT_TRUE(g.HasEdge(0, 3));
+}
+
+TEST(GraphTest, EdgesListSortedEndpoints) {
+  Graph g = Triangle();
+  auto edges = g.Edges();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, AdjacencyMatrixMatches) {
+  Graph g(3);
+  g.AddEdge(0, 2, 2.0f);
+  Tensor a = g.AdjacencyMatrix();
+  EXPECT_EQ(a.At(0, 2), 2.0f);
+  EXPECT_EQ(a.At(2, 0), 2.0f);
+  EXPECT_EQ(a.At(0, 1), 0.0f);
+  EXPECT_EQ(a.At(1, 1), 0.0f);
+}
+
+TEST(GraphTest, NormalizedAdjacencySymmetricRowValues) {
+  Graph g = Triangle();
+  Tensor norm = g.NormalizedAdjacency();
+  // For a triangle with self-loops every entry is 1/3.
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_NEAR(norm.At(r, c), 1.0f / 3.0f, 1e-5);
+    }
+  }
+}
+
+TEST(GraphTest, PermutedPreservesStructure) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.set_node_label(0, 7);
+  Graph p = g.Permuted({3, 2, 1, 0});
+  EXPECT_TRUE(p.HasEdge(3, 2));
+  EXPECT_TRUE(p.HasEdge(2, 1));
+  EXPECT_FALSE(p.HasEdge(0, 1));
+  EXPECT_EQ(p.node_label(3), 7);
+  EXPECT_EQ(p.num_edges(), g.num_edges());
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  Graph g = Triangle();
+  g.set_node_label(2, 9);
+  Graph sub = g.InducedSubgraph({0, 2});
+  EXPECT_EQ(sub.num_nodes(), 2);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+  EXPECT_EQ(sub.node_label(1), 9);
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_EQ(g.ComponentOf(0).size(), 2u);
+  EXPECT_EQ(g.LargestComponent().size(), 2u);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_EQ(g.LargestComponent().size(), 4u);
+}
+
+TEST(GraphTest, EmptyAndSingletonConnected) {
+  EXPECT_TRUE(Graph(0).IsConnected());
+  EXPECT_TRUE(Graph(1).IsConnected());
+}
+
+TEST(GraphDeathTest, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_DEATH(g.AddEdge(1, 1), "self-loops");
+}
+
+TEST(GraphDeathTest, OutOfRangeEdge) {
+  Graph g(2);
+  EXPECT_DEATH(g.AddEdge(0, 5), "out of range");
+}
+
+TEST(GraphDeathTest, BadPermutation) {
+  Graph g(3);
+  EXPECT_DEATH(g.Permuted({0, 0, 1}), "not a permutation");
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,92 @@
+#include "core/gumbel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "tensor/ops.h"
+
+namespace hap {
+namespace {
+
+TEST(GumbelTest, RowsSumToOne) {
+  Rng rng(1);
+  Tensor a = Tensor::FromVector(3, 3, {0, 1, 2, 1, 0, 3, 2, 3, 0});
+  Tensor sampled = GumbelSoftSample(a, 0.1f, &rng, /*training=*/true);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += sampled.At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(GumbelTest, LowTemperatureApproachesOneHot) {
+  Rng rng(2);
+  Tensor a = Tensor::FromVector(1, 3, {0.1f, 5.0f, 0.1f});
+  Tensor sampled = GumbelSoftSample(a, 0.05f, &rng, /*training=*/false);
+  // Eval mode (no noise) with tiny tau: dominant edge takes ~all mass.
+  EXPECT_GT(sampled.At(0, 1), 0.99f);
+}
+
+TEST(GumbelTest, EvalModeDeterministic) {
+  Rng rng(3);
+  Tensor a = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  Tensor s1 = GumbelSoftSample(a, 0.1f, &rng, false);
+  Tensor s2 = GumbelSoftSample(a, 0.1f, &rng, false);
+  for (int64_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1.data()[i], s2.data()[i]);
+  }
+}
+
+TEST(GumbelTest, TrainingModeStochastic) {
+  Rng rng(4);
+  Tensor a = Tensor::FromVector(2, 2, {1, 1.2f, 0.8f, 1});
+  Tensor s1 = GumbelSoftSample(a, 0.5f, &rng, true);
+  Tensor s2 = GumbelSoftSample(a, 0.5f, &rng, true);
+  bool differs = false;
+  for (int64_t i = 0; i < s1.size(); ++i) {
+    differs |= s1.data()[i] != s2.data()[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GumbelTest, HandlesZeroWeightsViaEpsilonFloor) {
+  Rng rng(5);
+  Tensor a = Tensor::FromVector(2, 2, {0, 1, 1, 0});
+  Tensor sampled = GumbelSoftSample(a, 0.1f, &rng, true);
+  for (int64_t i = 0; i < sampled.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(sampled.data()[i]));
+  }
+}
+
+TEST(GumbelTest, ReducesEdgeDensity) {
+  // Soft sampling should concentrate each row's mass: the entropy of a
+  // sampled row is far below that of the dense uniform-ish input.
+  Rng rng(6);
+  const int n = 8;
+  Tensor dense = Tensor::Full(n, n, 1.0f);
+  Tensor sampled = GumbelSoftSample(dense, 0.1f, &rng, true);
+  double mean_max = 0;
+  for (int r = 0; r < n; ++r) {
+    float mx = 0;
+    for (int c = 0; c < n; ++c) mx = std::max(mx, sampled.At(r, c));
+    mean_max += mx;
+  }
+  mean_max /= n;
+  // Near one-hot rows: the max entry dominates (uniform would be 1/8).
+  EXPECT_GT(mean_max, 0.8);
+}
+
+TEST(GumbelTest, GradientFlowsThroughSampling) {
+  Rng rng(7);
+  Tensor a = Tensor::FromVector(2, 2, {1, 2, 3, 4}, /*requires_grad=*/true);
+  Tensor sampled = GumbelSoftSample(a, 0.5f, &rng, true);
+  ReduceSumAll(Square(sampled)).Backward();
+  bool any = false;
+  for (float v : a.grad()) any |= v != 0.0f;
+  EXPECT_TRUE(any);
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,75 @@
+#include "ged/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hap {
+namespace {
+
+TEST(HungarianTest, TrivialCases) {
+  EXPECT_EQ(SolveAssignment({}).cost, 0.0);
+  AssignmentResult one = SolveAssignment({{3.0}});
+  EXPECT_EQ(one.cost, 3.0);
+  EXPECT_EQ(one.assignment, (std::vector<int>{0}));
+}
+
+TEST(HungarianTest, KnownOptimum) {
+  // Classic 3x3 example; optimal = 5 (0->1, 1->0, 2->2).
+  AssignmentResult result = SolveAssignment({{4, 1, 3}, {2, 0, 5}, {3, 2, 2}});
+  EXPECT_EQ(result.cost, 5.0);
+}
+
+TEST(HungarianTest, DiagonalIsOptimalWhenCheapest) {
+  AssignmentResult result =
+      SolveAssignment({{0, 9, 9}, {9, 0, 9}, {9, 9, 0}});
+  EXPECT_EQ(result.cost, 0.0);
+  EXPECT_EQ(result.assignment, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, AssignmentIsPermutation) {
+  Rng rng(3);
+  const int n = 8;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& v : row) v = rng.Uniform(0, 10);
+  }
+  AssignmentResult result = SolveAssignment(cost);
+  std::vector<bool> used(n, false);
+  for (int col : result.assignment) {
+    ASSERT_GE(col, 0);
+    ASSERT_LT(col, n);
+    EXPECT_FALSE(used[col]);
+    used[col] = true;
+  }
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + rng.UniformInt(5);  // 2..6
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+    for (auto& row : cost) {
+      for (double& v : row) v = rng.Uniform(0, 5);
+    }
+    AssignmentResult fast = SolveAssignment(cost);
+    AssignmentResult brute = SolveAssignmentBruteForce(cost);
+    EXPECT_NEAR(fast.cost, brute.cost, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, HandlesSoftInfinities) {
+  // Large entries steer the solution away without overflow.
+  AssignmentResult result =
+      SolveAssignment({{1e9, 1.0}, {2.0, 1e9}});
+  EXPECT_EQ(result.cost, 3.0);
+  EXPECT_EQ(result.assignment, (std::vector<int>{1, 0}));
+}
+
+TEST(HungarianTest, NegativeCostsSupported) {
+  AssignmentResult result = SolveAssignment({{-5, 0}, {0, -5}});
+  EXPECT_EQ(result.cost, -10.0);
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,75 @@
+#include "train/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace hap {
+namespace {
+
+TEST(ConfusionMatrixTest, AccuracyAndCounts) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 0);
+  cm.Add(0, 0);
+  cm.Add(0, 1);
+  cm.Add(1, 1);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(0, 0), 2);
+  EXPECT_EQ(cm.count(0, 1), 1);
+  EXPECT_NEAR(cm.Accuracy(), 0.75, 1e-9);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1) {
+  ConfusionMatrix cm(2);
+  // Class 1: TP = 3, FP = 1, FN = 2.
+  for (int i = 0; i < 3; ++i) cm.Add(1, 1);
+  cm.Add(0, 1);
+  for (int i = 0; i < 2; ++i) cm.Add(1, 0);
+  for (int i = 0; i < 4; ++i) cm.Add(0, 0);
+  EXPECT_NEAR(cm.Precision(1), 3.0 / 4.0, 1e-9);
+  EXPECT_NEAR(cm.Recall(1), 3.0 / 5.0, 1e-9);
+  const double p = 0.75, r = 0.6;
+  EXPECT_NEAR(cm.F1(1), 2 * p * r / (p + r), 1e-9);
+  EXPECT_GT(cm.MacroF1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassesSafe) {
+  ConfusionMatrix cm(3);
+  cm.Add(0, 0);
+  EXPECT_EQ(cm.Precision(2), 0.0);
+  EXPECT_EQ(cm.Recall(2), 0.0);
+  EXPECT_EQ(cm.F1(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix cm(2);
+  cm.Add(0, 1);
+  const std::string rendered = cm.ToString();
+  EXPECT_NE(rendered.find("confusion"), std::string::npos);
+}
+
+TEST(BinaryAucTest, PerfectSeparation) {
+  EXPECT_NEAR(BinaryAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0, 1e-9);
+}
+
+TEST(BinaryAucTest, PerfectlyWrong) {
+  EXPECT_NEAR(BinaryAuc({0.9, 0.8, 0.1, 0.2}, {0, 0, 1, 1}), 0.0, 1e-9);
+}
+
+TEST(BinaryAucTest, RandomScoresNearHalf) {
+  EXPECT_NEAR(BinaryAuc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5, 1e-9);
+}
+
+TEST(BinaryAucTest, TiesUseMidrank) {
+  // One tie across classes: AUC = (1 full win + 0.5 tie) / 2 pairs... with
+  // scores {0.3, 0.5} vs {0.5, 0.9}: pairs (0.3,0.5)=1, (0.3,0.9)=1,
+  // (0.5,0.5)=0.5, (0.5,0.9)=1 => 3.5/4.
+  EXPECT_NEAR(BinaryAuc({0.3, 0.5, 0.5, 0.9}, {0, 0, 1, 1}), 3.5 / 4.0,
+              1e-9);
+}
+
+TEST(BinaryAucTest, DegenerateLabelsReturnHalf) {
+  EXPECT_EQ(BinaryAuc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_EQ(BinaryAuc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,164 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hap {
+namespace {
+
+Tensor M(int r, int c, std::vector<float> v) {
+  return Tensor::FromVector(r, c, std::move(v));
+}
+
+void ExpectTensorEq(const Tensor& t, int rows, int cols,
+                    const std::vector<float>& expected, float tol = 1e-5f) {
+  ASSERT_EQ(t.rows(), rows);
+  ASSERT_EQ(t.cols(), cols);
+  for (int i = 0; i < rows * cols; ++i) {
+    EXPECT_NEAR(t.data()[i], expected[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(OpsTest, MatMul) {
+  Tensor a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = M(3, 2, {7, 8, 9, 10, 11, 12});
+  ExpectTensorEq(MatMul(a, b), 2, 2, {58, 64, 139, 154});
+}
+
+TEST(OpsTest, AddSubMulDiv) {
+  Tensor a = M(1, 3, {1, 4, 9});
+  Tensor b = M(1, 3, {1, 2, 3});
+  ExpectTensorEq(Add(a, b), 1, 3, {2, 6, 12});
+  ExpectTensorEq(Sub(a, b), 1, 3, {0, 2, 6});
+  ExpectTensorEq(Mul(a, b), 1, 3, {1, 8, 27});
+  ExpectTensorEq(Div(a, b), 1, 3, {1, 2, 3});
+}
+
+TEST(OpsTest, Broadcasts) {
+  Tensor a = M(2, 2, {1, 2, 3, 4});
+  ExpectTensorEq(AddRowBroadcast(a, M(1, 2, {10, 20})), 2, 2,
+                 {11, 22, 13, 24});
+  ExpectTensorEq(ScaleRows(a, M(2, 1, {2, 3})), 2, 2, {2, 4, 9, 12});
+  ExpectTensorEq(ScaleCols(a, M(1, 2, {2, 3})), 2, 2, {2, 6, 6, 12});
+  ExpectTensorEq(OuterSum(M(2, 1, {1, 2}), M(1, 2, {10, 20})), 2, 2,
+                 {11, 21, 12, 22});
+}
+
+TEST(OpsTest, ScalarOpsAndNeg) {
+  Tensor a = M(1, 2, {1, -2});
+  ExpectTensorEq(MulScalar(a, 3.0f), 1, 2, {3, -6});
+  ExpectTensorEq(AddScalar(a, 1.0f), 1, 2, {2, -1});
+  ExpectTensorEq(Neg(a), 1, 2, {-1, 2});
+}
+
+TEST(OpsTest, TransposeAndReshape) {
+  Tensor a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  ExpectTensorEq(Transpose(a), 3, 2, {1, 4, 2, 5, 3, 6});
+  ExpectTensorEq(Reshape(a, 3, 2), 3, 2, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, ConcatAndSlice) {
+  Tensor a = M(2, 2, {1, 2, 3, 4});
+  Tensor b = M(2, 1, {5, 6});
+  ExpectTensorEq(ConcatCols(a, b), 2, 3, {1, 2, 5, 3, 4, 6});
+  ExpectTensorEq(ConcatRows({a, M(1, 2, {7, 8})}), 3, 2, {1, 2, 3, 4, 7, 8});
+  ExpectTensorEq(SliceRows(a, 1, 2), 1, 2, {3, 4});
+  ExpectTensorEq(SliceCols(a, 0, 1), 2, 1, {1, 3});
+}
+
+TEST(OpsTest, GatherRowsWithDuplicates) {
+  Tensor a = M(3, 2, {1, 2, 3, 4, 5, 6});
+  ExpectTensorEq(GatherRows(a, {2, 0, 2}), 3, 2, {5, 6, 1, 2, 5, 6});
+}
+
+TEST(OpsTest, Nonlinearities) {
+  Tensor a = M(1, 4, {-2, -0.5, 0, 3});
+  ExpectTensorEq(Relu(a), 1, 4, {0, 0, 0, 3});
+  ExpectTensorEq(LeakyRelu(a, 0.1f), 1, 4, {-0.2f, -0.05f, 0, 3});
+  Tensor s = Sigmoid(M(1, 2, {0, 100}));
+  EXPECT_NEAR(s.At(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(s.At(0, 1), 1.0f, 1e-6);
+  Tensor t = Tanh(M(1, 1, {0}));
+  EXPECT_EQ(t.At(0, 0), 0.0f);
+}
+
+TEST(OpsTest, ExpLogSqrtSquareClamp) {
+  Tensor a = M(1, 2, {1, 4});
+  ExpectTensorEq(Log(a), 1, 2, {0.0f, std::log(4.0f)});
+  ExpectTensorEq(Sqrt(a), 1, 2, {1, 2});
+  ExpectTensorEq(Square(a), 1, 2, {1, 16});
+  ExpectTensorEq(Exp(M(1, 1, {0})), 1, 1, {1});
+  ExpectTensorEq(ClampMin(M(1, 3, {-1, 0.5f, 2}), 1.0f), 1, 3, {1, 1, 2});
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor a = M(2, 3, {1, 2, 3, -1, 0, 1});
+  Tensor s = SoftmaxRows(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) sum += s.At(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+  // Monotone in logits.
+  EXPECT_LT(s.At(0, 0), s.At(0, 2));
+}
+
+TEST(OpsTest, SoftmaxNumericallyStable) {
+  Tensor s = SoftmaxRows(M(1, 2, {1000, 1001}));
+  EXPECT_NEAR(s.At(0, 0) + s.At(0, 1), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(s.At(0, 0)));
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a = M(1, 3, {0.3f, -1.2f, 2.0f});
+  Tensor ls = LogSoftmaxRows(a);
+  Tensor s = SoftmaxRows(a);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(ls.At(0, c), std::log(s.At(0, c)), 1e-5);
+  }
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(ReduceSumAll(a).Item(), 21.0f);
+  EXPECT_NEAR(ReduceMeanAll(a).Item(), 3.5f, 1e-6);
+  ExpectTensorEq(ReduceSumRows(a), 1, 3, {5, 7, 9});
+  ExpectTensorEq(ReduceSumCols(a), 2, 1, {6, 15});
+  ExpectTensorEq(ReduceMeanRows(a), 1, 3, {2.5f, 3.5f, 4.5f});
+  ExpectTensorEq(ReduceMeanCols(a), 2, 1, {2, 5});
+  ExpectTensorEq(ReduceMaxRows(a), 1, 3, {4, 5, 6});
+}
+
+TEST(OpsTest, NllLoss) {
+  // log-probs for two rows.
+  Tensor lp = M(2, 2, {std::log(0.25f), std::log(0.75f), std::log(0.5f),
+                       std::log(0.5f)});
+  Tensor loss = NllLoss(lp, {1, 0});
+  EXPECT_NEAR(loss.Item(), -(std::log(0.75f) + std::log(0.5f)) / 2.0f, 1e-5);
+}
+
+TEST(OpsTest, Distances) {
+  Tensor a = M(1, 2, {0, 0});
+  Tensor b = M(1, 2, {3, 4});
+  EXPECT_NEAR(SquaredDistance(a, b).Item(), 25.0f, 1e-5);
+  EXPECT_NEAR(EuclideanDistance(a, b).Item(), 5.0f, 1e-4);
+}
+
+TEST(OpsTest, ArgSortAndTopK) {
+  std::vector<int> order = ArgSortDescending({1.0f, 5.0f, 3.0f});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+  Tensor a = M(3, 1, {0.2f, 0.9f, 0.5f});
+  EXPECT_EQ(TopKRowsByColumn(a, 0, 2), (std::vector<int>{1, 2}));
+}
+
+TEST(OpsDeathTest, ShapeMismatchesCheck) {
+  Tensor a = M(2, 2, {1, 2, 3, 4});
+  Tensor b = M(1, 2, {1, 2});
+  EXPECT_DEATH(Add(a, b), "HAP_CHECK failed");
+  EXPECT_DEATH(MatMul(a, M(3, 1, {1, 2, 3})), "HAP_CHECK failed");
+  EXPECT_DEATH(Log(M(1, 1, {0.0f})), "Log of non-positive");
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,116 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/module.h"
+#include "tensor/ops.h"
+
+namespace hap {
+namespace {
+
+TEST(SgdTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromVector(1, 1, {5.0f}, /*requires_grad=*/true);
+  Sgd opt({x}, /*lr=*/0.1f);
+  for (int step = 0; step < 100; ++step) {
+    Tensor loss = Square(AddScalar(x, -3.0f));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.At(0, 0), 3.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Tensor x = Tensor::FromVector(1, 1, {5.0f}, /*requires_grad=*/true);
+  Sgd opt({x}, 0.05f, /*momentum=*/0.9f);
+  for (int step = 0; step < 200; ++step) {
+    Square(AddScalar(x, -3.0f)).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.At(0, 0), 3.0f, 1e-2);
+}
+
+TEST(AdamTest, MinimizesQuadraticBowl) {
+  Tensor x = Tensor::FromVector(1, 2, {4.0f, -7.0f}, /*requires_grad=*/true);
+  Adam opt({x}, 0.1f);
+  for (int step = 0; step < 300; ++step) {
+    Tensor target = Tensor::FromVector(1, 2, {1.0f, 2.0f});
+    ReduceSumAll(Square(Sub(x, target))).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.At(0, 0), 1.0f, 1e-2);
+  EXPECT_NEAR(x.At(0, 1), 2.0f, 1e-2);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  // y = 2a - 3b + 1 on a fixed design; Adam should recover the weights.
+  Rng rng(5);
+  Tensor design = Tensor::Randn(32, 2, &rng);
+  std::vector<float> target_values(32);
+  for (int i = 0; i < 32; ++i) {
+    target_values[i] = 2.0f * design.At(i, 0) - 3.0f * design.At(i, 1) + 1.0f;
+  }
+  Tensor target = Tensor::FromVector(32, 1, target_values);
+  Linear model(2, 1, &rng);
+  Adam opt(model.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    Tensor predicted = model.Forward(design);
+    ReduceMeanAll(Square(Sub(predicted, target))).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(model.weight().At(0, 0), 2.0f, 0.05);
+  EXPECT_NEAR(model.weight().At(1, 0), -3.0f, 0.05);
+  EXPECT_NEAR(model.bias().At(0, 0), 1.0f, 0.05);
+}
+
+TEST(OptimizerTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector(1, 1, {1.0f}, /*requires_grad=*/true);
+  Square(x).Backward();
+  EXPECT_NE(x.GradAt(0, 0), 0.0f);
+  Sgd opt({x}, 0.1f);
+  opt.ZeroGrad();
+  EXPECT_EQ(x.GradAt(0, 0), 0.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScales) {
+  Tensor x = Tensor::FromVector(1, 2, {0.0f, 0.0f}, /*requires_grad=*/true);
+  // loss = 3a + 4b gives gradient (3, 4), norm 5.
+  Tensor coeff = Tensor::FromVector(1, 2, {3.0f, 4.0f});
+  ReduceSumAll(Mul(x, coeff)).Backward();
+  Sgd opt({x}, 1.0f);
+  const double norm = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-5);
+  EXPECT_NEAR(x.GradAt(0, 0), 0.6f, 1e-5);
+  EXPECT_NEAR(x.GradAt(0, 1), 0.8f, 1e-5);
+}
+
+TEST(OptimizerTest, SkipsUntouchedParameters) {
+  Tensor used = Tensor::FromVector(1, 1, {1.0f}, /*requires_grad=*/true);
+  Tensor unused = Tensor::FromVector(1, 1, {1.0f}, /*requires_grad=*/true);
+  Adam opt({used, unused}, 0.1f);
+  Square(used).Backward();
+  opt.Step();
+  EXPECT_NE(used.At(0, 0), 1.0f);
+  EXPECT_EQ(unused.At(0, 0), 1.0f);
+}
+
+TEST(OptimizerDeathTest, RejectsNonLeafParams) {
+  Tensor x = Tensor::FromVector(1, 1, {1.0f});
+  EXPECT_DEATH(Sgd({x}, 0.1f), "trainable leaf");
+}
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(3);
+  Linear layer(4, 2, &rng);
+  Tensor x = Tensor::Ones(3, 4);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  Linear no_bias(4, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(no_bias.Parameters().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hap

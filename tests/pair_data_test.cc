@@ -1,0 +1,63 @@
+#include "matching/pair_data.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "matching/vf2.h"
+
+namespace hap {
+namespace {
+
+TEST(PairDataTest, BalancedLabels) {
+  Rng rng(1);
+  auto pairs = MakeMatchingPairs(40, 20, &rng);
+  ASSERT_EQ(pairs.size(), 40u);
+  int positives = 0;
+  for (const GraphPair& pair : pairs) positives += pair.label;
+  EXPECT_EQ(positives, 20);
+}
+
+TEST(PairDataTest, PositivePartnersAreSmallerSubgraphs) {
+  Rng rng(2);
+  auto pairs = MakeMatchingPairs(30, 15, &rng);
+  for (const GraphPair& pair : pairs) {
+    if (pair.label != 1) continue;
+    EXPECT_LT(pair.g2.num_nodes(), pair.g1.num_nodes());
+    EXPECT_GE(pair.g2.num_nodes(), pair.g1.num_nodes() - 3 - 4);
+    EXPECT_TRUE(
+        Vf2SubgraphIsomorphic(pair.g2, pair.g1, /*respect_labels=*/false));
+  }
+}
+
+TEST(PairDataTest, NegativePartnersAreLarger) {
+  Rng rng(3);
+  auto pairs = MakeMatchingPairs(30, 15, &rng);
+  for (const GraphPair& pair : pairs) {
+    if (pair.label != 0) continue;
+    EXPECT_GE(pair.g2.num_nodes(), pair.g1.num_nodes() + 3);
+    EXPECT_LE(pair.g2.num_nodes(), pair.g1.num_nodes() + 7);
+  }
+}
+
+TEST(PairDataTest, BaseGraphsConnectedAndRequestedSize) {
+  Rng rng(4);
+  auto pairs = MakeMatchingPairs(10, 25, &rng);
+  for (const GraphPair& pair : pairs) {
+    EXPECT_EQ(pair.g1.num_nodes(), 25);
+    EXPECT_TRUE(pair.g1.IsConnected());
+  }
+}
+
+TEST(RandomConnectedSubgraphTest, SizeAndConnectivity) {
+  Rng rng(5);
+  Graph g = ConnectedErdosRenyi(20, 0.3, &rng);
+  for (int remove = 1; remove <= 3; ++remove) {
+    Graph sub = RandomConnectedSubgraph(g, remove, &rng);
+    EXPECT_TRUE(sub.IsConnected());
+    EXPECT_LE(sub.num_nodes(), 20 - remove);
+    EXPECT_GT(sub.num_nodes(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hap

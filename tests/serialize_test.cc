@@ -1,0 +1,115 @@
+#include "tensor/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/hap_model.h"
+#include "graph/generators.h"
+#include "tensor/ops.h"
+
+namespace hap {
+namespace {
+
+TEST(SerializeTest, RoundTripsParameterValues) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn(3, 4, &rng, 1.0f, true);
+  Tensor b = Tensor::Randn(1, 5, &rng, 1.0f, true);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters({a, b}, &buffer).ok());
+  // Load into same-shaped fresh tensors.
+  std::vector<Tensor> loaded = {Tensor::Zeros(3, 4, true),
+                                Tensor::Zeros(1, 5, true)};
+  ASSERT_TRUE(LoadParameters(&buffer, &loaded).ok());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(loaded[0].data()[i], a.data()[i]);
+  }
+  for (int64_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(loaded[1].data()[i], b.data()[i]);
+  }
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream buffer("not a checkpoint at all");
+  std::vector<Tensor> params = {Tensor::Zeros(1, 1, true)};
+  Status status = LoadParameters(&buffer, &params);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsCountMismatch) {
+  Rng rng(2);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters({Tensor::Randn(2, 2, &rng)}, &buffer).ok());
+  std::vector<Tensor> two = {Tensor::Zeros(2, 2, true),
+                             Tensor::Zeros(2, 2, true)};
+  Status status = LoadParameters(&buffer, &two);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(3);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters({Tensor::Randn(2, 3, &rng)}, &buffer).ok());
+  std::vector<Tensor> wrong = {Tensor::Zeros(3, 2, true)};
+  Status status = LoadParameters(&buffer, &wrong);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializeTest, RejectsTruncatedData) {
+  Rng rng(4);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters({Tensor::Randn(4, 4, &rng)}, &buffer).ok());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  std::vector<Tensor> params = {Tensor::Zeros(4, 4, true)};
+  EXPECT_FALSE(LoadParameters(&truncated, &params).ok());
+}
+
+TEST(SerializeTest, ModuleCheckpointRestoresBehaviour) {
+  Rng rng(5);
+  HapConfig config;
+  config.feature_dim = 6;
+  config.hidden_dim = 8;
+  config.cluster_sizes = {3, 1};
+  config.use_gumbel = false;
+  auto model = MakeHapModel(config, &rng);
+  model->set_training(false);
+  Graph g = ConnectedErdosRenyi(7, 0.4, &rng);
+  Tensor h = Tensor::Randn(7, 6, &rng);
+  Tensor before = model->Embed(h, g.AdjacencyMatrix());
+
+  const std::string path = ::testing::TempDir() + "/hap_ckpt_test.bin";
+  ASSERT_TRUE(SaveModule(*model, path).ok());
+
+  // A fresh model with different init must disagree, then agree once the
+  // checkpoint is loaded.
+  Rng rng2(99);
+  auto restored = MakeHapModel(config, &rng2);
+  restored->set_training(false);
+  Tensor different = restored->Embed(h, g.AdjacencyMatrix());
+  double gap = 0;
+  for (int c = 0; c < before.cols(); ++c) {
+    gap += std::abs(before.At(0, c) - different.At(0, c));
+  }
+  EXPECT_GT(gap, 1e-4);
+
+  ASSERT_TRUE(LoadModule(restored.get(), path).ok());
+  Tensor after = restored->Embed(h, g.AdjacencyMatrix());
+  for (int c = 0; c < before.cols(); ++c) {
+    EXPECT_NEAR(before.At(0, c), after.At(0, c), 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileReturnsNotFound) {
+  Rng rng(6);
+  Linear layer(2, 2, &rng);
+  EXPECT_EQ(LoadModule(&layer, "/nonexistent/ckpt.bin").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hap

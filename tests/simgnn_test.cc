@@ -1,0 +1,65 @@
+#include "matching/simgnn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace hap {
+namespace {
+
+TEST(SimGnnTest, SimilarityInUnitInterval) {
+  Rng rng(1);
+  SimGnnModel model(4, 8, 4, &rng);
+  Graph g1 = Cycle(5), g2 = Star(6);
+  Tensor s = model.PredictSimilarity(
+      Tensor::Randn(5, 4, &rng), g1.AdjacencyMatrix(),
+      Tensor::Randn(6, 4, &rng), g2.AdjacencyMatrix());
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+  EXPECT_GT(s.Item(), 0.0f);
+  EXPECT_LT(s.Item(), 1.0f);
+}
+
+TEST(SimGnnTest, DeterministicForward) {
+  Rng rng(2);
+  SimGnnModel model(4, 8, 4, &rng);
+  Graph g = Cycle(4);
+  Tensor h = Tensor::Randn(4, 4, &rng);
+  const float s1 =
+      model.PredictSimilarity(h, g.AdjacencyMatrix(), h, g.AdjacencyMatrix())
+          .Item();
+  const float s2 =
+      model.PredictSimilarity(h, g.AdjacencyMatrix(), h, g.AdjacencyMatrix())
+          .Item();
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SimGnnTest, GradientsFlow) {
+  Rng rng(3);
+  SimGnnModel model(4, 8, 4, &rng);
+  Graph g1 = Cycle(5), g2 = Path(5);
+  Tensor s = model.PredictSimilarity(
+      Tensor::Randn(5, 4, &rng), g1.AdjacencyMatrix(),
+      Tensor::Randn(5, 4, &rng), g2.AdjacencyMatrix());
+  s.Backward();
+  int with_grad = 0;
+  for (const Tensor& p : model.Parameters()) {
+    bool any = false;
+    for (float v : p.grad()) any |= v != 0.0f;
+    with_grad += any;
+  }
+  EXPECT_GT(with_grad, 3);
+}
+
+TEST(SimGnnTest, ParameterCount) {
+  Rng rng(4);
+  SimGnnModel model(4, 8, 4, &rng);
+  // encoder (2 layers x 2) + readout (1) + NTN bilinear (1) + linear (2) +
+  // score (2).
+  EXPECT_EQ(model.Parameters().size(), 10u);
+}
+
+}  // namespace
+}  // namespace hap

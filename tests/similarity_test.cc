@@ -1,0 +1,97 @@
+#include "train/similarity_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hap_model.h"
+#include "ged/ged.h"
+
+namespace hap {
+namespace {
+
+TEST(TripletTest, MatrixSymmetricWithZeroDiagonal) {
+  Rng rng(1);
+  auto pool = MakeAidsLikePool(6, &rng);
+  auto ged = PairwiseGedMatrix(pool);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(ged[i][i], 0.0);
+    for (size_t j = 0; j < pool.size(); ++j) {
+      EXPECT_EQ(ged[i][j], ged[j][i]);
+    }
+  }
+}
+
+TEST(TripletTest, TripletsHaveDistinctIndicesAndNonzeroRelative) {
+  Rng rng(2);
+  auto pool = MakeAidsLikePool(8, &rng);
+  auto ged = PairwiseGedMatrix(pool);
+  auto triplets = MakeTriplets(ged, 30, &rng);
+  EXPECT_EQ(triplets.size(), 30u);
+  for (const GraphTriplet& t : triplets) {
+    EXPECT_NE(t.a, t.b);
+    EXPECT_NE(t.a, t.c);
+    EXPECT_NE(t.b, t.c);
+    EXPECT_NE(t.relative_ged, 0.0);
+    EXPECT_EQ(t.relative_ged, ged[t.a][t.b] - ged[t.a][t.c]);
+  }
+}
+
+TEST(TripletTest, ExactMatrixScoresPerfectAccuracy) {
+  Rng rng(3);
+  auto pool = MakeAidsLikePool(8, &rng);
+  auto ged = PairwiseGedMatrix(pool);
+  auto triplets = MakeTriplets(ged, 20, &rng);
+  EXPECT_EQ(TripletAccuracyFromMatrix(triplets, ged), 1.0);
+}
+
+TEST(TripletTest, ApproximateMatricesScoreReasonably) {
+  Rng rng(4);
+  auto pool = MakeAidsLikePool(10, &rng);
+  auto exact = PairwiseGedMatrix(pool);
+  auto triplets = MakeTriplets(exact, 40, &rng);
+  auto beam80 = PairwiseApproxGedMatrix(pool, [](const Graph& a, const Graph& b) {
+    return BeamGed(a, b, 80).cost;
+  });
+  EXPECT_GT(TripletAccuracyFromMatrix(triplets, beam80), 0.7);
+}
+
+TEST(SimilarityTrainTest, HapModelLearnsOrdering) {
+  Rng rng(5);
+  auto pool = MakeAidsLikePool(14, &rng);
+  auto ged = PairwiseGedMatrix(pool);
+  auto train = MakeTriplets(ged, 60, &rng);
+  auto test = MakeTriplets(ged, 30, &rng);
+  FeatureSpec spec{FeatureKind::kNodeLabelOneHot, 10, 0};
+  auto prepared = PrepareGraphs(pool, spec);
+  HapConfig config;
+  config.feature_dim = 10;
+  config.hidden_dim = 16;
+  config.cluster_sizes = {4, 1};
+  EmbedderPairScorer scorer(MakeHapModel(config, &rng));
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.lr = 0.005f;
+  SimilarityTrainResult result =
+      TrainSimilarity(&scorer, prepared, train, test, tc);
+  EXPECT_GT(result.train_accuracy, 0.6);
+}
+
+TEST(SimilarityTrainTest, SimGnnTrainsWithoutDiverging) {
+  Rng rng(6);
+  auto pool = MakeAidsLikePool(10, &rng);
+  auto ged = PairwiseGedMatrix(pool);
+  auto train = MakeTriplets(ged, 30, &rng);
+  auto test = MakeTriplets(ged, 20, &rng);
+  FeatureSpec spec{FeatureKind::kNodeLabelOneHot, 10, 0};
+  auto prepared = PrepareGraphs(pool, spec);
+  SimGnnModel model(10, 12, 4, &rng);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.lr = 0.005f;
+  SimilarityTrainResult result =
+      TrainSimGnn(&model, prepared, ged, train, test, tc);
+  EXPECT_GE(result.train_accuracy, 0.4);  // Well-defined, not diverged.
+  EXPECT_LE(result.train_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,84 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gumbel.h"
+#include "graph/generators.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace hap {
+namespace {
+
+TEST(CsrTest, FromDenseRoundTrip) {
+  Tensor dense = Tensor::FromVector(2, 3, {1, 0, 2, 0, 0, 3});
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr.nnz(), 3);
+  EXPECT_NEAR(csr.Density(), 0.5, 1e-9);
+  Tensor back = csr.ToDense();
+  for (int64_t i = 0; i < dense.size(); ++i) {
+    EXPECT_EQ(back.data()[i], dense.data()[i]);
+  }
+}
+
+TEST(CsrTest, ThresholdDropsSmallEntries) {
+  Tensor dense = Tensor::FromVector(1, 3, {0.5f, 1e-6f, -0.5f});
+  CsrMatrix csr = CsrMatrix::FromDense(dense, 1e-4f);
+  EXPECT_EQ(csr.nnz(), 2);
+}
+
+TEST(CsrTest, FromTripletsSumsDuplicates) {
+  CsrMatrix csr =
+      CsrMatrix::FromTriplets(2, 2, {0, 0, 1}, {1, 1, 0}, {1.0f, 2.0f, 4.0f});
+  EXPECT_EQ(csr.nnz(), 2);
+  Tensor dense = csr.ToDense();
+  EXPECT_EQ(dense.At(0, 1), 3.0f);
+  EXPECT_EQ(dense.At(1, 0), 4.0f);
+}
+
+TEST(SpMatMulTest, MatchesDenseProduct) {
+  Rng rng(1);
+  Graph g = ConnectedErdosRenyi(9, 0.3, &rng);
+  Tensor adjacency = g.AdjacencyMatrix();
+  Tensor x = Tensor::Randn(9, 5, &rng);
+  Tensor dense_product = MatMul(adjacency, x);
+  Tensor sparse_product = SpMatMul(CsrMatrix::FromDense(adjacency), x);
+  for (int64_t i = 0; i < dense_product.size(); ++i) {
+    EXPECT_NEAR(sparse_product.data()[i], dense_product.data()[i], 1e-5);
+  }
+}
+
+TEST(SpMatMulTest, GradientMatchesNumerical) {
+  Rng rng(2);
+  Graph g = ConnectedErdosRenyi(5, 0.5, &rng);
+  CsrMatrix csr = CsrMatrix::FromDense(g.AdjacencyMatrix());
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return ReduceSumAll(Square(SpMatMul(csr, in[0])));
+      },
+      {Tensor::Randn(5, 3, &rng, 1.0f, /*requires_grad=*/true)});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(EdgeDensityTest, CountsAboveThreshold) {
+  Tensor dense = Tensor::FromVector(2, 2, {1.0f, 0.0f, 1e-6f, -2.0f});
+  EXPECT_NEAR(EdgeDensity(dense, 1e-4f), 0.5, 1e-9);
+  EXPECT_NEAR(EdgeDensity(dense, 0.0f), 0.75, 1e-9);
+}
+
+TEST(EdgeDensityTest, GumbelSamplingReducesDensityMeasurably) {
+  // The Sec. 4.4.4 story, measured: the coarsened adjacency MᵀAM is dense;
+  // a tau = 0.1 soft sample concentrates each row, dropping the count of
+  // non-negligible entries — that is what makes the sparse fast path
+  // (CsrMatrix + SpMatMul) applicable after coarsening.
+  Rng rng(3);
+  Tensor dense = Tensor::Full(12, 12, 0.3f);
+  const double before = EdgeDensity(dense, 0.05f);
+  EXPECT_NEAR(before, 1.0, 1e-9);
+  Tensor sampled = GumbelSoftSample(dense, 0.1f, &rng, /*training=*/true);
+  const double after = EdgeDensity(sampled, 0.05f);
+  EXPECT_LT(after, 0.3);
+}
+
+}  // namespace
+}  // namespace hap

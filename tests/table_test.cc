@@ -1,0 +1,38 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hap {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"Model", "Acc"});
+  table.AddRow({"HAP", "79.04"});
+  table.AddRow({"DiffPool", "77.04"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| Model"), std::string::npos);
+  EXPECT_NE(rendered.find("| HAP"), std::string::npos);
+  EXPECT_NE(rendered.find("79.04"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(rendered.find("|--"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::Num(1.0, 1), "1.0");
+  EXPECT_EQ(TextTable::Num(99.999, 2), "100.00");
+}
+
+TEST(TextTableDeathTest, RowArityMismatchChecks) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "HAP_CHECK failed");
+}
+
+}  // namespace
+}  // namespace hap

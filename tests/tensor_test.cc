@@ -1,0 +1,123 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hap {
+namespace {
+
+TEST(TensorTest, ZerosHasShapeAndZeroData) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(t.At(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t.At(1, 2), 6.0f);
+}
+
+TEST(TensorTest, RowVector) {
+  Tensor t = Tensor::RowVector({1, 2, 3});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_EQ(t.cols(), 3);
+}
+
+TEST(TensorTest, IdentityDiagonal) {
+  Tensor eye = Tensor::Identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(eye.At(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor f = Tensor::Full(2, 2, 0.5f);
+  EXPECT_EQ(f.At(1, 1), 0.5f);
+  Tensor ones = Tensor::Ones(2, 2);
+  EXPECT_EQ(ones.At(0, 1), 1.0f);
+}
+
+TEST(TensorTest, SetMutatesLeaf) {
+  Tensor t(2, 2);
+  t.Set(1, 0, 3.5f);
+  EXPECT_EQ(t.At(1, 0), 3.5f);
+}
+
+TEST(TensorTest, CopiesShareStorage) {
+  Tensor a(2, 2);
+  Tensor b = a;
+  a.Set(0, 0, 9.0f);
+  EXPECT_EQ(b.At(0, 0), 9.0f);
+}
+
+TEST(TensorTest, DetachDeepCopies) {
+  Tensor a = Tensor::FromVector(1, 2, {1, 2}, /*requires_grad=*/true);
+  Tensor b = a.Detach();
+  EXPECT_FALSE(b.requires_grad());
+  a.Set(0, 0, 7.0f);
+  EXPECT_EQ(b.At(0, 0), 1.0f);
+}
+
+TEST(TensorTest, XavierWithinBound) {
+  Rng rng(1);
+  Tensor t = Tensor::Xavier(10, 20, &rng);
+  const double bound = std::sqrt(6.0 / 30.0);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::abs(t.data()[i]), bound + 1e-6);
+  }
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(TensorTest, RandnStddev) {
+  Rng rng(2);
+  Tensor t = Tensor::Randn(100, 100, &rng, 2.0f);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    sum_sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  EXPECT_NEAR(sum_sq / t.size(), 4.0, 0.2);
+}
+
+TEST(TensorTest, ItemRequiresScalar) {
+  Tensor s = Tensor::FromVector(1, 1, {2.5f});
+  EXPECT_EQ(s.Item(), 2.5f);
+}
+
+TEST(TensorDeathTest, OutOfRangeAccessChecks) {
+  Tensor t(2, 2);
+  EXPECT_DEATH(t.At(2, 0), "HAP_CHECK failed");
+  EXPECT_DEATH(t.At(0, -1), "HAP_CHECK failed");
+}
+
+TEST(TensorDeathTest, UndefinedTensorChecks) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_DEATH(t.rows(), "undefined Tensor");
+}
+
+TEST(NoGradGuardTest, DisablesAndRestores) {
+  EXPECT_TRUE(GradEnabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradEnabled());
+    {
+      NoGradGuard nested;
+      EXPECT_FALSE(GradEnabled());
+    }
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_TRUE(GradEnabled());
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,117 @@
+#include "viz/tsne.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "viz/csv.h"
+
+namespace hap {
+namespace {
+
+/// Two well-separated Gaussian blobs in 10-D.
+std::vector<std::vector<double>> TwoBlobs(int per_blob, Rng* rng,
+                                          std::vector<int>* labels) {
+  std::vector<std::vector<double>> points;
+  for (int blob = 0; blob < 2; ++blob) {
+    for (int i = 0; i < per_blob; ++i) {
+      std::vector<double> p(10);
+      for (double& v : p) v = rng->Normal() * 0.3 + blob * 8.0;
+      points.push_back(std::move(p));
+      labels->push_back(blob);
+    }
+  }
+  return points;
+}
+
+TEST(TsneTest, OutputSize) {
+  Rng rng(1);
+  std::vector<int> labels;
+  auto points = TwoBlobs(10, &rng, &labels);
+  TsneOptions options;
+  options.iterations = 100;
+  auto embedding = TsneEmbed(points, options);
+  EXPECT_EQ(embedding.size(), 20u);
+  for (const auto& p : embedding) {
+    EXPECT_TRUE(std::isfinite(p[0]));
+    EXPECT_TRUE(std::isfinite(p[1]));
+  }
+}
+
+TEST(TsneTest, SeparatesWellSeparatedBlobs) {
+  Rng rng(2);
+  std::vector<int> labels;
+  auto points = TwoBlobs(15, &rng, &labels);
+  auto embedding = TsneEmbed(points);
+  // Convert to the silhouette input format and demand clear separation.
+  std::vector<std::vector<double>> coords;
+  for (const auto& p : embedding) coords.push_back({p[0], p[1]});
+  EXPECT_GT(SilhouetteScore(coords, labels), 0.5);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Rng rng(3);
+  std::vector<int> labels;
+  auto points = TwoBlobs(8, &rng, &labels);
+  TsneOptions options;
+  options.iterations = 50;
+  auto a = TsneEmbed(points, options);
+  auto b = TsneEmbed(points, options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i][0], b[i][0]);
+    EXPECT_EQ(a[i][1], b[i][1]);
+  }
+}
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  std::vector<std::vector<double>> points = {
+      {0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_GT(SilhouetteScore(points, labels), 0.9);
+}
+
+TEST(SilhouetteTest, RandomLabelsNearZero) {
+  Rng rng(4);
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.Uniform(), rng.Uniform()});
+    labels.push_back(i % 2);
+  }
+  EXPECT_NEAR(SilhouetteScore(points, labels), 0.0, 0.15);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  std::vector<std::vector<double>> points = {{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_EQ(SilhouetteScore(points, {0, 0, 0}), 0.0);
+}
+
+TEST(CsvTest, WritesAndRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/hap_csv_test.csv";
+  Status s = WriteCsv(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  const std::string path = ::testing::TempDir() + "/hap_csv_bad.csv";
+  Status s = WriteCsv(path, {"x", "y"}, {{"1"}});
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadPathReturnsError) {
+  Status s = WriteCsv("/nonexistent-dir/foo.csv", {"x"}, {});
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace hap

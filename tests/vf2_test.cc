@@ -1,0 +1,79 @@
+#include "matching/vf2.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "matching/pair_data.h"
+
+namespace hap {
+namespace {
+
+TEST(Vf2Test, IdenticalGraphsIsomorphic) {
+  Graph g = Cycle(5);
+  EXPECT_TRUE(Vf2Isomorphic(g, g));
+}
+
+TEST(Vf2Test, PermutedGraphIsomorphic) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = ConnectedErdosRenyi(8, 0.4, &rng);
+    Graph p = g.Permuted(RandomPermutation(8, &rng));
+    EXPECT_TRUE(Vf2Isomorphic(g, p));
+  }
+}
+
+TEST(Vf2Test, DifferentEdgeCountsNotIsomorphic) {
+  Graph a = Cycle(5);
+  Graph b = Cycle(5);
+  b.RemoveEdge(0, 1);
+  EXPECT_FALSE(Vf2Isomorphic(a, b));
+}
+
+TEST(Vf2Test, SameDegreeSequenceDifferentStructure) {
+  // Two 6-node 2-regular graphs: one hexagon vs two triangles.
+  Graph hexagon = Cycle(6);
+  Graph triangles = DisjointUnion(Cycle(3), Cycle(3));
+  EXPECT_FALSE(Vf2Isomorphic(hexagon, triangles));
+}
+
+TEST(Vf2Test, LabelsRespected) {
+  Graph a = Path(2), b = Path(2);
+  a.set_node_label(0, 1);
+  EXPECT_FALSE(Vf2Isomorphic(a, b, /*respect_labels=*/true));
+  EXPECT_TRUE(Vf2Isomorphic(a, b, /*respect_labels=*/false));
+}
+
+TEST(Vf2Test, PathIsSubgraphOfCycle) {
+  // An induced path of 3 nodes exists inside a 5-cycle.
+  EXPECT_TRUE(Vf2SubgraphIsomorphic(Path(3), Cycle(5)));
+}
+
+TEST(Vf2Test, TriangleNotInducedInSquare) {
+  EXPECT_FALSE(Vf2SubgraphIsomorphic(Cycle(3), Cycle(4)));
+}
+
+TEST(Vf2Test, InducedSemanticsRejectsDenserHost) {
+  // Path(3) is NOT an induced subgraph of Complete(3): any 3 nodes of K3
+  // carry the extra edge.
+  EXPECT_FALSE(Vf2SubgraphIsomorphic(Path(3), Complete(3)));
+}
+
+TEST(Vf2Test, SizeQuickRejects) {
+  EXPECT_FALSE(Vf2SubgraphIsomorphic(Complete(5), Complete(4)));
+  EXPECT_FALSE(Vf2Isomorphic(Complete(3), Complete(4)));
+}
+
+TEST(Vf2Test, ExtractedSubgraphsAreSubgraphIsomorphic) {
+  // The matching corpus construction relies on this: positive partners are
+  // genuine induced connected subgraphs.
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = ConnectedErdosRenyi(10, 0.4, &rng);
+    Graph sub = RandomConnectedSubgraph(g, 2, &rng);
+    EXPECT_TRUE(sub.IsConnected());
+    EXPECT_TRUE(Vf2SubgraphIsomorphic(sub, g, /*respect_labels=*/false));
+  }
+}
+
+}  // namespace
+}  // namespace hap

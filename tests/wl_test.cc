@@ -1,0 +1,102 @@
+#include "graph/wl.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "matching/vf2.h"
+
+namespace hap {
+namespace {
+
+TEST(WlTest, RegularGraphGetsUniformColors) {
+  Graph g = Cycle(6);
+  std::vector<int> colors = WlColors(g, 3);
+  std::set<int> distinct(colors.begin(), colors.end());
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(WlTest, StarSeparatesHubFromLeaves) {
+  Graph g = Star(5);
+  std::vector<int> colors = WlColors(g, 2);
+  EXPECT_NE(colors[0], colors[1]);
+  EXPECT_EQ(colors[1], colors[2]);
+  EXPECT_EQ(colors[2], colors[4]);
+}
+
+TEST(WlTest, NodeLabelsSeedColors) {
+  Graph g = Path(2);
+  g.set_node_label(0, 1);
+  std::vector<int> colors = WlColors(g, 0);
+  EXPECT_NE(colors[0], colors[1]);
+}
+
+TEST(WlTest, IsomorphicPairsPassTheTest) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = ConnectedErdosRenyi(9, 0.4, &rng);
+    Graph p = g.Permuted(RandomPermutation(9, &rng));
+    EXPECT_TRUE(WlTestIsomorphic(g, p));
+  }
+}
+
+TEST(WlTest, RegularCounterexampleShowsKnownLimit) {
+  // Hexagon vs two triangles: both 2-regular, so 1-WL colors never split —
+  // the classic counterexample where the test is necessary but not
+  // sufficient. VF2 still distinguishes them.
+  Graph hexagon = Cycle(6);
+  Graph triangles = DisjointUnion(Cycle(3), Cycle(3));
+  EXPECT_TRUE(WlTestIsomorphic(hexagon, triangles));
+  EXPECT_FALSE(Vf2Isomorphic(hexagon, triangles, /*respect_labels=*/false));
+}
+
+TEST(WlTest, DetectsDegreeSequenceDifference) {
+  // Star vs path on 4 nodes: degree histograms differ at round 1.
+  EXPECT_FALSE(WlTestIsomorphic(Star(4), Path(4)));
+}
+
+TEST(WlTest, ConsistentWithVf2OnRandomPairs) {
+  // 1-WL equality is necessary for isomorphism: whenever VF2 says yes, WL
+  // must agree. (The converse can fail on regular graphs.)
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph a = ErdosRenyi(7, 0.4, &rng);
+    Graph b = ErdosRenyi(7, 0.4, &rng);
+    if (Vf2Isomorphic(a, b, /*respect_labels=*/false)) {
+      EXPECT_TRUE(WlTestIsomorphic(a, b));
+    }
+    if (!WlTestIsomorphic(a, b, 3)) {
+      EXPECT_FALSE(Vf2Isomorphic(a, b, /*respect_labels=*/false));
+    }
+  }
+}
+
+TEST(WlKernelTest, SelfKernelIsMaximal) {
+  Rng rng(3);
+  Graph g = ConnectedErdosRenyi(8, 0.4, &rng);
+  Graph other = ConnectedErdosRenyi(8, 0.4, &rng);
+  const double self_value = WlSubtreeKernel(g, g);
+  const double cross_value = WlSubtreeKernel(g, other);
+  EXPECT_GE(self_value, cross_value);
+}
+
+TEST(WlKernelTest, SymmetricAndPositive) {
+  Rng rng(4);
+  Graph a = ConnectedErdosRenyi(7, 0.5, &rng);
+  Graph b = BarabasiAlbert(7, 2, &rng);
+  EXPECT_EQ(WlSubtreeKernel(a, b), WlSubtreeKernel(b, a));
+  EXPECT_GE(WlSubtreeKernel(a, b), 0.0);
+}
+
+TEST(WlKernelTest, InvariantUnderPermutation) {
+  Rng rng(5);
+  Graph a = ConnectedErdosRenyi(8, 0.4, &rng);
+  Graph b = ConnectedErdosRenyi(8, 0.4, &rng);
+  Graph pb = b.Permuted(RandomPermutation(8, &rng));
+  EXPECT_EQ(WlSubtreeKernel(a, b), WlSubtreeKernel(a, pb));
+}
+
+}  // namespace
+}  // namespace hap
