@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim1_complexity.dir/bench_claim1_complexity.cc.o"
+  "CMakeFiles/bench_claim1_complexity.dir/bench_claim1_complexity.cc.o.d"
+  "bench_claim1_complexity"
+  "bench_claim1_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim1_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

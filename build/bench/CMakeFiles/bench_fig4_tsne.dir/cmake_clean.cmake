@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tsne.dir/bench_fig4_tsne.cc.o"
+  "CMakeFiles/bench_fig4_tsne.dir/bench_fig4_tsne.cc.o.d"
+  "bench_fig4_tsne"
+  "bench_fig4_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

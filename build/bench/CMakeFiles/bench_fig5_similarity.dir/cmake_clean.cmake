@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_similarity.dir/bench_fig5_similarity.cc.o"
+  "CMakeFiles/bench_fig5_similarity.dir/bench_fig5_similarity.cc.o.d"
+  "bench_fig5_similarity"
+  "bench_fig5_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

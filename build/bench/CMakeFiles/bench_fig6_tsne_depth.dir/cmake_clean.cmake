@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tsne_depth.dir/bench_fig6_tsne_depth.cc.o"
+  "CMakeFiles/bench_fig6_tsne_depth.dir/bench_fig6_tsne_depth.cc.o.d"
+  "bench_fig6_tsne_depth"
+  "bench_fig6_tsne_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tsne_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

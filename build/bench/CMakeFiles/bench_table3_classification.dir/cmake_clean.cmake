@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_classification.dir/bench_table3_classification.cc.o"
+  "CMakeFiles/bench_table3_classification.dir/bench_table3_classification.cc.o.d"
+  "bench_table3_classification"
+  "bench_table3_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_matching.dir/bench_table4_matching.cc.o"
+  "CMakeFiles/bench_table4_matching.dir/bench_table4_matching.cc.o.d"
+  "bench_table4_matching"
+  "bench_table4_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

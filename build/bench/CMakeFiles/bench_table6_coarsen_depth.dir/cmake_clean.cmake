@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_coarsen_depth.dir/bench_table6_coarsen_depth.cc.o"
+  "CMakeFiles/bench_table6_coarsen_depth.dir/bench_table6_coarsen_depth.cc.o.d"
+  "bench_table6_coarsen_depth"
+  "bench_table6_coarsen_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_coarsen_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

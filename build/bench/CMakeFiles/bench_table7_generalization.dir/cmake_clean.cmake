@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_generalization.dir/bench_table7_generalization.cc.o"
+  "CMakeFiles/bench_table7_generalization.dir/bench_table7_generalization.cc.o.d"
+  "bench_table7_generalization"
+  "bench_table7_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

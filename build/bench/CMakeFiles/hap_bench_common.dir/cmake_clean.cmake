@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hap_bench_common.dir/bench_common.cc.o.d"
+  "libhap_bench_common.a"
+  "libhap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_matching.dir/graph_matching.cpp.o"
+  "CMakeFiles/graph_matching.dir/graph_matching.cpp.o.d"
+  "graph_matching"
+  "graph_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_similarity.dir/graph_similarity.cpp.o"
+  "CMakeFiles/graph_similarity.dir/graph_similarity.cpp.o.d"
+  "graph_similarity"
+  "graph_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_tool.dir/hap_tool.cpp.o"
+  "CMakeFiles/hap_tool.dir/hap_tool.cpp.o.d"
+  "hap_tool"
+  "hap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_classification.dir/molecule_classification.cpp.o"
+  "CMakeFiles/molecule_classification.dir/molecule_classification.cpp.o.d"
+  "molecule_classification"
+  "molecule_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

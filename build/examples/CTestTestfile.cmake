@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(hap_tool_methods "/root/repo/build/examples/hap_tool" "methods")
+set_tests_properties(hap_tool_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(hap_tool_ged "/root/repo/build/examples/hap_tool" "ged" "6" "7")
+set_tests_properties(hap_tool_ged PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(hap_tool_classify_smoke "/root/repo/build/examples/hap_tool" "classify" "--dataset" "imdb-b" "--method" "MeanPool" "--graphs" "20" "--epochs" "2" "--hidden" "8")
+set_tests_properties(hap_tool_classify_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")

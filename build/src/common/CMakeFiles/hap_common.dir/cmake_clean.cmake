@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_common.dir/rng.cc.o"
+  "CMakeFiles/hap_common.dir/rng.cc.o.d"
+  "CMakeFiles/hap_common.dir/status.cc.o"
+  "CMakeFiles/hap_common.dir/status.cc.o.d"
+  "CMakeFiles/hap_common.dir/table.cc.o"
+  "CMakeFiles/hap_common.dir/table.cc.o.d"
+  "libhap_common.a"
+  "libhap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

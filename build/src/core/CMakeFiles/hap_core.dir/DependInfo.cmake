@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coarsening.cc" "src/core/CMakeFiles/hap_core.dir/coarsening.cc.o" "gcc" "src/core/CMakeFiles/hap_core.dir/coarsening.cc.o.d"
+  "/root/repo/src/core/embedder.cc" "src/core/CMakeFiles/hap_core.dir/embedder.cc.o" "gcc" "src/core/CMakeFiles/hap_core.dir/embedder.cc.o.d"
+  "/root/repo/src/core/gumbel.cc" "src/core/CMakeFiles/hap_core.dir/gumbel.cc.o" "gcc" "src/core/CMakeFiles/hap_core.dir/gumbel.cc.o.d"
+  "/root/repo/src/core/hap_model.cc" "src/core/CMakeFiles/hap_core.dir/hap_model.cc.o" "gcc" "src/core/CMakeFiles/hap_core.dir/hap_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pooling/CMakeFiles/hap_pooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/hap_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_core.dir/coarsening.cc.o"
+  "CMakeFiles/hap_core.dir/coarsening.cc.o.d"
+  "CMakeFiles/hap_core.dir/embedder.cc.o"
+  "CMakeFiles/hap_core.dir/embedder.cc.o.d"
+  "CMakeFiles/hap_core.dir/gumbel.cc.o"
+  "CMakeFiles/hap_core.dir/gumbel.cc.o.d"
+  "CMakeFiles/hap_core.dir/hap_model.cc.o"
+  "CMakeFiles/hap_core.dir/hap_model.cc.o.d"
+  "libhap_core.a"
+  "libhap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

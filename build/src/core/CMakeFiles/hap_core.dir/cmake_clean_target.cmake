@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhap_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ged/edit_path.cc" "src/ged/CMakeFiles/hap_ged.dir/edit_path.cc.o" "gcc" "src/ged/CMakeFiles/hap_ged.dir/edit_path.cc.o.d"
+  "/root/repo/src/ged/ged.cc" "src/ged/CMakeFiles/hap_ged.dir/ged.cc.o" "gcc" "src/ged/CMakeFiles/hap_ged.dir/ged.cc.o.d"
+  "/root/repo/src/ged/hungarian.cc" "src/ged/CMakeFiles/hap_ged.dir/hungarian.cc.o" "gcc" "src/ged/CMakeFiles/hap_ged.dir/hungarian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_ged.dir/edit_path.cc.o"
+  "CMakeFiles/hap_ged.dir/edit_path.cc.o.d"
+  "CMakeFiles/hap_ged.dir/ged.cc.o"
+  "CMakeFiles/hap_ged.dir/ged.cc.o.d"
+  "CMakeFiles/hap_ged.dir/hungarian.cc.o"
+  "CMakeFiles/hap_ged.dir/hungarian.cc.o.d"
+  "libhap_ged.a"
+  "libhap_ged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_ged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/encoder.cc" "src/gnn/CMakeFiles/hap_gnn.dir/encoder.cc.o" "gcc" "src/gnn/CMakeFiles/hap_gnn.dir/encoder.cc.o.d"
+  "/root/repo/src/gnn/gat.cc" "src/gnn/CMakeFiles/hap_gnn.dir/gat.cc.o" "gcc" "src/gnn/CMakeFiles/hap_gnn.dir/gat.cc.o.d"
+  "/root/repo/src/gnn/gcn.cc" "src/gnn/CMakeFiles/hap_gnn.dir/gcn.cc.o" "gcc" "src/gnn/CMakeFiles/hap_gnn.dir/gcn.cc.o.d"
+  "/root/repo/src/gnn/gin.cc" "src/gnn/CMakeFiles/hap_gnn.dir/gin.cc.o" "gcc" "src/gnn/CMakeFiles/hap_gnn.dir/gin.cc.o.d"
+  "/root/repo/src/gnn/propagation.cc" "src/gnn/CMakeFiles/hap_gnn.dir/propagation.cc.o" "gcc" "src/gnn/CMakeFiles/hap_gnn.dir/propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

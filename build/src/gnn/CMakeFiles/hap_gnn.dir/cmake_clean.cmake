@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_gnn.dir/encoder.cc.o"
+  "CMakeFiles/hap_gnn.dir/encoder.cc.o.d"
+  "CMakeFiles/hap_gnn.dir/gat.cc.o"
+  "CMakeFiles/hap_gnn.dir/gat.cc.o.d"
+  "CMakeFiles/hap_gnn.dir/gcn.cc.o"
+  "CMakeFiles/hap_gnn.dir/gcn.cc.o.d"
+  "CMakeFiles/hap_gnn.dir/gin.cc.o"
+  "CMakeFiles/hap_gnn.dir/gin.cc.o.d"
+  "CMakeFiles/hap_gnn.dir/propagation.cc.o"
+  "CMakeFiles/hap_gnn.dir/propagation.cc.o.d"
+  "libhap_gnn.a"
+  "libhap_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hap_gnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/hap_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/hap_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/featurize.cc" "src/graph/CMakeFiles/hap_graph.dir/featurize.cc.o" "gcc" "src/graph/CMakeFiles/hap_graph.dir/featurize.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/hap_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/hap_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/hap_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/hap_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/hap_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/hap_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/wl.cc" "src/graph/CMakeFiles/hap_graph.dir/wl.cc.o" "gcc" "src/graph/CMakeFiles/hap_graph.dir/wl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

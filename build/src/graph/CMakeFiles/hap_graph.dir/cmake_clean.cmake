@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_graph.dir/datasets.cc.o"
+  "CMakeFiles/hap_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/hap_graph.dir/featurize.cc.o"
+  "CMakeFiles/hap_graph.dir/featurize.cc.o.d"
+  "CMakeFiles/hap_graph.dir/generators.cc.o"
+  "CMakeFiles/hap_graph.dir/generators.cc.o.d"
+  "CMakeFiles/hap_graph.dir/graph.cc.o"
+  "CMakeFiles/hap_graph.dir/graph.cc.o.d"
+  "CMakeFiles/hap_graph.dir/io.cc.o"
+  "CMakeFiles/hap_graph.dir/io.cc.o.d"
+  "CMakeFiles/hap_graph.dir/wl.cc.o"
+  "CMakeFiles/hap_graph.dir/wl.cc.o.d"
+  "libhap_graph.a"
+  "libhap_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

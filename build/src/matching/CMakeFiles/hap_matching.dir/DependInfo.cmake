@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/gmn.cc" "src/matching/CMakeFiles/hap_matching.dir/gmn.cc.o" "gcc" "src/matching/CMakeFiles/hap_matching.dir/gmn.cc.o.d"
+  "/root/repo/src/matching/pair_data.cc" "src/matching/CMakeFiles/hap_matching.dir/pair_data.cc.o" "gcc" "src/matching/CMakeFiles/hap_matching.dir/pair_data.cc.o.d"
+  "/root/repo/src/matching/simgnn.cc" "src/matching/CMakeFiles/hap_matching.dir/simgnn.cc.o" "gcc" "src/matching/CMakeFiles/hap_matching.dir/simgnn.cc.o.d"
+  "/root/repo/src/matching/vf2.cc" "src/matching/CMakeFiles/hap_matching.dir/vf2.cc.o" "gcc" "src/matching/CMakeFiles/hap_matching.dir/vf2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/hap_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pooling/CMakeFiles/hap_pooling.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

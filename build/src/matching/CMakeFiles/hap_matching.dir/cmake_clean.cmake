@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_matching.dir/gmn.cc.o"
+  "CMakeFiles/hap_matching.dir/gmn.cc.o.d"
+  "CMakeFiles/hap_matching.dir/pair_data.cc.o"
+  "CMakeFiles/hap_matching.dir/pair_data.cc.o.d"
+  "CMakeFiles/hap_matching.dir/simgnn.cc.o"
+  "CMakeFiles/hap_matching.dir/simgnn.cc.o.d"
+  "CMakeFiles/hap_matching.dir/vf2.cc.o"
+  "CMakeFiles/hap_matching.dir/vf2.cc.o.d"
+  "libhap_matching.a"
+  "libhap_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pooling/asap.cc" "src/pooling/CMakeFiles/hap_pooling.dir/asap.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/asap.cc.o.d"
+  "/root/repo/src/pooling/attpool.cc" "src/pooling/CMakeFiles/hap_pooling.dir/attpool.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/attpool.cc.o.d"
+  "/root/repo/src/pooling/diffpool.cc" "src/pooling/CMakeFiles/hap_pooling.dir/diffpool.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/diffpool.cc.o.d"
+  "/root/repo/src/pooling/flat.cc" "src/pooling/CMakeFiles/hap_pooling.dir/flat.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/flat.cc.o.d"
+  "/root/repo/src/pooling/mincut.cc" "src/pooling/CMakeFiles/hap_pooling.dir/mincut.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/mincut.cc.o.d"
+  "/root/repo/src/pooling/set2set.cc" "src/pooling/CMakeFiles/hap_pooling.dir/set2set.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/set2set.cc.o.d"
+  "/root/repo/src/pooling/structpool.cc" "src/pooling/CMakeFiles/hap_pooling.dir/structpool.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/structpool.cc.o.d"
+  "/root/repo/src/pooling/topk.cc" "src/pooling/CMakeFiles/hap_pooling.dir/topk.cc.o" "gcc" "src/pooling/CMakeFiles/hap_pooling.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/hap_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

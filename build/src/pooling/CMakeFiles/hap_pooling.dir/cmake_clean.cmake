@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_pooling.dir/asap.cc.o"
+  "CMakeFiles/hap_pooling.dir/asap.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/attpool.cc.o"
+  "CMakeFiles/hap_pooling.dir/attpool.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/diffpool.cc.o"
+  "CMakeFiles/hap_pooling.dir/diffpool.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/flat.cc.o"
+  "CMakeFiles/hap_pooling.dir/flat.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/mincut.cc.o"
+  "CMakeFiles/hap_pooling.dir/mincut.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/set2set.cc.o"
+  "CMakeFiles/hap_pooling.dir/set2set.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/structpool.cc.o"
+  "CMakeFiles/hap_pooling.dir/structpool.cc.o.d"
+  "CMakeFiles/hap_pooling.dir/topk.cc.o"
+  "CMakeFiles/hap_pooling.dir/topk.cc.o.d"
+  "libhap_pooling.a"
+  "libhap_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

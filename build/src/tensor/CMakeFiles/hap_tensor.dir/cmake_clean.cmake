@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/hap_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/hap_tensor.dir/module.cc.o"
+  "CMakeFiles/hap_tensor.dir/module.cc.o.d"
+  "CMakeFiles/hap_tensor.dir/ops.cc.o"
+  "CMakeFiles/hap_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hap_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/hap_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/hap_tensor.dir/serialize.cc.o"
+  "CMakeFiles/hap_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/hap_tensor.dir/sparse.cc.o"
+  "CMakeFiles/hap_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/hap_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hap_tensor.dir/tensor.cc.o.d"
+  "libhap_tensor.a"
+  "libhap_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

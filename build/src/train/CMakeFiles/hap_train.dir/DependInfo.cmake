@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/classifier.cc" "src/train/CMakeFiles/hap_train.dir/classifier.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/classifier.cc.o.d"
+  "/root/repo/src/train/cross_validation.cc" "src/train/CMakeFiles/hap_train.dir/cross_validation.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/cross_validation.cc.o.d"
+  "/root/repo/src/train/matching_trainer.cc" "src/train/CMakeFiles/hap_train.dir/matching_trainer.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/matching_trainer.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/train/CMakeFiles/hap_train.dir/metrics.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/metrics.cc.o.d"
+  "/root/repo/src/train/model_zoo.cc" "src/train/CMakeFiles/hap_train.dir/model_zoo.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/model_zoo.cc.o.d"
+  "/root/repo/src/train/pair_scorer.cc" "src/train/CMakeFiles/hap_train.dir/pair_scorer.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/pair_scorer.cc.o.d"
+  "/root/repo/src/train/prepared.cc" "src/train/CMakeFiles/hap_train.dir/prepared.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/prepared.cc.o.d"
+  "/root/repo/src/train/similarity_trainer.cc" "src/train/CMakeFiles/hap_train.dir/similarity_trainer.cc.o" "gcc" "src/train/CMakeFiles/hap_train.dir/similarity_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hap_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ged/CMakeFiles/hap_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pooling/CMakeFiles/hap_pooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/hap_gnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

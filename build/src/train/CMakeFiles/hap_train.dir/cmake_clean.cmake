@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_train.dir/classifier.cc.o"
+  "CMakeFiles/hap_train.dir/classifier.cc.o.d"
+  "CMakeFiles/hap_train.dir/cross_validation.cc.o"
+  "CMakeFiles/hap_train.dir/cross_validation.cc.o.d"
+  "CMakeFiles/hap_train.dir/matching_trainer.cc.o"
+  "CMakeFiles/hap_train.dir/matching_trainer.cc.o.d"
+  "CMakeFiles/hap_train.dir/metrics.cc.o"
+  "CMakeFiles/hap_train.dir/metrics.cc.o.d"
+  "CMakeFiles/hap_train.dir/model_zoo.cc.o"
+  "CMakeFiles/hap_train.dir/model_zoo.cc.o.d"
+  "CMakeFiles/hap_train.dir/pair_scorer.cc.o"
+  "CMakeFiles/hap_train.dir/pair_scorer.cc.o.d"
+  "CMakeFiles/hap_train.dir/prepared.cc.o"
+  "CMakeFiles/hap_train.dir/prepared.cc.o.d"
+  "CMakeFiles/hap_train.dir/similarity_trainer.cc.o"
+  "CMakeFiles/hap_train.dir/similarity_trainer.cc.o.d"
+  "libhap_train.a"
+  "libhap_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

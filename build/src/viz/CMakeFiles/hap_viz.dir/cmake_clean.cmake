@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hap_viz.dir/csv.cc.o"
+  "CMakeFiles/hap_viz.dir/csv.cc.o.d"
+  "CMakeFiles/hap_viz.dir/tsne.cc.o"
+  "CMakeFiles/hap_viz.dir/tsne.cc.o.d"
+  "libhap_viz.a"
+  "libhap_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hap_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

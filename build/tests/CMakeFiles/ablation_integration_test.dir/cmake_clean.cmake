@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_integration_test.dir/ablation_integration_test.cc.o"
+  "CMakeFiles/ablation_integration_test.dir/ablation_integration_test.cc.o.d"
+  "ablation_integration_test"
+  "ablation_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarsening_test.dir/coarsening_test.cc.o"
+  "CMakeFiles/coarsening_test.dir/coarsening_test.cc.o.d"
+  "coarsening_test"
+  "coarsening_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarsening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

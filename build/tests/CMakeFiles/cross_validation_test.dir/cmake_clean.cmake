@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_validation_test.dir/cross_validation_test.cc.o"
+  "CMakeFiles/cross_validation_test.dir/cross_validation_test.cc.o.d"
+  "cross_validation_test"
+  "cross_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_path_test.dir/edit_path_test.cc.o"
+  "CMakeFiles/edit_path_test.dir/edit_path_test.cc.o.d"
+  "edit_path_test"
+  "edit_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

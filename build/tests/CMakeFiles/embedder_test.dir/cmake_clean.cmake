@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedder_test.dir/embedder_test.cc.o"
+  "CMakeFiles/embedder_test.dir/embedder_test.cc.o.d"
+  "embedder_test"
+  "embedder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

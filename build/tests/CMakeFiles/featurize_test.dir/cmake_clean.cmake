@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/featurize_test.dir/featurize_test.cc.o"
+  "CMakeFiles/featurize_test.dir/featurize_test.cc.o.d"
+  "featurize_test"
+  "featurize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/featurize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ged_property_test.dir/ged_property_test.cc.o"
+  "CMakeFiles/ged_property_test.dir/ged_property_test.cc.o.d"
+  "ged_property_test"
+  "ged_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ged_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

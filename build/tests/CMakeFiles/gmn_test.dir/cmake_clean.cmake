@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmn_test.dir/gmn_test.cc.o"
+  "CMakeFiles/gmn_test.dir/gmn_test.cc.o.d"
+  "gmn_test"
+  "gmn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_test.dir/gnn_test.cc.o"
+  "CMakeFiles/gnn_test.dir/gnn_test.cc.o.d"
+  "gnn_test"
+  "gnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gumbel_test.dir/gumbel_test.cc.o"
+  "CMakeFiles/gumbel_test.dir/gumbel_test.cc.o.d"
+  "gumbel_test"
+  "gumbel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gumbel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hungarian_test.dir/hungarian_test.cc.o"
+  "CMakeFiles/hungarian_test.dir/hungarian_test.cc.o.d"
+  "hungarian_test"
+  "hungarian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hungarian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

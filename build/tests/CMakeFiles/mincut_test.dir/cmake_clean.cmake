@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mincut_test.dir/mincut_test.cc.o"
+  "CMakeFiles/mincut_test.dir/mincut_test.cc.o.d"
+  "mincut_test"
+  "mincut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mincut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

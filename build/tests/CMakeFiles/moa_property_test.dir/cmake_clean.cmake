@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moa_property_test.dir/moa_property_test.cc.o"
+  "CMakeFiles/moa_property_test.dir/moa_property_test.cc.o.d"
+  "moa_property_test"
+  "moa_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

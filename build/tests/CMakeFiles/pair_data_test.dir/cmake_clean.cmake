@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_data_test.dir/pair_data_test.cc.o"
+  "CMakeFiles/pair_data_test.dir/pair_data_test.cc.o.d"
+  "pair_data_test"
+  "pair_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooling_test.dir/pooling_test.cc.o"
+  "CMakeFiles/pooling_test.dir/pooling_test.cc.o.d"
+  "pooling_test"
+  "pooling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

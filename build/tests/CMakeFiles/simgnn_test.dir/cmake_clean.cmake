@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simgnn_test.dir/simgnn_test.cc.o"
+  "CMakeFiles/simgnn_test.dir/simgnn_test.cc.o.d"
+  "simgnn_test"
+  "simgnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simgnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

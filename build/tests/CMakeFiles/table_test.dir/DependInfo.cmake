@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/table_test.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/hap_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/ged/CMakeFiles/hap_ged.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hap_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hap_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pooling/CMakeFiles/hap_pooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/hap_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hap_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/hap_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

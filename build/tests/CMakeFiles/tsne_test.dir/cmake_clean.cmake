@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsne_test.dir/tsne_test.cc.o"
+  "CMakeFiles/tsne_test.dir/tsne_test.cc.o.d"
+  "tsne_test"
+  "tsne_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsne_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

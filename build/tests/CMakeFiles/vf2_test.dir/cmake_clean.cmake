@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vf2_test.dir/vf2_test.cc.o"
+  "CMakeFiles/vf2_test.dir/vf2_test.cc.o.d"
+  "vf2_test"
+  "vf2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vf2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_test.dir/wl_test.cc.o"
+  "CMakeFiles/wl_test.dir/wl_test.cc.o.d"
+  "wl_test"
+  "wl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
