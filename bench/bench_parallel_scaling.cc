@@ -1,0 +1,160 @@
+// Parallel-execution scaling harness: measures the thread-pool kernels and
+// the data-parallel trainer at 1/2/4/8 threads and verifies the
+// determinism contract (identical training loss at every thread count).
+// Speedups are relative to the 1-thread run on the same build; on a
+// single-core machine every speedup is ~1.0 by construction.
+// Set HAP_BENCH_FAST=1 for a quick smoke run.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "core/hap_model.h"
+#include "graph/datasets.h"
+#include "tensor/ops.h"
+#include "train/classifier.h"
+
+namespace hap::bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Median-of-repeats wall time for `fn`, in milliseconds.
+template <typename Fn>
+double TimeMs(int repeats, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    times.push_back(SecondsSince(start) * 1000.0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct KernelTimings {
+  double forward_ms = 0.0;
+  double train_step_ms = 0.0;  // forward + backward
+};
+
+KernelTimings MatMulTimings(int size, int repeats) {
+  Rng rng(42);
+  Tensor a = Tensor::Randn(size, size, &rng);
+  Tensor b = Tensor::Randn(size, size, &rng);
+  KernelTimings t;
+  {
+    NoGradGuard guard;
+    t.forward_ms = TimeMs(repeats, [&] { MatMul(a, b); });
+  }
+  Tensor ag = Tensor::Randn(size, size, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor bg = Tensor::Randn(size, size, &rng, 1.0f, /*requires_grad=*/true);
+  t.train_step_ms = TimeMs(repeats, [&] {
+    ReduceSumAll(MatMul(ag, bg)).Backward();
+  });
+  return t;
+}
+
+struct TrainRun {
+  double seconds = 0.0;
+  double final_loss = 0.0;
+};
+
+TrainRun TimedClassifierRun(const std::vector<PreparedGraph>& data,
+                            const Split& split, const HapConfig& config,
+                            int num_classes, int epochs, int num_threads) {
+  Rng model_rng(0xbadc0ffe);
+  GraphClassifier model(MakeHapModel(config, &model_rng), num_classes, 16,
+                        &model_rng);
+  auto factory = [&config, num_classes]() {
+    Rng replica_rng(1);
+    return std::make_unique<GraphClassifier>(MakeHapModel(config, &replica_rng),
+                                             num_classes, 16, &replica_rng);
+  };
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.patience = 0;
+  tc.batch_size = 8;
+  tc.seed = 7;
+  tc.num_threads = num_threads;
+  const auto start = std::chrono::steady_clock::now();
+  ClassificationResult result =
+      TrainClassifier(&model, data, split, tc, factory);
+  TrainRun run;
+  run.seconds = SecondsSince(start);
+  run.final_loss = result.epoch_losses.empty() ? 0.0
+                                               : result.epoch_losses.back();
+  return run;
+}
+
+int Main() {
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const int matmul_size = FastOr(96, 512);
+  const int matmul_repeats = FastOr(3, 7);
+  const int graphs = FastOr(24, 80);
+  const int epochs = FastOr(2, 5);
+
+  std::printf("hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // --- Kernel scaling: square matmul forward and forward+backward. ---
+  std::printf("MatMul %dx%d (median of %d):\n\n", matmul_size, matmul_size,
+              matmul_repeats);
+  std::printf("| threads | forward ms | speedup | fwd+bwd ms | speedup |\n");
+  std::printf("|---------|------------|---------|------------|---------|\n");
+  KernelTimings base;
+  for (int threads : thread_counts) {
+    SetNumThreads(threads);
+    const KernelTimings t = MatMulTimings(matmul_size, matmul_repeats);
+    if (threads == 1) base = t;
+    std::printf("| %7d | %10.2f | %6.2fx | %10.2f | %6.2fx |\n", threads,
+                t.forward_ms, base.forward_ms / t.forward_ms,
+                t.train_step_ms, base.train_step_ms / t.train_step_ms);
+  }
+
+  // --- Data-parallel training: PROTEINS-like classification epochs. ---
+  Rng data_rng(20240801);
+  GraphDataset ds = MakeProteinsLike(graphs, &data_rng);
+  auto data = PrepareDataset(ds);
+  Split split = SplitIndices(static_cast<int>(data.size()), &data_rng);
+  HapConfig config = DefaultHapConfig(ds.feature_spec.FeatureDim(), 16);
+
+  std::printf("\nHAP classification, %s-like, %d graphs, %d epochs:\n\n",
+              ds.name.c_str(), graphs, epochs);
+  std::printf("| threads | seconds | speedup | final epoch loss |\n");
+  std::printf("|---------|---------|---------|------------------|\n");
+  SetNumThreads(8);  // Pool width; the trainer uses tc.num_threads workers.
+  double base_seconds = 0.0;
+  double reference_loss = 0.0;
+  bool deterministic = true;
+  for (int threads : thread_counts) {
+    const TrainRun run = TimedClassifierRun(data, split, config,
+                                            ds.num_classes, epochs, threads);
+    if (threads == 1) {
+      base_seconds = run.seconds;
+      reference_loss = run.final_loss;
+    } else if (run.final_loss != reference_loss) {
+      deterministic = false;
+    }
+    std::printf("| %7d | %7.2f | %6.2fx | %.12f |\n", threads, run.seconds,
+                base_seconds / run.seconds, run.final_loss);
+  }
+  std::printf("\nfinal loss identical across thread counts: %s\n",
+              deterministic ? "YES" : "NO");
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hap::bench
+
+int main() { return hap::bench::Main(); }

@@ -1,0 +1,168 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/check.h"
+
+namespace hap {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// Shared bookkeeping for one Run() call. Kept alive by shared_ptr so a
+/// queued runner that wakes up after the call already finished can still
+/// touch it safely.
+struct JobState {
+  int64_t num_jobs = 0;
+  std::function<void(int64_t)> fn;
+  std::atomic<int64_t> next{0};
+  int64_t done = 0;  // guarded by mu
+  std::exception_ptr error;  // guarded by mu; first failure wins
+  std::mutex mu;
+  std::condition_variable done_cv;
+};
+
+/// Claims and runs jobs until none remain; returns the number completed by
+/// this thread. Exceptions are captured into the state, never thrown.
+void DrainJobs(const std::shared_ptr<JobState>& state) {
+  int64_t completed = 0;
+  std::exception_ptr first_error;
+  for (;;) {
+    const int64_t job = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (job >= state->num_jobs) break;
+    try {
+      state->fn(job);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+    ++completed;
+  }
+  if (completed == 0 && !first_error) return;
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->done += completed;
+  if (first_error && !state->error) state->error = first_error;
+  if (state->done == state->num_jobs) state->done_cv.notify_all();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  HAP_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::Run(int64_t num_jobs, const std::function<void(int64_t)>& fn) {
+  if (num_jobs <= 0) return;
+  // Serial fast path: width-1 pools and nested submissions run inline. A
+  // nested Run from a worker must not block on the queue it is itself
+  // draining, so it degrades to sequential execution.
+  if (num_jobs == 1 || size() == 1 || InWorker()) {
+    for (int64_t job = 0; job < num_jobs; ++job) fn(job);
+    return;
+  }
+  auto state = std::make_shared<JobState>();
+  state->num_jobs = num_jobs;
+  state->fn = fn;
+  const int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), num_jobs - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t i = 0; i < helpers; ++i) {
+      queue_.emplace_back([state] { DrainJobs(state); });
+    }
+  }
+  cv_.notify_all();
+  DrainJobs(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done == state->num_jobs; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t range = end - begin;
+  if (range <= grain || size() == 1 || InWorker()) {
+    fn(begin, end);
+    return;
+  }
+  // Block size: at least `grain`, at most what splits the range evenly
+  // across the pool (no point in more blocks than threads when every block
+  // already meets the grain).
+  const int64_t per_thread = (range + size() - 1) / size();
+  const int64_t block = std::max(grain, per_thread);
+  const int64_t num_blocks = (range + block - 1) / block;
+  Run(num_blocks, [&](int64_t b) {
+    const int64_t lo = begin + b * block;
+    const int64_t hi = std::min(end, lo + block);
+    fn(lo, hi);
+  });
+}
+
+namespace {
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("HAP_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(DefaultNumThreads());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() { return *GlobalPoolSlot(); }
+
+int NumThreads() { return GlobalThreadPool().size(); }
+
+void SetNumThreads(int num_threads) {
+  HAP_CHECK_GE(num_threads, 1);
+  GlobalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace hap

@@ -91,6 +91,10 @@ class CoarseningModule : public Coarsener {
   void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }
 
+  /// Deterministically restarts the Gumbel noise stream (see
+  /// Module::ReseedNoise; used by the data-parallel trainers).
+  void ReseedNoise(uint64_t seed) override { noise_rng_ = Rng(seed); }
+
   /// The M matrix from the most recent Forward() (for the receptive-field
   /// analysis of Fig. 1 and the property tests).
   const Tensor& last_attention() const { return last_attention_; }

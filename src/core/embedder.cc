@@ -57,6 +57,15 @@ void HierarchicalEmbedder::set_training(bool training) {
   for (const auto& coarsener : coarseners_) coarsener->set_training(training);
 }
 
+void HierarchicalEmbedder::ReseedNoise(uint64_t seed) {
+  // Decorrelate the per-coarsener streams through the splitmix mixer so
+  // stacked modules never share a noise sequence.
+  Rng mixer(seed);
+  for (const auto& coarsener : coarseners_) {
+    coarsener->ReseedNoise(mixer.NextU64());
+  }
+}
+
 GcnConcatEmbedder::GcnConcatEmbedder(int in_features, int hidden_dim,
                                      int num_layers, Rng* rng) {
   HAP_CHECK_GE(num_layers, 1);

@@ -71,6 +71,7 @@ class HierarchicalEmbedder : public GraphEmbedder {
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) override;
+  void ReseedNoise(uint64_t seed) override;
 
   int NumLevels() const override {
     return static_cast<int>(coarseners_.size());

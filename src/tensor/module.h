@@ -1,6 +1,7 @@
 #ifndef HAP_TENSOR_MODULE_H_
 #define HAP_TENSOR_MODULE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -16,6 +17,14 @@ class Module {
 
   /// Appends this module's parameters to `out`.
   virtual void CollectParameters(std::vector<Tensor>* out) const = 0;
+
+  /// Re-seeds any training-time noise source (Gumbel soft sampling in
+  /// HAP's coarsening module). The data-parallel trainers call this with a
+  /// per-example seed before each forward pass so the noise an example
+  /// sees depends only on its position in the epoch — never on which
+  /// worker thread ran it — keeping training bit-reproducible at any
+  /// thread count. Deterministic modules ignore it.
+  virtual void ReseedNoise(uint64_t seed) { (void)seed; }
 
   /// Convenience: all parameters as a fresh vector.
   std::vector<Tensor> Parameters() const {

@@ -4,12 +4,28 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace hap {
 
 namespace {
 
 internal::TensorImpl& Parent(internal::TensorImpl& node, size_t i) {
   return *node.parents[i];
+}
+
+// Minimum scalar operations one parallel block must amortise. Ops whose
+// total work stays below this run serially (ParallelFor's small-range fast
+// path), so tiny tensors never pay scheduling overhead. Parallel kernels
+// here only split *disjoint output rows/elements* across blocks and keep
+// each output's summation order fixed, so results are bit-identical to the
+// serial path at every thread count. See docs/THREADING.md.
+constexpr int64_t kParallelGrainWork = 1 << 15;
+
+// Rows per parallel block such that a block covers at least
+// kParallelGrainWork scalar operations, given `row_work` operations per row.
+int64_t RowGrain(int64_t row_work) {
+  return kParallelGrainWork / std::max<int64_t>(row_work, 1) + 1;
 }
 
 }  // namespace
@@ -22,51 +38,78 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     internal::TensorImpl& pb = Parent(node, 1);
     pa.EnsureGrad();
     pb.EnsureGrad();
-    // dA += dOut * B^T ; dB += A^T * dOut
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) {
-        const float g = node.grad[static_cast<size_t>(i) * n + j];
-        if (g == 0.0f) continue;
-        for (int p = 0; p < k; ++p) {
-          pa.grad[static_cast<size_t>(i) * k + p] +=
-              g * pb.data[static_cast<size_t>(p) * n + j];
-          pb.grad[static_cast<size_t>(p) * n + j] +=
-              g * pa.data[static_cast<size_t>(i) * k + p];
-        }
-      }
-    }
+    // dA += dOut * B^T, row-blocked over A's rows: block-private outputs.
+    ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    for (int j = 0; j < n; ++j) {
+                      const float g = node.grad[static_cast<size_t>(i) * n + j];
+                      if (g == 0.0f) continue;
+                      for (int p = 0; p < k; ++p) {
+                        pa.grad[static_cast<size_t>(i) * k + p] +=
+                            g * pb.data[static_cast<size_t>(p) * n + j];
+                      }
+                    }
+                  }
+                });
+    // dB += A^T * dOut, row-blocked over B's rows. For each (p, j) the sum
+    // still runs over i ascending, matching the serial accumulation order.
+    ParallelFor(0, k, RowGrain(static_cast<int64_t>(m) * n),
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t p = lo; p < hi; ++p) {
+                    for (int i = 0; i < m; ++i) {
+                      const float av =
+                          pa.data[static_cast<size_t>(i) * k + p];
+                      for (int j = 0; j < n; ++j) {
+                        const float g =
+                            node.grad[static_cast<size_t>(i) * n + j];
+                        if (g == 0.0f) continue;
+                        pb.grad[static_cast<size_t>(p) * n + j] += g * av;
+                      }
+                    }
+                  }
+                });
   });
-  // Forward: i-p-j loop order for cache friendliness.
+  // Forward: i-p-j loop order for cache friendliness, row-blocked over the
+  // output rows (each block writes a disjoint row range).
   float* o = out.mutable_data();
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = pa[static_cast<size_t>(i) * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(p) * n;
-      float* orow = o + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+              [&](int64_t lo, int64_t hi) {
+                for (int64_t i = lo; i < hi; ++i) {
+                  for (int p = 0; p < k; ++p) {
+                    const float av = pa[static_cast<size_t>(i) * k + p];
+                    if (av == 0.0f) continue;
+                    const float* brow = pb + static_cast<size_t>(p) * n;
+                    float* orow = o + static_cast<size_t>(i) * n;
+                    for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+                  }
+                }
+              });
   return out;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   HAP_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
       << a.rows() << "x" << a.cols() << " vs " << b.rows() << "x" << b.cols();
-  Tensor out = MakeOpResult(a.rows(), a.cols(), {a, b},
-                            [](internal::TensorImpl& node) {
-                              for (size_t p = 0; p < 2; ++p) {
-                                internal::TensorImpl& parent = Parent(node, p);
-                                parent.EnsureGrad();
-                                for (size_t i = 0; i < node.grad.size(); ++i) {
-                                  parent.grad[i] += node.grad[i];
-                                }
-                              }
-                            });
+  Tensor out = MakeOpResult(
+      a.rows(), a.cols(), {a, b}, [](internal::TensorImpl& node) {
+        for (size_t p = 0; p < 2; ++p) {
+          internal::TensorImpl& parent = Parent(node, p);
+          parent.EnsureGrad();
+          ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                      kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          parent.grad[i] += node.grad[i];
+                        }
+                      });
+        }
+      });
   float* o = out.mutable_data();
-  for (int64_t i = 0; i < a.size(); ++i) o[i] = a.data()[i] + b.data()[i];
+  ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = a.data()[i] + b.data()[i];
+  });
   return out;
 }
 
@@ -78,13 +121,20 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                               internal::TensorImpl& pb = Parent(node, 1);
                               pa.EnsureGrad();
                               pb.EnsureGrad();
-                              for (size_t i = 0; i < node.grad.size(); ++i) {
-                                pa.grad[i] += node.grad[i];
-                                pb.grad[i] -= node.grad[i];
-                              }
+                              ParallelFor(
+                                  0, static_cast<int64_t>(node.grad.size()),
+                                  kParallelGrainWork,
+                                  [&](int64_t lo, int64_t hi) {
+                                    for (int64_t i = lo; i < hi; ++i) {
+                                      pa.grad[i] += node.grad[i];
+                                      pb.grad[i] -= node.grad[i];
+                                    }
+                                  });
                             });
   float* o = out.mutable_data();
-  for (int64_t i = 0; i < a.size(); ++i) o[i] = a.data()[i] - b.data()[i];
+  ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = a.data()[i] - b.data()[i];
+  });
   return out;
 }
 
@@ -96,13 +146,20 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
                               internal::TensorImpl& pb = Parent(node, 1);
                               pa.EnsureGrad();
                               pb.EnsureGrad();
-                              for (size_t i = 0; i < node.grad.size(); ++i) {
-                                pa.grad[i] += node.grad[i] * pb.data[i];
-                                pb.grad[i] += node.grad[i] * pa.data[i];
-                              }
+                              ParallelFor(
+                                  0, static_cast<int64_t>(node.grad.size()),
+                                  kParallelGrainWork,
+                                  [&](int64_t lo, int64_t hi) {
+                                    for (int64_t i = lo; i < hi; ++i) {
+                                      pa.grad[i] += node.grad[i] * pb.data[i];
+                                      pb.grad[i] += node.grad[i] * pa.data[i];
+                                    }
+                                  });
                             });
   float* o = out.mutable_data();
-  for (int64_t i = 0; i < a.size(); ++i) o[i] = a.data()[i] * b.data()[i];
+  ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = a.data()[i] * b.data()[i];
+  });
   return out;
 }
 
@@ -114,14 +171,19 @@ Tensor Div(const Tensor& a, const Tensor& b) {
         internal::TensorImpl& pb = Parent(node, 1);
         pa.EnsureGrad();
         pb.EnsureGrad();
-        for (size_t i = 0; i < node.grad.size(); ++i) {
-          const float inv = 1.0f / pb.data[i];
-          pa.grad[i] += node.grad[i] * inv;
-          pb.grad[i] -= node.grad[i] * pa.data[i] * inv * inv;
-        }
+        ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                    kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        const float inv = 1.0f / pb.data[i];
+                        pa.grad[i] += node.grad[i] * inv;
+                        pb.grad[i] -= node.grad[i] * pa.data[i] * inv * inv;
+                      }
+                    });
       });
   float* o = out.mutable_data();
-  for (int64_t i = 0; i < a.size(); ++i) o[i] = a.data()[i] / b.data()[i];
+  ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = a.data()[i] / b.data()[i];
+  });
   return out;
 }
 
@@ -163,23 +225,28 @@ Tensor ScaleRows(const Tensor& a, const Tensor& scale) {
         internal::TensorImpl& ps = Parent(node, 1);
         pa.EnsureGrad();
         ps.EnsureGrad();
-        for (int i = 0; i < m; ++i) {
-          const float s = ps.data[i];
-          for (int j = 0; j < n; ++j) {
-            const float g = node.grad[static_cast<size_t>(i) * n + j];
-            pa.grad[static_cast<size_t>(i) * n + j] += g * s;
-            ps.grad[i] += g * pa.data[static_cast<size_t>(i) * n + j];
+        // Row-parallel: row i of pa.grad and ps.grad[i] are block-private.
+        ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            const float s = ps.data[i];
+            for (int j = 0; j < n; ++j) {
+              const float g = node.grad[static_cast<size_t>(i) * n + j];
+              pa.grad[static_cast<size_t>(i) * n + j] += g * s;
+              ps.grad[i] += g * pa.data[static_cast<size_t>(i) * n + j];
+            }
           }
-        }
+        });
       });
   float* o = out.mutable_data();
-  for (int i = 0; i < m; ++i) {
-    const float s = scale.data()[i];
-    for (int j = 0; j < n; ++j) {
-      o[static_cast<size_t>(i) * n + j] =
-          a.data()[static_cast<size_t>(i) * n + j] * s;
+  ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float s = scale.data()[i];
+      for (int j = 0; j < n; ++j) {
+        o[static_cast<size_t>(i) * n + j] =
+            a.data()[static_cast<size_t>(i) * n + j] * s;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -243,12 +310,17 @@ Tensor MulScalar(const Tensor& a, float c) {
       MakeOpResult(a.rows(), a.cols(), {a}, [c](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         pa.EnsureGrad();
-        for (size_t i = 0; i < node.grad.size(); ++i) {
-          pa.grad[i] += node.grad[i] * c;
-        }
+        ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                    kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        pa.grad[i] += node.grad[i] * c;
+                      }
+                    });
       });
   float* o = out.mutable_data();
-  for (int64_t i = 0; i < a.size(); ++i) o[i] = a.data()[i] * c;
+  ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = a.data()[i] * c;
+  });
   return out;
 }
 
@@ -273,19 +345,24 @@ Tensor Transpose(const Tensor& a) {
   Tensor out = MakeOpResult(n, m, {a}, [m, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     pa.EnsureGrad();
-    for (int i = 0; i < m; ++i) {
+    ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int j = 0; j < n; ++j) {
+          pa.grad[static_cast<size_t>(i) * n + j] +=
+              node.grad[static_cast<size_t>(j) * m + i];
+        }
+      }
+    });
+  });
+  float* o = out.mutable_data();
+  ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
       for (int j = 0; j < n; ++j) {
-        pa.grad[static_cast<size_t>(i) * n + j] +=
-            node.grad[static_cast<size_t>(j) * m + i];
+        o[static_cast<size_t>(j) * m + i] =
+            a.data()[static_cast<size_t>(i) * n + j];
       }
     }
   });
-  float* o = out.mutable_data();
-  for (int i = 0; i < m; ++i) {
-    for (int j = 0; j < n; ++j) {
-      o[static_cast<size_t>(j) * m + i] = a.data()[static_cast<size_t>(i) * n + j];
-    }
-  }
   return out;
 }
 
@@ -444,12 +521,18 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfn dfn) {
       a.rows(), a.cols(), {a}, [dfn](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         pa.EnsureGrad();
-        for (size_t i = 0; i < node.grad.size(); ++i) {
-          pa.grad[i] += node.grad[i] * dfn(pa.data[i], node.data[i]);
-        }
+        ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                    kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        pa.grad[i] +=
+                            node.grad[i] * dfn(pa.data[i], node.data[i]);
+                      }
+                    });
       });
   float* o = out.mutable_data();
-  for (int64_t i = 0; i < a.size(); ++i) o[i] = fwd(a.data()[i]);
+  ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) o[i] = fwd(a.data()[i]);
+  });
   return out;
 }
 
@@ -526,30 +609,36 @@ Tensor SoftmaxRows(const Tensor& a) {
   Tensor out = MakeOpResult(m, n, {a}, [m, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     pa.EnsureGrad();
-    // dA_ij = y_ij * (g_ij - sum_k g_ik y_ik)
-    for (int i = 0; i < m; ++i) {
-      const size_t row = static_cast<size_t>(i) * n;
-      double dot = 0.0;
-      for (int j = 0; j < n; ++j) dot += node.grad[row + j] * node.data[row + j];
-      for (int j = 0; j < n; ++j) {
-        pa.grad[row + j] += node.data[row + j] *
-                            (node.grad[row + j] - static_cast<float>(dot));
+    // dA_ij = y_ij * (g_ij - sum_k g_ik y_ik); rows are independent.
+    ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const size_t row = static_cast<size_t>(i) * n;
+        double dot = 0.0;
+        for (int j = 0; j < n; ++j) {
+          dot += node.grad[row + j] * node.data[row + j];
+        }
+        for (int j = 0; j < n; ++j) {
+          pa.grad[row + j] += node.data[row + j] *
+                              (node.grad[row + j] - static_cast<float>(dot));
+        }
       }
-    }
+    });
   });
   float* o = out.mutable_data();
-  for (int i = 0; i < m; ++i) {
-    const size_t row = static_cast<size_t>(i) * n;
-    float mx = a.data()[row];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, a.data()[row + j]);
-    double sum = 0.0;
-    for (int j = 0; j < n; ++j) {
-      o[row + j] = std::exp(a.data()[row + j] - mx);
-      sum += o[row + j];
+  ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const size_t row = static_cast<size_t>(i) * n;
+      float mx = a.data()[row];
+      for (int j = 1; j < n; ++j) mx = std::max(mx, a.data()[row + j]);
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) {
+        o[row + j] = std::exp(a.data()[row + j] - mx);
+        sum += o[row + j];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int j = 0; j < n; ++j) o[row + j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int j = 0; j < n; ++j) o[row + j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -558,28 +647,32 @@ Tensor LogSoftmaxRows(const Tensor& a) {
   Tensor out = MakeOpResult(m, n, {a}, [m, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     pa.EnsureGrad();
-    // dA_ij = g_ij - exp(y_ij) * sum_k g_ik
-    for (int i = 0; i < m; ++i) {
-      const size_t row = static_cast<size_t>(i) * n;
-      double gsum = 0.0;
-      for (int j = 0; j < n; ++j) gsum += node.grad[row + j];
-      for (int j = 0; j < n; ++j) {
-        pa.grad[row + j] += node.grad[row + j] -
-                            std::exp(node.data[row + j]) *
-                                static_cast<float>(gsum);
+    // dA_ij = g_ij - exp(y_ij) * sum_k g_ik; rows are independent.
+    ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const size_t row = static_cast<size_t>(i) * n;
+        double gsum = 0.0;
+        for (int j = 0; j < n; ++j) gsum += node.grad[row + j];
+        for (int j = 0; j < n; ++j) {
+          pa.grad[row + j] += node.grad[row + j] -
+                              std::exp(node.data[row + j]) *
+                                  static_cast<float>(gsum);
+        }
       }
-    }
+    });
   });
   float* o = out.mutable_data();
-  for (int i = 0; i < m; ++i) {
-    const size_t row = static_cast<size_t>(i) * n;
-    float mx = a.data()[row];
-    for (int j = 1; j < n; ++j) mx = std::max(mx, a.data()[row + j]);
-    double sum = 0.0;
-    for (int j = 0; j < n; ++j) sum += std::exp(a.data()[row + j] - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (int j = 0; j < n; ++j) o[row + j] = a.data()[row + j] - lse;
-  }
+  ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const size_t row = static_cast<size_t>(i) * n;
+      float mx = a.data()[row];
+      for (int j = 1; j < n; ++j) mx = std::max(mx, a.data()[row + j]);
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) sum += std::exp(a.data()[row + j] - mx);
+      const float lse = mx + static_cast<float>(std::log(sum));
+      for (int j = 0; j < n; ++j) o[row + j] = a.data()[row + j] - lse;
+    }
+  });
   return out;
 }
 
@@ -588,7 +681,10 @@ Tensor ReduceSumAll(const Tensor& a) {
     internal::TensorImpl& pa = Parent(node, 0);
     pa.EnsureGrad();
     const float g = node.grad[0];
-    for (float& v : pa.grad) v += g;
+    ParallelFor(0, static_cast<int64_t>(pa.grad.size()), kParallelGrainWork,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) pa.grad[i] += g;
+                });
   });
   double sum = 0.0;
   for (int64_t i = 0; i < a.size(); ++i) sum += a.data()[i];
@@ -606,18 +702,26 @@ Tensor ReduceSumRows(const Tensor& a) {
   Tensor out = MakeOpResult(1, n, {a}, [m, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     pa.EnsureGrad();
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) {
-        pa.grad[static_cast<size_t>(i) * n + j] += node.grad[j];
+    ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int j = 0; j < n; ++j) {
+          pa.grad[static_cast<size_t>(i) * n + j] += node.grad[j];
+        }
       }
-    }
+    });
   });
   float* o = out.mutable_data();
-  for (int j = 0; j < n; ++j) {
-    double sum = 0.0;
-    for (int i = 0; i < m; ++i) sum += a.data()[static_cast<size_t>(i) * n + j];
-    o[j] = static_cast<float>(sum);
-  }
+  // Column-blocked: each output element is one full-column sum, so every
+  // block owns a disjoint slice of the output and keeps i ascending.
+  ParallelFor(0, n, RowGrain(m), [&](int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) {
+      double sum = 0.0;
+      for (int i = 0; i < m; ++i) {
+        sum += a.data()[static_cast<size_t>(i) * n + j];
+      }
+      o[j] = static_cast<float>(sum);
+    }
+  });
   return out;
 }
 
@@ -626,19 +730,25 @@ Tensor ReduceSumCols(const Tensor& a) {
   Tensor out = MakeOpResult(m, 1, {a}, [m, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     pa.EnsureGrad();
-    for (int i = 0; i < m; ++i) {
-      const float g = node.grad[i];
-      for (int j = 0; j < n; ++j) {
-        pa.grad[static_cast<size_t>(i) * n + j] += g;
+    ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        const float g = node.grad[i];
+        for (int j = 0; j < n; ++j) {
+          pa.grad[static_cast<size_t>(i) * n + j] += g;
+        }
       }
-    }
+    });
   });
   float* o = out.mutable_data();
-  for (int i = 0; i < m; ++i) {
-    double sum = 0.0;
-    for (int j = 0; j < n; ++j) sum += a.data()[static_cast<size_t>(i) * n + j];
-    o[i] = static_cast<float>(sum);
-  }
+  ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) {
+        sum += a.data()[static_cast<size_t>(i) * n + j];
+      }
+      o[i] = static_cast<float>(sum);
+    }
+  });
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
+#include "train/parallel_batch.h"
 
 namespace hap {
 
@@ -67,33 +68,84 @@ ClassificationResult TrainClassifier(GraphClassifier* model,
                                      const std::vector<PreparedGraph>& data,
                                      const Split& split,
                                      const TrainConfig& config) {
+  return TrainClassifier(model, data, split, config, nullptr);
+}
+
+ClassificationResult TrainClassifier(
+    GraphClassifier* model, const std::vector<PreparedGraph>& data,
+    const Split& split, const TrainConfig& config,
+    const ClassifierFactory& replica_factory) {
   Rng rng(config.seed);
   Adam optimizer(model->Parameters(), config.lr);
   std::vector<int> order = split.train;
   ClassificationResult result;
   double best_val = -1.0;
   int epochs_since_best = 0;
+
+  // Data-parallel state (config.num_threads >= 1): the master model is
+  // replica 0; the factory supplies the others. Per-example noise seeds are
+  // drawn from a dedicated stream on this thread so the schedule never
+  // depends on worker interleaving.
+  const bool data_parallel = config.num_threads >= 1;
+  std::vector<std::unique_ptr<GraphClassifier>> replica_storage;
+  std::vector<GraphClassifier*> models = {model};
+  std::unique_ptr<ParallelBatchRunner> runner;
+  Rng noise_seeds(config.seed * 0x9e3779b97f4a7c15ull + 0x51ab5eedull);
+  if (data_parallel) {
+    for (int w = 1; w < config.num_threads; ++w) {
+      HAP_CHECK(replica_factory != nullptr)
+          << "TrainClassifier: num_threads > 1 needs a replica factory";
+      replica_storage.push_back(replica_factory());
+      models.push_back(replica_storage.back().get());
+    }
+    std::vector<std::vector<Tensor>> replica_params;
+    replica_params.reserve(models.size());
+    for (GraphClassifier* m : models) replica_params.push_back(m->Parameters());
+    runner = std::make_unique<ParallelBatchRunner>(model->Parameters(),
+                                                   std::move(replica_params));
+  }
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    model->set_training(true);
+    for (GraphClassifier* m : models) m->set_training(true);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
-    int in_batch = 0;
-    for (int index : order) {
-      Tensor loss = model->Loss(data[index]);
-      epoch_loss += loss.Item();
-      // Scale so accumulated batch gradients are means, not sums (keeps
-      // the effective step size independent of batch_size).
-      MulScalar(loss, 1.0f / config.batch_size).Backward();
-      if (++in_batch >= config.batch_size) {
+    if (data_parallel) {
+      for (size_t start = 0; start < order.size();
+           start += static_cast<size_t>(config.batch_size)) {
+        const size_t stop = std::min(
+            order.size(), start + static_cast<size_t>(config.batch_size));
+        const std::vector<int> batch(order.begin() + start,
+                                     order.begin() + stop);
+        epoch_loss += runner->RunBatch(
+            batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+            [&](int worker, uint64_t seed) { models[worker]->ReseedNoise(seed); },
+            [&](int worker, int item) {
+              return models[worker]->Loss(data[item]);
+            });
         optimizer.ClipGradNorm(config.clip_norm);
         optimizer.Step();
-        in_batch = 0;
+      }
+    } else {
+      int in_batch = 0;
+      for (int index : order) {
+        Tensor loss = model->Loss(data[index]);
+        epoch_loss += loss.Item();
+        // Scale so accumulated batch gradients are means, not sums (keeps
+        // the effective step size independent of batch_size).
+        MulScalar(loss, 1.0f / config.batch_size).Backward();
+        if (++in_batch >= config.batch_size) {
+          optimizer.ClipGradNorm(config.clip_norm);
+          optimizer.Step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(config.clip_norm);
-      optimizer.Step();
-    }
+    result.epoch_losses.push_back(epoch_loss /
+                                  std::max<size_t>(order.size(), 1));
     model->set_training(false);
     const double val = EvaluateClassifier(*model, data, split.val);
     if (val > best_val) {

@@ -1,6 +1,7 @@
 #ifndef HAP_TRAIN_CLASSIFIER_H_
 #define HAP_TRAIN_CLASSIFIER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,16 @@ struct TrainConfig {
   /// distance alone instead of the hierarchical multi-level loss of
   /// Sec. 4.5 — the "hierarchical vs final-only" ablation of DESIGN.md.
   bool final_level_only = false;
+  /// Data-parallel worker count for mini-batch training. 0 (the default)
+  /// keeps the legacy single-threaded loop, bit-identical to earlier
+  /// releases. Any value >= 1 switches to the deterministic data-parallel
+  /// runner (see docs/THREADING.md): the training trajectory is then
+  /// bit-identical for EVERY num_threads >= 1 given the same seed, so
+  /// `1` is the single-threaded reference of the parallel semantics and
+  /// larger values only change wall-clock time. Values above 1 require a
+  /// replica factory (see TrainClassifier / TrainMatcher /
+  /// TrainSimilarity overloads).
+  int num_threads = 0;
 };
 
 /// Graph classifier: any GraphEmbedder followed by the paper's two
@@ -51,6 +62,7 @@ class GraphClassifier : public Module {
 
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) { embedder_->set_training(training); }
+  void ReseedNoise(uint64_t seed) override { embedder_->ReseedNoise(seed); }
   const GraphEmbedder& embedder() const { return *embedder_; }
 
   /// Final graph embedding (eval mode; for t-SNE visualisation).
@@ -68,6 +80,9 @@ struct ClassificationResult {
   double val_accuracy = 0.0;
   double test_accuracy = 0.0;
   int best_epoch = 0;
+  /// Mean training loss per epoch, in epoch order — the reproducibility
+  /// tests compare these trajectories across thread counts.
+  std::vector<double> epoch_losses;
 };
 
 /// Accuracy of `model` over the given examples (eval mode).
@@ -75,12 +90,27 @@ double EvaluateClassifier(const GraphClassifier& model,
                           const std::vector<PreparedGraph>& data,
                           const std::vector<int>& indices);
 
+/// Builds one fresh replica of the classifier being trained (identical
+/// architecture; weights are overwritten by the trainer's per-batch sync,
+/// so the factory's own initialisation does not matter).
+using ClassifierFactory = std::function<std::unique_ptr<GraphClassifier>()>;
+
 /// Trains with Adam + minibatch gradient accumulation; keeps the test
 /// accuracy at the best-validation epoch (the paper's protocol).
 ClassificationResult TrainClassifier(GraphClassifier* model,
                                      const std::vector<PreparedGraph>& data,
                                      const Split& split,
                                      const TrainConfig& config);
+
+/// Data-parallel variant: when config.num_threads > 1, `replica_factory`
+/// supplies the extra model replicas the worker threads train on (the
+/// master model itself serves as replica 0). Identical results to
+/// num_threads = 1 for the same seed — see docs/THREADING.md.
+ClassificationResult TrainClassifier(GraphClassifier* model,
+                                     const std::vector<PreparedGraph>& data,
+                                     const Split& split,
+                                     const TrainConfig& config,
+                                     const ClassifierFactory& replica_factory);
 
 }  // namespace hap
 

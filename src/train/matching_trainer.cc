@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "common/check.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
+#include "train/parallel_batch.h"
 
 namespace hap {
 
@@ -69,37 +71,89 @@ MatchingTrainResult TrainMatcher(PairScorer* scorer,
                                  const std::vector<PreparedPair>& data,
                                  const Split& split, const TrainConfig& config,
                                  float scale) {
+  return TrainMatcher(scorer, data, split, config, scale, nullptr);
+}
+
+MatchingTrainResult TrainMatcher(PairScorer* scorer,
+                                 const std::vector<PreparedPair>& data,
+                                 const Split& split, const TrainConfig& config,
+                                 float scale,
+                                 const ScorerFactory& replica_factory) {
   Rng rng(config.seed);
   Adam optimizer(scorer->Parameters(), config.lr);
   std::vector<int> order = split.train;
   MatchingTrainResult result;
   double best_val = -1.0;
   int epochs_since_best = 0;
+
+  const bool data_parallel = config.num_threads >= 1;
+  std::vector<std::unique_ptr<PairScorer>> replica_storage;
+  std::vector<PairScorer*> scorers = {scorer};
+  std::unique_ptr<ParallelBatchRunner> runner;
+  Rng noise_seeds(config.seed * 0x9e3779b97f4a7c15ull + 0x51ab5eedull);
+  if (data_parallel) {
+    for (int w = 1; w < config.num_threads; ++w) {
+      HAP_CHECK(replica_factory != nullptr)
+          << "TrainMatcher: num_threads > 1 needs a replica factory";
+      replica_storage.push_back(replica_factory());
+      scorers.push_back(replica_storage.back().get());
+    }
+    std::vector<std::vector<Tensor>> replica_params;
+    replica_params.reserve(scorers.size());
+    for (PairScorer* s : scorers) replica_params.push_back(s->Parameters());
+    runner = std::make_unique<ParallelBatchRunner>(scorer->Parameters(),
+                                                   std::move(replica_params));
+  }
+  auto pair_loss = [&](PairScorer* s, const PreparedPair& pair) {
+    std::vector<Tensor> distances = s->PairDistances(pair.g1, pair.g2);
+    if (config.final_level_only && distances.size() > 1) {
+      distances = {distances.back()};
+    }
+    return MatchingLoss(distances, pair.label, scale);
+  };
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    scorer->set_training(true);
+    for (PairScorer* s : scorers) s->set_training(true);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
-    int in_batch = 0;
-    for (int index : order) {
-      const PreparedPair& pair = data[index];
-      std::vector<Tensor> distances = scorer->PairDistances(pair.g1, pair.g2);
-      if (config.final_level_only && distances.size() > 1) {
-        distances = {distances.back()};
-      }
-      Tensor loss = MatchingLoss(distances, pair.label, scale);
-      epoch_loss += loss.Item();
-      // Mean-of-batch gradient (see classifier.cc).
-      MulScalar(loss, 1.0f / config.batch_size).Backward();
-      if (++in_batch >= config.batch_size) {
+    if (data_parallel) {
+      for (size_t start = 0; start < order.size();
+           start += static_cast<size_t>(config.batch_size)) {
+        const size_t stop = std::min(
+            order.size(), start + static_cast<size_t>(config.batch_size));
+        const std::vector<int> batch(order.begin() + start,
+                                     order.begin() + stop);
+        epoch_loss += runner->RunBatch(
+            batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+            [&](int worker, uint64_t seed) {
+              scorers[worker]->ReseedNoise(seed);
+            },
+            [&](int worker, int item) {
+              return pair_loss(scorers[worker], data[item]);
+            });
         optimizer.ClipGradNorm(config.clip_norm);
         optimizer.Step();
-        in_batch = 0;
+      }
+    } else {
+      int in_batch = 0;
+      for (int index : order) {
+        Tensor loss = pair_loss(scorer, data[index]);
+        epoch_loss += loss.Item();
+        // Mean-of-batch gradient (see classifier.cc).
+        MulScalar(loss, 1.0f / config.batch_size).Backward();
+        if (++in_batch >= config.batch_size) {
+          optimizer.ClipGradNorm(config.clip_norm);
+          optimizer.Step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(config.clip_norm);
-      optimizer.Step();
-    }
+    result.epoch_losses.push_back(epoch_loss /
+                                  std::max<size_t>(order.size(), 1));
     scorer->set_training(false);
     const double val = EvaluateMatcher(*scorer, data, split.val, scale);
     if (val > best_val) {

@@ -43,12 +43,27 @@ struct MatchingTrainResult {
   double val_accuracy = 0.0;
   double test_accuracy = 0.0;
   int best_epoch = 0;
+  /// Mean training loss per epoch, in epoch order.
+  std::vector<double> epoch_losses;
 };
+
+/// Builds one fresh replica of the scorer being trained (same architecture;
+/// weights are synced from the master every batch).
+using ScorerFactory = std::function<std::unique_ptr<PairScorer>()>;
 
 MatchingTrainResult TrainMatcher(PairScorer* scorer,
                                  const std::vector<PreparedPair>& data,
                                  const Split& split, const TrainConfig& config,
                                  float scale = 0.5f);
+
+/// Data-parallel variant: config.num_threads > 1 requires `replica_factory`
+/// (the master scorer is replica 0). Deterministic for any thread count —
+/// see docs/THREADING.md.
+MatchingTrainResult TrainMatcher(PairScorer* scorer,
+                                 const std::vector<PreparedPair>& data,
+                                 const Split& split, const TrainConfig& config,
+                                 float scale,
+                                 const ScorerFactory& replica_factory);
 
 }  // namespace hap
 

@@ -30,6 +30,10 @@ void EmbedderPairScorer::set_training(bool training) {
   embedder_->set_training(training);
 }
 
+void EmbedderPairScorer::ReseedNoise(uint64_t seed) {
+  embedder_->ReseedNoise(seed);
+}
+
 GmnPairScorer::GmnPairScorer(const GmnConfig& config,
                              GmnModel::Pooling pooling, Rng* rng)
     : gmn_(config, pooling, rng) {}

@@ -36,6 +36,7 @@ class EmbedderPairScorer : public PairScorer {
                                     const PreparedGraph& b) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) override;
+  void ReseedNoise(uint64_t seed) override;
 
   const GraphEmbedder& embedder() const { return *embedder_; }
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "common/check.h"
 #include "ged/ged.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
+#include "train/parallel_batch.h"
 
 namespace hap {
 
@@ -116,31 +118,101 @@ SimilarityTrainResult TrainSimilarity(
     const std::vector<GraphTriplet>& train_triplets,
     const std::vector<GraphTriplet>& test_triplets,
     const TrainConfig& config) {
+  return TrainSimilarity(scorer, pool, train_triplets, test_triplets, config,
+                         nullptr);
+}
+
+SimilarityTrainResult TrainSimilarity(
+    PairScorer* scorer, const std::vector<PreparedGraph>& pool,
+    const std::vector<GraphTriplet>& train_triplets,
+    const std::vector<GraphTriplet>& test_triplets, const TrainConfig& config,
+    const std::function<std::unique_ptr<PairScorer>()>& replica_factory) {
   Rng rng(config.seed);
   Adam optimizer(scorer->Parameters(), config.lr);
   std::vector<int> order(train_triplets.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   SimilarityTrainResult result;
   double best_train = -1.0;
+
+  const bool data_parallel = config.num_threads >= 1;
+  std::vector<std::unique_ptr<PairScorer>> replica_storage;
+  std::vector<PairScorer*> scorers = {scorer};
+  // Triplets in one batch may reference the same pool graph, and backward
+  // accumulates into the (shared) input tensors' grad buffers; each worker
+  // therefore scores against its own value-copy of the pool.
+  std::vector<std::vector<PreparedGraph>> worker_pools;
+  std::unique_ptr<ParallelBatchRunner> runner;
+  Rng noise_seeds(config.seed * 0x9e3779b97f4a7c15ull + 0x51ab5eedull);
+  if (data_parallel) {
+    worker_pools.push_back(pool);  // Worker 0 (master) keeps the original.
+    for (int w = 1; w < config.num_threads; ++w) {
+      HAP_CHECK(replica_factory != nullptr)
+          << "TrainSimilarity: num_threads > 1 needs a replica factory";
+      replica_storage.push_back(replica_factory());
+      scorers.push_back(replica_storage.back().get());
+      std::vector<PreparedGraph> copy;
+      copy.reserve(pool.size());
+      for (const PreparedGraph& g : pool) {
+        PreparedGraph c;
+        c.h = g.h.Detach();
+        c.adjacency = g.adjacency.Detach();
+        c.label = g.label;
+        copy.push_back(std::move(c));
+      }
+      worker_pools.push_back(std::move(copy));
+    }
+    std::vector<std::vector<Tensor>> replica_params;
+    replica_params.reserve(scorers.size());
+    for (PairScorer* s : scorers) replica_params.push_back(s->Parameters());
+    runner = std::make_unique<ParallelBatchRunner>(scorer->Parameters(),
+                                                   std::move(replica_params));
+  }
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    scorer->set_training(true);
+    for (PairScorer* s : scorers) s->set_training(true);
     rng.Shuffle(&order);
-    int in_batch = 0;
-    for (int index : order) {
-      Tensor loss = TripletLoss(scorer, pool, train_triplets[index],
-                                config.final_level_only);
-      // Mean-of-batch gradient (see classifier.cc).
-      MulScalar(loss, 1.0f / config.batch_size).Backward();
-      if (++in_batch >= config.batch_size) {
+    double epoch_loss = 0.0;
+    if (data_parallel) {
+      for (size_t start = 0; start < order.size();
+           start += static_cast<size_t>(config.batch_size)) {
+        const size_t stop = std::min(
+            order.size(), start + static_cast<size_t>(config.batch_size));
+        const std::vector<int> batch(order.begin() + start,
+                                     order.begin() + stop);
+        epoch_loss += runner->RunBatch(
+            batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+            [&](int worker, uint64_t seed) {
+              scorers[worker]->ReseedNoise(seed);
+            },
+            [&](int worker, int item) {
+              return TripletLoss(scorers[worker], worker_pools[worker],
+                                 train_triplets[item],
+                                 config.final_level_only);
+            });
         optimizer.ClipGradNorm(config.clip_norm);
         optimizer.Step();
-        in_batch = 0;
+      }
+    } else {
+      int in_batch = 0;
+      for (int index : order) {
+        Tensor loss = TripletLoss(scorer, pool, train_triplets[index],
+                                  config.final_level_only);
+        epoch_loss += loss.Item();
+        // Mean-of-batch gradient (see classifier.cc).
+        MulScalar(loss, 1.0f / config.batch_size).Backward();
+        if (++in_batch >= config.batch_size) {
+          optimizer.ClipGradNorm(config.clip_norm);
+          optimizer.Step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        optimizer.ClipGradNorm(config.clip_norm);
+        optimizer.Step();
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(config.clip_norm);
-      optimizer.Step();
-    }
+    result.epoch_losses.push_back(epoch_loss /
+                                  std::max<size_t>(order.size(), 1));
     scorer->set_training(false);
     const double train_acc =
         EvaluateTripletScorer(*scorer, pool, train_triplets);

@@ -60,6 +60,8 @@ struct SimilarityTrainResult {
   double train_accuracy = 0.0;
   double test_accuracy = 0.0;
   int best_epoch = 0;
+  /// Mean training loss per epoch, in epoch order.
+  std::vector<double> epoch_losses;
 };
 
 /// Trains an embedding model on training triplets with Eq. 24 and reports
@@ -68,6 +70,17 @@ SimilarityTrainResult TrainSimilarity(
     PairScorer* scorer, const std::vector<PreparedGraph>& pool,
     const std::vector<GraphTriplet>& train_triplets,
     const std::vector<GraphTriplet>& test_triplets, const TrainConfig& config);
+
+/// Data-parallel variant: config.num_threads > 1 requires `replica_factory`
+/// (ScorerFactory from matching_trainer.h; the master scorer is replica 0).
+/// Each worker also gets a private copy of the featurised pool, because
+/// triplets in one batch may share pool graphs and backward accumulates
+/// into the shared input tensors. Deterministic for any thread count.
+SimilarityTrainResult TrainSimilarity(
+    PairScorer* scorer, const std::vector<PreparedGraph>& pool,
+    const std::vector<GraphTriplet>& train_triplets,
+    const std::vector<GraphTriplet>& test_triplets, const TrainConfig& config,
+    const std::function<std::unique_ptr<PairScorer>()>& replica_factory);
 
 /// Trains SimGNN on *pair* similarities exp(-GED(a,b)/mean_ged) with MSE
 /// (its original absolute-similarity objective), then evaluates it on the

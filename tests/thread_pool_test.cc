@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace hap {
+namespace {
+
+TEST(ThreadPoolTest, RunExecutesEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kJobs = 100;  // Far more jobs than pool width.
+  std::vector<std::atomic<int>> hits(kJobs);
+  for (auto& h : hits) h.store(0);
+  pool.Run(kJobs, [&](int64_t job) { hits[job].fetch_add(1); });
+  for (int i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+}
+
+TEST(ThreadPoolTest, RunWithOneJobStaysOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Run(1, [&](int64_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  for (int64_t range : {0, 1, 2, 7, 64, 1000}) {
+    for (int64_t grain : {1, 2, 17, 1000000}) {
+      std::vector<std::atomic<int>> hits(range > 0 ? range : 1);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(0, range, grain, [&](int64_t lo, int64_t hi) {
+        ASSERT_LE(lo, hi);
+        for (int64_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+      for (int64_t i = 0; i < range; ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "range=" << range << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonoursNonZeroBegin) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  int64_t sum = 0;
+  pool.ParallelFor(10, 20, 1, [&](int64_t lo, int64_t hi) {
+    int64_t local = 0;
+    for (int64_t i = lo; i < hi; ++i) local += i;
+    std::lock_guard<std::mutex> lock(mu);
+    sum += local;
+  });
+  EXPECT_EQ(sum, 10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.Run(32,
+               [&](int64_t job) {
+                 if (job == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  // The pool must stay usable after a failed run.
+  std::atomic<int> count{0};
+  pool.Run(8, [&](int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, ExceptionInParallelForPropagates) {
+  ThreadPool pool(4);
+  bool caught = false;
+  try {
+    pool.ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t) {
+      if (lo >= 500) throw std::runtime_error("half way");
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "half way");
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  // Outer fans out across the pool; inner calls from worker threads must
+  // run inline instead of re-entering the queue (which could deadlock).
+  pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, 16, 1,
+                       [&](int64_t ilo, int64_t ihi) {
+                         total.fetch_add(ihi - ilo);
+                       });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsEverythingInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.Run(10, [&](int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizeTakesEffect) {
+  const int original = NumThreads();
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  EXPECT_EQ(GlobalThreadPool().size(), 3);
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, 1, [&](int64_t lo, int64_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 100);
+  SetNumThreads(original);
+}
+
+}  // namespace
+}  // namespace hap
