@@ -3,6 +3,8 @@
 // determinism contract (identical training loss at every thread count).
 // Speedups are relative to the 1-thread run on the same build; on a
 // single-core machine every speedup is ~1.0 by construction.
+// Emits BENCH_parallel_scaling.json (path overridable as argv[1]) so the
+// perf trajectory is tracked across PRs.
 // Set HAP_BENCH_FAST=1 for a quick smoke run.
 
 #include <algorithm>
@@ -10,6 +12,7 @@
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -97,7 +100,9 @@ TrainRun TimedClassifierRun(const std::vector<PreparedGraph>& data,
   return run;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   const int matmul_size = FastOr(96, 512);
   const int matmul_repeats = FastOr(3, 7);
@@ -113,10 +118,12 @@ int Main() {
   std::printf("| threads | forward ms | speedup | fwd+bwd ms | speedup |\n");
   std::printf("|---------|------------|---------|------------|---------|\n");
   KernelTimings base;
+  std::vector<KernelTimings> kernel_rows;
   for (int threads : thread_counts) {
     SetNumThreads(threads);
     const KernelTimings t = MatMulTimings(matmul_size, matmul_repeats);
     if (threads == 1) base = t;
+    kernel_rows.push_back(t);
     std::printf("| %7d | %10.2f | %6.2fx | %10.2f | %6.2fx |\n", threads,
                 t.forward_ms, base.forward_ms / t.forward_ms,
                 t.train_step_ms, base.train_step_ms / t.train_step_ms);
@@ -137,6 +144,7 @@ int Main() {
   double base_seconds = 0.0;
   double reference_loss = 0.0;
   bool deterministic = true;
+  std::vector<TrainRun> train_rows;
   for (int threads : thread_counts) {
     const TrainRun run = TimedClassifierRun(data, split, config,
                                             ds.num_classes, epochs, threads);
@@ -146,15 +154,55 @@ int Main() {
     } else if (run.final_loss != reference_loss) {
       deterministic = false;
     }
+    train_rows.push_back(run);
     std::printf("| %7d | %7.2f | %6.2fx | %.12f |\n", threads, run.seconds,
                 base_seconds / run.seconds, run.final_loss);
   }
   std::printf("\nfinal loss identical across thread counts: %s\n",
               deterministic ? "YES" : "NO");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("parallel_scaling"));
+  json.Field("hardware_concurrency",
+             static_cast<int>(std::thread::hardware_concurrency()));
+  json.Field("matmul_size", matmul_size);
+  json.Field("graphs", graphs);
+  json.Field("epochs", epochs);
+  json.BeginArray("matmul");
+  for (size_t i = 0; i < kernel_rows.size(); ++i) {
+    json.BeginObject();
+    json.Field("threads", thread_counts[i]);
+    json.Field("forward_ms", kernel_rows[i].forward_ms);
+    json.Field("forward_speedup",
+               base.forward_ms / kernel_rows[i].forward_ms);
+    json.Field("train_step_ms", kernel_rows[i].train_step_ms);
+    json.Field("train_step_speedup",
+               base.train_step_ms / kernel_rows[i].train_step_ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("classifier_training");
+  for (size_t i = 0; i < train_rows.size(); ++i) {
+    json.BeginObject();
+    json.Field("threads", thread_counts[i]);
+    json.Field("seconds", train_rows[i].seconds);
+    json.Field("speedup", base_seconds / train_rows[i].seconds);
+    json.Field("final_loss", train_rows[i].final_loss);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("deterministic_across_thread_counts", deterministic);
+  json.EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return deterministic ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: once as a plain Release build and once
+# instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DHAP_SANITIZE=address,undefined). Each pass uses its own build
+# directory so sanitized and plain objects never mix.
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+  local build_dir="$1"
+  shift
+  echo "=== ${build_dir}: cmake $* ==="
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass build
+# halt_on_error keeps ctest failures attributable to one test; the
+# suppression-free defaults are intentional — the tree should stay clean.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  run_pass build-sanitize -DHAP_SANITIZE=address,undefined
+
+echo "All checks passed (plain + address,undefined)."

@@ -1,6 +1,7 @@
 #include "core/coarsening.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 #include "core/gumbel.h"
@@ -95,28 +96,29 @@ Tensor CoarseningModule::ComputeAttention(const Tensor& c_or_h) const {
 }
 
 CoarsenResult CoarseningModule::Forward(const Tensor& h,
-                                        const Tensor& adjacency) const {
-  HAP_CHECK_EQ(h.rows(), adjacency.rows());
-  HAP_CHECK_EQ(adjacency.rows(), adjacency.cols());
+                                        const GraphLevel& level) const {
+  HAP_CHECK_EQ(h.rows(), level.num_nodes());
   Tensor m = config_.use_gcont ? ComputeAttention(ComputeGCont(h))
                                : ComputeAttention(h);
   last_attention_ = m;
-  CoarsenResult result;
   Tensor m_t = Transpose(m);
+  Tensor coarse_h;
   if (config_.normalize_cluster_mass) {
     // H' = D_M⁻¹ Mᵀ H: attention-weighted member mean (see config).
     Tensor mass = ClampMin(ReduceSumCols(m_t), 1e-9f);  // (N', 1)
     Tensor inv_mass = Div(Tensor::Ones(mass.rows(), 1), mass);
-    result.h = ScaleRows(MatMul(m_t, h), inv_mass);
+    coarse_h = ScaleRows(MatMul(m_t, h), inv_mass);
   } else {
-    result.h = MatMul(m_t, h);  // Eq. 17 literal
+    coarse_h = MatMul(m_t, h);  // Eq. 17 literal
   }
-  Tensor coarse_adj = MatMul(m_t, MatMul(adjacency, m));  // Eq. 18
-  result.adjacency =
-      config_.use_gumbel
-          ? GumbelSoftSample(coarse_adj, config_.tau, &noise_rng_, training_)
-          : coarse_adj;
-  return result;
+  // Eq. 18: A' = Mᵀ A M; the inner A·M goes through the level so sparse
+  // input adjacencies use the CSR fast path.
+  Tensor coarse_adj = MatMul(m_t, level.Aggregate(m));
+  if (config_.use_gumbel) {
+    coarse_adj =
+        GumbelSoftSample(coarse_adj, config_.tau, &noise_rng_, training_);
+  }
+  return CoarsenResult(std::move(coarse_h), std::move(coarse_adj));
 }
 
 void CoarseningModule::CollectParameters(std::vector<Tensor>* out) const {

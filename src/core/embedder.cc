@@ -12,9 +12,9 @@ FlatEmbedder::FlatEmbedder(std::unique_ptr<GnnEncoder> encoder,
 }
 
 std::vector<Tensor> FlatEmbedder::EmbedLevels(const Tensor& h,
-                                              const Tensor& adjacency) const {
-  Tensor encoded = encoder_->Forward(h, adjacency);
-  return {readout_->Forward(encoded, adjacency)};
+                                              const GraphLevel& level) const {
+  Tensor encoded = encoder_->Forward(h, level);
+  return {readout_->Forward(encoded, level)};
 }
 
 void FlatEmbedder::CollectParameters(std::vector<Tensor>* out) const {
@@ -32,15 +32,18 @@ HierarchicalEmbedder::HierarchicalEmbedder(
 }
 
 std::vector<Tensor> HierarchicalEmbedder::EmbedLevels(
-    const Tensor& h, const Tensor& adjacency) const {
+    const Tensor& h, const GraphLevel& level) const {
   std::vector<Tensor> levels;
   Tensor features = h;
-  Tensor adj = adjacency;
+  GraphLevel current = level;
   for (size_t stage = 0; stage < encoders_.size(); ++stage) {
-    Tensor encoded = encoders_[stage]->Forward(features, adj);
-    CoarsenResult coarse = coarseners_[stage]->Forward(encoded, adj);
+    Tensor encoded = encoders_[stage]->Forward(features, current);
+    CoarsenResult coarse = coarseners_[stage]->Forward(encoded, current);
     features = coarse.h;
-    adj = coarse.adjacency;
+    // The coarsener built the next level's view over A' = MᵀAM; its
+    // operators are recomputed per consumer while A' carries gradient and
+    // cached when it does not (eval mode).
+    current = coarse.level;
     // Level embedding: mean over the coarsened clusters (collapses to the
     // cluster feature itself once N' = 1).
     levels.push_back(ReduceMeanRows(features));
@@ -79,11 +82,11 @@ GcnConcatEmbedder::GcnConcatEmbedder(int in_features, int hidden_dim,
 }
 
 std::vector<Tensor> GcnConcatEmbedder::EmbedLevels(
-    const Tensor& h, const Tensor& adjacency) const {
+    const Tensor& h, const GraphLevel& level) const {
   Tensor x = h;
   Tensor concat;
   for (const auto& layer : layers_) {
-    x = layer->Forward(x, adjacency);
+    x = layer->Forward(x, level);
     Tensor pooled = ReduceMeanRows(x);
     concat = concat.defined() ? ConcatCols(concat, pooled) : pooled;
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gnn/encoder.h"
+#include "graph/graph_level.h"
 #include "pooling/readout.h"
 #include "tensor/module.h"
 
@@ -20,9 +21,19 @@ class GraphEmbedder : public Module {
 
   /// Per-level graph embeddings, each (1, embedding_dim()), coarsest last.
   virtual std::vector<Tensor> EmbedLevels(const Tensor& h,
-                                          const Tensor& adjacency) const = 0;
+                                          const GraphLevel& level) const = 0;
+
+  /// Compatibility shim wrapping a bare adjacency in an ephemeral level.
+  /// Derived classes re-expose it with `using GraphEmbedder::EmbedLevels;`.
+  std::vector<Tensor> EmbedLevels(const Tensor& h,
+                                  const Tensor& adjacency) const {
+    return EmbedLevels(h, GraphLevel(adjacency));
+  }
 
   /// The final (coarsest) graph-level embedding h_G.
+  Tensor Embed(const Tensor& h, const GraphLevel& level) const {
+    return EmbedLevels(h, level).back();
+  }
   Tensor Embed(const Tensor& h, const Tensor& adjacency) const {
     return EmbedLevels(h, adjacency).back();
   }
@@ -43,8 +54,9 @@ class FlatEmbedder : public GraphEmbedder {
   FlatEmbedder(std::unique_ptr<GnnEncoder> encoder,
                std::unique_ptr<Readout> readout);
 
+  using GraphEmbedder::EmbedLevels;
   std::vector<Tensor> EmbedLevels(const Tensor& h,
-                                  const Tensor& adjacency) const override;
+                                  const GraphLevel& level) const override;
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
 
@@ -66,8 +78,9 @@ class HierarchicalEmbedder : public GraphEmbedder {
   HierarchicalEmbedder(std::vector<std::unique_ptr<GnnEncoder>> encoders,
                        std::vector<std::unique_ptr<Coarsener>> coarseners);
 
+  using GraphEmbedder::EmbedLevels;
   std::vector<Tensor> EmbedLevels(const Tensor& h,
-                                  const Tensor& adjacency) const override;
+                                  const GraphLevel& level) const override;
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) override;
@@ -92,8 +105,9 @@ class GcnConcatEmbedder : public GraphEmbedder {
   GcnConcatEmbedder(int in_features, int hidden_dim, int num_layers,
                     Rng* rng);
 
+  using GraphEmbedder::EmbedLevels;
   std::vector<Tensor> EmbedLevels(const Tensor& h,
-                                  const Tensor& adjacency) const override;
+                                  const GraphLevel& level) const override;
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
 

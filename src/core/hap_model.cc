@@ -27,12 +27,10 @@ ReadoutCoarsener::ReadoutCoarsener(std::unique_ptr<Readout> readout)
     : readout_(std::move(readout)) {}
 
 CoarsenResult ReadoutCoarsener::Forward(const Tensor& h,
-                                        const Tensor& adjacency) const {
-  CoarsenResult result;
-  result.h = readout_->Forward(h, adjacency);
-  HAP_CHECK_EQ(result.h.rows(), 1);
-  result.adjacency = Tensor::Ones(1, 1);
-  return result;
+                                        const GraphLevel& level) const {
+  Tensor pooled = readout_->Forward(h, level);
+  HAP_CHECK_EQ(pooled.rows(), 1);
+  return CoarsenResult(std::move(pooled), Tensor::Ones(1, 1));
 }
 
 void ReadoutCoarsener::CollectParameters(std::vector<Tensor>* out) const {

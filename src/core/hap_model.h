@@ -53,7 +53,9 @@ class ReadoutCoarsener : public Coarsener {
  public:
   explicit ReadoutCoarsener(std::unique_ptr<Readout> readout);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

@@ -26,14 +26,14 @@ GnnEncoder::GnnEncoder(EncoderKind kind, const std::vector<int>& dims,
   }
 }
 
-Tensor GnnEncoder::Forward(const Tensor& h, const Tensor& adjacency) const {
+Tensor GnnEncoder::Forward(const Tensor& h, const GraphLevel& level) const {
   Tensor x = h;
   if (kind_ == EncoderKind::kGcn) {
-    for (const auto& layer : gcn_layers_) x = layer->Forward(x, adjacency);
+    for (const auto& layer : gcn_layers_) x = layer->Forward(x, level);
   } else if (kind_ == EncoderKind::kGat) {
-    for (const auto& layer : gat_layers_) x = layer->Forward(x, adjacency);
+    for (const auto& layer : gat_layers_) x = layer->Forward(x, level);
   } else {
-    for (const auto& layer : gin_layers_) x = layer->Forward(x, adjacency);
+    for (const auto& layer : gin_layers_) x = layer->Forward(x, level);
   }
   return x;
 }

@@ -26,7 +26,12 @@ class GnnEncoder : public Module {
   GnnEncoder(EncoderKind kind, const std::vector<int>& dims, Rng* rng,
              Activation final_activation = Activation::kNone);
 
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const;
+
+  /// Compatibility shim wrapping a bare adjacency in an ephemeral level.
+  Tensor Forward(const Tensor& h, const Tensor& adjacency) const {
+    return Forward(h, GraphLevel(adjacency));
+  }
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

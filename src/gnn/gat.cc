@@ -1,7 +1,7 @@
 #include "gnn/gat.h"
 
 #include "common/check.h"
-#include "gnn/propagation.h"
+#include "graph/propagation.h"
 #include "tensor/ops.h"
 
 namespace hap {
@@ -14,15 +14,14 @@ GatLayer::GatLayer(int in_features, int out_features, Rng* rng,
       activation_(activation),
       leaky_slope_(leaky_slope) {}
 
-Tensor GatLayer::Forward(const Tensor& h, const Tensor& adjacency) const {
-  HAP_CHECK_EQ(h.rows(), adjacency.rows());
+Tensor GatLayer::Forward(const Tensor& h, const GraphLevel& level) const {
+  HAP_CHECK_EQ(h.rows(), level.num_nodes());
   Tensor wh = linear_.Forward(h);                       // (N, out)
   Tensor self_scores = MatMul(wh, attn_self_);          // (N, 1)
   Tensor neighbor_scores = MatMul(wh, attn_neighbor_);  // (N, 1)
   Tensor logits = LeakyRelu(
       OuterSum(self_scores, Transpose(neighbor_scores)), leaky_slope_);
-  Tensor attention =
-      SoftmaxRows(Add(logits, NeighborhoodLogMask(adjacency)));
+  Tensor attention = SoftmaxRows(Add(logits, level.LogMask()));
   return ApplyActivation(MatMul(attention, wh), activation_);
 }
 

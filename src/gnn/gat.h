@@ -2,6 +2,7 @@
 #define HAP_GNN_GAT_H_
 
 #include "gnn/gcn.h"
+#include "graph/graph_level.h"
 #include "tensor/module.h"
 #include "tensor/tensor.h"
 
@@ -20,8 +21,14 @@ class GatLayer : public Module {
            Activation activation = Activation::kRelu,
            float leaky_slope = 0.2f);
 
-  /// h: (N, in), adjacency: (N, N) raw weights.
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const;
+  /// h: (N, in); level views the (N, N) raw-weight adjacency and supplies
+  /// the cached neighborhood log mask.
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const;
+
+  /// Compatibility shim wrapping a bare adjacency in an ephemeral level.
+  Tensor Forward(const Tensor& h, const Tensor& adjacency) const {
+    return Forward(h, GraphLevel(adjacency));
+  }
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

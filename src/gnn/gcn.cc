@@ -1,7 +1,7 @@
 #include "gnn/gcn.h"
 
 #include "common/check.h"
-#include "gnn/propagation.h"
+#include "graph/propagation.h"
 #include "tensor/ops.h"
 
 namespace hap {
@@ -24,9 +24,9 @@ GcnLayer::GcnLayer(int in_features, int out_features, Rng* rng,
     : linear_(in_features, out_features, rng, /*bias=*/true),
       activation_(activation) {}
 
-Tensor GcnLayer::Forward(const Tensor& h, const Tensor& adjacency) const {
-  HAP_CHECK_EQ(h.rows(), adjacency.rows());
-  Tensor propagated = MatMul(SymNormalize(adjacency), h);
+Tensor GcnLayer::Forward(const Tensor& h, const GraphLevel& level) const {
+  HAP_CHECK_EQ(h.rows(), level.num_nodes());
+  Tensor propagated = level.Propagate(h);
   return ApplyActivation(linear_.Forward(propagated), activation_);
 }
 

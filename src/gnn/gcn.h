@@ -1,6 +1,7 @@
 #ifndef HAP_GNN_GCN_H_
 #define HAP_GNN_GCN_H_
 
+#include "graph/graph_level.h"
 #include "tensor/module.h"
 #include "tensor/tensor.h"
 
@@ -23,8 +24,15 @@ class GcnLayer : public Module {
   GcnLayer(int in_features, int out_features, Rng* rng,
            Activation activation = Activation::kRelu);
 
-  /// h: (N, in), adjacency: (N, N) raw weights (no self-loops required).
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const;
+  /// h: (N, in); level views the (N, N) raw-weight adjacency (no
+  /// self-loops required) and supplies the cached normalized operator.
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const;
+
+  /// Compatibility shim for callers holding a bare adjacency tensor; wraps
+  /// it in an ephemeral (uncached across calls) GraphLevel.
+  Tensor Forward(const Tensor& h, const Tensor& adjacency) const {
+    return Forward(h, GraphLevel(adjacency));
+  }
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

@@ -12,10 +12,10 @@ GinLayer::GinLayer(int in_features, int out_features, Rng* rng,
       activation_(activation),
       eps_(eps) {}
 
-Tensor GinLayer::Forward(const Tensor& h, const Tensor& adjacency) const {
-  HAP_CHECK_EQ(h.rows(), adjacency.rows());
+Tensor GinLayer::Forward(const Tensor& h, const GraphLevel& level) const {
+  HAP_CHECK_EQ(h.rows(), level.num_nodes());
   Tensor aggregated =
-      Add(MulScalar(h, 1.0f + eps_), MatMul(adjacency, h));
+      Add(MulScalar(h, 1.0f + eps_), level.Aggregate(h));
   Tensor hidden = Relu(mlp1_.Forward(aggregated));
   return ApplyActivation(mlp2_.Forward(hidden), activation_);
 }

@@ -2,6 +2,7 @@
 #define HAP_GNN_GIN_H_
 
 #include "gnn/gcn.h"
+#include "graph/graph_level.h"
 #include "tensor/module.h"
 
 namespace hap {
@@ -17,7 +18,12 @@ class GinLayer : public Module {
   GinLayer(int in_features, int out_features, Rng* rng,
            Activation activation = Activation::kRelu, float eps = 0.0f);
 
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const;
+
+  /// Compatibility shim wrapping a bare adjacency in an ephemeral level.
+  Tensor Forward(const Tensor& h, const Tensor& adjacency) const {
+    return Forward(h, GraphLevel(adjacency));
+  }
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

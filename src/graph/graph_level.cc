@@ -1,0 +1,176 @@
+#include "graph/graph_level.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/check.h"
+#include "graph/propagation.h"
+#include "tensor/ops.h"
+
+namespace hap {
+
+namespace {
+
+std::atomic<SparseDispatch> g_sparse_dispatch{SparseDispatch::kAuto};
+
+}  // namespace
+
+void SetSparseDispatch(SparseDispatch mode) {
+  g_sparse_dispatch.store(mode, std::memory_order_relaxed);
+}
+
+SparseDispatch GetSparseDispatch() {
+  return g_sparse_dispatch.load(std::memory_order_relaxed);
+}
+
+struct GraphLevel::State {
+  Tensor adjacency;
+  bool cacheable = false;
+
+  std::mutex mu;
+  // All fields below are lazily filled under mu. Tensors cached here are
+  // untaped constants (cacheable implies the adjacency is a grad-free
+  // leaf), so handing out aliasing copies is safe across threads: backward
+  // passes never touch them (see the needs-grad guards in ops.cc).
+  bool has_density = false;
+  double density = 0.0;
+  Tensor sym_normalized;
+  Tensor row_normalized;
+  Tensor log_mask;
+  std::unique_ptr<CsrMatrix> adjacency_csr;
+  std::unique_ptr<CsrMatrix> sym_csr;
+  std::unique_ptr<CsrMatrix> row_csr;
+};
+
+GraphLevel::GraphLevel(Tensor adjacency) : state_(std::make_shared<State>()) {
+  HAP_CHECK(adjacency.defined()) << "GraphLevel needs a defined adjacency";
+  HAP_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  state_->adjacency = std::move(adjacency);
+  const internal::TensorImpl& impl = state_->adjacency.impl();
+  state_->cacheable = !impl.requires_grad && impl.parents.empty();
+}
+
+const Tensor& GraphLevel::adjacency() const {
+  HAP_CHECK(defined()) << "use of undefined GraphLevel";
+  return state_->adjacency;
+}
+
+int GraphLevel::num_nodes() const { return adjacency().rows(); }
+
+bool GraphLevel::cacheable() const { return defined() && state_->cacheable; }
+
+double GraphLevel::Density() const {
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.has_density) {
+    s.density = EdgeDensity(s.adjacency);
+    s.has_density = true;
+  }
+  return s.density;
+}
+
+bool GraphLevel::UseSparse() const {
+  if (!cacheable()) return false;
+  switch (GetSparseDispatch()) {
+    case SparseDispatch::kForceDense:
+      return false;
+    case SparseDispatch::kForceSparse:
+      return true;
+    case SparseDispatch::kAuto:
+      return Density() < kSparseDispatchDensity;
+  }
+  return false;
+}
+
+Tensor GraphLevel::SymNormalized() const {
+  if (!cacheable()) return SymNormalize(adjacency());
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.sym_normalized.defined()) {
+    s.sym_normalized = SymNormalize(s.adjacency);
+  }
+  return s.sym_normalized;
+}
+
+Tensor GraphLevel::RowNormalized() const {
+  if (!cacheable()) return RowNormalize(adjacency());
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.row_normalized.defined()) {
+    s.row_normalized = RowNormalize(s.adjacency);
+  }
+  return s.row_normalized;
+}
+
+Tensor GraphLevel::LogMask() const {
+  if (!cacheable()) return NeighborhoodLogMask(adjacency());
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.log_mask.defined()) {
+    s.log_mask = NeighborhoodLogMask(s.adjacency);
+  }
+  return s.log_mask;
+}
+
+const CsrMatrix* GraphLevel::AdjacencyCsr() const {
+  if (!cacheable()) return nullptr;
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.adjacency_csr) {
+    s.adjacency_csr =
+        std::make_unique<CsrMatrix>(CsrMatrix::FromDense(s.adjacency));
+  }
+  return s.adjacency_csr.get();
+}
+
+const CsrMatrix* GraphLevel::SymCsr() const {
+  Tensor dense = SymNormalized();  // fills the dense cache first
+  if (!cacheable()) return nullptr;
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.sym_csr) {
+    s.sym_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+  }
+  return s.sym_csr.get();
+}
+
+const CsrMatrix* GraphLevel::RowCsr() const {
+  Tensor dense = RowNormalized();
+  if (!cacheable()) return nullptr;
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.row_csr) {
+    s.row_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+  }
+  return s.row_csr.get();
+}
+
+Tensor GraphLevel::Propagate(const Tensor& x) const {
+  if (UseSparse()) return SpMatMul(*SymCsr(), x);
+  return MatMul(SymNormalized(), x);
+}
+
+Tensor GraphLevel::PropagateRowNormalized(const Tensor& x) const {
+  if (UseSparse()) return SpMatMul(*RowCsr(), x);
+  return MatMul(RowNormalized(), x);
+}
+
+Tensor GraphLevel::Aggregate(const Tensor& x) const {
+  if (UseSparse()) return SpMatMul(*AdjacencyCsr(), x);
+  return MatMul(adjacency(), x);
+}
+
+void GraphLevel::WarmCaches() const {
+  if (!cacheable()) return;
+  Density();
+  SymNormalized();
+  RowNormalized();
+  LogMask();
+  if (UseSparse()) {
+    AdjacencyCsr();
+    SymCsr();
+    RowCsr();
+  }
+}
+
+}  // namespace hap

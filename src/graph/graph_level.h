@@ -1,0 +1,120 @@
+#ifndef HAP_GRAPH_GRAPH_LEVEL_H_
+#define HAP_GRAPH_GRAPH_LEVEL_H_
+
+#include <memory>
+#include <mutex>
+
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace hap {
+
+/// How GraphLevel chooses between the dense MatMul path and the CSR
+/// SpMatMul path for its cached propagation operators. kAuto dispatches on
+/// the level's edge density (see kSparseDispatchDensity); the force modes
+/// exist for the parity tests and benchmarks, which must pin one path.
+enum class SparseDispatch {
+  kAuto,
+  kForceDense,
+  kForceSparse,
+};
+
+/// Process-global dispatch policy (atomic; default kAuto). Like
+/// SetNumThreads this is a process-wide knob, set once at startup or around
+/// a benchmark/test region, not per call.
+void SetSparseDispatch(SparseDispatch mode);
+SparseDispatch GetSparseDispatch();
+
+/// Density cutoff for kAuto: levels whose adjacency density (measured at
+/// kSparsityThreshold, i.e. the exact entry set CSR would store) is below
+/// this fraction use the O(nnz·d) sparse path; denser levels (notably
+/// softmax-coarsened adjacencies, which are fully dense) stay on the
+/// blocked dense kernel.
+inline constexpr double kSparseDispatchDensity = 0.25;
+
+/// One level of a graph hierarchy, viewed through its adjacency matrix.
+///
+/// GraphLevel owns the dense adjacency tensor and lazily computes + caches
+/// the derived operators every consumer used to re-derive per forward:
+///   - the CSR form of the adjacency and of the normalized operators,
+///   - the sym-normalized propagation matrix D̃^{-1/2}ÃD̃^{-1/2} (GCN),
+///   - the row-normalized matrix D̃^{-1}Ã (ASAP/AttPool/GMN),
+///   - the neighborhood log mask (GAT/ASAP attention).
+///
+/// Caching invariant: derived operators are cached ONLY when the adjacency
+/// is a gradient-free leaf (requires_grad() false and no tape parents) —
+/// then SymNormalize/RowNormalize produce untaped constants that can be
+/// reused across epochs, eval passes, and data-parallel workers without
+/// touching any autograd state. For taped adjacencies (training-mode
+/// coarsened levels, A' = MᵀAM) every accessor computes a fresh taped
+/// result so the autograd graph is identical to the pre-GraphLevel code.
+///
+/// GraphLevel is a cheap shared-state handle (copies alias one State, like
+/// Tensor); the cache is mutex-protected so concurrent workers sharing a
+/// prepared dataset race-freely fill it. Call WarmCaches() at dataset
+/// preparation time to pre-fill outside the training loop.
+class GraphLevel {
+ public:
+  GraphLevel() = default;
+  explicit GraphLevel(Tensor adjacency);
+
+  bool defined() const { return state_ != nullptr; }
+  const Tensor& adjacency() const;
+  int num_nodes() const;
+
+  /// True when the adjacency is a gradient-free leaf and derived operators
+  /// may be cached (see class comment).
+  bool cacheable() const;
+
+  /// Fraction of adjacency entries with |value| > kSparsityThreshold.
+  /// Computed once and cached (a pure data read, safe even on taped
+  /// adjacencies).
+  double Density() const;
+
+  /// Whether this level's propagation uses the CSR fast path under the
+  /// current dispatch policy. Sparse dispatch additionally requires the
+  /// level to be cacheable: building CSR from a taped adjacency would
+  /// detach it from the tape.
+  bool UseSparse() const;
+
+  /// D̃^{-1/2} Ã D̃^{-1/2} (dense tensor; cached when cacheable).
+  Tensor SymNormalized() const;
+
+  /// D̃^{-1} Ã (dense tensor; cached when cacheable).
+  Tensor RowNormalized() const;
+
+  /// Additive attention mask over the self-loop neighbourhood (cached when
+  /// cacheable). See NeighborhoodLogMask.
+  Tensor LogMask() const;
+
+  /// SymNormalized() · x — the GCN propagation step. Uses SpMatMul over
+  /// the cached CSR form when UseSparse(), else the dense MatMul;
+  /// bit-identical either way (see kSparsityThreshold).
+  Tensor Propagate(const Tensor& x) const;
+
+  /// RowNormalized() · x — mean aggregation (ASAP, AttPool, GMN).
+  Tensor PropagateRowNormalized(const Tensor& x) const;
+
+  /// adjacency · x — raw sum aggregation (GIN, coarsening, StructPool).
+  Tensor Aggregate(const Tensor& x) const;
+
+  /// Eagerly computes every derived operator this level can cache (no-op
+  /// for non-cacheable levels). Called at dataset-preparation time so the
+  /// training loop, and every data-parallel worker, reuses one copy.
+  void WarmCaches() const;
+
+ private:
+  struct State;
+
+  /// Cached CSR of the operator chosen by UseSparse(); null on the dense
+  /// path or for non-cacheable levels.
+  const CsrMatrix* SymCsr() const;
+  const CsrMatrix* RowCsr() const;
+  const CsrMatrix* AdjacencyCsr() const;
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hap
+
+#endif  // HAP_GRAPH_GRAPH_LEVEL_H_

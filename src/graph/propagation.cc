@@ -1,4 +1,4 @@
-#include "gnn/propagation.h"
+#include "graph/propagation.h"
 
 #include "common/check.h"
 #include "tensor/ops.h"
@@ -27,11 +27,15 @@ Tensor RowNormalize(const Tensor& a, float eps) {
 
 Tensor NeighborhoodLogMask(const Tensor& a) {
   Tensor a_tilde = AddIdentity(a);
+  // The hard mask is a constant (non-differentiable) tensor; build it with
+  // a single linear sweep over the raw buffers. Zero-initialised entries
+  // stay 0 on edges, exact non-edges get the -1e9 barrier.
   Tensor hard_mask(a_tilde.rows(), a_tilde.cols());
-  for (int r = 0; r < a_tilde.rows(); ++r) {
-    for (int c = 0; c < a_tilde.cols(); ++c) {
-      if (a_tilde.At(r, c) == 0.0f) hard_mask.Set(r, c, -1e9f);
-    }
+  const float* src = a_tilde.data();
+  float* dst = hard_mask.mutable_data();
+  const int64_t size = a_tilde.size();
+  for (int64_t i = 0; i < size; ++i) {
+    if (src[i] == 0.0f) dst[i] = -1e9f;
   }
   return Add(Log(ClampMin(a_tilde, 1e-9f)), hard_mask);
 }

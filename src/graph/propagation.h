@@ -1,5 +1,5 @@
-#ifndef HAP_GNN_PROPAGATION_H_
-#define HAP_GNN_PROPAGATION_H_
+#ifndef HAP_GRAPH_PROPAGATION_H_
+#define HAP_GRAPH_PROPAGATION_H_
 
 #include "tensor/tensor.h"
 
@@ -9,6 +9,10 @@ namespace hap {
 /// Graph::NormalizedAdjacency() (which operates on a fixed input graph),
 /// these run on tensors so they can normalise the coarsened adjacency
 /// A' = Mᵀ A M, which carries gradient (Eq. 18).
+///
+/// GraphLevel (graph/graph_level.h) caches the results of these functions
+/// for gradient-free adjacencies; consumers should normally go through it
+/// rather than calling these directly in per-forward code.
 
 /// Ã = A + I (adds self-loops).
 Tensor AddIdentity(const Tensor& a);
@@ -30,4 +34,4 @@ Tensor NeighborhoodLogMask(const Tensor& a);
 
 }  // namespace hap
 
-#endif  // HAP_GNN_PROPAGATION_H_
+#endif  // HAP_GRAPH_PROPAGATION_H_

@@ -1,6 +1,5 @@
 #include "matching/gmn.h"
 
-#include "gnn/propagation.h"
 #include "tensor/ops.h"
 
 namespace hap {
@@ -25,44 +24,46 @@ GmnModel::GmnModel(const GmnConfig& config, Pooling pooling, Rng* rng)
 }
 
 std::pair<Tensor, Tensor> GmnModel::Propagate(const Tensor& h1,
-                                              const Tensor& a1,
+                                              const GraphLevel& g1,
                                               const Tensor& h2,
-                                              const Tensor& a2,
+                                              const GraphLevel& g2,
                                               int layer) const {
-  auto update_one = [&](const Tensor& self, const Tensor& adj,
+  auto update_one = [&](const Tensor& self, const GraphLevel& level,
                         const Tensor& other) {
-    Tensor neighbor = MatMul(RowNormalize(adj), self);
+    // Cached row-normalized operator: computed once per level instead of
+    // once per propagation layer.
+    Tensor neighbor = level.PropagateRowNormalized(self);
     // Cross-graph attention: each node attends over the partner graph.
     Tensor attention = SoftmaxRows(MatMul(self, Transpose(other)));
     Tensor mismatch = Sub(self, MatMul(attention, other));
     Tensor joined = ConcatCols(ConcatCols(self, neighbor), mismatch);
     return Relu(update_layers_[layer]->Forward(joined));
   };
-  return {update_one(h1, a1, h2), update_one(h2, a2, h1)};
+  return {update_one(h1, g1, h2), update_one(h2, g2, h1)};
 }
 
-Tensor GmnModel::Pool(const Tensor& h, const Tensor& adjacency) const {
+Tensor GmnModel::Pool(const Tensor& h, const GraphLevel& level) const {
   if (pooling_ == Pooling::kGatedSum) {
     Tensor gates = Sigmoid(gate_->Forward(h));
     Tensor values = Tanh(value_->Forward(h));
     return ReduceSumRows(ScaleRows(values, gates));
   }
-  CoarsenResult coarse = hap_coarsener_->Forward(h, adjacency);
+  CoarsenResult coarse = hap_coarsener_->Forward(h, level);
   return ReduceMeanRows(coarse.h);
 }
 
 std::pair<Tensor, Tensor> GmnModel::EmbedPair(const Tensor& h1,
-                                              const Tensor& a1,
+                                              const GraphLevel& g1,
                                               const Tensor& h2,
-                                              const Tensor& a2) const {
+                                              const GraphLevel& g2) const {
   Tensor x1 = Relu(input_proj_.Forward(h1));
   Tensor x2 = Relu(input_proj_.Forward(h2));
   for (int layer = 0; layer < config_.layers; ++layer) {
-    auto [next1, next2] = Propagate(x1, a1, x2, a2, layer);
+    auto [next1, next2] = Propagate(x1, g1, x2, g2, layer);
     x1 = next1;
     x2 = next2;
   }
-  return {Pool(x1, a1), Pool(x2, a2)};
+  return {Pool(x1, g1), Pool(x2, g2)};
 }
 
 void GmnModel::CollectParameters(std::vector<Tensor>* out) const {

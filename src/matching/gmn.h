@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/coarsening.h"
+#include "graph/graph_level.h"
 #include "tensor/module.h"
 
 namespace hap {
@@ -32,10 +33,19 @@ class GmnModel : public Module {
 
   GmnModel(const GmnConfig& config, Pooling pooling, Rng* rng);
 
-  /// Joint pair embedding; each output is (1, hidden_dim).
+  /// Joint pair embedding; each output is (1, hidden_dim). The levels'
+  /// cached row-normalized operators are reused across all propagation
+  /// layers (and across epochs when the levels come from PrepareGraph).
+  std::pair<Tensor, Tensor> EmbedPair(const Tensor& h1, const GraphLevel& g1,
+                                      const Tensor& h2,
+                                      const GraphLevel& g2) const;
+
+  /// Compatibility shim wrapping bare adjacencies in ephemeral levels.
   std::pair<Tensor, Tensor> EmbedPair(const Tensor& h1, const Tensor& a1,
                                       const Tensor& h2,
-                                      const Tensor& a2) const;
+                                      const Tensor& a2) const {
+    return EmbedPair(h1, GraphLevel(a1), h2, GraphLevel(a2));
+  }
 
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training);
@@ -43,10 +53,10 @@ class GmnModel : public Module {
 
  private:
   /// One propagation step updating both graphs jointly.
-  std::pair<Tensor, Tensor> Propagate(const Tensor& h1, const Tensor& a1,
-                                      const Tensor& h2, const Tensor& a2,
+  std::pair<Tensor, Tensor> Propagate(const Tensor& h1, const GraphLevel& g1,
+                                      const Tensor& h2, const GraphLevel& g2,
                                       int layer) const;
-  Tensor Pool(const Tensor& h, const Tensor& adjacency) const;
+  Tensor Pool(const Tensor& h, const GraphLevel& level) const;
 
   GmnConfig config_;
   Pooling pooling_;

@@ -1,8 +1,8 @@
 #include "pooling/asap.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "gnn/propagation.h"
 #include "pooling/topk.h"
 #include "tensor/ops.h"
 
@@ -16,35 +16,34 @@ AsapCoarsener::AsapCoarsener(int in_features, double ratio, Rng* rng)
       ratio_(ratio) {}
 
 CoarsenResult AsapCoarsener::Forward(const Tensor& h,
-                                     const Tensor& adjacency) const {
+                                     const GraphLevel& level) const {
   const int n = h.rows();
   // Ego means: master_i = mean over the closed 1-hop neighbourhood.
-  Tensor ego_mean = MatMul(RowNormalize(adjacency), h);  // (N, F)
+  Tensor ego_mean = level.PropagateRowNormalized(h);  // (N, F)
   // Cluster features: attention of the master over its members, realised
   // densely with a log-mask so only 1-hop members participate.
   Tensor queries = master_query_.Forward(ego_mean);  // (N, F)
   Tensor keys = member_key_.Forward(h);              // (N, F)
   Tensor logits = MatMul(queries, Transpose(keys));  // (N, N)
-  Tensor attention = SoftmaxRows(
-      Add(LeakyRelu(logits), NeighborhoodLogMask(adjacency)));
+  Tensor attention = SoftmaxRows(Add(LeakyRelu(logits), level.LogMask()));
   Tensor clusters = MatMul(attention, h);  // (N, F) candidate clusters
   // LEConv-style fitness: phi_i = self(x_i) - mean_j neighbor(x_j).
-  Tensor fitness = Sigmoid(Sub(score_self_.Forward(clusters),
-                               MatMul(RowNormalize(adjacency),
-                                      score_neighbor_.Forward(clusters))));
+  Tensor fitness = Sigmoid(
+      Sub(score_self_.Forward(clusters),
+          level.PropagateRowNormalized(score_neighbor_.Forward(clusters))));
   const int k = TopKKeepCount(n, ratio_);
   std::vector<float> fitness_values(n);
   for (int i = 0; i < n; ++i) fitness_values[i] = fitness.At(i, 0);
   std::vector<int> keep = ArgSortDescending(fitness_values);
   keep.resize(k);
   std::sort(keep.begin(), keep.end());
-  CoarsenResult result;
-  result.h = ScaleRows(GatherRows(clusters, keep), GatherRows(fitness, keep));
+  Tensor kept_h =
+      ScaleRows(GatherRows(clusters, keep), GatherRows(fitness, keep));
   // A' = S^T A S with S the (soft) membership of kept clusters.
   Tensor kept_attention = GatherRows(attention, keep);  // (k, N)
-  result.adjacency =
-      MatMul(kept_attention, MatMul(adjacency, Transpose(kept_attention)));
-  return result;
+  Tensor coarse_adj =
+      MatMul(kept_attention, level.Aggregate(Transpose(kept_attention)));
+  return CoarsenResult(std::move(kept_h), std::move(coarse_adj));
 }
 
 void AsapCoarsener::CollectParameters(std::vector<Tensor>* out) const {

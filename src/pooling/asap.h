@@ -18,7 +18,9 @@ class AsapCoarsener : public Coarsener {
  public:
   AsapCoarsener(int in_features, double ratio, Rng* rng);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

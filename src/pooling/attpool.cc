@@ -1,8 +1,8 @@
 #include "pooling/attpool.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "gnn/propagation.h"
 #include "pooling/topk.h"
 #include "tensor/ops.h"
 
@@ -16,7 +16,8 @@ AttPoolCoarsener::AttPoolCoarsener(int in_features, double ratio, Mode mode,
       mode_(mode) {}
 
 CoarsenResult AttPoolCoarsener::Forward(const Tensor& h,
-                                        const Tensor& adjacency) const {
+                                        const GraphLevel& level) const {
+  const Tensor& adjacency = level.adjacency();
   const int n = h.rows();
   Tensor scores = MatMul(Tanh(transform_.Forward(h)), context_);  // (N, 1)
   Tensor attention = SoftmaxRows(Transpose(scores));              // (1, N)
@@ -41,12 +42,12 @@ CoarsenResult AttPoolCoarsener::Forward(const Tensor& h,
   keep.resize(TopKKeepCount(n, ratio_));
   std::sort(keep.begin(), keep.end());
   // Kept nodes aggregate attention-weighted 1-hop features before slicing.
-  Tensor aggregated = MatMul(RowNormalize(adjacency), ScaleRows(h, Transpose(attention)));
-  CoarsenResult result;
-  result.h = GatherRows(aggregated, keep);
+  Tensor aggregated =
+      level.PropagateRowNormalized(ScaleRows(h, Transpose(attention)));
+  Tensor kept_h = GatherRows(aggregated, keep);
   Tensor rows = GatherRows(adjacency, keep);
-  result.adjacency = Transpose(GatherRows(Transpose(rows), keep));
-  return result;
+  Tensor kept_adj = Transpose(GatherRows(Transpose(rows), keep));
+  return CoarsenResult(std::move(kept_h), std::move(kept_adj));
 }
 
 void AttPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {

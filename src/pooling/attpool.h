@@ -20,7 +20,9 @@ class AttPoolCoarsener : public Coarsener {
 
   AttPoolCoarsener(int in_features, double ratio, Mode mode, Rng* rng);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

@@ -1,5 +1,7 @@
 #include "pooling/diffpool.h"
 
+#include <utility>
+
 #include "tensor/ops.h"
 
 namespace hap {
@@ -11,15 +13,14 @@ DiffPoolCoarsener::DiffPoolCoarsener(int in_features, int num_clusters,
       num_clusters_(num_clusters) {}
 
 CoarsenResult DiffPoolCoarsener::Forward(const Tensor& h,
-                                         const Tensor& adjacency) const {
-  Tensor assignment = SoftmaxRows(assign_layer_.Forward(h, adjacency));
+                                         const GraphLevel& level) const {
+  Tensor assignment = SoftmaxRows(assign_layer_.Forward(h, level));
   last_assignment_ = assignment;
-  Tensor embedded = embed_layer_.Forward(h, adjacency);
-  CoarsenResult result;
-  result.h = MatMul(Transpose(assignment), embedded);
-  result.adjacency =
-      MatMul(Transpose(assignment), MatMul(adjacency, assignment));
-  return result;
+  Tensor embedded = embed_layer_.Forward(h, level);
+  Tensor coarse_h = MatMul(Transpose(assignment), embedded);
+  Tensor coarse_adj =
+      MatMul(Transpose(assignment), level.Aggregate(assignment));
+  return CoarsenResult(std::move(coarse_h), std::move(coarse_adj));
 }
 
 void DiffPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {

@@ -4,8 +4,8 @@
 
 namespace hap {
 
-Tensor SumReadout::Forward(const Tensor& h, const Tensor& adjacency) const {
-  (void)adjacency;
+Tensor SumReadout::Forward(const Tensor& h, const GraphLevel& level) const {
+  (void)level;
   return ReduceSumRows(h);
 }
 
@@ -13,8 +13,8 @@ void SumReadout::CollectParameters(std::vector<Tensor>* out) const {
   (void)out;
 }
 
-Tensor MeanReadout::Forward(const Tensor& h, const Tensor& adjacency) const {
-  (void)adjacency;
+Tensor MeanReadout::Forward(const Tensor& h, const GraphLevel& level) const {
+  (void)level;
   return ReduceMeanRows(h);
 }
 
@@ -22,8 +22,8 @@ void MeanReadout::CollectParameters(std::vector<Tensor>* out) const {
   (void)out;
 }
 
-Tensor MaxReadout::Forward(const Tensor& h, const Tensor& adjacency) const {
-  (void)adjacency;
+Tensor MaxReadout::Forward(const Tensor& h, const GraphLevel& level) const {
+  (void)level;
   return ReduceMaxRows(h);
 }
 
@@ -35,8 +35,8 @@ MeanAttReadout::MeanAttReadout(int in_features, Rng* rng)
     : weight_(Tensor::Xavier(in_features, in_features, rng)) {}
 
 Tensor MeanAttReadout::Forward(const Tensor& h,
-                               const Tensor& adjacency) const {
-  (void)adjacency;
+                               const GraphLevel& level) const {
+  (void)level;
   Tensor content = Tanh(MatMul(ReduceMeanRows(h), weight_));  // (1, F)
   Tensor scores = Sigmoid(MatMul(h, Transpose(content)));     // (N, 1)
   return MatMul(Transpose(scores), h);                        // (1, F)
@@ -50,8 +50,8 @@ GatedSumReadout::GatedSumReadout(int in_features, Rng* rng)
     : gate_(in_features, 1, rng), value_(in_features, in_features, rng) {}
 
 Tensor GatedSumReadout::Forward(const Tensor& h,
-                                const Tensor& adjacency) const {
-  (void)adjacency;
+                                const GraphLevel& level) const {
+  (void)level;
   Tensor gates = Sigmoid(gate_.Forward(h));   // (N, 1)
   Tensor values = Tanh(value_.Forward(h));    // (N, F)
   return ReduceSumRows(ScaleRows(values, gates));

@@ -10,21 +10,24 @@ namespace hap {
 /// baseline in Table 3).
 class SumReadout : public Readout {
  public:
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Readout::Forward;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 };
 
 /// Element-wise mean over nodes.
 class MeanReadout : public Readout {
  public:
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Readout::Forward;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 };
 
 /// Element-wise max over nodes.
 class MaxReadout : public Readout {
  public:
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Readout::Forward;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 };
 
@@ -34,7 +37,8 @@ class MaxReadout : public Readout {
 class MeanAttReadout : public Readout {
  public:
   MeanAttReadout(int in_features, Rng* rng);
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Readout::Forward;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:
@@ -46,7 +50,8 @@ class MeanAttReadout : public Readout {
 class GatedSumReadout : public Readout {
  public:
   GatedSumReadout(int in_features, Rng* rng);
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Readout::Forward;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

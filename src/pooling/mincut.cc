@@ -1,6 +1,7 @@
 #include "pooling/mincut.h"
 
 #include <cmath>
+#include <utility>
 
 #include "tensor/ops.h"
 
@@ -23,13 +24,13 @@ MinCutPoolCoarsener::MinCutPoolCoarsener(int in_features, int num_clusters,
       num_clusters_(num_clusters) {}
 
 CoarsenResult MinCutPoolCoarsener::Forward(const Tensor& h,
-                                           const Tensor& adjacency) const {
+                                           const GraphLevel& level) const {
+  const Tensor& adjacency = level.adjacency();
   Tensor assignment =
       SoftmaxRows(assign2_.Forward(Relu(assign1_.Forward(h))));  // (N, k)
   Tensor s_t = Transpose(assignment);
-  CoarsenResult result;
-  result.h = MatMul(s_t, h);
-  result.adjacency = MatMul(s_t, MatMul(adjacency, assignment));
+  CoarsenResult result(MatMul(s_t, h),
+                       MatMul(s_t, level.Aggregate(assignment)));
 
   // Normalised-cut relaxation: maximise within-cluster edge mass.
   Tensor degree_diag = Tensor::Zeros(adjacency.rows(), adjacency.cols());

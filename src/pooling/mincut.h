@@ -18,7 +18,9 @@ class MinCutPoolCoarsener : public Coarsener {
  public:
   MinCutPoolCoarsener(int in_features, int num_clusters, Rng* rng);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
   /// Cut + orthogonality regulariser from the most recent Forward().

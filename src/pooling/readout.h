@@ -1,28 +1,47 @@
 #ifndef HAP_POOLING_READOUT_H_
 #define HAP_POOLING_READOUT_H_
 
+#include <utility>
+
+#include "graph/graph_level.h"
 #include "tensor/module.h"
 #include "tensor/tensor.h"
 
 namespace hap {
 
-/// A flat pooler: collapses node features (N, F) + adjacency (N, N) into a
-/// single graph-level embedding (1, F_out). Implementations cover the
-/// "universal" and "Top-K" baseline families of Table 3.
+/// A flat pooler: collapses node features (N, F) + a graph level (its
+/// (N, N) adjacency view) into a single graph-level embedding (1, F_out).
+/// Implementations cover the "universal" and "Top-K" baseline families of
+/// Table 3.
 class Readout : public Module {
  public:
   ~Readout() override = default;
 
-  virtual Tensor Forward(const Tensor& h, const Tensor& adjacency) const = 0;
+  virtual Tensor Forward(const Tensor& h, const GraphLevel& level) const = 0;
+
+  /// Compatibility shim wrapping a bare adjacency in an ephemeral level.
+  /// Derived classes re-expose it with `using Readout::Forward;`.
+  Tensor Forward(const Tensor& h, const Tensor& adjacency) const {
+    return Forward(h, GraphLevel(adjacency));
+  }
 
   /// Output embedding width given `in_features` wide node features.
   virtual int OutFeatures(int in_features) const { return in_features; }
 };
 
-/// Result of one graph-coarsening step.
+/// Result of one graph-coarsening step. `level` wraps `adjacency` so the
+/// next stage reuses its cached operators; the raw tensors stay exposed
+/// because tests and aux-loss code read them directly.
 struct CoarsenResult {
+  CoarsenResult() = default;
+  CoarsenResult(Tensor h_in, Tensor adjacency_in)
+      : h(std::move(h_in)),
+        adjacency(std::move(adjacency_in)),
+        level(adjacency) {}
+
   Tensor h;          // (N', F) cluster features
   Tensor adjacency;  // (N', N') coarsened weighted adjacency
+  GraphLevel level;  // view over `adjacency`
 };
 
 /// A hierarchical pooler: maps a graph level (H, A) to a coarser level
@@ -34,7 +53,13 @@ class Coarsener : public Module {
   ~Coarsener() override = default;
 
   virtual CoarsenResult Forward(const Tensor& h,
-                                const Tensor& adjacency) const = 0;
+                                const GraphLevel& level) const = 0;
+
+  /// Compatibility shim wrapping a bare adjacency in an ephemeral level.
+  /// Derived classes re-expose it with `using Coarsener::Forward;`.
+  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const {
+    return Forward(h, GraphLevel(adjacency));
+  }
 
   /// Toggles training-only stochasticity (HAP's Gumbel soft sampling);
   /// deterministic coarseners ignore it.

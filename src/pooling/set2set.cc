@@ -10,8 +10,8 @@ Set2SetReadout::Set2SetReadout(int in_features, Rng* rng, int steps)
       in_features_(in_features) {}
 
 Tensor Set2SetReadout::Forward(const Tensor& h,
-                               const Tensor& adjacency) const {
-  (void)adjacency;
+                               const GraphLevel& level) const {
+  (void)level;
   Tensor query = Tensor::Zeros(1, in_features_);
   Tensor readout = Tensor::Zeros(1, in_features_);
   for (int t = 0; t < steps_; ++t) {

@@ -1,5 +1,7 @@
 #include "pooling/structpool.h"
 
+#include <utility>
+
 #include "tensor/ops.h"
 
 namespace hap {
@@ -12,18 +14,17 @@ StructPoolCoarsener::StructPoolCoarsener(int in_features, int num_clusters,
       iterations_(iterations) {}
 
 CoarsenResult StructPoolCoarsener::Forward(const Tensor& h,
-                                           const Tensor& adjacency) const {
+                                           const GraphLevel& level) const {
   Tensor unary = unary_.Forward(h);      // (N, N')
   Tensor q = SoftmaxRows(unary);
   for (int it = 0; it < iterations_; ++it) {
     // Message passing: neighbours vote for compatible labels.
-    Tensor message = MatMul(MatMul(adjacency, q), pairwise_);
+    Tensor message = MatMul(level.Aggregate(q), pairwise_);
     q = SoftmaxRows(Add(unary, message));
   }
-  CoarsenResult result;
-  result.h = MatMul(Transpose(q), h);
-  result.adjacency = MatMul(Transpose(q), MatMul(adjacency, q));
-  return result;
+  Tensor coarse_h = MatMul(Transpose(q), h);
+  Tensor coarse_adj = MatMul(Transpose(q), level.Aggregate(q));
+  return CoarsenResult(std::move(coarse_h), std::move(coarse_adj));
 }
 
 void StructPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {

@@ -18,7 +18,9 @@ class StructPoolCoarsener : public Coarsener {
   StructPoolCoarsener(int in_features, int num_clusters, Rng* rng,
                       int iterations = 2);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "tensor/ops.h"
@@ -26,12 +27,11 @@ CoarsenResult KeepTopK(const Tensor& h, const Tensor& adjacency,
   std::vector<int> keep = ArgSortDescending(score_values);
   keep.resize(k);
   std::sort(keep.begin(), keep.end());  // Preserve original node order.
-  CoarsenResult result;
-  result.h = ScaleRows(GatherRows(h, keep), GatherRows(gates, keep));
+  Tensor kept_h = ScaleRows(GatherRows(h, keep), GatherRows(gates, keep));
   // A' = A[keep][:, keep]; gather rows then columns via transpose.
   Tensor rows = GatherRows(adjacency, keep);
-  result.adjacency = Transpose(GatherRows(Transpose(rows), keep));
-  return result;
+  Tensor kept_adj = Transpose(GatherRows(Transpose(rows), keep));
+  return CoarsenResult(std::move(kept_h), std::move(kept_adj));
 }
 
 }  // namespace
@@ -40,14 +40,14 @@ GPoolCoarsener::GPoolCoarsener(int in_features, double ratio, Rng* rng)
     : projection_(Tensor::Xavier(in_features, 1, rng)), ratio_(ratio) {}
 
 CoarsenResult GPoolCoarsener::Forward(const Tensor& h,
-                                      const Tensor& adjacency) const {
+                                      const GraphLevel& level) const {
   // y = H p / ||p||
   Tensor norm = Sqrt(AddScalar(ReduceSumAll(Square(projection_)), 1e-12f));
   Tensor scores = MatMul(h, projection_);  // (N, 1)
   // Divide by the scalar norm via broadcasting against a same-shaped tensor.
   Tensor norm_column = MatMul(Tensor::Ones(h.rows(), 1), norm);
   Tensor gates = Sigmoid(Div(scores, norm_column));
-  return KeepTopK(h, adjacency, gates, ratio_);
+  return KeepTopK(h, level.adjacency(), gates, ratio_);
 }
 
 void GPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {
@@ -58,9 +58,9 @@ SagPoolCoarsener::SagPoolCoarsener(int in_features, double ratio, Rng* rng)
     : score_layer_(in_features, 1, rng, Activation::kNone), ratio_(ratio) {}
 
 CoarsenResult SagPoolCoarsener::Forward(const Tensor& h,
-                                        const Tensor& adjacency) const {
-  Tensor gates = Tanh(score_layer_.Forward(h, adjacency));  // (N, 1)
-  return KeepTopK(h, adjacency, gates, ratio_);
+                                        const GraphLevel& level) const {
+  Tensor gates = Tanh(score_layer_.Forward(h, level));  // (N, 1)
+  return KeepTopK(h, level.adjacency(), gates, ratio_);
 }
 
 void SagPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {
@@ -70,8 +70,8 @@ void SagPoolCoarsener::CollectParameters(std::vector<Tensor>* out) const {
 SortPoolReadout::SortPoolReadout(int k) : k_(k) { HAP_CHECK_GE(k, 1); }
 
 Tensor SortPoolReadout::Forward(const Tensor& h,
-                                const Tensor& adjacency) const {
-  (void)adjacency;
+                                const GraphLevel& level) const {
+  (void)level;
   const int n = h.rows(), f = h.cols();
   std::vector<float> last_channel(n);
   for (int i = 0; i < n; ++i) last_channel[i] = h.At(i, f - 1);

@@ -17,7 +17,9 @@ class GPoolCoarsener : public Coarsener {
  public:
   GPoolCoarsener(int in_features, double ratio, Rng* rng);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:
@@ -31,7 +33,9 @@ class SagPoolCoarsener : public Coarsener {
  public:
   SagPoolCoarsener(int in_features, double ratio, Rng* rng);
 
-  CoarsenResult Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Coarsener::Forward;
+  CoarsenResult Forward(const Tensor& h,
+                        const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:
@@ -46,7 +50,8 @@ class SortPoolReadout : public Readout {
  public:
   explicit SortPoolReadout(int k);
 
-  Tensor Forward(const Tensor& h, const Tensor& adjacency) const override;
+  using Readout::Forward;
+  Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
   int OutFeatures(int in_features) const override { return k_ * in_features; }
 

@@ -36,39 +36,49 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out = MakeOpResult(m, n, {a, b}, [m, k, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     internal::TensorImpl& pb = Parent(node, 1);
-    pa.EnsureGrad();
-    pb.EnsureGrad();
-    // dA += dOut * B^T, row-blocked over A's rows: block-private outputs.
-    ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
-                [&](int64_t lo, int64_t hi) {
-                  for (int64_t i = lo; i < hi; ++i) {
-                    for (int j = 0; j < n; ++j) {
-                      const float g = node.grad[static_cast<size_t>(i) * n + j];
-                      if (g == 0.0f) continue;
-                      for (int p = 0; p < k; ++p) {
-                        pa.grad[static_cast<size_t>(i) * k + p] +=
-                            g * pb.data[static_cast<size_t>(p) * n + j];
-                      }
-                    }
-                  }
-                });
-    // dB += A^T * dOut, row-blocked over B's rows. For each (p, j) the sum
-    // still runs over i ascending, matching the serial accumulation order.
-    ParallelFor(0, k, RowGrain(static_cast<int64_t>(m) * n),
-                [&](int64_t lo, int64_t hi) {
-                  for (int64_t p = lo; p < hi; ++p) {
-                    for (int i = 0; i < m; ++i) {
-                      const float av =
-                          pa.data[static_cast<size_t>(i) * k + p];
+    // Each parent accumulates only if it requires grad: gradient-free
+    // inputs (cached propagation operators, dataset tensors) are skipped,
+    // which both avoids the wasted O(mkn) work and keeps tensors shared
+    // across data-parallel workers free of concurrent grad writes.
+    if (pa.requires_grad) {
+      pa.EnsureGrad();
+      // dA += dOut * B^T, row-blocked over A's rows: block-private outputs.
+      ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t i = lo; i < hi; ++i) {
                       for (int j = 0; j < n; ++j) {
                         const float g =
                             node.grad[static_cast<size_t>(i) * n + j];
                         if (g == 0.0f) continue;
-                        pb.grad[static_cast<size_t>(p) * n + j] += g * av;
+                        for (int p = 0; p < k; ++p) {
+                          pa.grad[static_cast<size_t>(i) * k + p] +=
+                              g * pb.data[static_cast<size_t>(p) * n + j];
+                        }
                       }
                     }
-                  }
-                });
+                  });
+    }
+    if (pb.requires_grad) {
+      pb.EnsureGrad();
+      // dB += A^T * dOut, row-blocked over B's rows. For each (p, j) the
+      // sum still runs over i ascending, matching the serial accumulation
+      // order.
+      ParallelFor(0, k, RowGrain(static_cast<int64_t>(m) * n),
+                  [&](int64_t lo, int64_t hi) {
+                    for (int64_t p = lo; p < hi; ++p) {
+                      for (int i = 0; i < m; ++i) {
+                        const float av =
+                            pa.data[static_cast<size_t>(i) * k + p];
+                        for (int j = 0; j < n; ++j) {
+                          const float g =
+                              node.grad[static_cast<size_t>(i) * n + j];
+                          if (g == 0.0f) continue;
+                          pb.grad[static_cast<size_t>(p) * n + j] += g * av;
+                        }
+                      }
+                    }
+                  });
+    }
   });
   // Forward: i-p-j loop order for cache friendliness, row-blocked over the
   // output rows (each block writes a disjoint row range).
@@ -97,6 +107,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       a.rows(), a.cols(), {a, b}, [](internal::TensorImpl& node) {
         for (size_t p = 0; p < 2; ++p) {
           internal::TensorImpl& parent = Parent(node, p);
+          if (!parent.requires_grad) continue;
           parent.EnsureGrad();
           ParallelFor(0, static_cast<int64_t>(node.grad.size()),
                       kParallelGrainWork, [&](int64_t lo, int64_t hi) {
@@ -119,17 +130,28 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                             [](internal::TensorImpl& node) {
                               internal::TensorImpl& pa = Parent(node, 0);
                               internal::TensorImpl& pb = Parent(node, 1);
-                              pa.EnsureGrad();
-                              pb.EnsureGrad();
-                              ParallelFor(
-                                  0, static_cast<int64_t>(node.grad.size()),
-                                  kParallelGrainWork,
-                                  [&](int64_t lo, int64_t hi) {
-                                    for (int64_t i = lo; i < hi; ++i) {
-                                      pa.grad[i] += node.grad[i];
-                                      pb.grad[i] -= node.grad[i];
-                                    }
-                                  });
+                              if (pa.requires_grad) {
+                                pa.EnsureGrad();
+                                ParallelFor(
+                                    0, static_cast<int64_t>(node.grad.size()),
+                                    kParallelGrainWork,
+                                    [&](int64_t lo, int64_t hi) {
+                                      for (int64_t i = lo; i < hi; ++i) {
+                                        pa.grad[i] += node.grad[i];
+                                      }
+                                    });
+                              }
+                              if (pb.requires_grad) {
+                                pb.EnsureGrad();
+                                ParallelFor(
+                                    0, static_cast<int64_t>(node.grad.size()),
+                                    kParallelGrainWork,
+                                    [&](int64_t lo, int64_t hi) {
+                                      for (int64_t i = lo; i < hi; ++i) {
+                                        pb.grad[i] -= node.grad[i];
+                                      }
+                                    });
+                              }
                             });
   float* o = out.mutable_data();
   ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
@@ -144,17 +166,30 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
                             [](internal::TensorImpl& node) {
                               internal::TensorImpl& pa = Parent(node, 0);
                               internal::TensorImpl& pb = Parent(node, 1);
-                              pa.EnsureGrad();
-                              pb.EnsureGrad();
-                              ParallelFor(
-                                  0, static_cast<int64_t>(node.grad.size()),
-                                  kParallelGrainWork,
-                                  [&](int64_t lo, int64_t hi) {
-                                    for (int64_t i = lo; i < hi; ++i) {
-                                      pa.grad[i] += node.grad[i] * pb.data[i];
-                                      pb.grad[i] += node.grad[i] * pa.data[i];
-                                    }
-                                  });
+                              if (pa.requires_grad) {
+                                pa.EnsureGrad();
+                                ParallelFor(
+                                    0, static_cast<int64_t>(node.grad.size()),
+                                    kParallelGrainWork,
+                                    [&](int64_t lo, int64_t hi) {
+                                      for (int64_t i = lo; i < hi; ++i) {
+                                        pa.grad[i] +=
+                                            node.grad[i] * pb.data[i];
+                                      }
+                                    });
+                              }
+                              if (pb.requires_grad) {
+                                pb.EnsureGrad();
+                                ParallelFor(
+                                    0, static_cast<int64_t>(node.grad.size()),
+                                    kParallelGrainWork,
+                                    [&](int64_t lo, int64_t hi) {
+                                      for (int64_t i = lo; i < hi; ++i) {
+                                        pb.grad[i] +=
+                                            node.grad[i] * pa.data[i];
+                                      }
+                                    });
+                              }
                             });
   float* o = out.mutable_data();
   ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
@@ -169,16 +204,26 @@ Tensor Div(const Tensor& a, const Tensor& b) {
       a.rows(), a.cols(), {a, b}, [](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         internal::TensorImpl& pb = Parent(node, 1);
-        pa.EnsureGrad();
-        pb.EnsureGrad();
-        ParallelFor(0, static_cast<int64_t>(node.grad.size()),
-                    kParallelGrainWork, [&](int64_t lo, int64_t hi) {
-                      for (int64_t i = lo; i < hi; ++i) {
-                        const float inv = 1.0f / pb.data[i];
-                        pa.grad[i] += node.grad[i] * inv;
-                        pb.grad[i] -= node.grad[i] * pa.data[i] * inv * inv;
-                      }
-                    });
+        if (pa.requires_grad) {
+          pa.EnsureGrad();
+          ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                      kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          const float inv = 1.0f / pb.data[i];
+                          pa.grad[i] += node.grad[i] * inv;
+                        }
+                      });
+        }
+        if (pb.requires_grad) {
+          pb.EnsureGrad();
+          ParallelFor(0, static_cast<int64_t>(node.grad.size()),
+                      kParallelGrainWork, [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          const float inv = 1.0f / pb.data[i];
+                          pb.grad[i] -= node.grad[i] * pa.data[i] * inv * inv;
+                        }
+                      });
+        }
       });
   float* o = out.mutable_data();
   ParallelFor(0, a.size(), kParallelGrainWork, [&](int64_t lo, int64_t hi) {
@@ -195,13 +240,21 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
       MakeOpResult(m, n, {a, row}, [m, n](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         internal::TensorImpl& pr = Parent(node, 1);
-        pa.EnsureGrad();
-        pr.EnsureGrad();
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < n; ++j) {
-            const float g = node.grad[static_cast<size_t>(i) * n + j];
-            pa.grad[static_cast<size_t>(i) * n + j] += g;
-            pr.grad[j] += g;
+        if (pa.requires_grad) {
+          pa.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+              pa.grad[static_cast<size_t>(i) * n + j] +=
+                  node.grad[static_cast<size_t>(i) * n + j];
+            }
+          }
+        }
+        if (pr.requires_grad) {
+          pr.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+              pr.grad[j] += node.grad[static_cast<size_t>(i) * n + j];
+            }
           }
         }
       });
@@ -223,19 +276,30 @@ Tensor ScaleRows(const Tensor& a, const Tensor& scale) {
       MakeOpResult(m, n, {a, scale}, [m, n](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         internal::TensorImpl& ps = Parent(node, 1);
-        pa.EnsureGrad();
-        ps.EnsureGrad();
         // Row-parallel: row i of pa.grad and ps.grad[i] are block-private.
-        ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
-          for (int64_t i = lo; i < hi; ++i) {
-            const float s = ps.data[i];
-            for (int j = 0; j < n; ++j) {
-              const float g = node.grad[static_cast<size_t>(i) * n + j];
-              pa.grad[static_cast<size_t>(i) * n + j] += g * s;
-              ps.grad[i] += g * pa.data[static_cast<size_t>(i) * n + j];
+        if (pa.requires_grad) {
+          pa.EnsureGrad();
+          ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              const float s = ps.data[i];
+              for (int j = 0; j < n; ++j) {
+                pa.grad[static_cast<size_t>(i) * n + j] +=
+                    node.grad[static_cast<size_t>(i) * n + j] * s;
+              }
             }
-          }
-        });
+          });
+        }
+        if (ps.requires_grad) {
+          ps.EnsureGrad();
+          ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              for (int j = 0; j < n; ++j) {
+                ps.grad[i] += node.grad[static_cast<size_t>(i) * n + j] *
+                              pa.data[static_cast<size_t>(i) * n + j];
+              }
+            }
+          });
+        }
       });
   float* o = out.mutable_data();
   ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
@@ -258,13 +322,22 @@ Tensor ScaleCols(const Tensor& a, const Tensor& scale) {
       MakeOpResult(m, n, {a, scale}, [m, n](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         internal::TensorImpl& ps = Parent(node, 1);
-        pa.EnsureGrad();
-        ps.EnsureGrad();
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < n; ++j) {
-            const float g = node.grad[static_cast<size_t>(i) * n + j];
-            pa.grad[static_cast<size_t>(i) * n + j] += g * ps.data[j];
-            ps.grad[j] += g * pa.data[static_cast<size_t>(i) * n + j];
+        if (pa.requires_grad) {
+          pa.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+              pa.grad[static_cast<size_t>(i) * n + j] +=
+                  node.grad[static_cast<size_t>(i) * n + j] * ps.data[j];
+            }
+          }
+        }
+        if (ps.requires_grad) {
+          ps.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+              ps.grad[j] += node.grad[static_cast<size_t>(i) * n + j] *
+                            pa.data[static_cast<size_t>(i) * n + j];
+            }
           }
         }
       });
@@ -286,13 +359,20 @@ Tensor OuterSum(const Tensor& col, const Tensor& row) {
       MakeOpResult(m, n, {col, row}, [m, n](internal::TensorImpl& node) {
         internal::TensorImpl& pc = Parent(node, 0);
         internal::TensorImpl& pr = Parent(node, 1);
-        pc.EnsureGrad();
-        pr.EnsureGrad();
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < n; ++j) {
-            const float g = node.grad[static_cast<size_t>(i) * n + j];
-            pc.grad[i] += g;
-            pr.grad[j] += g;
+        if (pc.requires_grad) {
+          pc.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+              pc.grad[i] += node.grad[static_cast<size_t>(i) * n + j];
+            }
+          }
+        }
+        if (pr.requires_grad) {
+          pr.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+              pr.grad[j] += node.grad[static_cast<size_t>(i) * n + j];
+            }
           }
         }
       });
@@ -373,17 +453,23 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
       MakeOpResult(m, na + nb, {a, b}, [m, na, nb](internal::TensorImpl& node) {
         internal::TensorImpl& pa = Parent(node, 0);
         internal::TensorImpl& pb = Parent(node, 1);
-        pa.EnsureGrad();
-        pb.EnsureGrad();
         const int n = na + nb;
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < na; ++j) {
-            pa.grad[static_cast<size_t>(i) * na + j] +=
-                node.grad[static_cast<size_t>(i) * n + j];
+        if (pa.requires_grad) {
+          pa.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < na; ++j) {
+              pa.grad[static_cast<size_t>(i) * na + j] +=
+                  node.grad[static_cast<size_t>(i) * n + j];
+            }
           }
-          for (int j = 0; j < nb; ++j) {
-            pb.grad[static_cast<size_t>(i) * nb + j] +=
-                node.grad[static_cast<size_t>(i) * n + na + j];
+        }
+        if (pb.requires_grad) {
+          pb.EnsureGrad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < nb; ++j) {
+              pb.grad[static_cast<size_t>(i) * nb + j] +=
+                  node.grad[static_cast<size_t>(i) * n + na + j];
+            }
           }
         }
       });
@@ -421,6 +507,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       total_rows, n, parts, [row_offsets, n](internal::TensorImpl& node) {
         for (size_t p = 0; p < node.parents.size(); ++p) {
           internal::TensorImpl& parent = Parent(node, p);
+          if (!parent.requires_grad) continue;
           parent.EnsureGrad();
           const size_t offset = static_cast<size_t>(row_offsets[p]) * n;
           for (size_t i = 0; i < parent.grad.size(); ++i) {

@@ -7,6 +7,23 @@
 
 namespace hap {
 
+/// The single sparsity threshold used across the library: an entry is a
+/// structural nonzero iff |value| > kSparsityThreshold. Both
+/// CsrMatrix::FromDense and EdgeDensity default to it, and GraphLevel uses
+/// it for its dense/sparse dispatch decision, so the three always agree on
+/// which entries exist.
+///
+/// The value is exactly 0.0f — not a small epsilon — deliberately: the
+/// dense MatMul forward skips multiplicands that equal 0.0f, so a CSR
+/// matrix built at this threshold enumerates exactly the entries the dense
+/// kernel would touch, in the same ascending order. That makes
+/// SpMatMul(FromDense(A), X) bit-identical to MatMul(A, X), which the
+/// sparse-dispatch parity tests rely on. An epsilon threshold would drop
+/// tiny-but-nonzero entries and change results. Callers measuring
+/// *numerically significant* density (e.g. the soft-sampling ablation)
+/// should pass their own explicit threshold.
+inline constexpr float kSparsityThreshold = 0.0f;
+
 /// Compressed sparse row matrix of fixed weights (no autograd through the
 /// sparse values themselves — in this library sparse matrices hold input
 /// adjacencies, whose entries are data, not parameters).
@@ -19,8 +36,10 @@ class CsrMatrix {
  public:
   CsrMatrix() = default;
 
-  /// Builds from a dense matrix, keeping entries with |value| > threshold.
-  static CsrMatrix FromDense(const Tensor& dense, float threshold = 0.0f);
+  /// Builds from a dense matrix, keeping entries with |value| > threshold
+  /// (see kSparsityThreshold for why the default is exact zero).
+  static CsrMatrix FromDense(const Tensor& dense,
+                             float threshold = kSparsityThreshold);
 
   /// Builds directly from triplets (row, col, value); duplicates are
   /// summed.
@@ -54,9 +73,12 @@ class CsrMatrix {
 /// Differentiable with respect to X only: dX += Aᵀ dOut.
 Tensor SpMatMul(const CsrMatrix& a, const Tensor& x);
 
-/// Fraction of entries of `dense` with |value| > threshold — used by the
-/// soft-sampling ablation to report coarsened edge density.
-double EdgeDensity(const Tensor& dense, float threshold = 1e-4f);
+/// Fraction of entries of `dense` with |value| > threshold. The default is
+/// the shared kSparsityThreshold so the reported density matches the entry
+/// set CsrMatrix::FromDense would store; analyses that care about
+/// numerically negligible weights (e.g. the soft-sampling ablation) pass
+/// an explicit epsilon instead.
+double EdgeDensity(const Tensor& dense, float threshold = kSparsityThreshold);
 
 }  // namespace hap
 

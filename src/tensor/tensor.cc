@@ -152,7 +152,14 @@ void Tensor::Backward() const {
       stack.pop_back();
     }
   }
-  for (internal::TensorImpl* node : topo) node->EnsureGrad();
+  // Only nodes that require grad get a grad buffer; backward fns skip
+  // gradient-free parents. This keeps tensors shared across data-parallel
+  // workers (cached adjacency operators, dataset leaves) untouched by
+  // Backward(), so concurrent backward passes never write to shared state.
+  for (internal::TensorImpl* node : topo) {
+    if (node->requires_grad) node->EnsureGrad();
+  }
+  impl_->EnsureGrad();
   impl_->grad[0] += 1.0f;
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     internal::TensorImpl* node = *it;

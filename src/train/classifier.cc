@@ -19,7 +19,7 @@ GraphClassifier::GraphClassifier(std::unique_ptr<GraphEmbedder> embedder,
 
 Tensor GraphClassifier::Logits(const PreparedGraph& graph) const {
   std::vector<Tensor> levels =
-      embedder_->EmbedLevels(graph.h, graph.adjacency);
+      embedder_->EmbedLevels(graph.h, graph.level);
   Tensor joined = levels[0];
   for (size_t level = 1; level < levels.size(); ++level) {
     joined = ConcatCols(joined, levels[level]);
@@ -50,7 +50,7 @@ void GraphClassifier::CollectParameters(std::vector<Tensor>* out) const {
 
 Tensor GraphClassifier::Embed(const PreparedGraph& graph) const {
   NoGradGuard guard;
-  return embedder_->Embed(graph.h, graph.adjacency);
+  return embedder_->Embed(graph.h, graph.level);
 }
 
 double EvaluateClassifier(const GraphClassifier& model,

@@ -11,8 +11,8 @@ EmbedderPairScorer::EmbedderPairScorer(
 
 std::vector<Tensor> EmbedderPairScorer::PairDistances(
     const PreparedGraph& a, const PreparedGraph& b) const {
-  std::vector<Tensor> levels_a = embedder_->EmbedLevels(a.h, a.adjacency);
-  std::vector<Tensor> levels_b = embedder_->EmbedLevels(b.h, b.adjacency);
+  std::vector<Tensor> levels_a = embedder_->EmbedLevels(a.h, a.level);
+  std::vector<Tensor> levels_b = embedder_->EmbedLevels(b.h, b.level);
   HAP_CHECK_EQ(levels_a.size(), levels_b.size());
   std::vector<Tensor> distances;
   distances.reserve(levels_a.size());
@@ -40,7 +40,7 @@ GmnPairScorer::GmnPairScorer(const GmnConfig& config,
 
 std::vector<Tensor> GmnPairScorer::PairDistances(
     const PreparedGraph& a, const PreparedGraph& b) const {
-  auto [e1, e2] = gmn_.EmbedPair(a.h, a.adjacency, b.h, b.adjacency);
+  auto [e1, e2] = gmn_.EmbedPair(a.h, a.level, b.h, b.level);
   return {EuclideanDistance(e1, e2)};
 }
 

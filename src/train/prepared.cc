@@ -6,6 +6,10 @@ PreparedGraph PrepareGraph(const Graph& g, const FeatureSpec& spec) {
   PreparedGraph prepared;
   prepared.h = NodeFeatures(g, spec);
   prepared.adjacency = g.AdjacencyMatrix();
+  prepared.level = GraphLevel(prepared.adjacency);
+  // Build the derived operators once, outside the training loop, so
+  // concurrent workers hit a warm read-only cache.
+  prepared.level.WarmCaches();
   prepared.label = g.label();
   return prepared;
 }

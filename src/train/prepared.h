@@ -6,15 +6,20 @@
 #include "graph/datasets.h"
 #include "graph/featurize.h"
 #include "graph/graph.h"
+#include "graph/graph_level.h"
 #include "tensor/tensor.h"
 
 namespace hap {
 
 /// A graph pre-converted to its tensor inputs so training loops do not
-/// re-featurise every epoch. Both tensors are gradient-free leaves.
+/// re-featurise every epoch. Both tensors are gradient-free leaves, so
+/// `level` is cacheable: its normalized/CSR operators are built once here
+/// (WarmCaches) and reused across every epoch, eval pass, and
+/// data-parallel worker.
 struct PreparedGraph {
   Tensor h;          // (N, F) initial node features
   Tensor adjacency;  // (N, N) raw weights
+  GraphLevel level;  // cached view over `adjacency`
   int label = -1;
 };
 

@@ -137,29 +137,18 @@ SimilarityTrainResult TrainSimilarity(
   const bool data_parallel = config.num_threads >= 1;
   std::vector<std::unique_ptr<PairScorer>> replica_storage;
   std::vector<PairScorer*> scorers = {scorer};
-  // Triplets in one batch may reference the same pool graph, and backward
-  // accumulates into the (shared) input tensors' grad buffers; each worker
-  // therefore scores against its own value-copy of the pool.
-  std::vector<std::vector<PreparedGraph>> worker_pools;
+  // All workers score against the shared pool directly: backward never
+  // touches gradient-free leaves (the needs-grad guards in ops.cc skip
+  // them), so concurrent triplets referencing the same pool graph — and
+  // its cached GraphLevel operators — are read-only and race-free.
   std::unique_ptr<ParallelBatchRunner> runner;
   Rng noise_seeds(config.seed * 0x9e3779b97f4a7c15ull + 0x51ab5eedull);
   if (data_parallel) {
-    worker_pools.push_back(pool);  // Worker 0 (master) keeps the original.
     for (int w = 1; w < config.num_threads; ++w) {
       HAP_CHECK(replica_factory != nullptr)
           << "TrainSimilarity: num_threads > 1 needs a replica factory";
       replica_storage.push_back(replica_factory());
       scorers.push_back(replica_storage.back().get());
-      std::vector<PreparedGraph> copy;
-      copy.reserve(pool.size());
-      for (const PreparedGraph& g : pool) {
-        PreparedGraph c;
-        c.h = g.h.Detach();
-        c.adjacency = g.adjacency.Detach();
-        c.label = g.label;
-        copy.push_back(std::move(c));
-      }
-      worker_pools.push_back(std::move(copy));
     }
     std::vector<std::vector<Tensor>> replica_params;
     replica_params.reserve(scorers.size());
@@ -185,8 +174,7 @@ SimilarityTrainResult TrainSimilarity(
               scorers[worker]->ReseedNoise(seed);
             },
             [&](int worker, int item) {
-              return TripletLoss(scorers[worker], worker_pools[worker],
-                                 train_triplets[item],
+              return TripletLoss(scorers[worker], pool, train_triplets[item],
                                  config.final_level_only);
             });
         optimizer.ClipGradNorm(config.clip_norm);

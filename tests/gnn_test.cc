@@ -5,7 +5,7 @@
 #include "gnn/encoder.h"
 #include "gnn/gat.h"
 #include "gnn/gcn.h"
-#include "gnn/propagation.h"
+#include "graph/propagation.h"
 #include "graph/generators.h"
 #include "tensor/grad_check.h"
 #include "tensor/ops.h"

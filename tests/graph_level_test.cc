@@ -1,0 +1,187 @@
+#include "graph/graph_level.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/coarsening.h"
+#include "graph/generators.h"
+#include "graph/propagation.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace hap {
+namespace {
+
+// Restores the process-global dispatch mode when a test scope exits, so a
+// failing assertion cannot leak kForceSparse into later tests.
+class DispatchScope {
+ public:
+  explicit DispatchScope(SparseDispatch mode) : saved_(GetSparseDispatch()) {
+    SetSparseDispatch(mode);
+  }
+  ~DispatchScope() { SetSparseDispatch(saved_); }
+
+ private:
+  SparseDispatch saved_;
+};
+
+TEST(FromTripletsTest, SumsDuplicatesAcrossUnsortedInput) {
+  // Triplets arrive unsorted within and across rows; duplicates of the same
+  // coordinate must be summed into a single stored entry.
+  CsrMatrix csr = CsrMatrix::FromTriplets(
+      3, 4, {2, 0, 2, 0, 2, 1}, {3, 1, 0, 1, 3, 2},
+      {5.0f, 1.0f, -2.0f, 0.5f, 0.25f, 7.0f});
+  EXPECT_EQ(csr.nnz(), 4);
+  Tensor dense = csr.ToDense();
+  EXPECT_EQ(dense.At(0, 1), 1.5f);   // 1.0 + 0.5
+  EXPECT_EQ(dense.At(1, 2), 7.0f);
+  EXPECT_EQ(dense.At(2, 0), -2.0f);
+  EXPECT_EQ(dense.At(2, 3), 5.25f);  // 5.0 + 0.25
+  EXPECT_EQ(dense.At(0, 0), 0.0f);
+}
+
+TEST(FromTripletsTest, DuplicatesThatCancelStillOccupyOneEntry) {
+  // Summed duplicates that cancel to zero keep their structural slot: CSR
+  // stores the summed value, it does not re-filter after accumulation.
+  CsrMatrix csr =
+      CsrMatrix::FromTriplets(2, 2, {0, 0}, {1, 1}, {3.0f, -3.0f});
+  EXPECT_EQ(csr.nnz(), 1);
+  EXPECT_EQ(csr.ToDense().At(0, 1), 0.0f);
+}
+
+TEST(GraphLevelTest, LeafAdjacencyIsCacheable) {
+  Rng rng(7);
+  Graph g = ConnectedErdosRenyi(10, 0.3, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  EXPECT_TRUE(level.cacheable());
+  EXPECT_EQ(level.num_nodes(), 10);
+}
+
+TEST(GraphLevelTest, CachedOperatorsMatchFreshComputation) {
+  Rng rng(11);
+  Graph g = ConnectedErdosRenyi(12, 0.25, &rng);
+  Tensor adjacency = g.AdjacencyMatrix();
+  GraphLevel level(adjacency);
+  level.WarmCaches();
+
+  Tensor fresh_sym = SymNormalize(adjacency);
+  Tensor fresh_row = RowNormalize(adjacency);
+  Tensor fresh_mask = NeighborhoodLogMask(adjacency);
+  Tensor cached_sym = level.SymNormalized();
+  Tensor cached_row = level.RowNormalized();
+  Tensor cached_mask = level.LogMask();
+  for (int64_t i = 0; i < fresh_sym.size(); ++i) {
+    ASSERT_EQ(cached_sym.data()[i], fresh_sym.data()[i]) << "sym[" << i << "]";
+    ASSERT_EQ(cached_row.data()[i], fresh_row.data()[i]) << "row[" << i << "]";
+    ASSERT_EQ(cached_mask.data()[i], fresh_mask.data()[i])
+        << "mask[" << i << "]";
+  }
+  // Cached accessors hand back the same underlying buffer on repeat calls.
+  EXPECT_EQ(level.SymNormalized().data(), cached_sym.data());
+}
+
+TEST(GraphLevelTest, CacheCoherentAfterCoarseningProducesNewLevel) {
+  // The Eq. 18 output A' = MᵀAM built under NoGradGuard is a gradient-free
+  // leaf, so the next level caches it; the cached normalized operator must
+  // equal a fresh SymNormalize of the coarsened adjacency.
+  Rng rng(13);
+  Graph g = ConnectedErdosRenyi(14, 0.3, &rng);
+  Tensor h = Tensor::Randn(14, 6, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+
+  CoarseningConfig config;
+  config.in_features = 6;
+  config.num_clusters = 4;
+  Rng model_rng(5);
+  CoarseningModule coarsener(config, &model_rng);
+  coarsener.set_training(false);
+
+  NoGradGuard guard;
+  CoarsenResult coarse = coarsener.Forward(h, level);
+  ASSERT_TRUE(coarse.level.defined());
+  EXPECT_TRUE(coarse.level.cacheable());
+  Tensor cached = coarse.level.SymNormalized();
+  Tensor fresh = SymNormalize(coarse.adjacency);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (int64_t i = 0; i < fresh.size(); ++i) {
+    ASSERT_EQ(cached.data()[i], fresh.data()[i]) << "entry " << i;
+  }
+}
+
+TEST(GraphLevelTest, TapedAdjacencyIsNeverCachedOrSparse) {
+  Rng rng(17);
+  Tensor leaf = Tensor::Randn(6, 6, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor taped = Mul(leaf, leaf);
+  GraphLevel level(taped);
+  EXPECT_FALSE(level.cacheable());
+  {
+    DispatchScope scope(SparseDispatch::kForceSparse);
+    EXPECT_FALSE(level.UseSparse());
+  }
+  // Fresh computation each call: results are taped, so gradients still flow
+  // through the normalized operator.
+  Tensor x = Tensor::Randn(6, 3, &rng);
+  Tensor out = level.Propagate(x);
+  ReduceSumAll(out).Backward();
+  bool any_nonzero = false;
+  for (float v : leaf.grad()) any_nonzero |= (v != 0.0f);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(GraphLevelTest, SparseAndDensePropagationBitIdentical) {
+  Rng rng(19);
+  Graph g = ConnectedErdosRenyi(16, 0.15, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  level.WarmCaches();
+  Tensor x = Tensor::Randn(16, 8, &rng);
+
+  Tensor dense_prop, dense_row, dense_agg;
+  {
+    DispatchScope scope(SparseDispatch::kForceDense);
+    EXPECT_FALSE(level.UseSparse());
+    dense_prop = level.Propagate(x);
+    dense_row = level.PropagateRowNormalized(x);
+    dense_agg = level.Aggregate(x);
+  }
+  Tensor sparse_prop, sparse_row, sparse_agg;
+  {
+    DispatchScope scope(SparseDispatch::kForceSparse);
+    EXPECT_TRUE(level.UseSparse());
+    sparse_prop = level.Propagate(x);
+    sparse_row = level.PropagateRowNormalized(x);
+    sparse_agg = level.Aggregate(x);
+  }
+  for (int64_t i = 0; i < dense_prop.size(); ++i) {
+    ASSERT_EQ(sparse_prop.data()[i], dense_prop.data()[i]) << "prop " << i;
+    ASSERT_EQ(sparse_row.data()[i], dense_row.data()[i]) << "rownorm " << i;
+    ASSERT_EQ(sparse_agg.data()[i], dense_agg.data()[i]) << "agg " << i;
+  }
+}
+
+TEST(GraphLevelTest, AutoDispatchFollowsDensityCutoff) {
+  DispatchScope scope(SparseDispatch::kAuto);
+  // A near-empty cycle graph sits far below the cutoff.
+  Graph ring = Cycle(20);
+  GraphLevel sparse_level(ring.AdjacencyMatrix());
+  EXPECT_LT(sparse_level.Density(), kSparseDispatchDensity);
+  EXPECT_TRUE(sparse_level.UseSparse());
+  // A fully dense matrix (softmax-coarsened shape) stays on the dense path.
+  GraphLevel dense_level(Tensor::Full(8, 8, 0.125f));
+  EXPECT_GE(dense_level.Density(), kSparseDispatchDensity);
+  EXPECT_FALSE(dense_level.UseSparse());
+}
+
+TEST(GraphLevelTest, CopiesShareOneCache) {
+  Rng rng(29);
+  Graph g = ConnectedErdosRenyi(9, 0.3, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  GraphLevel copy = level;
+  copy.WarmCaches();
+  // Warming through the copy fills the original's cache: same buffer.
+  EXPECT_EQ(level.SymNormalized().data(), copy.SymNormalized().data());
+}
+
+}  // namespace
+}  // namespace hap

@@ -1,0 +1,142 @@
+// Tentpole acceptance test: the GraphLevel sparse fast path must be a pure
+// performance change. Training a full HAP classifier with every level forced
+// onto the dense MatMul path, forced onto the CSR SpMatMul path, or left on
+// density-based auto dispatch must produce bit-identical loss trajectories —
+// at every thread count. CSR at kSparsityThreshold stores exactly the
+// entries the dense kernel's zero-skip loop multiplies, in the same
+// ascending-column order, so the float accumulation sequences coincide.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hap_model.h"
+#include "graph/graph_level.h"
+#include "train/classifier.h"
+#include "train/pair_scorer.h"
+#include "train/similarity_trainer.h"
+
+namespace hap {
+namespace {
+
+class DispatchScope {
+ public:
+  explicit DispatchScope(SparseDispatch mode) : saved_(GetSparseDispatch()) {
+    SetSparseDispatch(mode);
+  }
+  ~DispatchScope() { SetSparseDispatch(saved_); }
+
+ private:
+  SparseDispatch saved_;
+};
+
+ClassificationResult TrainClassifierWith(SparseDispatch mode,
+                                         int num_threads) {
+  DispatchScope scope(mode);
+  Rng rng(41);
+  GraphDataset ds = MakeProteinsLike(20, &rng);
+  auto data = PrepareDataset(ds);
+  Split split = SplitIndices(static_cast<int>(data.size()), &rng);
+  HapConfig config;
+  config.feature_dim = ds.feature_spec.FeatureDim();
+  config.hidden_dim = 12;
+  config.encoder_layers = 2;
+  config.cluster_sizes = {4, 1};
+  Rng model_rng(97);
+  GraphClassifier model(MakeHapModel(config, &model_rng), ds.num_classes, 12,
+                        &model_rng);
+  auto factory = [&config, &ds]() {
+    Rng replica_rng(1);
+    return std::make_unique<GraphClassifier>(MakeHapModel(config, &replica_rng),
+                                             ds.num_classes, 12, &replica_rng);
+  };
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.patience = 0;
+  tc.lr = 0.01f;
+  tc.batch_size = 4;
+  tc.seed = 17;
+  tc.num_threads = num_threads;
+  return TrainClassifier(&model, data, split, tc, factory);
+}
+
+void ExpectIdenticalTrajectories(const ClassificationResult& a,
+                                 const ClassificationResult& b,
+                                 const char* label) {
+  ASSERT_EQ(a.epoch_losses.size(), b.epoch_losses.size()) << label;
+  ASSERT_FALSE(a.epoch_losses.empty()) << label;
+  for (size_t e = 0; e < a.epoch_losses.size(); ++e) {
+    EXPECT_EQ(a.epoch_losses[e], b.epoch_losses[e])
+        << label << " epoch " << e;
+  }
+  EXPECT_EQ(a.val_accuracy, b.val_accuracy) << label;
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy) << label;
+}
+
+TEST(SparseParityTest, ClassifierTrajectoryIdenticalAcrossDispatchModes) {
+  ClassificationResult dense =
+      TrainClassifierWith(SparseDispatch::kForceDense, 1);
+  ClassificationResult sparse =
+      TrainClassifierWith(SparseDispatch::kForceSparse, 1);
+  ClassificationResult automatic = TrainClassifierWith(SparseDispatch::kAuto, 1);
+  ExpectIdenticalTrajectories(dense, sparse, "dense-vs-sparse");
+  ExpectIdenticalTrajectories(dense, automatic, "dense-vs-auto");
+}
+
+TEST(SparseParityTest, DispatchParityHoldsAtEveryThreadCount) {
+  ClassificationResult baseline =
+      TrainClassifierWith(SparseDispatch::kForceDense, 1);
+  for (int threads : {2, 4}) {
+    ClassificationResult sparse =
+        TrainClassifierWith(SparseDispatch::kForceSparse, threads);
+    ExpectIdenticalTrajectories(baseline, sparse, "threads");
+  }
+}
+
+SimilarityTrainResult TrainSimilarityWith(SparseDispatch mode,
+                                          int num_threads) {
+  DispatchScope scope(mode);
+  Rng rng(31);
+  auto pool = MakeAidsLikePool(8, &rng);
+  auto ged = PairwiseGedMatrix(pool);
+  auto train = MakeTriplets(ged, 16, &rng);
+  auto test = MakeTriplets(ged, 8, &rng);
+  FeatureSpec spec{FeatureKind::kNodeLabelOneHot, 10, 0};
+  auto prepared = PrepareGraphs(pool, spec);
+  HapConfig config;
+  config.feature_dim = 10;
+  config.hidden_dim = 12;
+  config.cluster_sizes = {4, 1};
+  Rng model_rng(55);
+  EmbedderPairScorer scorer(MakeHapModel(config, &model_rng));
+  auto factory = [&config]() {
+    Rng replica_rng(1);
+    return std::make_unique<EmbedderPairScorer>(
+        MakeHapModel(config, &replica_rng));
+  };
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.lr = 0.005f;
+  tc.batch_size = 4;
+  tc.seed = 13;
+  tc.num_threads = num_threads;
+  return TrainSimilarity(&scorer, prepared, train, test, tc, factory);
+}
+
+TEST(SparseParityTest, SimilarityTrajectoryIdenticalAcrossDispatchModes) {
+  SimilarityTrainResult dense =
+      TrainSimilarityWith(SparseDispatch::kForceDense, 1);
+  SimilarityTrainResult sparse =
+      TrainSimilarityWith(SparseDispatch::kForceSparse, 3);
+  ASSERT_EQ(dense.epoch_losses.size(), sparse.epoch_losses.size());
+  ASSERT_FALSE(dense.epoch_losses.empty());
+  for (size_t e = 0; e < dense.epoch_losses.size(); ++e) {
+    EXPECT_EQ(dense.epoch_losses[e], sparse.epoch_losses[e]) << "epoch " << e;
+  }
+  EXPECT_EQ(dense.train_accuracy, sparse.train_accuracy);
+  EXPECT_EQ(dense.test_accuracy, sparse.test_accuracy);
+}
+
+}  // namespace
+}  // namespace hap
