@@ -33,7 +33,9 @@ struct Variant {
   bool final_level_only = false;
 };
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_ablation_design.json";
   const int graphs = FastOr(40, 150);
   const int pairs = FastOr(20, 80);
   const int epochs = FastOr(4, 30);
@@ -59,6 +61,12 @@ int Main() {
       {"final-level loss only", true, true, true, false, true},
   };
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("ablation_design"));
+  json.Field("epochs", epochs);
+  json.Field("seeds", seeds);
+  json.BeginArray("results");
   TextTable table({"Variant", "MUTAG* acc (%)", "Match |V|=30 (%)"});
   for (const Variant& variant : variants) {
     auto make_config = [&](int feature_dim) {
@@ -122,9 +130,15 @@ int Main() {
 
     table.AddRow({variant.name, TextTable::Num(100.0 * class_acc),
                   TextTable::Num(100.0 * match_acc)});
+    json.BeginObject();
+    json.Field("variant", variant.name);
+    json.Field("mutag_accuracy_pct", 100.0 * class_acc);
+    json.Field("match_v30_accuracy_pct", 100.0 * match_acc);
+    json.EndObject();
     std::fprintf(stderr, "  [design] %s: %.2f%% / %.2f%%\n",
                  variant.name.c_str(), 100.0 * class_acc, 100.0 * match_acc);
   }
+  json.EndArray();
   std::printf("HAP design-choice ablation\n%s\n", table.ToString().c_str());
 
   // Soft sampling's density effect, measured on real coarsened levels.
@@ -149,6 +163,16 @@ int Main() {
         "%.3f — the sparsification that justifies the O(|E|) message-"
         "passing path (Sec. 4.4.4).\n",
         dense_density, sampled_density);
+    json.BeginObject("soft_sampling_edge_density");
+    json.Field("without_gumbel", dense_density);
+    json.Field("with_gumbel", sampled_density);
+    json.EndObject();
+  }
+  json.EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
   }
   return 0;
 }
@@ -156,4 +180,4 @@ int Main() {
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

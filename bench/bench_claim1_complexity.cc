@@ -2,9 +2,14 @@
 // as O(N²) in the source graph size (for fixed downsampling ratio the
 // series below doubles N and the per-iteration time should roughly
 // quadruple), and the full HAP forward is dominated by that term.
-// google-benchmark reports ns/op for each N.
+// google-benchmark reports ns/op for each N; the per-N timings and fitted
+// complexity coefficients are also written to BENCH_claim1_complexity.json.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/coarsening.h"
@@ -71,7 +76,63 @@ void BM_HapModelForward(benchmark::State& state) {
 }
 BENCHMARK(BM_HapModelForward)->RangeMultiplier(2)->Range(32, 256)->Complexity();
 
+// Console output as usual, plus every finished run retained so Main can
+// serialize the measurement series into the BENCH_*.json trajectory file.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) runs_.push_back(run);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+int Main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // Any leftover non-flag argument overrides the JSON output path.
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_claim1_complexity.json";
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("claim1_complexity"));
+  json.BeginArray("runs");
+  for (const auto& run : reporter.runs()) {
+    json.BeginObject();
+    json.Field("name", run.benchmark_name());
+    json.Field("run_type",
+               std::string(run.run_type ==
+                                   benchmark::BenchmarkReporter::Run::RT_Aggregate
+                               ? "aggregate"
+                               : "iteration"));
+    if (!run.aggregate_name.empty()) {
+      json.Field("aggregate", run.aggregate_name);
+    }
+    json.Field("complexity_n", static_cast<int>(run.complexity_n));
+    json.Field("iterations", static_cast<int>(run.iterations));
+    // For plain runs this is time per iteration; for the "_BigO" rows it
+    // is the fitted coefficient, for "_RMS" the normalized fit residual.
+    json.Field("adjusted_real_time", run.GetAdjustedRealTime());
+    json.Field("adjusted_cpu_time", run.GetAdjustedCPUTime());
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace
 }  // namespace hap::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

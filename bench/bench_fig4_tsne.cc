@@ -31,7 +31,8 @@ std::string Slug(std::string name) {
   return name;
 }
 
-void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
+void RunDataset(const GraphDataset& dataset, Rng* data_rng,
+                JsonWriter* json) {
   auto data = PrepareDataset(dataset);
   Split split = SplitIndices(static_cast<int>(data.size()), data_rng);
   const std::vector<std::string> methods = {"HAP", "SAGPool", "MeanAttPool",
@@ -80,6 +81,13 @@ void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
     }
     table.AddRow({method, TextTable::Num(100.0 * trained.test_accuracy),
                   TextTable::Num(silhouette, 3)});
+    json->BeginObject();
+    json->Field("dataset", dataset.name);
+    json->Field("method", method);
+    json->Field("test_accuracy_pct", 100.0 * trained.test_accuracy);
+    json->Field("silhouette", silhouette);
+    json->Field("csv", path);
+    json->EndObject();
     std::fprintf(stderr, "  [fig4] %s / %s: silhouette %.3f -> %s\n",
                  method.c_str(), dataset.name.c_str(), silhouette,
                  path.c_str());
@@ -92,7 +100,7 @@ void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
 /// the cluster most favoured by its 1-hop neighbours — high values mean
 /// the soft substructure extractor respects locality while the remaining
 /// mass is free to capture high-order dependency.
-void ReceptiveFieldStatistic() {
+double ReceptiveFieldStatistic() {
   Rng rng(99);
   GraphDataset ds = MakeProteinsLike(FastOr(6, 20), &rng);
   CoarseningConfig config;
@@ -126,17 +134,30 @@ void ReceptiveFieldStatistic() {
       "cluster = %.3f (uniform would be %.3f); the remainder is the "
       "high-order channel.\n\n",
       neighbor_agreement / counted, 1.0 / 8.0);
+  return neighbor_agreement / counted;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_fig4_tsne.json";
   Rng data_rng(20240704);
-  ReceptiveFieldStatistic();
-  RunDataset(MakeProteinsLike(FastOr(30, 120), &data_rng), &data_rng);
-  RunDataset(MakeCollabLike(FastOr(24, 90), &data_rng), &data_rng);
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("fig4_tsne"));
+  json.Field("receptive_field_statistic", ReceptiveFieldStatistic());
+  json.BeginArray("results");
+  RunDataset(MakeProteinsLike(FastOr(30, 120), &data_rng), &data_rng, &json);
+  RunDataset(MakeCollabLike(FastOr(24, 90), &data_rng), &data_rng, &json);
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

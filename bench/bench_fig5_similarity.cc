@@ -47,7 +47,9 @@ double ConventionalAccuracy(
   return TripletAccuracyFromMatrix(corpus.test_triplets, matrix);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_fig5_similarity.json";
   const int pool_size = FastOr(16, 48);
   const int train_triplets = FastOr(40, 400);
   const int test_triplets = FastOr(30, 200);
@@ -64,6 +66,21 @@ int Main() {
       {FeatureKind::kDegreeOneHot, 8, 0}, train_triplets, test_triplets,
       &rng));
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("fig5_similarity"));
+  json.Field("pool_size", pool_size);
+  json.Field("epochs", epochs);
+  json.BeginArray("results");
+  auto record = [&](const std::string& method, const std::string& corpus,
+                    double accuracy) {
+    json.BeginObject();
+    json.Field("method", method);
+    json.Field("corpus", corpus);
+    json.Field("triplet_accuracy_pct", 100.0 * accuracy);
+    json.EndObject();
+  };
+
   TextTable table({"Method", "AIDS*", "LINUX*"});
   auto add_conventional =
       [&](const std::string& name,
@@ -72,6 +89,7 @@ int Main() {
         for (const Corpus& corpus : corpora) {
           const double acc = ConventionalAccuracy(corpus, approx);
           row.push_back(TextTable::Num(100.0 * acc));
+          record(name, corpus.name, acc);
           std::fprintf(stderr, "  [fig5] %s / %s: %.2f%%\n", name.c_str(),
                        corpus.name.c_str(), 100.0 * acc);
         }
@@ -104,6 +122,7 @@ int Main() {
           TrainSimGnn(&model, corpus.prepared, corpus.exact_ged,
                       corpus.train_triplets, corpus.test_triplets, config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      record("SimGNN", corpus.name, result.test_accuracy);
       std::fprintf(stderr, "  [fig5] SimGNN / %s: %.2f%%\n",
                    corpus.name.c_str(), 100.0 * result.test_accuracy);
     }
@@ -124,6 +143,7 @@ int Main() {
           TrainSimilarity(&scorer, corpus.prepared, corpus.train_triplets,
                           corpus.test_triplets, config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      record("GMN", corpus.name, result.test_accuracy);
       std::fprintf(stderr, "  [fig5] GMN / %s: %.2f%%\n", corpus.name.c_str(),
                    100.0 * result.test_accuracy);
     }
@@ -141,19 +161,27 @@ int Main() {
           TrainSimilarity(&scorer, corpus.prepared, corpus.train_triplets,
                           corpus.test_triplets, config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      record("HAP", corpus.name, result.test_accuracy);
       std::fprintf(stderr, "  [fig5] HAP / %s: %.2f%%\n", corpus.name.c_str(),
                    100.0 * result.test_accuracy);
     }
     table.AddRow(std::move(row));
   }
 
+  json.EndArray();
+  json.EndObject();
   std::printf(
       "Fig. 5: graph similarity (triplet ordering) accuracy (%%)\n%s\n",
       table.ToString().c_str());
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -36,7 +36,8 @@ std::string Slug(std::string name) {
   return name;
 }
 
-void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
+void RunDataset(const GraphDataset& dataset, Rng* data_rng,
+                JsonWriter* json) {
   auto data = PrepareDataset(dataset);
   Split split = SplitIndices(static_cast<int>(data.size()), data_rng);
   TextTable table({"Coarsen modules", "Test acc (%)", "Silhouette"});
@@ -84,6 +85,13 @@ void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
     table.AddRow({std::to_string(depth),
                   TextTable::Num(100.0 * trained.test_accuracy),
                   TextTable::Num(silhouette, 3)});
+    json->BeginObject();
+    json->Field("dataset", dataset.name);
+    json->Field("coarsen_modules", depth);
+    json->Field("test_accuracy_pct", 100.0 * trained.test_accuracy);
+    json->Field("silhouette", silhouette);
+    json->Field("csv", path);
+    json->EndObject();
     std::fprintf(stderr, "  [fig6] %s K=%d: silhouette %.3f -> %s\n",
                  dataset.name.c_str(), depth, silhouette, path.c_str());
   }
@@ -91,14 +99,27 @@ void RunDataset(const GraphDataset& dataset, Rng* data_rng) {
               dataset.name.c_str(), table.ToString().c_str());
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_fig6_tsne_depth.json";
   Rng data_rng(20240704);
-  RunDataset(MakeProteinsLike(FastOr(30, 120), &data_rng), &data_rng);
-  RunDataset(MakeCollabLike(FastOr(24, 90), &data_rng), &data_rng);
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("fig6_tsne_depth"));
+  json.BeginArray("results");
+  RunDataset(MakeProteinsLike(FastOr(30, 120), &data_rng), &data_rng, &json);
+  RunDataset(MakeCollabLike(FastOr(24, 90), &data_rng), &data_rng, &json);
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -27,7 +27,9 @@ DatasetRun Prepare(GraphDataset dataset, Rng* rng) {
   return run;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_table3_classification.json";
   const int graphs = FastOr(40, 150);
   const int collab_graphs = FastOr(30, 90);
   const int epochs = FastOr(5, 40);
@@ -90,22 +92,41 @@ int Main() {
     return best;
   };
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("table3_classification"));
+  json.Field("graphs", graphs);
+  json.Field("epochs", epochs);
+  json.Field("seeds", seeds);
+  json.BeginArray("results");
   for (const std::string& method : ClassifierMethodNames()) {
     std::vector<std::string> row = {method};
     for (const DatasetRun& run : runs) {
       ClassificationResult result = train_best(method, run);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("method", method);
+      json.Field("dataset", run.dataset.name);
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table3] %s / %s: %.2f%%\n", method.c_str(),
                    run.dataset.name.c_str(), 100.0 * result.test_accuracy);
     }
     table.AddRow(std::move(row));
   }
+  json.EndArray();
+  json.EndObject();
   std::printf("Table 3: graph classification accuracy (%%)\n%s\n",
               table.ToString().c_str());
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -37,7 +37,9 @@ std::unique_ptr<PairScorer> MakeScorer(const std::string& name, Rng* rng) {
   return std::make_unique<EmbedderPairScorer>(MakeHapModel(config, rng));
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_table4_matching.json";
   const int pairs = FastOr(24, 240);
   const int epochs = FastOr(4, 30);
   const std::vector<int> sizes = {20, 30, 40, 50};
@@ -57,6 +59,12 @@ int Main() {
     splits.push_back(SplitIndices(pairs, &data_rng));
   }
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("table4_matching"));
+  json.Field("pairs", pairs);
+  json.Field("epochs", epochs);
+  json.BeginArray("results");
   for (const std::string& model_name : models) {
     std::vector<std::string> row = {model_name};
     for (size_t s = 0; s < sizes.size(); ++s) {
@@ -69,18 +77,30 @@ int Main() {
       MatchingTrainResult result =
           TrainMatcher(scorer.get(), data[s], splits[s], config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("model", model_name);
+      json.Field("graph_size", sizes[s]);
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table4] %s |V|=%d: %.2f%%\n",
                    model_name.c_str(), sizes[s],
                    100.0 * result.test_accuracy);
     }
     table.AddRow(std::move(row));
   }
+  json.EndArray();
+  json.EndObject();
   std::printf("Table 4: graph matching accuracy (%%) vs graph size\n%s\n",
               table.ToString().c_str());
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -21,7 +21,9 @@ const std::vector<CoarsenerKind> kVariants = {
     CoarsenerKind::kMeanPool, CoarsenerKind::kMeanAttPool,
     CoarsenerKind::kSagPool, CoarsenerKind::kDiffPool, CoarsenerKind::kHap};
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_table5_ablation.json";
   const int class_graphs = FastOr(30, 120);
   const int match_pairs = FastOr(20, 200);
   const int pool_size = FastOr(14, 36);
@@ -91,6 +93,11 @@ int Main() {
   for (const SimCorpus& corpus : sim_corpora) headers.push_back(corpus.name);
   TextTable table(headers);
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("table5_ablation"));
+  json.Field("epochs", epochs);
+  json.BeginArray("results");
   for (CoarsenerKind kind : kVariants) {
     const std::string name = CoarsenerKindName(kind);
     std::vector<std::string> row = {name};
@@ -108,6 +115,12 @@ int Main() {
       ClassificationResult result =
           TrainClassifier(&model, class_data[d], class_splits[d], config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("variant", name);
+      json.Field("task", std::string("classification"));
+      json.Field("dataset", class_sets[d].name);
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table5] %s / %s: %.2f%%\n", name.c_str(),
                    class_sets[d].name.c_str(), 100.0 * result.test_accuracy);
     }
@@ -121,6 +134,12 @@ int Main() {
       MatchingTrainResult result =
           TrainMatcher(&scorer, match_data[s], match_splits[s], config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("variant", name);
+      json.Field("task", std::string("matching"));
+      json.Field("dataset", "|V|=" + std::to_string(match_sizes[s]));
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table5] %s / match |V|=%d: %.2f%%\n",
                    name.c_str(), match_sizes[s],
                    100.0 * result.test_accuracy);
@@ -136,18 +155,31 @@ int Main() {
       SimilarityTrainResult result = TrainSimilarity(
           &scorer, corpus.prepared, corpus.train, corpus.test, config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("variant", name);
+      json.Field("task", std::string("similarity"));
+      json.Field("dataset", corpus.name);
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table5] %s / %s: %.2f%%\n", name.c_str(),
                    corpus.name.c_str(), 100.0 * result.test_accuracy);
     }
     table.AddRow(std::move(row));
   }
+  json.EndArray();
+  json.EndObject();
 
   std::printf("Table 5: coarsening-module ablation accuracy (%%)\n%s\n",
               table.ToString().c_str());
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -40,7 +40,9 @@ std::unique_ptr<GraphEmbedder> MakeModel(int depth, int feature_dim,
   return MakeHapModel(config, rng);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_table6_coarsen_depth.json";
   const int match_pairs = FastOr(20, 200);
   const int pool_size = FastOr(14, 40);
   const int triplets = FastOr(30, 300);
@@ -86,6 +88,11 @@ int Main() {
   for (const SimCorpus& corpus : sim_corpora) headers.push_back(corpus.name);
   TextTable table(headers);
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("table6_coarsen_depth"));
+  json.Field("epochs", epochs);
+  json.BeginArray("results");
   for (int depth = 0; depth <= 3; ++depth) {
     const std::string label =
         depth == 0 ? "baseline" : "Coarsen=" + std::to_string(depth);
@@ -101,6 +108,13 @@ int Main() {
       MatchingTrainResult result =
           TrainMatcher(&scorer, match_data[s], match_splits[s], config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("model", label);
+      json.Field("coarsen_modules", depth);
+      json.Field("task", std::string("matching"));
+      json.Field("dataset", "|V|=" + std::to_string(match_sizes[s]));
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table6] %s / match |V|=%d: %.2f%%\n",
                    label.c_str(), match_sizes[s],
                    100.0 * result.test_accuracy);
@@ -113,18 +127,32 @@ int Main() {
       SimilarityTrainResult result = TrainSimilarity(
           &scorer, corpus.prepared, corpus.train, corpus.test, config);
       row.push_back(TextTable::Num(100.0 * result.test_accuracy));
+      json.BeginObject();
+      json.Field("model", label);
+      json.Field("coarsen_modules", depth);
+      json.Field("task", std::string("similarity"));
+      json.Field("dataset", corpus.name);
+      json.Field("test_accuracy_pct", 100.0 * result.test_accuracy);
+      json.EndObject();
       std::fprintf(stderr, "  [table6] %s / %s: %.2f%%\n", label.c_str(),
                    corpus.name.c_str(), 100.0 * result.test_accuracy);
     }
     table.AddRow(std::move(row));
   }
+  json.EndArray();
+  json.EndObject();
   std::printf(
       "Table 6: effect of the number of graph coarsening modules (%%)\n%s\n",
       table.ToString().c_str());
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

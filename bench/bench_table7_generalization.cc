@@ -43,7 +43,9 @@ std::unique_ptr<PairScorer> MakeScorer(const std::string& name, Rng* rng) {
       MakeHapVariant(kind, config, rng));
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_table7_generalization.json";
   const int train_pairs = FastOr(24, 200);
   const int test_pairs = FastOr(10, 60);
   const int epochs = FastOr(4, 24);
@@ -73,6 +75,13 @@ int Main() {
       "GMN",          "GMN-HAP",        "HAP-MeanPool", "HAP-MeanAttPool",
       "HAP-SAGPool",  "HAP-DiffPool",   "HAP"};
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", std::string("table7_generalization"));
+  json.Field("train_pairs", train_pairs);
+  json.Field("test_pairs", test_pairs);
+  json.Field("epochs", epochs);
+  json.BeginArray("results");
   TextTable table({"Model", "|V|=100", "|V|=200"});
   for (const std::string& name : models) {
     Rng rng(0x6e2a11 ^ std::hash<std::string>{}(name));
@@ -87,17 +96,29 @@ int Main() {
     const double acc200 = EvaluateMatcher(*scorer, test200, all200);
     table.AddRow({name, TextTable::Num(100.0 * acc100),
                   TextTable::Num(100.0 * acc200)});
+    json.BeginObject();
+    json.Field("model", name);
+    json.Field("accuracy_v100_pct", 100.0 * acc100);
+    json.Field("accuracy_v200_pct", 100.0 * acc200);
+    json.EndObject();
     std::fprintf(stderr, "  [table7] %s: %.2f%% / %.2f%%\n", name.c_str(),
                  100.0 * acc100, 100.0 * acc200);
   }
+  json.EndArray();
+  json.EndObject();
   std::printf(
       "Table 7: generalization (train 20<=|V|<=50, test |V|=100/200) (%%)\n"
       "%s\n",
       table.ToString().c_str());
+  if (json.WriteFile(json_path)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", json_path.c_str());
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace hap::bench
 
-int main() { return hap::bench::Main(); }
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

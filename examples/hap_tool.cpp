@@ -5,7 +5,7 @@
 //   hap_tool classify [--dataset imdb-b|imdb-m|collab|mutag|proteins|ptc]
 //                     [--method <Table-3 name>] [--graphs N] [--epochs N]
 //                     [--hidden N] [--seed N] [--save-dataset path]
-//                     [--checkpoint path]
+//                     [--checkpoint path] [--log path.jsonl]
 //   hap_tool methods                  # list available methods
 //   hap_tool ged <n1> <n2> [--seed N] # compare GED algorithms on two
 //                                     # random molecule-like graphs
@@ -97,6 +97,8 @@ int RunClassify(int argc, char** argv) {
   config.epochs = epochs;
   config.patience = epochs;
   config.verbose = true;
+  // Per-epoch JSONL telemetry (docs/OBSERVABILITY.md).
+  config.log_path = FlagOr(flags, "log", "");
   ClassificationResult result = TrainClassifier(&model, data, split, config);
   std::printf("\nbest epoch %d: train %.2f%%  val %.2f%%  test %.2f%%\n",
               result.best_epoch, 100.0 * result.train_accuracy,

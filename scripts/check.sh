@@ -20,9 +20,48 @@ run_pass() {
 }
 
 run_pass build
+
+# --- Observability pass (docs/OBSERVABILITY.md) -------------------------
+# A short training run must produce a JSON-valid Chrome trace with
+# balanced begin/end spans plus a per-epoch JSONL run log, and enabling
+# metrics must not move the bit-deterministic sparse-parity trajectory.
+obs_pass() {
+  echo "=== build: observability smoke ==="
+  rm -f build/trace.json build/run.jsonl
+  HAP_TRACE=build/trace.json ./build/examples/hap_tool classify \
+    --dataset mutag --graphs 40 --epochs 2 --log build/run.jsonl \
+    > /dev/null
+  python3 - <<'EOF'
+import json
+trace = json.load(open("build/trace.json"))
+events = trace["traceEvents"]
+depth = {}
+for e in events:
+    if e["ph"] == "B":
+        depth[e["tid"]] = depth.get(e["tid"], 0) + 1
+    elif e["ph"] == "E":
+        depth[e["tid"]] = depth.get(e["tid"], 0) - 1
+        assert depth[e["tid"]] >= 0, "end-before-begin in trace"
+assert all(d == 0 for d in depth.values()), f"unbalanced spans: {depth}"
+assert any(e["ph"] == "B" for e in events), "trace contains no spans"
+
+records = [json.loads(l) for l in open("build/run.jsonl")]
+assert len(records) >= 2, "run log missing epochs"
+for r in records:
+    for key in ("epoch", "train_loss", "val_accuracy", "grad_norm",
+                "train_s", "eval_s", "epoch_s"):
+        assert key in r, f"run log record missing {key}"
+print(f"observability smoke OK: {len(events)} trace events, "
+      f"{len(records)} run-log records")
+EOF
+  HAP_METRICS=1 ./build/tests/sparse_parity_test > /dev/null
+  echo "sparse parity unchanged with metrics enabled"
+}
+obs_pass
+
 # halt_on_error keeps ctest failures attributable to one test; the
 # suppression-free defaults are intentional — the tree should stay clean.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   run_pass build-sanitize -DHAP_SANITIZE=address,undefined
 
-echo "All checks passed (plain + address,undefined)."
+echo "All checks passed (plain + observability + address,undefined)."

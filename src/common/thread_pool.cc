@@ -7,12 +7,35 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hap {
 
 namespace {
 
 thread_local bool t_in_worker = false;
+
+// Metric handles, resolved once. Counters are always live; the
+// queue-wait histogram only records when detailed metrics are enabled
+// (the enqueue timestamp is skipped otherwise).
+obs::Counter* PoolJobsCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kPoolJobs);
+  return c;
+}
+obs::Counter* PoolTasksCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kPoolTasks);
+  return c;
+}
+obs::Counter* PoolBusyNsCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kPoolBusyNs);
+  return c;
+}
+obs::Histogram* PoolQueueWaitHistogram() {
+  static obs::Histogram* h = obs::GetHistogram(obs::names::kPoolQueueWaitNs);
+  return h;
+}
 
 /// Shared bookkeeping for one Run() call. Kept alive by shared_ptr so a
 /// queued runner that wakes up after the call already finished can still
@@ -55,7 +78,7 @@ ThreadPool::ThreadPool(int num_threads) {
   HAP_CHECK_GE(num_threads, 1);
   workers_.reserve(num_threads - 1);
   for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -68,8 +91,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
   t_in_worker = true;
+  // Names this worker's track in any trace session (current or future).
+  obs::SetCurrentThreadName("pool-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -82,7 +107,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      HAP_TRACE_SCOPE("pool.task");
+      const uint64_t start_ns = obs::MonotonicNs();
+      task();
+      PoolBusyNsCounter()->Add(obs::MonotonicNs() - start_ns);
+      PoolTasksCounter()->Increment();
+    }
   }
 }
 
@@ -90,6 +121,7 @@ bool ThreadPool::InWorker() { return t_in_worker; }
 
 void ThreadPool::Run(int64_t num_jobs, const std::function<void(int64_t)>& fn) {
   if (num_jobs <= 0) return;
+  PoolJobsCounter()->Add(static_cast<uint64_t>(num_jobs));
   // Serial fast path: width-1 pools and nested submissions run inline. A
   // nested Run from a worker must not block on the queue it is itself
   // draining, so it degrades to sequential execution.
@@ -102,14 +134,25 @@ void ThreadPool::Run(int64_t num_jobs, const std::function<void(int64_t)>& fn) {
   state->fn = fn;
   const int64_t helpers =
       std::min<int64_t>(static_cast<int64_t>(workers_.size()), num_jobs - 1);
+  // Queue-wait is measured from enqueue to the moment a worker starts the
+  // runner; the timestamp is only taken when detailed metrics are on.
+  const uint64_t enqueue_ns = obs::MetricsEnabled() ? obs::MonotonicNs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t i = 0; i < helpers; ++i) {
-      queue_.emplace_back([state] { DrainJobs(state); });
+      queue_.emplace_back([state, enqueue_ns] {
+        if (enqueue_ns != 0) {
+          PoolQueueWaitHistogram()->Record(obs::MonotonicNs() - enqueue_ns);
+        }
+        DrainJobs(state);
+      });
     }
   }
   cv_.notify_all();
-  DrainJobs(state);
+  {
+    HAP_TRACE_SCOPE("pool.drain");
+    DrainJobs(state);
+  }
   std::unique_lock<std::mutex> lock(state->mu);
   state->done_cv.wait(lock, [&] { return state->done == state->num_jobs; });
   if (state->error) std::rethrow_exception(state->error);

@@ -58,7 +58,7 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

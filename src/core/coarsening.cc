@@ -5,6 +5,9 @@
 
 #include "common/check.h"
 #include "core/gumbel.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hap {
@@ -98,6 +101,17 @@ Tensor CoarseningModule::ComputeAttention(const Tensor& c_or_h) const {
 CoarsenResult CoarseningModule::Forward(const Tensor& h,
                                         const GraphLevel& level) const {
   HAP_CHECK_EQ(h.rows(), level.num_nodes());
+  HAP_TRACE_SCOPE("coarsen.forward");
+  static obs::Counter* calls = obs::GetCounter(obs::names::kCoarsenCalls);
+  static obs::Histogram* nodes_in =
+      obs::GetHistogram(obs::names::kCoarsenNodesIn);
+  static obs::Histogram* clusters_out =
+      obs::GetHistogram(obs::names::kCoarsenClustersOut);
+  static obs::Histogram* span_ns = obs::GetHistogram(obs::names::kCoarsenNs);
+  calls->Increment();
+  nodes_in->Record(static_cast<uint64_t>(level.num_nodes()));
+  clusters_out->Record(static_cast<uint64_t>(config_.num_clusters));
+  obs::ScopedTimerNs timer(span_ns);
   Tensor m = config_.use_gcont ? ComputeAttention(ComputeGCont(h))
                                : ComputeAttention(h);
   last_attention_ = m;

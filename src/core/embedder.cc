@@ -1,9 +1,24 @@
 #include "core/embedder.h"
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hap {
+
+namespace {
+
+// Trace names must be string literals (the tracer stores the pointer);
+// deep stacks beyond the table share the last label.
+const char* LevelTraceName(size_t stage) {
+  static constexpr const char* kNames[] = {
+      "embed.level0", "embed.level1", "embed.level2", "embed.level3",
+      "embed.level4", "embed.level5", "embed.level6", "embed.level7+"};
+  constexpr size_t kCount = sizeof(kNames) / sizeof(kNames[0]);
+  return kNames[stage < kCount ? stage : kCount - 1];
+}
+
+}  // namespace
 
 FlatEmbedder::FlatEmbedder(std::unique_ptr<GnnEncoder> encoder,
                            std::unique_ptr<Readout> readout)
@@ -37,6 +52,7 @@ std::vector<Tensor> HierarchicalEmbedder::EmbedLevels(
   Tensor features = h;
   GraphLevel current = level;
   for (size_t stage = 0; stage < encoders_.size(); ++stage) {
+    HAP_TRACE_SCOPE(LevelTraceName(stage));
     Tensor encoded = encoders_[stage]->Forward(features, current);
     CoarsenResult coarse = coarseners_[stage]->Forward(encoded, current);
     features = coarse.h;

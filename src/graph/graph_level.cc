@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "graph/propagation.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace hap {
@@ -12,6 +14,29 @@ namespace hap {
 namespace {
 
 std::atomic<SparseDispatch> g_sparse_dispatch{SparseDispatch::kAuto};
+
+// Process-wide mirrors of the per-level CacheStats: filled-cache serves,
+// cache-filling computes, and recomputes on non-cacheable (taped) levels.
+obs::Counter* CacheHitCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kGraphCacheHit);
+  return c;
+}
+obs::Counter* CacheMissCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kGraphCacheMiss);
+  return c;
+}
+obs::Counter* UncachedCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kGraphUncached);
+  return c;
+}
+obs::Counter* DispatchDenseCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kDispatchDense);
+  return c;
+}
+obs::Counter* DispatchSparseCounter() {
+  static obs::Counter* c = obs::GetCounter(obs::names::kDispatchSparse);
+  return c;
+}
 
 }  // namespace
 
@@ -40,6 +65,15 @@ struct GraphLevel::State {
   std::unique_ptr<CsrMatrix> adjacency_csr;
   std::unique_ptr<CsrMatrix> sym_csr;
   std::unique_ptr<CsrMatrix> row_csr;
+  CacheStats stats;
+
+  // Bumps the per-level stat (under mu) and the process-wide counter for
+  // a recompute on a non-cacheable level.
+  void NoteUncached(uint64_t CacheStats::*miss_field) {
+    UncachedCounter()->Increment();
+    std::lock_guard<std::mutex> lock(mu);
+    stats.*miss_field += 1;
+  }
 };
 
 GraphLevel::GraphLevel(Tensor adjacency) : state_(std::make_shared<State>()) {
@@ -83,31 +117,58 @@ bool GraphLevel::UseSparse() const {
 }
 
 Tensor GraphLevel::SymNormalized() const {
-  if (!cacheable()) return SymNormalize(adjacency());
+  if (!cacheable()) {
+    Tensor fresh = SymNormalize(adjacency());
+    state_->NoteUncached(&CacheStats::sym_misses);
+    return fresh;
+  }
   State& s = *state_;
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.sym_normalized.defined()) {
     s.sym_normalized = SymNormalize(s.adjacency);
+    ++s.stats.sym_misses;
+    CacheMissCounter()->Increment();
+  } else {
+    ++s.stats.sym_hits;
+    CacheHitCounter()->Increment();
   }
   return s.sym_normalized;
 }
 
 Tensor GraphLevel::RowNormalized() const {
-  if (!cacheable()) return RowNormalize(adjacency());
+  if (!cacheable()) {
+    Tensor fresh = RowNormalize(adjacency());
+    state_->NoteUncached(&CacheStats::row_misses);
+    return fresh;
+  }
   State& s = *state_;
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.row_normalized.defined()) {
     s.row_normalized = RowNormalize(s.adjacency);
+    ++s.stats.row_misses;
+    CacheMissCounter()->Increment();
+  } else {
+    ++s.stats.row_hits;
+    CacheHitCounter()->Increment();
   }
   return s.row_normalized;
 }
 
 Tensor GraphLevel::LogMask() const {
-  if (!cacheable()) return NeighborhoodLogMask(adjacency());
+  if (!cacheable()) {
+    Tensor fresh = NeighborhoodLogMask(adjacency());
+    state_->NoteUncached(&CacheStats::mask_misses);
+    return fresh;
+  }
   State& s = *state_;
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.log_mask.defined()) {
     s.log_mask = NeighborhoodLogMask(s.adjacency);
+    ++s.stats.mask_misses;
+    CacheMissCounter()->Increment();
+  } else {
+    ++s.stats.mask_hits;
+    CacheHitCounter()->Increment();
   }
   return s.log_mask;
 }
@@ -119,6 +180,11 @@ const CsrMatrix* GraphLevel::AdjacencyCsr() const {
   if (!s.adjacency_csr) {
     s.adjacency_csr =
         std::make_unique<CsrMatrix>(CsrMatrix::FromDense(s.adjacency));
+    ++s.stats.adj_csr_misses;
+    CacheMissCounter()->Increment();
+  } else {
+    ++s.stats.adj_csr_hits;
+    CacheHitCounter()->Increment();
   }
   return s.adjacency_csr.get();
 }
@@ -130,6 +196,11 @@ const CsrMatrix* GraphLevel::SymCsr() const {
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.sym_csr) {
     s.sym_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+    ++s.stats.sym_csr_misses;
+    CacheMissCounter()->Increment();
+  } else {
+    ++s.stats.sym_csr_hits;
+    CacheHitCounter()->Increment();
   }
   return s.sym_csr.get();
 }
@@ -141,22 +212,39 @@ const CsrMatrix* GraphLevel::RowCsr() const {
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.row_csr) {
     s.row_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+    ++s.stats.row_csr_misses;
+    CacheMissCounter()->Increment();
+  } else {
+    ++s.stats.row_csr_hits;
+    CacheHitCounter()->Increment();
   }
   return s.row_csr.get();
 }
 
 Tensor GraphLevel::Propagate(const Tensor& x) const {
-  if (UseSparse()) return SpMatMul(*SymCsr(), x);
+  if (UseSparse()) {
+    DispatchSparseCounter()->Increment();
+    return SpMatMul(*SymCsr(), x);
+  }
+  DispatchDenseCounter()->Increment();
   return MatMul(SymNormalized(), x);
 }
 
 Tensor GraphLevel::PropagateRowNormalized(const Tensor& x) const {
-  if (UseSparse()) return SpMatMul(*RowCsr(), x);
+  if (UseSparse()) {
+    DispatchSparseCounter()->Increment();
+    return SpMatMul(*RowCsr(), x);
+  }
+  DispatchDenseCounter()->Increment();
   return MatMul(RowNormalized(), x);
 }
 
 Tensor GraphLevel::Aggregate(const Tensor& x) const {
-  if (UseSparse()) return SpMatMul(*AdjacencyCsr(), x);
+  if (UseSparse()) {
+    DispatchSparseCounter()->Increment();
+    return SpMatMul(*AdjacencyCsr(), x);
+  }
+  DispatchDenseCounter()->Increment();
   return MatMul(adjacency(), x);
 }
 
@@ -171,6 +259,13 @@ void GraphLevel::WarmCaches() const {
     SymCsr();
     RowCsr();
   }
+}
+
+GraphLevel::CacheStats GraphLevel::cache_stats() const {
+  if (!defined()) return {};
+  State& s = *state_;
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
 }
 
 }  // namespace hap

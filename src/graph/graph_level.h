@@ -55,6 +55,31 @@ inline constexpr double kSparseDispatchDensity = 0.25;
 /// preparation time to pre-fill outside the training loop.
 class GraphLevel {
  public:
+  /// Snapshot of one level's derived-operator cache activity. A hit is an
+  /// accessor call served from a filled cache; a miss computed the
+  /// operator (and, when cacheable, filled the cache — so a warmed level
+  /// shows exactly one miss per operator). Accessor calls on
+  /// non-cacheable levels always recompute and count as misses.
+  /// Counters are cumulative over the level's lifetime and shared by all
+  /// copies of the handle.
+  struct CacheStats {
+    uint64_t sym_hits = 0, sym_misses = 0;
+    uint64_t row_hits = 0, row_misses = 0;
+    uint64_t mask_hits = 0, mask_misses = 0;
+    uint64_t adj_csr_hits = 0, adj_csr_misses = 0;
+    uint64_t sym_csr_hits = 0, sym_csr_misses = 0;
+    uint64_t row_csr_hits = 0, row_csr_misses = 0;
+
+    uint64_t TotalHits() const {
+      return sym_hits + row_hits + mask_hits + adj_csr_hits + sym_csr_hits +
+             row_csr_hits;
+    }
+    uint64_t TotalMisses() const {
+      return sym_misses + row_misses + mask_misses + adj_csr_misses +
+             sym_csr_misses + row_csr_misses;
+    }
+  };
+
   GraphLevel() = default;
   explicit GraphLevel(Tensor adjacency);
 
@@ -102,6 +127,11 @@ class GraphLevel {
   /// for non-cacheable levels). Called at dataset-preparation time so the
   /// training loop, and every data-parallel worker, reuses one copy.
   void WarmCaches() const;
+
+  /// Copy of this level's cumulative cache counters (empty for an
+  /// undefined handle). The process-wide totals are also published to the
+  /// obs metrics registry (graph_level.cache.*).
+  CacheStats cache_stats() const;
 
  private:
   struct State;

@@ -1,0 +1,47 @@
+// Canonical metric names. Every instrumentation site and every reader
+// (run logger, HAP_METRICS dump, tests) goes through these constants so
+// the name space stays greppable and typo-free.
+//
+// Convention: dot-separated, lowercase, <layer>.<subject>.<aspect>.
+// Counters are monotonic totals; `*_ns` histograms record per-call
+// wall-clock nanoseconds and are only populated when detailed metrics
+// are enabled (HAP_METRICS / SetMetricsEnabled).
+#ifndef HAP_OBS_METRIC_NAMES_H_
+#define HAP_OBS_METRIC_NAMES_H_
+
+namespace hap::obs::names {
+
+// --- src/tensor kernels ---
+inline constexpr char kMatMulCalls[] = "tensor.matmul.calls";
+inline constexpr char kMatMulFlops[] = "tensor.matmul.flops";
+inline constexpr char kMatMulNs[] = "tensor.matmul.ns";
+inline constexpr char kSpMatMulCalls[] = "tensor.spmatmul.calls";
+inline constexpr char kSpMatMulFlops[] = "tensor.spmatmul.flops";
+inline constexpr char kSpMatMulNs[] = "tensor.spmatmul.ns";
+
+// --- src/graph GraphLevel ---
+inline constexpr char kGraphCacheHit[] = "graph_level.cache.hit";
+inline constexpr char kGraphCacheMiss[] = "graph_level.cache.miss";
+inline constexpr char kGraphUncached[] = "graph_level.cache.uncached";
+inline constexpr char kDispatchDense[] = "graph_level.dispatch.dense";
+inline constexpr char kDispatchSparse[] = "graph_level.dispatch.sparse";
+
+// --- src/common ThreadPool ---
+inline constexpr char kPoolJobs[] = "threadpool.jobs";
+inline constexpr char kPoolTasks[] = "threadpool.tasks";
+inline constexpr char kPoolBusyNs[] = "threadpool.busy_ns";
+inline constexpr char kPoolQueueWaitNs[] = "threadpool.queue_wait_ns";
+
+// --- src/core coarsening ---
+inline constexpr char kCoarsenCalls[] = "coarsen.calls";
+inline constexpr char kCoarsenNodesIn[] = "coarsen.nodes_in";
+inline constexpr char kCoarsenClustersOut[] = "coarsen.clusters_out";
+inline constexpr char kCoarsenNs[] = "coarsen.ns";
+
+// --- src/train ---
+inline constexpr char kTrainBatches[] = "train.batches";
+inline constexpr char kTrainExamples[] = "train.examples";
+
+}  // namespace hap::obs::names
+
+#endif  // HAP_OBS_METRIC_NAMES_H_

@@ -1,0 +1,458 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace hap::obs {
+namespace {
+
+// Per-thread storage for every sharded metric. A thread registers its
+// shard on first touch and the registry keeps it alive after the thread
+// exits so totals never regress.
+struct Shard {
+  std::atomic<uint64_t> counters[kMaxCounters] = {};
+  std::atomic<uint64_t> hist_count[kMaxHistograms] = {};
+  std::atomic<uint64_t> hist_sum[kMaxHistograms] = {};
+  std::atomic<uint64_t> hist_buckets[kMaxHistograms][kHistogramBuckets] = {};
+};
+
+[[noreturn]] void CapacityAbort(const char* kind, const std::string& name) {
+  std::fprintf(stderr,
+               "hap::obs: %s registry full while registering '%s' "
+               "(raise kMax* in obs/metrics.h)\n",
+               kind, name.c_str());
+  std::abort();
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+class Registry {
+ public:
+  // Leaked singleton: metrics may be written from detached threads
+  // during static destruction, so the registry must outlive everything.
+  static Registry& Instance() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  Counter* GetCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counter_ids_.find(name);
+    if (it != counter_ids_.end()) return counters_[it->second].get();
+    if (num_counters_ >= kMaxCounters) CapacityAbort("counter", name);
+    const int id = num_counters_++;
+    counter_names_[id] = name;
+    counter_ids_.emplace(name, id);
+    counters_[id] = std::unique_ptr<Counter>(new Counter(id));
+    return counters_[id].get();
+  }
+
+  Gauge* GetGauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauge_ids_.find(name);
+    if (it != gauge_ids_.end()) return gauges_[it->second].get();
+    if (num_gauges_ >= kMaxGauges) CapacityAbort("gauge", name);
+    const int id = num_gauges_++;
+    gauge_names_[id] = name;
+    gauge_ids_.emplace(name, id);
+    gauges_[id] = std::unique_ptr<Gauge>(new Gauge(id));
+    return gauges_[id].get();
+  }
+
+  Histogram* GetHistogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = histogram_ids_.find(name);
+    if (it != histogram_ids_.end()) return histograms_[it->second].get();
+    if (num_histograms_ >= kMaxHistograms) CapacityAbort("histogram", name);
+    const int id = num_histograms_++;
+    histogram_names_[id] = name;
+    histogram_ids_.emplace(name, id);
+    histograms_[id] = std::unique_ptr<Histogram>(new Histogram(id));
+    return histograms_[id].get();
+  }
+
+  int FindCounter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counter_ids_.find(name);
+    return it == counter_ids_.end() ? -1 : it->second;
+  }
+
+  Shard* RegisterShard() {
+    auto shard = std::make_unique<Shard>();
+    Shard* raw = shard.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(shard));
+    return raw;
+  }
+
+  uint64_t SumCounter(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[id].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  uint64_t SumHistCount(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->hist_count[id].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  uint64_t SumHistSum(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->hist_sum[id].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void SetGaugeBits(int id, uint64_t bits) {
+    gauge_cells_[id].store(bits, std::memory_order_relaxed);
+  }
+  uint64_t GaugeBits(int id) const {
+    return gauge_cells_[id].load(std::memory_order_relaxed);
+  }
+
+  const std::string& CounterName(int id) const { return counter_names_[id]; }
+  const std::string& GaugeName(int id) const { return gauge_names_[id]; }
+  const std::string& HistogramName(int id) const {
+    return histogram_names_[id];
+  }
+
+  MetricsSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    snap.counters.resize(num_counters_);
+    for (int id = 0; id < num_counters_; ++id) {
+      CounterSnapshot& c = snap.counters[id];
+      c.name = counter_names_[id];
+      c.per_thread.reserve(shards_.size());
+      for (const auto& shard : shards_) {
+        const uint64_t v = shard->counters[id].load(std::memory_order_relaxed);
+        c.per_thread.push_back(v);
+        c.value += v;
+      }
+    }
+    snap.gauges.resize(num_gauges_);
+    for (int id = 0; id < num_gauges_; ++id) {
+      snap.gauges[id].name = gauge_names_[id];
+      snap.gauges[id].value = std::bit_cast<double>(
+          gauge_cells_[id].load(std::memory_order_relaxed));
+    }
+    snap.histograms.resize(num_histograms_);
+    for (int id = 0; id < num_histograms_; ++id) {
+      HistogramSnapshot& h = snap.histograms[id];
+      h.name = histogram_names_[id];
+      h.buckets.assign(kHistogramBuckets, 0);
+      for (const auto& shard : shards_) {
+        h.count += shard->hist_count[id].load(std::memory_order_relaxed);
+        h.sum += shard->hist_sum[id].load(std::memory_order_relaxed);
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          h.buckets[b] +=
+              shard->hist_buckets[id][b].load(std::memory_order_relaxed);
+        }
+      }
+    }
+    return snap;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& shard : shards_) {
+      for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+      for (auto& c : shard->hist_count) c.store(0, std::memory_order_relaxed);
+      for (auto& c : shard->hist_sum) c.store(0, std::memory_order_relaxed);
+      for (auto& row : shard->hist_buckets) {
+        for (auto& c : row) c.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (auto& g : gauge_cells_) g.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  int num_counters_ = 0;
+  int num_gauges_ = 0;
+  int num_histograms_ = 0;
+  std::unordered_map<std::string, int> counter_ids_;
+  std::unordered_map<std::string, int> gauge_ids_;
+  std::unordered_map<std::string, int> histogram_ids_;
+  std::string counter_names_[kMaxCounters];
+  std::string gauge_names_[kMaxGauges];
+  std::string histogram_names_[kMaxHistograms];
+  std::unique_ptr<Counter> counters_[kMaxCounters];
+  std::unique_ptr<Gauge> gauges_[kMaxGauges];
+  std::unique_ptr<Histogram> histograms_[kMaxHistograms];
+  std::atomic<uint64_t> gauge_cells_[kMaxGauges] = {};
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+thread_local Shard* tls_shard = nullptr;
+
+inline Shard* LocalShard() {
+  Shard* shard = tls_shard;
+  if (shard == nullptr) {
+    shard = Registry::Instance().RegisterShard();
+    tls_shard = shard;
+  }
+  return shard;
+}
+
+void DumpMetricsAtExit();
+
+// One-time HAP_METRICS parse. "0"/"" = off, "1" = on, anything else =
+// on + dump a JSON snapshot to that path at exit.
+struct EnvConfig {
+  bool enabled = false;
+  std::string dump_path;
+
+  EnvConfig() {
+    const char* env = std::getenv("HAP_METRICS");
+    if (env == nullptr || env[0] == '\0') return;
+    const std::string value(env);
+    if (value == "0") return;
+    enabled = true;
+    if (value != "1") {
+      dump_path = value;
+      std::atexit(DumpMetricsAtExit);
+    }
+  }
+};
+
+EnvConfig& Env() {
+  static EnvConfig* config = new EnvConfig();
+  return *config;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool>* flag = new std::atomic<bool>(Env().enabled);
+  return *flag;
+}
+
+void DumpMetricsAtExit() {
+  const std::string& path = Env().dump_path;
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  const std::string json = SnapshotMetrics().ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+int HistogramBucket(uint64_t value) {
+  if (value == 0) return 0;
+  const int width = std::bit_width(value);
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+uint64_t HistogramBucketLow(int b) {
+  if (b <= 1) return b == 1 ? 1 : 0;
+  return uint64_t{1} << (b - 1);
+}
+
+void Counter::Add(uint64_t delta) {
+  LocalShard()->counters[id_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const { return Registry::Instance().SumCounter(id_); }
+
+const std::string& Counter::name() const {
+  return Registry::Instance().CounterName(id_);
+}
+
+void Gauge::Set(double value) {
+  Registry::Instance().SetGaugeBits(id_, std::bit_cast<uint64_t>(value));
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(Registry::Instance().GaugeBits(id_));
+}
+
+const std::string& Gauge::name() const {
+  return Registry::Instance().GaugeName(id_);
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard* shard = LocalShard();
+  shard->hist_count[id_].fetch_add(1, std::memory_order_relaxed);
+  shard->hist_sum[id_].fetch_add(value, std::memory_order_relaxed);
+  shard->hist_buckets[id_][HistogramBucket(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  return Registry::Instance().SumHistCount(id_);
+}
+
+uint64_t Histogram::Sum() const { return Registry::Instance().SumHistSum(id_); }
+
+const std::string& Histogram::name() const {
+  return Registry::Instance().HistogramName(id_);
+}
+
+Counter* GetCounter(const std::string& name) {
+  return Registry::Instance().GetCounter(name);
+}
+
+Gauge* GetGauge(const std::string& name) {
+  return Registry::Instance().GetGauge(name);
+}
+
+Histogram* GetHistogram(const std::string& name) {
+  return Registry::Instance().GetHistogram(name);
+}
+
+uint64_t CounterValue(const std::string& name) {
+  const int id = Registry::Instance().FindCounter(name);
+  return id < 0 ? 0 : Registry::Instance().SumCounter(id);
+}
+
+double HistogramSnapshot::Mean() const {
+  return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+}
+
+uint64_t HistogramSnapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) return HistogramBucketLow(b);
+  }
+  return HistogramBucketLow(kHistogramBuckets - 1);
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":[";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) out.push_back(',');
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, counters[i].name);
+    out.append("\",\"value\":");
+    AppendU64(&out, counters[i].value);
+    out.append(",\"per_thread\":[");
+    for (size_t t = 0; t < counters[i].per_thread.size(); ++t) {
+      if (t) out.push_back(',');
+      AppendU64(&out, counters[i].per_thread[t]);
+    }
+    out.append("]}");
+  }
+  out.append("],\"gauges\":[");
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out.push_back(',');
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, gauges[i].name);
+    out.append("\",\"value\":");
+    AppendDouble(&out, gauges[i].value);
+    out.append("}");
+  }
+  out.append("],\"histograms\":[");
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i) out.push_back(',');
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, h.name);
+    out.append("\",\"count\":");
+    AppendU64(&out, h.count);
+    out.append(",\"sum\":");
+    AppendU64(&out, h.sum);
+    out.append(",\"mean\":");
+    AppendDouble(&out, h.Mean());
+    out.append(",\"p50\":");
+    AppendU64(&out, h.ApproxQuantile(0.5));
+    out.append(",\"p99\":");
+    AppendU64(&out, h.ApproxQuantile(0.99));
+    out.append(",\"bucket_low\":[");
+    bool first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      AppendU64(&out, HistogramBucketLow(b));
+    }
+    out.append("],\"bucket_count\":[");
+    first = true;
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      AppendU64(&out, h.buckets[b]);
+    }
+    out.append("]}");
+  }
+  out.append("]}");
+  return out;
+}
+
+MetricsSnapshot SnapshotMetrics() { return Registry::Instance().Snapshot(); }
+
+void ResetMetrics() { Registry::Instance().Reset(); }
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTimerNs::ScopedTimerNs(Histogram* h)
+    : h_(h), start_ns_(MetricsEnabled() ? MonotonicNs() : 0) {}
+
+ScopedTimerNs::~ScopedTimerNs() {
+  if (start_ns_ != 0) h_->Record(MonotonicNs() - start_ns_);
+}
+
+}  // namespace hap::obs

@@ -1,0 +1,176 @@
+// Process-wide metrics registry: counters, gauges, and log-scale
+// histograms, designed so instrumentation never perturbs the math it
+// observes.
+//
+// Hot-path cost model:
+//  * `Counter::Add` / `Histogram::Record` touch a thread-local shard —
+//    one TLS pointer load plus an indexed relaxed `fetch_add`. No locks,
+//    no allocation after a thread's first touch, no cross-thread cache
+//    traffic until a scrape.
+//  * `Gauge::Set` is a single relaxed store to a global cell
+//    (last-writer-wins; gauges are not sharded).
+//  * Timing (`ScopedTimerNs`) reads the clock only when detailed
+//    metrics are enabled (`MetricsEnabled()`), so the default-off mode
+//    costs one relaxed atomic load per scope.
+//
+// Aggregation happens on scrape: `SnapshotMetrics()` sums every
+// registered thread shard. Shards of exited threads are retained so
+// their contributions are never lost.
+//
+// Enabling: counters are always live (they are cheap and the run logger
+// consumes them). Histogram timing is off by default; turn it on with
+// `SetMetricsEnabled(true)` or the `HAP_METRICS` environment variable.
+// `HAP_METRICS=<path>` additionally dumps a JSON snapshot to <path> at
+// process exit ("0"/"1"/empty are treated as plain off/on switches).
+#ifndef HAP_OBS_METRICS_H_
+#define HAP_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hap::obs {
+
+// Fixed registry capacities. Metric handles are created once per site
+// (function-local static), so these bound distinct names, not call
+// volume. Exceeding a capacity aborts with a message naming the metric.
+inline constexpr int kMaxCounters = 128;
+inline constexpr int kMaxGauges = 64;
+inline constexpr int kMaxHistograms = 64;
+
+// Histogram buckets are powers of two: bucket 0 holds value 0, bucket b
+// (b >= 1) holds values in [2^(b-1), 2^b). 48 buckets cover u64 values
+// up to 2^47 — about 39 hours in nanoseconds.
+inline constexpr int kHistogramBuckets = 48;
+
+// Returns the bucket index for `value` under the scheme above.
+int HistogramBucket(uint64_t value);
+// Inclusive lower bound of bucket `b` (0 for buckets 0 and 1).
+uint64_t HistogramBucketLow(int b);
+
+class Counter {
+ public:
+  void Add(uint64_t delta);
+  void Increment() { Add(1); }
+  // Sum over all thread shards (relaxed loads; exact once writers are
+  // quiescent).
+  uint64_t Value() const;
+  const std::string& name() const;
+
+  // Internal — obtain handles via GetCounter().
+  explicit Counter(int id) : id_(id) {}
+
+ private:
+  int id_;
+};
+
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+  const std::string& name() const;
+
+  // Internal — obtain handles via GetGauge().
+  explicit Gauge(int id) : id_(id) {}
+
+ private:
+  int id_;
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  const std::string& name() const;
+
+  // Internal — obtain handles via GetHistogram().
+  explicit Histogram(int id) : id_(id) {}
+
+ private:
+  int id_;
+};
+
+// Registers (or finds) a metric by name. Handles are stable for the
+// process lifetime; fetch them once per site via a function-local
+// static. Registering the same name twice returns the same handle.
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);
+
+// Convenience reader: aggregated value of a counter, 0 if the name has
+// never been registered (so readers need not force registration).
+uint64_t CounterValue(const std::string& name);
+
+// --- Snapshotting ---
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+  // Per-shard contributions, one entry per registered thread shard in
+  // registration order. For per-thread metrics (e.g. ThreadPool busy
+  // time) each shard is one worker's total.
+  std::vector<uint64_t> per_thread;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;  // size kHistogramBuckets
+
+  double Mean() const;
+  // Approximate quantile (0 <= q <= 1) from the log-scale buckets:
+  // returns the lower bound of the bucket holding the q-th value.
+  uint64_t ApproxQuantile(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  std::string ToJson() const;
+};
+
+// Aggregates every registered shard. Safe to call concurrently with
+// writers (values are relaxed sums, momentarily stale, never torn).
+MetricsSnapshot SnapshotMetrics();
+
+// Zeroes every counter/gauge/histogram cell in every shard. Intended
+// for tests and between benchmark repetitions while writers are
+// quiescent.
+void ResetMetrics();
+
+// --- Detailed-metrics switch (timing histograms) ---
+
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+// Records the scope's wall-clock nanoseconds into `h` when detailed
+// metrics are enabled at construction; otherwise never reads the clock.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram* h);
+  ~ScopedTimerNs();
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram* h_;
+  uint64_t start_ns_;  // 0 when disabled at construction
+};
+
+// Monotonic clock in nanoseconds (steady_clock); shared by the timer,
+// the tracer, and call sites that time phases by hand.
+uint64_t MonotonicNs();
+
+}  // namespace hap::obs
+
+#endif  // HAP_OBS_METRICS_H_

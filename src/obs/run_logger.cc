@@ -1,0 +1,132 @@
+#include "obs/run_logger.h"
+
+#include <cinttypes>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace hap::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void JsonRecord::Key(const std::string& key) {
+  if (!body_.empty()) body_.push_back(',');
+  body_.push_back('"');
+  AppendEscaped(&body_, key);
+  body_.append("\":");
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, double value) {
+  Key(key);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  body_.append(buf);
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, int value) {
+  return Add(key, static_cast<int64_t>(value));
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, int64_t value) {
+  Key(key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  body_.append(buf);
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, uint64_t value) {
+  Key(key);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  body_.append(buf);
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, bool value) {
+  Key(key);
+  body_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, const std::string& value) {
+  Key(key);
+  body_.push_back('"');
+  AppendEscaped(&body_, value);
+  body_.push_back('"');
+  return *this;
+}
+
+JsonRecord& JsonRecord::Add(const std::string& key, const char* value) {
+  return Add(key, std::string(value));
+}
+
+std::string JsonRecord::ToJsonLine() const { return "{" + body_ + "}"; }
+
+RunLogger::RunLogger(bool console, const std::string& jsonl_path)
+    : console_(console) {
+  if (jsonl_path.empty()) return;
+  file_ = std::fopen(jsonl_path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "hap::obs: cannot open run log '%s'\n",
+                 jsonl_path.c_str());
+  }
+}
+
+RunLogger::~RunLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunLogger::Log(const JsonRecord& record, const std::string& console_line) {
+  if (console_) {
+    std::fputs(console_line.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  if (file_ != nullptr) {
+    const std::string line = record.ToJsonLine();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+}
+
+RunCounters RunCounters::DeltaSince(const RunCounters& base) const {
+  RunCounters d;
+  d.matmul_calls = matmul_calls - base.matmul_calls;
+  d.spmatmul_calls = spmatmul_calls - base.spmatmul_calls;
+  d.dispatch_dense = dispatch_dense - base.dispatch_dense;
+  d.dispatch_sparse = dispatch_sparse - base.dispatch_sparse;
+  d.cache_hits = cache_hits - base.cache_hits;
+  d.cache_misses = cache_misses - base.cache_misses;
+  return d;
+}
+
+RunCounters ReadRunCounters() {
+  RunCounters c;
+  c.matmul_calls = CounterValue(names::kMatMulCalls);
+  c.spmatmul_calls = CounterValue(names::kSpMatMulCalls);
+  c.dispatch_dense = CounterValue(names::kDispatchDense);
+  c.dispatch_sparse = CounterValue(names::kDispatchSparse);
+  c.cache_hits = CounterValue(names::kGraphCacheHit);
+  c.cache_misses = CounterValue(names::kGraphCacheMiss);
+  return c;
+}
+
+}  // namespace hap::obs

@@ -1,0 +1,79 @@
+// Structured per-epoch training telemetry. The trainers build one
+// JsonRecord per epoch and hand it to a RunLogger, which fans it out to
+// up to two sinks:
+//  * console — the human-readable line the old `verbose` flag printed,
+//    byte-for-byte (the record is ignored by this sink);
+//  * JSONL file — one compact JSON object per line, machine-parseable
+//    (`TrainConfig::log_path`).
+// Neither sink touches the math: records carry timings and counter
+// snapshots, never feed back into training.
+#ifndef HAP_OBS_RUN_LOGGER_H_
+#define HAP_OBS_RUN_LOGGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace hap::obs {
+
+// Insertion-ordered {"key":value,...} builder for one JSONL record.
+class JsonRecord {
+ public:
+  JsonRecord& Add(const std::string& key, double value);
+  JsonRecord& Add(const std::string& key, int value);
+  JsonRecord& Add(const std::string& key, int64_t value);
+  JsonRecord& Add(const std::string& key, uint64_t value);
+  JsonRecord& Add(const std::string& key, bool value);
+  JsonRecord& Add(const std::string& key, const std::string& value);
+  JsonRecord& Add(const std::string& key, const char* value);
+  // Single line, no trailing newline: {"k":v,...}
+  std::string ToJsonLine() const;
+
+ private:
+  void Key(const std::string& key);
+  std::string body_;
+};
+
+class RunLogger {
+ public:
+  // Disabled logger: Log() is a no-op.
+  RunLogger() = default;
+  // `console` mirrors the old `verbose` behaviour; a non-empty
+  // `jsonl_path` opens (truncates) the JSONL sink. A path that cannot
+  // be opened is reported once to stderr and skipped.
+  RunLogger(bool console, const std::string& jsonl_path);
+  ~RunLogger();
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  bool console() const { return console_; }
+  bool enabled() const { return console_ || file_ != nullptr; }
+
+  // Writes `record` to the JSONL sink (flushed per line, so partial
+  // runs stay parseable) and `console_line` (sans newline) to stdout.
+  void Log(const JsonRecord& record, const std::string& console_line);
+
+ private:
+  bool console_ = false;
+  std::FILE* file_ = nullptr;
+};
+
+// Cumulative values of the well-known kernel/dispatch/cache counters
+// (see obs/metric_names.h). The run logger records per-epoch deltas of
+// these so each JSONL line shows what that epoch did.
+struct RunCounters {
+  uint64_t matmul_calls = 0;
+  uint64_t spmatmul_calls = 0;
+  uint64_t dispatch_dense = 0;
+  uint64_t dispatch_sparse = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  RunCounters DeltaSince(const RunCounters& base) const;
+};
+
+RunCounters ReadRunCounters();
+
+}  // namespace hap::obs
+
+#endif  // HAP_OBS_RUN_LOGGER_H_

@@ -1,0 +1,265 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"  // MonotonicNs
+
+namespace hap::obs {
+namespace {
+
+struct TraceEvent {
+  const char* name;  // string literal owned by the call site
+  char phase;        // 'B' or 'E'
+  uint64_t ts_ns;    // since session start
+};
+
+// One track per thread that recorded during the session. The per-track
+// mutex serialises appends with the flush; threads never contend with
+// each other on the hot path.
+struct ThreadTrack {
+  std::mutex mu;
+  int tid = 0;
+  std::string name;
+  std::vector<TraceEvent> events;
+};
+
+std::string& PendingThreadName() {
+  thread_local std::string name;
+  return name;
+}
+
+thread_local ThreadTrack* tls_track = nullptr;
+thread_local uint64_t tls_generation = 0;  // 0 = no track; sessions start at 1
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+class Tracer {
+ public:
+  static Tracer& Instance() {
+    static Tracer* instance = new Tracer();
+    return *instance;
+  }
+
+  bool Start(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_.load(std::memory_order_relaxed)) return false;
+    path_ = path;
+    start_ns_ = MonotonicNs();
+    tracks_.clear();
+    next_tid_ = 0;
+    generation_.fetch_add(1, std::memory_order_relaxed);
+    active_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Stop() {
+    std::vector<std::unique_ptr<ThreadTrack>> tracks;
+    std::string path;
+    uint64_t end_ns = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!active_.load(std::memory_order_relaxed)) return false;
+      active_.store(false, std::memory_order_relaxed);
+      // Invalidate cached thread-local tracks so late Record calls
+      // re-register (and then drop) instead of appending to the
+      // swapped-out buffers below.
+      generation_.fetch_add(1, std::memory_order_relaxed);
+      end_ns = MonotonicNs() - start_ns_;
+      tracks.swap(tracks_);
+      path.swap(path_);
+    }
+    return Flush(path, tracks, end_ns);
+  }
+
+  bool Active() const { return active_.load(std::memory_order_relaxed); }
+
+  void Record(const char* name, char phase) {
+    ThreadTrack* track = CurrentTrack();
+    if (track == nullptr) return;
+    const uint64_t ts = MonotonicNs() - start_ns_;
+    std::lock_guard<std::mutex> lock(track->mu);
+    track->events.push_back(TraceEvent{name, phase, ts});
+  }
+
+  void NameCurrentThread(const std::string& name) {
+    PendingThreadName() = name;
+    if (tls_track != nullptr &&
+        tls_generation == generation_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(tls_track->mu);
+      tls_track->name = name;
+    }
+  }
+
+  size_t EventCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& track : tracks_) {
+      std::lock_guard<std::mutex> track_lock(track->mu);
+      total += track->events.size();
+    }
+    return total;
+  }
+
+  size_t ThreadCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tracks_.size();
+  }
+
+ private:
+  Tracer() = default;
+
+  // Returns the calling thread's track for the active session,
+  // registering one on first use; null when no session is recording.
+  ThreadTrack* CurrentTrack() {
+    const uint64_t generation = generation_.load(std::memory_order_relaxed);
+    if (tls_track != nullptr && tls_generation == generation) {
+      return tls_track;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!active_.load(std::memory_order_relaxed)) return nullptr;
+    auto track = std::make_unique<ThreadTrack>();
+    track->tid = next_tid_++;
+    track->name = PendingThreadName();
+    if (track->name.empty()) {
+      track->name = "thread-" + std::to_string(track->tid);
+    }
+    tls_track = track.get();
+    tls_generation = generation;
+    tracks_.push_back(std::move(track));
+    return tls_track;
+  }
+
+  static void AppendEvent(std::string* out, bool* first, int tid,
+                          const char* name, char phase, uint64_t ts_ns) {
+    if (!*first) out->append(",\n");
+    *first = false;
+    char buf[64];
+    out->append("{\"name\":\"");
+    AppendEscaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d",
+                  phase, tid);
+    out->append(buf);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f}",
+                  static_cast<double>(ts_ns) / 1000.0);
+    out->append(buf);
+  }
+
+  // Writes the Chrome trace-event file. Unmatched events are repaired
+  // here — an 'E' with no open span is dropped and spans still open at
+  // session end are closed at `end_ns` — so the emitted file is always
+  // balanced, even if a session stopped mid-scope on another thread.
+  static bool Flush(const std::string& path,
+                    const std::vector<std::unique_ptr<ThreadTrack>>& tracks,
+                    uint64_t end_ns) {
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto& track : tracks) {
+      // The track mutex orders this read after any append that raced
+      // with the session teardown.
+      std::lock_guard<std::mutex> track_lock(track->mu);
+      out.append(first ? "" : ",\n");
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                    "\"tid\":%d,\"args\":{\"name\":\"",
+                    track->tid);
+      out.append(buf);
+      AppendEscaped(&out, track->name.c_str());
+      out.append("\"}}");
+    }
+    for (const auto& track : tracks) {
+      std::lock_guard<std::mutex> track_lock(track->mu);
+      std::vector<const char*> open;
+      for (const TraceEvent& event : track->events) {
+        if (event.phase == 'B') {
+          open.push_back(event.name);
+        } else {
+          if (open.empty()) continue;  // orphan end: drop
+          open.pop_back();
+        }
+        AppendEvent(&out, &first, track->tid, event.name, event.phase,
+                    event.ts_ns);
+      }
+      while (!open.empty()) {
+        AppendEvent(&out, &first, track->tid, open.back(), 'E', end_ns);
+        open.pop_back();
+      }
+    }
+    out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    return written == out.size();
+  }
+
+  mutable std::mutex mu_;
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> generation_{0};
+  std::string path_;
+  uint64_t start_ns_ = 0;
+  int next_tid_ = 0;
+  std::vector<std::unique_ptr<ThreadTrack>> tracks_;
+};
+
+// HAP_TRACE=<path>: session spans the whole process, flushed at exit.
+struct EnvSession {
+  EnvSession() {
+    const char* env = std::getenv("HAP_TRACE");
+    if (env != nullptr && env[0] != '\0') {
+      Tracer::Instance().Start(env);
+      std::atexit([] { Tracer::Instance().Stop(); });
+    }
+  }
+};
+EnvSession env_session;
+
+}  // namespace
+
+bool TracingEnabled() { return Tracer::Instance().Active(); }
+
+bool StartTracing(const std::string& path) {
+  return Tracer::Instance().Start(path);
+}
+
+bool StopTracing() { return Tracer::Instance().Stop(); }
+
+void SetCurrentThreadName(const std::string& name) {
+  Tracer::Instance().NameCurrentThread(name);
+}
+
+size_t TraceEventCount() { return Tracer::Instance().EventCount(); }
+
+size_t TraceThreadCount() { return Tracer::Instance().ThreadCount(); }
+
+TraceScope::TraceScope(const char* name)
+    : name_(name), active_(TracingEnabled()) {
+  if (active_) Tracer::Instance().Record(name_, 'B');
+}
+
+TraceScope::~TraceScope() {
+  if (active_ && TracingEnabled()) Tracer::Instance().Record(name_, 'E');
+}
+
+}  // namespace hap::obs

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace hap {
 
@@ -33,6 +35,14 @@ int64_t RowGrain(int64_t row_work) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HAP_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  // Call/FLOP counters are always live; the timing histogram only
+  // records when detailed metrics are on. Neither touches the math.
+  static obs::Counter* calls = obs::GetCounter(obs::names::kMatMulCalls);
+  static obs::Counter* flops = obs::GetCounter(obs::names::kMatMulFlops);
+  static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kMatMulNs);
+  calls->Increment();
+  flops->Add(2ull * m * k * n);
+  obs::ScopedTimerNs timer(op_ns);
   Tensor out = MakeOpResult(m, n, {a, b}, [m, k, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
     internal::TensorImpl& pb = Parent(node, 1);

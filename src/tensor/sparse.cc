@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace hap {
 
@@ -70,6 +72,12 @@ Tensor CsrMatrix::ToDense() const {
 Tensor SpMatMul(const CsrMatrix& a, const Tensor& x) {
   HAP_CHECK_EQ(a.cols(), x.rows());
   const int m = a.rows(), n = x.cols();
+  static obs::Counter* calls = obs::GetCounter(obs::names::kSpMatMulCalls);
+  static obs::Counter* flops = obs::GetCounter(obs::names::kSpMatMulFlops);
+  static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kSpMatMulNs);
+  calls->Increment();
+  flops->Add(2ull * a.values().size() * n);
+  obs::ScopedTimerNs timer(op_ns);
   // Capture the CSR arrays by value into the backward closure (they are
   // cheap shared vectors relative to training state, and the matrix is
   // immutable data).

@@ -4,6 +4,9 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "train/parallel_batch.h"
@@ -105,62 +108,110 @@ ClassificationResult TrainClassifier(
                                                    std::move(replica_params));
   }
 
+  // Telemetry: console sink mirrors the old `verbose` printf; a JSONL
+  // sink is opened when config.log_path is set. Timers and counter
+  // deltas never feed back into the math, so trajectories are identical
+  // with logging on or off.
+  obs::RunLogger logger(config.verbose, config.log_path);
+  obs::RunCounters counters_prev = obs::ReadRunCounters();
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    HAP_TRACE_SCOPE("train.epoch");
+    const uint64_t epoch_start_ns = obs::MonotonicNs();
     for (GraphClassifier* m : models) m->set_training(true);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
-    if (data_parallel) {
-      for (size_t start = 0; start < order.size();
-           start += static_cast<size_t>(config.batch_size)) {
-        const size_t stop = std::min(
-            order.size(), start + static_cast<size_t>(config.batch_size));
-        const std::vector<int> batch(order.begin() + start,
-                                     order.begin() + stop);
-        epoch_loss += runner->RunBatch(
-            batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
-            [&](int worker, uint64_t seed) { models[worker]->ReseedNoise(seed); },
-            [&](int worker, int item) {
-              return models[worker]->Loss(data[item]);
-            });
-        optimizer.ClipGradNorm(config.clip_norm);
-        optimizer.Step();
-      }
-    } else {
-      int in_batch = 0;
-      for (int index : order) {
-        Tensor loss = model->Loss(data[index]);
-        epoch_loss += loss.Item();
-        // Scale so accumulated batch gradients are means, not sums (keeps
-        // the effective step size independent of batch_size).
-        MulScalar(loss, 1.0f / config.batch_size).Backward();
-        if (++in_batch >= config.batch_size) {
-          optimizer.ClipGradNorm(config.clip_norm);
+    double grad_norm_sum = 0.0;
+    int optimizer_steps = 0;
+    {
+      HAP_TRACE_SCOPE("epoch.train");
+      if (data_parallel) {
+        for (size_t start = 0; start < order.size();
+             start += static_cast<size_t>(config.batch_size)) {
+          const size_t stop = std::min(
+              order.size(), start + static_cast<size_t>(config.batch_size));
+          const std::vector<int> batch(order.begin() + start,
+                                       order.begin() + stop);
+          epoch_loss += runner->RunBatch(
+              batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+              [&](int worker, uint64_t seed) {
+                models[worker]->ReseedNoise(seed);
+              },
+              [&](int worker, int item) {
+                return models[worker]->Loss(data[item]);
+              });
+          grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+          ++optimizer_steps;
           optimizer.Step();
-          in_batch = 0;
+        }
+      } else {
+        int in_batch = 0;
+        for (int index : order) {
+          Tensor loss = model->Loss(data[index]);
+          epoch_loss += loss.Item();
+          // Scale so accumulated batch gradients are means, not sums (keeps
+          // the effective step size independent of batch_size).
+          MulScalar(loss, 1.0f / config.batch_size).Backward();
+          if (++in_batch >= config.batch_size) {
+            grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+            ++optimizer_steps;
+            optimizer.Step();
+            in_batch = 0;
+          }
+        }
+        if (in_batch > 0) {
+          grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+          ++optimizer_steps;
+          optimizer.Step();
         }
       }
-      if (in_batch > 0) {
-        optimizer.ClipGradNorm(config.clip_norm);
-        optimizer.Step();
+    }
+    const uint64_t train_end_ns = obs::MonotonicNs();
+    const double mean_loss =
+        epoch_loss / std::max<size_t>(order.size(), 1);
+    result.epoch_losses.push_back(mean_loss);
+    model->set_training(false);
+    double val = 0.0;
+    {
+      HAP_TRACE_SCOPE("epoch.eval");
+      val = EvaluateClassifier(*model, data, split.val);
+      if (val > best_val) {
+        best_val = val;
+        result.best_epoch = epoch;
+        result.val_accuracy = val;
+        result.test_accuracy = EvaluateClassifier(*model, data, split.test);
+        result.train_accuracy = EvaluateClassifier(*model, data, split.train);
+        epochs_since_best = 0;
+      } else if (config.patience > 0 &&
+                 ++epochs_since_best >= config.patience) {
+        break;
       }
     }
-    result.epoch_losses.push_back(epoch_loss /
-                                  std::max<size_t>(order.size(), 1));
-    model->set_training(false);
-    const double val = EvaluateClassifier(*model, data, split.val);
-    if (val > best_val) {
-      best_val = val;
-      result.best_epoch = epoch;
-      result.val_accuracy = val;
-      result.test_accuracy = EvaluateClassifier(*model, data, split.test);
-      result.train_accuracy = EvaluateClassifier(*model, data, split.train);
-      epochs_since_best = 0;
-    } else if (config.patience > 0 && ++epochs_since_best >= config.patience) {
-      break;
-    }
-    if (config.verbose) {
-      std::printf("epoch %d loss %.4f val %.4f\n", epoch,
-                  epoch_loss / std::max<size_t>(order.size(), 1), val);
+    if (logger.enabled()) {
+      const uint64_t end_ns = obs::MonotonicNs();
+      const obs::RunCounters counters_now = obs::ReadRunCounters();
+      const obs::RunCounters delta = counters_now.DeltaSince(counters_prev);
+      counters_prev = counters_now;
+      obs::JsonRecord record;
+      record.Add("task", "classification")
+          .Add("epoch", epoch)
+          .Add("train_loss", mean_loss)
+          .Add("val_accuracy", val)
+          .Add("grad_norm",
+               optimizer_steps > 0 ? grad_norm_sum / optimizer_steps : 0.0)
+          .Add("train_s", (train_end_ns - epoch_start_ns) / 1e9)
+          .Add("eval_s", (end_ns - train_end_ns) / 1e9)
+          .Add("epoch_s", (end_ns - epoch_start_ns) / 1e9)
+          .Add("matmul_calls", delta.matmul_calls)
+          .Add("spmatmul_calls", delta.spmatmul_calls)
+          .Add("dispatch_dense", delta.dispatch_dense)
+          .Add("dispatch_sparse", delta.dispatch_sparse)
+          .Add("cache_hits", delta.cache_hits)
+          .Add("cache_misses", delta.cache_misses);
+      char line[96];
+      std::snprintf(line, sizeof(line), "epoch %d loss %.4f val %.4f", epoch,
+                    mean_loss, val);
+      logger.Log(record, line);
     }
   }
   return result;

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/embedder.h"
@@ -23,6 +24,12 @@ struct TrainConfig {
   int patience = 10;
   uint64_t seed = 17;
   bool verbose = false;
+  /// When non-empty, the trainer writes one JSON object per epoch to this
+  /// path (JSONL): loss, validation metric, pre-clip grad norm, phase
+  /// wall times, and kernel/dispatch/cache counter deltas. Independent of
+  /// `verbose` (which controls the console line). See
+  /// docs/OBSERVABILITY.md.
+  std::string log_path;
   /// Matching/similarity only: train on the final (coarsest) level's
   /// distance alone instead of the hierarchical multi-level loss of
   /// Sec. 4.5 — the "hierarchical vs final-only" ablation of DESIGN.md.

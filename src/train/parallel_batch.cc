@@ -6,6 +6,9 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hap {
@@ -42,7 +45,15 @@ double ParallelBatchRunner::RunBatch(
     const std::function<void(int worker, uint64_t seed)>& reseed,
     const std::function<Tensor(int worker, int item)>& loss) {
   if (batch.empty()) return 0.0;
-  SyncReplicaWeights();
+  HAP_TRACE_SCOPE("batch.run");
+  static obs::Counter* batches = obs::GetCounter(obs::names::kTrainBatches);
+  static obs::Counter* examples = obs::GetCounter(obs::names::kTrainExamples);
+  batches->Increment();
+  examples->Add(batch.size());
+  {
+    HAP_TRACE_SCOPE("batch.sync");
+    SyncReplicaWeights();
+  }
 
   const int workers = num_workers();
   const int64_t count = static_cast<int64_t>(batch.size());
@@ -80,6 +91,7 @@ double ParallelBatchRunner::RunBatch(
   // added in batch order. Parallel over parameters — the per-parameter
   // accumulation order is what fixes the floating-point result, and that
   // stays example 0, 1, 2, ... regardless of which thread reduces it.
+  HAP_TRACE_SCOPE("batch.reduce");
   ParallelFor(0, static_cast<int64_t>(master_params_.size()), 1,
               [&](int64_t plo, int64_t phi) {
                 for (int64_t p = plo; p < phi; ++p) {

@@ -7,6 +7,9 @@
 
 #include "common/check.h"
 #include "ged/ged.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
 #include "train/parallel_batch.h"
@@ -157,61 +160,103 @@ SimilarityTrainResult TrainSimilarity(
                                                    std::move(replica_params));
   }
 
+  obs::RunLogger logger(config.verbose, config.log_path);
+  obs::RunCounters counters_prev = obs::ReadRunCounters();
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    HAP_TRACE_SCOPE("train.epoch");
+    const uint64_t epoch_start_ns = obs::MonotonicNs();
     for (PairScorer* s : scorers) s->set_training(true);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
-    if (data_parallel) {
-      for (size_t start = 0; start < order.size();
-           start += static_cast<size_t>(config.batch_size)) {
-        const size_t stop = std::min(
-            order.size(), start + static_cast<size_t>(config.batch_size));
-        const std::vector<int> batch(order.begin() + start,
-                                     order.begin() + stop);
-        epoch_loss += runner->RunBatch(
-            batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
-            [&](int worker, uint64_t seed) {
-              scorers[worker]->ReseedNoise(seed);
-            },
-            [&](int worker, int item) {
-              return TripletLoss(scorers[worker], pool, train_triplets[item],
-                                 config.final_level_only);
-            });
-        optimizer.ClipGradNorm(config.clip_norm);
-        optimizer.Step();
-      }
-    } else {
-      int in_batch = 0;
-      for (int index : order) {
-        Tensor loss = TripletLoss(scorer, pool, train_triplets[index],
-                                  config.final_level_only);
-        epoch_loss += loss.Item();
-        // Mean-of-batch gradient (see classifier.cc).
-        MulScalar(loss, 1.0f / config.batch_size).Backward();
-        if (++in_batch >= config.batch_size) {
-          optimizer.ClipGradNorm(config.clip_norm);
+    double grad_norm_sum = 0.0;
+    int optimizer_steps = 0;
+    {
+      HAP_TRACE_SCOPE("epoch.train");
+      if (data_parallel) {
+        for (size_t start = 0; start < order.size();
+             start += static_cast<size_t>(config.batch_size)) {
+          const size_t stop = std::min(
+              order.size(), start + static_cast<size_t>(config.batch_size));
+          const std::vector<int> batch(order.begin() + start,
+                                       order.begin() + stop);
+          epoch_loss += runner->RunBatch(
+              batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+              [&](int worker, uint64_t seed) {
+                scorers[worker]->ReseedNoise(seed);
+              },
+              [&](int worker, int item) {
+                return TripletLoss(scorers[worker], pool, train_triplets[item],
+                                   config.final_level_only);
+              });
+          grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+          ++optimizer_steps;
           optimizer.Step();
-          in_batch = 0;
+        }
+      } else {
+        int in_batch = 0;
+        for (int index : order) {
+          Tensor loss = TripletLoss(scorer, pool, train_triplets[index],
+                                    config.final_level_only);
+          epoch_loss += loss.Item();
+          // Mean-of-batch gradient (see classifier.cc).
+          MulScalar(loss, 1.0f / config.batch_size).Backward();
+          if (++in_batch >= config.batch_size) {
+            grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+            ++optimizer_steps;
+            optimizer.Step();
+            in_batch = 0;
+          }
+        }
+        if (in_batch > 0) {
+          grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+          ++optimizer_steps;
+          optimizer.Step();
         }
       }
-      if (in_batch > 0) {
-        optimizer.ClipGradNorm(config.clip_norm);
-        optimizer.Step();
+    }
+    const uint64_t train_end_ns = obs::MonotonicNs();
+    const double mean_loss =
+        epoch_loss / std::max<size_t>(order.size(), 1);
+    result.epoch_losses.push_back(mean_loss);
+    scorer->set_training(false);
+    double train_acc = 0.0;
+    {
+      HAP_TRACE_SCOPE("epoch.eval");
+      train_acc = EvaluateTripletScorer(*scorer, pool, train_triplets);
+      if (train_acc > best_train) {
+        best_train = train_acc;
+        result.best_epoch = epoch;
+        result.train_accuracy = train_acc;
+        result.test_accuracy =
+            EvaluateTripletScorer(*scorer, pool, test_triplets);
       }
     }
-    result.epoch_losses.push_back(epoch_loss /
-                                  std::max<size_t>(order.size(), 1));
-    scorer->set_training(false);
-    const double train_acc =
-        EvaluateTripletScorer(*scorer, pool, train_triplets);
-    if (train_acc > best_train) {
-      best_train = train_acc;
-      result.best_epoch = epoch;
-      result.train_accuracy = train_acc;
-      result.test_accuracy = EvaluateTripletScorer(*scorer, pool, test_triplets);
-    }
-    if (config.verbose) {
-      std::printf("epoch %d train-triplet-acc %.4f\n", epoch, train_acc);
+    if (logger.enabled()) {
+      const uint64_t end_ns = obs::MonotonicNs();
+      const obs::RunCounters counters_now = obs::ReadRunCounters();
+      const obs::RunCounters delta = counters_now.DeltaSince(counters_prev);
+      counters_prev = counters_now;
+      obs::JsonRecord record;
+      record.Add("task", "similarity")
+          .Add("epoch", epoch)
+          .Add("train_loss", mean_loss)
+          .Add("train_triplet_accuracy", train_acc)
+          .Add("grad_norm",
+               optimizer_steps > 0 ? grad_norm_sum / optimizer_steps : 0.0)
+          .Add("train_s", (train_end_ns - epoch_start_ns) / 1e9)
+          .Add("eval_s", (end_ns - train_end_ns) / 1e9)
+          .Add("epoch_s", (end_ns - epoch_start_ns) / 1e9)
+          .Add("matmul_calls", delta.matmul_calls)
+          .Add("spmatmul_calls", delta.spmatmul_calls)
+          .Add("dispatch_dense", delta.dispatch_dense)
+          .Add("dispatch_sparse", delta.dispatch_sparse)
+          .Add("cache_hits", delta.cache_hits)
+          .Add("cache_misses", delta.cache_misses);
+      char line[96];
+      std::snprintf(line, sizeof(line), "epoch %d train-triplet-acc %.4f",
+                    epoch, train_acc);
+      logger.Log(record, line);
     }
   }
   return result;
@@ -269,37 +314,78 @@ SimilarityTrainResult TrainSimGnn(
   double best_train = -1.0;
   const int pairs_per_epoch =
       std::max<int>(32, static_cast<int>(train_pairs.size()));
+  obs::RunLogger logger(config.verbose, config.log_path);
+  obs::RunCounters counters_prev = obs::ReadRunCounters();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    HAP_TRACE_SCOPE("train.epoch");
+    const uint64_t epoch_start_ns = obs::MonotonicNs();
+    double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
+    int optimizer_steps = 0;
     int in_batch = 0;
-    for (int step = 0; step < pairs_per_epoch; ++step) {
-      const auto [i, j] =
-          train_pairs[rng.UniformInt(static_cast<int>(train_pairs.size()))];
-      const float target = static_cast<float>(
-          std::exp(-exact_ged[i][j] / std::max(mean_ged, 1e-9)));
-      Tensor predicted = model->PredictSimilarity(
-          pool[i].h, pool[i].adjacency, pool[j].h, pool[j].adjacency);
-      Tensor loss = Square(AddScalar(predicted, -target));
-      // Mean-of-batch gradient (see classifier.cc).
-      MulScalar(loss, 1.0f / config.batch_size).Backward();
-      if (++in_batch >= config.batch_size) {
-        optimizer.ClipGradNorm(config.clip_norm);
+    {
+      HAP_TRACE_SCOPE("epoch.train");
+      for (int step = 0; step < pairs_per_epoch; ++step) {
+        const auto [i, j] =
+            train_pairs[rng.UniformInt(static_cast<int>(train_pairs.size()))];
+        const float target = static_cast<float>(
+            std::exp(-exact_ged[i][j] / std::max(mean_ged, 1e-9)));
+        Tensor predicted = model->PredictSimilarity(
+            pool[i].h, pool[i].adjacency, pool[j].h, pool[j].adjacency);
+        Tensor loss = Square(AddScalar(predicted, -target));
+        epoch_loss += loss.Item();
+        // Mean-of-batch gradient (see classifier.cc).
+        MulScalar(loss, 1.0f / config.batch_size).Backward();
+        if (++in_batch >= config.batch_size) {
+          grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+          ++optimizer_steps;
+          optimizer.Step();
+          in_batch = 0;
+        }
+      }
+      if (in_batch > 0) {
+        grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
+        ++optimizer_steps;
         optimizer.Step();
-        in_batch = 0;
       }
     }
-    if (in_batch > 0) {
-      optimizer.ClipGradNorm(config.clip_norm);
-      optimizer.Step();
+    const uint64_t train_end_ns = obs::MonotonicNs();
+    double train_acc = 0.0;
+    {
+      HAP_TRACE_SCOPE("epoch.eval");
+      train_acc = triplet_accuracy(train_triplets);
+      if (train_acc > best_train) {
+        best_train = train_acc;
+        result.best_epoch = epoch;
+        result.train_accuracy = train_acc;
+        result.test_accuracy = triplet_accuracy(test_triplets);
+      }
     }
-    const double train_acc = triplet_accuracy(train_triplets);
-    if (train_acc > best_train) {
-      best_train = train_acc;
-      result.best_epoch = epoch;
-      result.train_accuracy = train_acc;
-      result.test_accuracy = triplet_accuracy(test_triplets);
-    }
-    if (config.verbose) {
-      std::printf("simgnn epoch %d train-triplet-acc %.4f\n", epoch, train_acc);
+    if (logger.enabled()) {
+      const uint64_t end_ns = obs::MonotonicNs();
+      const obs::RunCounters counters_now = obs::ReadRunCounters();
+      const obs::RunCounters delta = counters_now.DeltaSince(counters_prev);
+      counters_prev = counters_now;
+      obs::JsonRecord record;
+      record.Add("task", "simgnn")
+          .Add("epoch", epoch)
+          .Add("train_loss", epoch_loss / pairs_per_epoch)
+          .Add("train_triplet_accuracy", train_acc)
+          .Add("grad_norm",
+               optimizer_steps > 0 ? grad_norm_sum / optimizer_steps : 0.0)
+          .Add("train_s", (train_end_ns - epoch_start_ns) / 1e9)
+          .Add("eval_s", (end_ns - train_end_ns) / 1e9)
+          .Add("epoch_s", (end_ns - epoch_start_ns) / 1e9)
+          .Add("matmul_calls", delta.matmul_calls)
+          .Add("spmatmul_calls", delta.spmatmul_calls)
+          .Add("dispatch_dense", delta.dispatch_dense)
+          .Add("dispatch_sparse", delta.dispatch_sparse)
+          .Add("cache_hits", delta.cache_hits)
+          .Add("cache_misses", delta.cache_misses);
+      char line[96];
+      std::snprintf(line, sizeof(line),
+                    "simgnn epoch %d train-triplet-acc %.4f", epoch, train_acc);
+      logger.Log(record, line);
     }
   }
   return result;

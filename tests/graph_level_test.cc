@@ -183,5 +183,89 @@ TEST(GraphLevelTest, CopiesShareOneCache) {
   EXPECT_EQ(level.SymNormalized().data(), copy.SymNormalized().data());
 }
 
+TEST(GraphLevelTest, CacheStatsCountMissThenHits) {
+  Rng rng(31);
+  Graph g = ConnectedErdosRenyi(10, 0.3, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  EXPECT_EQ(level.cache_stats().TotalHits(), 0u);
+  EXPECT_EQ(level.cache_stats().TotalMisses(), 0u);
+
+  level.SymNormalized();  // first touch computes and fills the cache
+  GraphLevel::CacheStats stats = level.cache_stats();
+  EXPECT_EQ(stats.sym_misses, 1u);
+  EXPECT_EQ(stats.sym_hits, 0u);
+
+  level.SymNormalized();
+  level.SymNormalized();
+  stats = level.cache_stats();
+  EXPECT_EQ(stats.sym_misses, 1u);  // misses frozen once the cache is warm
+  EXPECT_EQ(stats.sym_hits, 2u);
+  EXPECT_EQ(stats.row_misses, 0u);  // untouched operators stay at zero
+  EXPECT_EQ(stats.TotalMisses(), 1u);
+}
+
+TEST(GraphLevelTest, WarmCachesIsExactlyOneMissPerOperator) {
+  DispatchScope scope(SparseDispatch::kForceDense);
+  Rng rng(37);
+  Graph g = ConnectedErdosRenyi(11, 0.3, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  level.WarmCaches();
+  GraphLevel::CacheStats stats = level.cache_stats();
+  EXPECT_EQ(stats.sym_misses, 1u);
+  EXPECT_EQ(stats.row_misses, 1u);
+  EXPECT_EQ(stats.mask_misses, 1u);
+  EXPECT_EQ(stats.adj_csr_misses, 0u);  // dense dispatch: CSR never built
+  EXPECT_EQ(stats.TotalHits(), 0u);
+
+  // Re-warming touches only filled caches: hits grow, misses do not.
+  level.WarmCaches();
+  stats = level.cache_stats();
+  EXPECT_EQ(stats.TotalMisses(), 3u);
+  EXPECT_EQ(stats.sym_hits, 1u);
+  EXPECT_EQ(stats.row_hits, 1u);
+  EXPECT_EQ(stats.mask_hits, 1u);
+}
+
+TEST(GraphLevelTest, SparseWarmFillsCsrCaches) {
+  DispatchScope scope(SparseDispatch::kForceSparse);
+  GraphLevel level(Cycle(12).AdjacencyMatrix());
+  level.WarmCaches();
+  GraphLevel::CacheStats stats = level.cache_stats();
+  EXPECT_EQ(stats.adj_csr_misses, 1u);
+  EXPECT_EQ(stats.sym_csr_misses, 1u);
+  EXPECT_EQ(stats.row_csr_misses, 1u);
+  EXPECT_EQ(stats.TotalMisses(), 6u);  // three dense + three CSR operators
+}
+
+TEST(GraphLevelTest, NonCacheableAccessorsAlwaysCountMisses) {
+  Rng rng(41);
+  Tensor leaf = Tensor::Randn(6, 6, &rng, 1.0f, /*requires_grad=*/true);
+  GraphLevel level(Mul(leaf, leaf));
+  ASSERT_FALSE(level.cacheable());
+  level.SymNormalized();
+  level.SymNormalized();
+  GraphLevel::CacheStats stats = level.cache_stats();
+  EXPECT_EQ(stats.sym_misses, 2u);  // recomputed every call
+  EXPECT_EQ(stats.sym_hits, 0u);
+  EXPECT_EQ(stats.TotalHits(), 0u);
+}
+
+TEST(GraphLevelTest, CopiesShareCacheStats) {
+  Rng rng(43);
+  Graph g = ConnectedErdosRenyi(8, 0.35, &rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  GraphLevel copy = level;
+  copy.SymNormalized();
+  EXPECT_EQ(level.cache_stats().sym_misses, 1u);
+  level.SymNormalized();
+  EXPECT_EQ(copy.cache_stats().sym_hits, 1u);
+}
+
+TEST(GraphLevelTest, UndefinedLevelReportsEmptyStats) {
+  GraphLevel level;
+  EXPECT_EQ(level.cache_stats().TotalHits(), 0u);
+  EXPECT_EQ(level.cache_stats().TotalMisses(), 0u);
+}
+
 }  // namespace
 }  // namespace hap

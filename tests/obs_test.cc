@@ -1,0 +1,420 @@
+// Observability layer: sharded metric aggregation under the thread
+// pool, Chrome-trace validity (balanced, parseable), run-logger JSONL
+// golden records, and the disabled-mode no-op guarantees.
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/hap_model.h"
+#include "graph/datasets.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+#include "obs/trace.h"
+#include "train/classifier.h"
+
+namespace hap {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Minimal strict JSON syntax checker — enough to certify that emitted
+// traces and records are parseable by any real JSON parser.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    for (const char* c = word; *c; ++c, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *c) return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(HistogramBucketTest, PowerOfTwoScheme) {
+  EXPECT_EQ(obs::HistogramBucket(0), 0);
+  EXPECT_EQ(obs::HistogramBucket(1), 1);
+  EXPECT_EQ(obs::HistogramBucket(2), 2);
+  EXPECT_EQ(obs::HistogramBucket(3), 2);
+  EXPECT_EQ(obs::HistogramBucket(4), 3);
+  EXPECT_EQ(obs::HistogramBucket(1023), 10);
+  EXPECT_EQ(obs::HistogramBucket(1024), 11);
+  EXPECT_EQ(obs::HistogramBucket(~uint64_t{0}), obs::kHistogramBuckets - 1);
+  EXPECT_EQ(obs::HistogramBucketLow(0), 0u);
+  EXPECT_EQ(obs::HistogramBucketLow(1), 1u);
+  EXPECT_EQ(obs::HistogramBucketLow(2), 2u);
+  EXPECT_EQ(obs::HistogramBucketLow(11), 1024u);
+}
+
+TEST(MetricsTest, CounterAggregatesAcrossPoolWorkers) {
+  obs::ResetMetrics();
+  obs::Counter* counter = obs::GetCounter("test.obs.pool_counter");
+  obs::Histogram* hist = obs::GetHistogram("test.obs.pool_hist");
+  ThreadPool pool(4);
+  constexpr int64_t kJobs = 1000;
+  pool.Run(kJobs, [&](int64_t job) {
+    counter->Add(1);
+    hist->Record(static_cast<uint64_t>(job));
+  });
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(hist->Count(), static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(hist->Sum(), static_cast<uint64_t>(kJobs * (kJobs - 1) / 2));
+
+  // The snapshot's per-shard breakdown must sum to the total.
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  bool found = false;
+  for (const obs::CounterSnapshot& c : snap.counters) {
+    if (c.name != "test.obs.pool_counter") continue;
+    found = true;
+    EXPECT_EQ(c.value, static_cast<uint64_t>(kJobs));
+    uint64_t per_thread_sum = 0;
+    for (uint64_t v : c.per_thread) per_thread_sum += v;
+    EXPECT_EQ(per_thread_sum, c.value);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(JsonChecker(snap.ToJson()).Valid());
+}
+
+TEST(MetricsTest, GaugeIsLastWriterWins) {
+  obs::Gauge* gauge = obs::GetGauge("test.obs.gauge");
+  gauge->Set(2.5);
+  gauge->Set(-7.25);
+  EXPECT_DOUBLE_EQ(gauge->Value(), -7.25);
+}
+
+TEST(MetricsTest, RegistryReturnsSameHandleForSameName) {
+  EXPECT_EQ(obs::GetCounter("test.obs.dup"), obs::GetCounter("test.obs.dup"));
+  EXPECT_EQ(obs::CounterValue("test.obs.never_registered"), 0u);
+}
+
+TEST(MetricsTest, ScopedTimerOnlyRecordsWhenEnabled) {
+  obs::Histogram* hist = obs::GetHistogram("test.obs.timer_hist");
+  const uint64_t before = hist->Count();
+  obs::SetMetricsEnabled(false);
+  { obs::ScopedTimerNs timer(hist); }
+  EXPECT_EQ(hist->Count(), before);
+  obs::SetMetricsEnabled(true);
+  { obs::ScopedTimerNs timer(hist); }
+  EXPECT_EQ(hist->Count(), before + 1);
+  obs::SetMetricsEnabled(false);
+}
+
+// Extracts ("ph", tid) pairs from the emitted trace in event order.
+std::vector<std::pair<char, int>> ExtractEvents(const std::string& trace) {
+  std::vector<std::pair<char, int>> events;
+  std::stringstream lines(trace);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t ph = line.find("\"ph\":\"");
+    const size_t tid = line.find("\"tid\":");
+    if (ph == std::string::npos || tid == std::string::npos) continue;
+    const char phase = line[ph + 6];
+    if (phase != 'B' && phase != 'E') continue;  // skip metadata events
+    events.emplace_back(phase, std::atoi(line.c_str() + tid + 6));
+  }
+  return events;
+}
+
+TEST(TraceTest, BalancedParseableTraceWithWorkerTracks) {
+  const std::string path = testing::TempDir() + "/hap_obs_trace.json";
+  ASSERT_TRUE(obs::StartTracing(path));
+  {
+    HAP_TRACE_SCOPE("outer");
+    HAP_TRACE_SCOPE("inner");
+  }
+  // A 4-wide pool with a barrier so all four threads (caller + 3 workers)
+  // each trace exactly one job: guarantees multiple tracks in the file.
+  {
+    ThreadPool pool(4);
+    std::atomic<int> arrived{0};
+    pool.Run(4, [&](int64_t) {
+      HAP_TRACE_SCOPE("barrier.job");
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) {
+      }
+    });
+  }
+  EXPECT_GT(obs::TraceEventCount(), 0u);
+  EXPECT_GE(obs::TraceThreadCount(), 4u);
+  ASSERT_TRUE(obs::StopTracing());
+  EXPECT_FALSE(obs::TracingEnabled());
+
+  const std::string trace = ReadFile(path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(JsonChecker(trace).Valid());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("pool-worker-"), std::string::npos);
+
+  // Balanced begin/end per track: depth never negative, ends at zero.
+  const std::vector<std::pair<char, int>> events = ExtractEvents(trace);
+  ASSERT_FALSE(events.empty());
+  std::vector<int> tids;
+  for (const auto& [phase, tid] : events) tids.push_back(tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_GE(tids.size(), 4u);
+  for (int tid : tids) {
+    int depth = 0;
+    for (const auto& [phase, event_tid] : events) {
+      if (event_tid != tid) continue;
+      depth += phase == 'B' ? 1 : -1;
+      EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+  }
+}
+
+TEST(TraceTest, DisabledTracingIsNoOp) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  {
+    HAP_TRACE_SCOPE("ignored.outer");
+    HAP_TRACE_SCOPE("ignored.inner");
+  }
+  // No session: no buffers registered, no events retained.
+  EXPECT_EQ(obs::TraceEventCount(), 0u);
+  EXPECT_EQ(obs::TraceThreadCount(), 0u);
+}
+
+TEST(RunLoggerTest, JsonRecordGolden) {
+  obs::JsonRecord record;
+  record.Add("epoch", 3)
+      .Add("train_loss", 0.5)
+      .Add("val_accuracy", 0.875)
+      .Add("task", "classification")
+      .Add("done", true);
+  EXPECT_EQ(record.ToJsonLine(),
+            "{\"epoch\":3,\"train_loss\":0.5,\"val_accuracy\":0.875,"
+            "\"task\":\"classification\",\"done\":true}");
+  EXPECT_TRUE(JsonChecker(record.ToJsonLine()).Valid());
+}
+
+TEST(RunLoggerTest, JsonRecordEscapesStrings) {
+  obs::JsonRecord record;
+  record.Add("name", "a\"b\\c");
+  EXPECT_EQ(record.ToJsonLine(), "{\"name\":\"a\\\"b\\\\c\"}");
+  EXPECT_TRUE(JsonChecker(record.ToJsonLine()).Valid());
+}
+
+TEST(RunLoggerTest, WritesOneJsonObjectPerLine) {
+  const std::string path = testing::TempDir() + "/hap_obs_run.jsonl";
+  {
+    obs::RunLogger logger(/*console=*/false, path);
+    ASSERT_TRUE(logger.enabled());
+    obs::JsonRecord first;
+    first.Add("epoch", 0).Add("train_loss", 1.25);
+    logger.Log(first, "epoch 0");
+    obs::JsonRecord second;
+    second.Add("epoch", 1).Add("train_loss", 0.75);
+    logger.Log(second, "epoch 1");
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"epoch\":0,\"train_loss\":1.25}");
+  EXPECT_EQ(lines[1], "{\"epoch\":1,\"train_loss\":0.75}");
+}
+
+TEST(RunLoggerTest, DisabledLoggerIsInert) {
+  obs::RunLogger logger;
+  EXPECT_FALSE(logger.enabled());
+  obs::JsonRecord record;
+  record.Add("epoch", 0);
+  logger.Log(record, "never printed");  // must not crash or write
+}
+
+// End-to-end: a short classifier run emits one parseable record per
+// epoch with the documented fields, and the trajectory is unchanged by
+// logging (logging must never perturb the math).
+TEST(RunLoggerTest, TrainClassifierEmitsPerEpochRecords) {
+  Rng data_rng(7);
+  GraphDataset ds = MakeImdbBinaryLike(16, &data_rng);
+  auto data = PrepareDataset(ds);
+  Split split = SplitIndices(static_cast<int>(data.size()), &data_rng);
+
+  HapConfig model_config;
+  model_config.feature_dim = ds.feature_spec.FeatureDim();
+  model_config.hidden_dim = 16;
+  model_config.encoder_layers = 2;
+  model_config.cluster_sizes = {4, 1};
+
+  TrainConfig base;
+  base.epochs = 3;
+  base.patience = 0;
+  base.seed = 11;
+
+  Rng model_rng_a(123);
+  GraphClassifier model_a(MakeHapModel(model_config, &model_rng_a),
+                          ds.num_classes, 16, &model_rng_a);
+  ClassificationResult plain = TrainClassifier(&model_a, data, split, base);
+
+  const std::string path = testing::TempDir() + "/hap_obs_train.jsonl";
+  TrainConfig logged = base;
+  logged.log_path = path;
+  Rng model_rng_b(123);
+  GraphClassifier model_b(MakeHapModel(model_config, &model_rng_b),
+                          ds.num_classes, 16, &model_rng_b);
+  ClassificationResult with_log =
+      TrainClassifier(&model_b, data, split, logged);
+
+  ASSERT_EQ(plain.epoch_losses.size(), with_log.epoch_losses.size());
+  for (size_t e = 0; e < plain.epoch_losses.size(); ++e) {
+    EXPECT_EQ(plain.epoch_losses[e], with_log.epoch_losses[e]);
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  int records = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+    for (const char* key :
+         {"\"epoch\":", "\"train_loss\":", "\"val_accuracy\":",
+          "\"grad_norm\":", "\"train_s\":", "\"eval_s\":", "\"epoch_s\":",
+          "\"matmul_calls\":", "\"cache_hits\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+    }
+    ++records;
+  }
+  EXPECT_EQ(records, base.epochs);
+}
+
+}  // namespace
+}  // namespace hap
