@@ -16,10 +16,10 @@
 //   hap_tool ged 8 9
 
 #include <cstdio>
-#include <cstring>
-#include <map>
+#include <cstdlib>
 #include <string>
 
+#include "common/flags.h"
 #include "ged/ged.h"
 #include "graph/io.h"
 #include "tensor/serialize.h"
@@ -31,21 +31,32 @@ namespace {
 
 using namespace hap;
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv,
-                                              int first) {
-  std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags[argv[i] + 2] = argv[i + 1];
-    }
+constexpr char kUsage[] =
+    "usage:\n"
+    "  hap_tool classify [--dataset imdb-b|imdb-m|collab|mutag|proteins|ptc]\n"
+    "                    [--method <Table-3 name>] [--graphs N] [--epochs N]\n"
+    "                    [--hidden N] [--seed N] [--save-dataset path]\n"
+    "                    [--checkpoint path] [--log path.jsonl]\n"
+    "  hap_tool methods\n"
+    "  hap_tool ged <n1> <n2> [--seed N]\n";
+
+/// Extracts the value from a fallible flag lookup, or prints the error plus
+/// usage and exits 2. Flag parsing is strict: mistyped flags must not be
+/// silently dropped (a misspelled --checkpoint used to train for the full
+/// run and then save nothing).
+template <typename T>
+T FlagValueOrDie(const StatusOr<T>& result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n%s", result.status().message().c_str(), kUsage);
+    std::exit(2);
   }
-  return flags;
+  return result.value();
 }
 
-std::string FlagOr(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
+Flags ParseFlagsOrDie(int argc, char** argv, int first,
+                      const std::vector<std::string>& allowed) {
+  StatusOr<Flags> flags = Flags::Parse(argc, argv, first, allowed);
+  return FlagValueOrDie(flags);
 }
 
 GraphDataset MakeDatasetByName(const std::string& name, int graphs,
@@ -61,13 +72,16 @@ GraphDataset MakeDatasetByName(const std::string& name, int graphs,
 }
 
 int RunClassify(int argc, char** argv) {
-  auto flags = ParseFlags(argc, argv, 2);
-  const std::string dataset_name = FlagOr(flags, "dataset", "mutag");
-  const std::string method = FlagOr(flags, "method", "HAP");
-  const int graphs = std::stoi(FlagOr(flags, "graphs", "150"));
-  const int epochs = std::stoi(FlagOr(flags, "epochs", "30"));
-  const int hidden = std::stoi(FlagOr(flags, "hidden", "32"));
-  const uint64_t seed = std::stoull(FlagOr(flags, "seed", "7"));
+  Flags flags = ParseFlagsOrDie(
+      argc, argv, 2,
+      {"dataset", "method", "graphs", "epochs", "hidden", "seed",
+       "save-dataset", "checkpoint", "log"});
+  const std::string dataset_name = flags.GetString("dataset", "mutag");
+  const std::string method = flags.GetString("method", "HAP");
+  const int graphs = FlagValueOrDie(flags.GetInt("graphs", 150));
+  const int epochs = FlagValueOrDie(flags.GetInt("epochs", 30));
+  const int hidden = FlagValueOrDie(flags.GetInt("hidden", 32));
+  const uint64_t seed = FlagValueOrDie(flags.GetUint64("seed", 7));
   if (!IsKnownMethod(method)) {
     std::fprintf(stderr, "unknown method '%s'; run `hap_tool methods`\n",
                  method.c_str());
@@ -77,7 +91,7 @@ int RunClassify(int argc, char** argv) {
   Rng rng(seed);
   GraphDataset dataset = MakeDatasetByName(dataset_name, graphs, &rng);
   std::printf("%s\n", DatasetStatistics({dataset}).c_str());
-  const std::string save_path = FlagOr(flags, "save-dataset", "");
+  const std::string save_path = flags.GetString("save-dataset", "");
   if (!save_path.empty()) {
     Status status = SaveDataset(dataset, save_path);
     std::printf("dataset -> %s (%s)\n", save_path.c_str(),
@@ -98,7 +112,7 @@ int RunClassify(int argc, char** argv) {
   config.patience = epochs;
   config.verbose = true;
   // Per-epoch JSONL telemetry (docs/OBSERVABILITY.md).
-  config.log_path = FlagOr(flags, "log", "");
+  config.log_path = flags.GetString("log", "");
   ClassificationResult result = TrainClassifier(&model, data, split, config);
   std::printf("\nbest epoch %d: train %.2f%%  val %.2f%%  test %.2f%%\n",
               result.best_epoch, 100.0 * result.train_accuracy,
@@ -113,7 +127,7 @@ int RunClassify(int argc, char** argv) {
   std::printf("%smacro-F1 %.3f\n", confusion.ToString().c_str(),
               confusion.MacroF1());
 
-  const std::string checkpoint = FlagOr(flags, "checkpoint", "");
+  const std::string checkpoint = flags.GetString("checkpoint", "");
   if (!checkpoint.empty()) {
     Status status = SaveModule(model, checkpoint);
     std::printf("checkpoint -> %s (%s)\n", checkpoint.c_str(),
@@ -129,8 +143,8 @@ int RunGed(int argc, char** argv) {
   }
   const int n1 = std::atoi(argv[2]);
   const int n2 = std::atoi(argv[3]);
-  auto flags = ParseFlags(argc, argv, 4);
-  Rng rng(std::stoull(FlagOr(flags, "seed", "7")));
+  Flags flags = ParseFlagsOrDie(argc, argv, 4, {"seed"});
+  Rng rng(FlagValueOrDie(flags.GetUint64("seed", 7)));
   auto pool = MakeAidsLikePool(2, &rng);
   // Resize by regenerating until sizes match the request (pools are 2-10).
   while (pool[0].num_nodes() != n1 || pool[1].num_nodes() != n2) {
@@ -157,8 +171,7 @@ int RunGed(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: hap_tool classify|methods|ged ... (see header)\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const std::string command = argv[1];
@@ -171,6 +184,6 @@ int main(int argc, char** argv) {
   }
   if (command == "classify") return RunClassify(argc, argv);
   if (command == "ged") return RunGed(argc, argv);
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }

@@ -59,6 +59,44 @@ EOF
 }
 obs_pass
 
+# --- Serving pass (docs/SERVING.md) -------------------------------------
+# Train a tiny checkpoint, replay it through the serving stack at two
+# thread-pool widths (predictions must be identical — serving is
+# deterministic), and validate the serve-throughput bench JSON including
+# its own bit-identity gate against direct forwards. The serving
+# concurrency tests (hot-swap under load) also run in the sanitized ctest
+# pass below.
+serve_pass() {
+  echo "=== build: serving smoke ==="
+  rm -f build/serve_ckpt.bin build/serve_preds_t1.txt \
+    build/serve_preds_t2.txt build/BENCH_serve_throughput.json
+  ./build/examples/hap_tool classify --dataset mutag --method HAP \
+    --graphs 30 --epochs 2 --hidden 8 --seed 7 \
+    --checkpoint build/serve_ckpt.bin > /dev/null
+  for t in 1 2; do
+    HAP_NUM_THREADS=$t ./build/examples/hap_serve \
+      --checkpoint build/serve_ckpt.bin --dataset mutag --method HAP \
+      --hidden 8 --requests 100 --seed 7 \
+      --predictions-out "build/serve_preds_t${t}.txt" > /dev/null
+  done
+  cmp build/serve_preds_t1.txt build/serve_preds_t2.txt
+  echo "serve predictions identical across thread counts"
+  HAP_BENCH_FAST=1 ./build/bench/bench_serve_throughput \
+    build/BENCH_serve_throughput.json > /dev/null
+  python3 - <<'EOF'
+import json
+doc = json.load(open("build/BENCH_serve_throughput.json"))
+assert doc["all_bit_identical"], "served predictions diverged from direct forwards"
+runs = doc["runs"]
+assert len(runs) == 4 and all("throughput_qps" in r for r in runs)
+assert doc["speedup_batch16_vs_batch1"] > 0
+print(f"serve bench OK: batched speedup "
+      f"{doc['speedup_batch16_vs_batch1']:.2f}x, "
+      f"coalesce {runs[1]['coalesce_factor']:.1f} req/forward")
+EOF
+}
+serve_pass
+
 # halt_on_error keeps ctest failures attributable to one test; the
 # suppression-free defaults are intentional — the tree should stay clean.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \

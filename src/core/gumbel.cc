@@ -8,7 +8,16 @@ namespace hap {
 Tensor GumbelSoftSample(const Tensor& adjacency, float tau, Rng* rng,
                         bool training, float eps) {
   HAP_CHECK_GT(tau, 0.0f);
-  Tensor logits = Log(ClampMin(adjacency, eps));
+  HAP_CHECK_GT(eps, 0.0f);
+  // Clamp to [eps, 1/eps] before the log. The floor turns all-zero rows
+  // (isolated nodes) into finite uniform logits of log(eps)/tau; the
+  // ceiling keeps hostile or overflowed weights (inf, or anything above
+  // 1/eps) finite — without it an inf entry survives the log, the row max
+  // becomes inf, and the softmax emits NaN for the whole row. NaN entries
+  // compare false in both clamps and land on the floor (treated as
+  // no-edge). Ordinary weights in (eps, 1/eps) pass through bit-identical
+  // with pass-through gradient, so training trajectories are unchanged.
+  Tensor logits = Log(ClampMax(ClampMin(adjacency, eps), 1.0f / eps));
   if (training) {
     HAP_CHECK(rng != nullptr);
     Tensor noise(adjacency.rows(), adjacency.cols());

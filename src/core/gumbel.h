@@ -11,7 +11,10 @@ namespace hap {
 ///
 /// With the paper's tau = 0.1 the rows approach one-hot, sparsifying the
 /// fully-connected coarsened graph while keeping it connected (every row
-/// retains mass). Entries are floored at `eps` before the log. When
+/// retains mass). Entries are clamped to [eps, 1/eps] before the log, so
+/// degenerate inputs a server will see stay finite: an all-zero row
+/// (isolated node) yields a uniform softmax row, and non-finite or
+/// overflowed weights (inf/NaN) cannot poison the row with NaN. When
 /// `training` is false the noise is omitted, making inference
 /// deterministic — the expectation path documented in DESIGN.md.
 Tensor GumbelSoftSample(const Tensor& adjacency, float tau, Rng* rng,

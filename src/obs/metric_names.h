@@ -42,6 +42,16 @@ inline constexpr char kCoarsenNs[] = "coarsen.ns";
 inline constexpr char kTrainBatches[] = "train.batches";
 inline constexpr char kTrainExamples[] = "train.examples";
 
+// --- src/serve ---
+inline constexpr char kServeRequests[] = "serve.requests.total";
+inline constexpr char kServeRejected[] = "serve.requests.rejected";
+inline constexpr char kServeCoalesced[] = "serve.requests.coalesced";
+inline constexpr char kServeBatches[] = "serve.batches.total";
+inline constexpr char kServeBatchSize[] = "serve.batch.size";
+inline constexpr char kServeQueueWaitNs[] = "serve.queue_wait.ns";
+inline constexpr char kServeComputeNs[] = "serve.compute.ns";
+inline constexpr char kServeReloads[] = "serve.model.reloads";
+
 }  // namespace hap::obs::names
 
 #endif  // HAP_OBS_METRIC_NAMES_H_

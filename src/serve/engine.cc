@@ -1,0 +1,192 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hap::serve {
+
+namespace {
+
+/// Identity of a request's graph for coalescing. PreparedGraph tensors
+/// are shared handles, so two requests carrying the same prepared graph
+/// alias the same storage — pointer equality is exact, with no risk of
+/// collapsing merely similar graphs.
+using GraphKey = std::pair<const float*, const float*>;
+
+GraphKey KeyOf(const PreparedGraph& graph) {
+  return {graph.h.data(), graph.adjacency.data()};
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const ServedModel> model,
+                                 const EngineConfig& config)
+    : config_(config),
+      model_(std::move(model)),
+      queue_(config.queue_capacity) {
+  HAP_CHECK(model_ != nullptr);
+  HAP_CHECK_GE(config_.max_batch, 1);
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+InferenceEngine::InferenceEngine(const ModelRegistry* registry,
+                                 std::string model_name,
+                                 const EngineConfig& config)
+    : config_(config),
+      registry_(registry),
+      model_name_(std::move(model_name)),
+      queue_(config.queue_capacity) {
+  HAP_CHECK(registry_ != nullptr);
+  HAP_CHECK_GE(config_.max_batch, 1);
+  batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+InferenceEngine::~InferenceEngine() { Shutdown(); }
+
+void InferenceEngine::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.Close();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+StatusOr<std::shared_ptr<const ServedModel>> InferenceEngine::CurrentModel()
+    const {
+  if (registry_ == nullptr) return model_;
+  return registry_->Get(model_name_);
+}
+
+StatusOr<std::future<int>> InferenceEngine::Submit(
+    const PreparedGraph& graph) {
+  static obs::Counter* requests =
+      obs::GetCounter(obs::names::kServeRequests);
+  static obs::Counter* rejected =
+      obs::GetCounter(obs::names::kServeRejected);
+  StatusOr<std::shared_ptr<const ServedModel>> model = CurrentModel();
+  if (!model.ok()) {
+    rejected->Increment();
+    return model.status();
+  }
+  if (Status s = model.value()->ValidateRequest(graph); !s.ok()) {
+    rejected->Increment();
+    return s;
+  }
+  Request request;
+  request.graph = graph;
+  request.enqueue_ns = obs::MonotonicNs();
+  std::future<int> result = request.promise.get_future();
+  if (Status s = queue_.Push(std::move(request)); !s.ok()) {
+    rejected->Increment();
+    return s;
+  }
+  requests->Increment();
+  return result;
+}
+
+void InferenceEngine::BatchLoop() {
+  obs::SetCurrentThreadName("serve-batcher");
+  while (true) {
+    std::vector<Request> batch =
+        queue_.PopBatch(config_.max_batch, config_.max_delay_us);
+    if (batch.empty()) return;  // closed and drained
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
+  HAP_TRACE_SCOPE("serve.batch");
+  static obs::Counter* batches = obs::GetCounter(obs::names::kServeBatches);
+  static obs::Counter* coalesced =
+      obs::GetCounter(obs::names::kServeCoalesced);
+  static obs::Histogram* batch_size =
+      obs::GetHistogram(obs::names::kServeBatchSize);
+  static obs::Histogram* queue_wait =
+      obs::GetHistogram(obs::names::kServeQueueWaitNs);
+  static obs::Histogram* compute =
+      obs::GetHistogram(obs::names::kServeComputeNs);
+
+  batches->Increment();
+  batch_size->Record(batch.size());
+  if (obs::MetricsEnabled()) {
+    const uint64_t now = obs::MonotonicNs();
+    for (const Request& request : batch) {
+      queue_wait->Record(now - request.enqueue_ns);
+    }
+  }
+
+  // Group requests that carry the same prepared graph: one forward per
+  // group, the result fanned back to every member.
+  std::vector<std::vector<Request>> groups;
+  if (config_.coalesce) {
+    std::map<GraphKey, size_t> index;
+    for (Request& request : batch) {
+      auto [it, inserted] =
+          index.emplace(KeyOf(request.graph), groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(std::move(request));
+    }
+    coalesced->Add(batch.size() - groups.size());
+  } else {
+    groups.reserve(batch.size());
+    for (Request& request : batch) {
+      groups.emplace_back();
+      groups.back().push_back(std::move(request));
+    }
+  }
+
+  StatusOr<std::shared_ptr<const ServedModel>> resolved = CurrentModel();
+  if (!resolved.ok()) {
+    // The model vanished between admission and dispatch (registry Remove
+    // mid-flight). Fail the waiters rather than hanging them.
+    auto error = std::make_exception_ptr(
+        std::runtime_error(resolved.status().ToString()));
+    for (std::vector<Request>& group : groups) {
+      for (Request& request : group) request.promise.set_exception(error);
+    }
+    return;
+  }
+  const std::shared_ptr<const ServedModel>& model = resolved.value();
+
+  // Fan the unique forwards across the pool, one model lane per in-flight
+  // group (lanes are independent replicas; a lane must never run two
+  // forwards at once, hence waves when the batch outgrows the lane count).
+  std::vector<int> predictions(groups.size(), -1);
+  const int lanes = model->lanes();
+  try {
+    HAP_TRACE_SCOPE("serve.batch.compute");
+    obs::ScopedTimerNs timer(compute);
+    for (size_t wave = 0; wave < groups.size();
+         wave += static_cast<size_t>(lanes)) {
+      const int64_t wave_size = static_cast<int64_t>(
+          std::min(groups.size() - wave, static_cast<size_t>(lanes)));
+      GlobalThreadPool().Run(wave_size, [&](int64_t lane) {
+        const size_t g = wave + static_cast<size_t>(lane);
+        predictions[g] =
+            model->Predict(groups[g].front().graph, static_cast<int>(lane));
+      });
+    }
+  } catch (...) {
+    auto error = std::current_exception();
+    for (std::vector<Request>& group : groups) {
+      for (Request& request : group) request.promise.set_exception(error);
+    }
+    return;
+  }
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (Request& request : groups[g]) {
+      request.promise.set_value(predictions[g]);
+    }
+  }
+}
+
+}  // namespace hap::serve

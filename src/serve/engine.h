@@ -1,0 +1,93 @@
+#ifndef HAP_SERVE_ENGINE_H_
+#define HAP_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/registry.h"
+#include "serve/request_queue.h"
+#include "serve/served_model.h"
+
+namespace hap::serve {
+
+/// Micro-batching knobs. Defaults favour throughput on bursty traffic
+/// while keeping the added latency bounded by max_delay_us.
+struct EngineConfig {
+  /// Largest micro-batch handed to the compute stage. Also the natural
+  /// lane count for ServedModelConfig::lanes — with lanes >= max_batch a
+  /// whole batch fans out across the thread pool in one wave.
+  int max_batch = 16;
+  /// How long the batcher waits for stragglers after the first request of
+  /// a batch before dispatching it anyway.
+  int64_t max_delay_us = 200;
+  /// Admission bound: Submit fails with ResourceExhausted beyond this
+  /// (backpressure instead of unbounded memory growth).
+  size_t queue_capacity = 1024;
+  /// Collapse duplicate graphs inside a batch into one forward whose
+  /// result fans back out to every requester. Pure win on hot-key
+  /// traffic; predictions are unchanged because eval-mode forwards are
+  /// deterministic.
+  bool coalesce = true;
+};
+
+/// Inference front end: admission control, micro-batching, and fan-out of
+/// batches across the global ThreadPool.
+///
+/// Requests enter through Submit (any thread), which validates the graph
+/// against the current model and either enqueues it — returning a future
+/// for the predicted class — or fails fast with a Status (bad input,
+/// backpressure, engine shut down). A single batcher thread gathers
+/// micro-batches (RequestQueue), optionally coalesces duplicate graphs,
+/// and runs the unique forwards on distinct model lanes in parallel.
+///
+/// Hot-swap: an engine built over a ModelRegistry re-resolves its model
+/// for every batch, so a Publish/Reload takes effect on the next batch
+/// while batches already in flight finish on the model they started with.
+class InferenceEngine {
+ public:
+  /// Serves a fixed model.
+  InferenceEngine(std::shared_ptr<const ServedModel> model,
+                  const EngineConfig& config);
+  /// Serves `model_name` out of `registry` (latest version at each
+  /// batch). `registry` must outlive the engine.
+  InferenceEngine(const ModelRegistry* registry, std::string model_name,
+                  const EngineConfig& config);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Validates and enqueues one graph; the future resolves to the
+  /// predicted class once its micro-batch completes. Fails with
+  /// InvalidArgument (malformed graph), ResourceExhausted (queue full —
+  /// retry later), FailedPrecondition (shut down), or NotFound (model
+  /// missing from the registry).
+  StatusOr<std::future<int>> Submit(const PreparedGraph& graph);
+
+  /// Stops admissions, drains every queued request, and joins the
+  /// batcher. Idempotent; also runs on destruction.
+  void Shutdown();
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  StatusOr<std::shared_ptr<const ServedModel>> CurrentModel() const;
+  void BatchLoop();
+  void ProcessBatch(std::vector<Request> batch);
+
+  const EngineConfig config_;
+  const ModelRegistry* registry_ = nullptr;  // nullptr => fixed model
+  std::string model_name_;
+  std::shared_ptr<const ServedModel> model_;  // fixed-model mode only
+  RequestQueue queue_;
+  std::thread batcher_;
+  bool shut_down_ = false;
+};
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_ENGINE_H_

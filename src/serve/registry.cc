@@ -1,0 +1,72 @@
+#include "serve/registry.h"
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace hap::serve {
+
+Status ModelRegistry::Publish(const std::string& name, int version,
+                              std::shared_ptr<const ServedModel> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("cannot publish a null model");
+  }
+  if (version < 0) {
+    return Status::InvalidArgument("model versions must be >= 0");
+  }
+  static obs::Counter* reloads = obs::GetCounter(obs::names::kServeReloads);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    models_[name][version] = std::move(model);
+  }
+  reloads->Increment();
+  return Status::Ok();
+}
+
+StatusOr<std::shared_ptr<const ServedModel>> ModelRegistry::Get(
+    const std::string& name, int version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.empty()) {
+    return Status::NotFound("no model named '" + name + "'");
+  }
+  if (version < 0) return it->second.rbegin()->second;  // highest version
+  auto vit = it->second.find(version);
+  if (vit == it->second.end()) {
+    return Status::NotFound("model '" + name + "' has no version " +
+                            std::to_string(version));
+  }
+  return vit->second;
+}
+
+Status ModelRegistry::Reload(const std::string& name, int version,
+                             const ServedModelConfig& config,
+                             const std::string& checkpoint_path) {
+  StatusOr<std::shared_ptr<const ServedModel>> loaded =
+      ServedModel::Load(config, checkpoint_path);
+  if (!loaded.ok()) return loaded.status();
+  return Publish(name, version, loaded.value());
+}
+
+Status ModelRegistry::Remove(const std::string& name, int version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end() || it->second.erase(version) == 0) {
+    return Status::NotFound("model '" + name + "' has no version " +
+                            std::to_string(version));
+  }
+  if (it->second.empty()) models_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<ModelEntry> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelEntry> entries;
+  for (const auto& [name, versions] : models_) {
+    for (const auto& [version, model] : versions) {
+      entries.push_back({name, version, model});
+    }
+  }
+  return entries;
+}
+
+}  // namespace hap::serve

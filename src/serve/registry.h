@@ -1,0 +1,62 @@
+#ifndef HAP_SERVE_REGISTRY_H_
+#define HAP_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/served_model.h"
+
+namespace hap::serve {
+
+/// One registry entry: which model serves under a (name, version) key.
+struct ModelEntry {
+  std::string name;
+  int version = 0;
+  std::shared_ptr<const ServedModel> model;
+};
+
+/// Thread-safe model catalogue keyed by name and version.
+///
+/// Hot-swap semantics: Publish atomically replaces the shared_ptr under
+/// the registry lock, so a Get sees either the old or the new model,
+/// never a mix. In-flight batches keep their own shared_ptr, so a model
+/// being replaced stays alive until its last batch completes. Reload
+/// builds the replacement model *before* touching the registry — a bad
+/// checkpoint leaves the published model serving untouched.
+class ModelRegistry {
+ public:
+  /// Registers or replaces the model at (name, version). `model` must be
+  /// non-null.
+  Status Publish(const std::string& name, int version,
+                 std::shared_ptr<const ServedModel> model);
+
+  /// Fetches (name, version); version -1 means the highest published
+  /// version of `name`.
+  StatusOr<std::shared_ptr<const ServedModel>> Get(const std::string& name,
+                                                   int version = -1) const;
+
+  /// Loads `checkpoint_path` and publishes it at (name, version) in one
+  /// step. On any load failure the registry is unchanged.
+  Status Reload(const std::string& name, int version,
+                const ServedModelConfig& config,
+                const std::string& checkpoint_path);
+
+  /// Removes (name, version); in-flight holders keep the model alive.
+  Status Remove(const std::string& name, int version);
+
+  /// Every published entry, name-then-version ordered.
+  std::vector<ModelEntry> List() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<int, std::shared_ptr<const ServedModel>>>
+      models_;
+};
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_REGISTRY_H_

@@ -1,0 +1,71 @@
+#include "serve/request_queue.h"
+
+#include <chrono>
+
+namespace hap::serve {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
+  HAP_CHECK_GT(capacity, 0u);
+}
+
+Status RequestQueue::Push(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::FailedPrecondition("request queue is closed");
+    }
+    if (queue_.size() >= capacity_) {
+      return Status::ResourceExhausted(
+          "request queue full (" + std::to_string(capacity_) + ")");
+    }
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+std::vector<Request> RequestQueue::PopBatch(int max_batch,
+                                            int64_t max_delay_us) {
+  HAP_CHECK_GE(max_batch, 1);
+  std::vector<Request> batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return batch;  // closed and drained
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(max_delay_us);
+  while (static_cast<int>(batch.size()) < max_batch) {
+    if (!queue_.empty()) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      continue;
+    }
+    if (closed_) break;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
+  lock.unlock();
+  // Producers blocked on a full queue only by re-trying Push; still wake
+  // any closer waiting in Close for the drain.
+  cv_.notify_all();
+  return batch;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace hap::serve

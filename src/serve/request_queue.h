@@ -1,0 +1,63 @@
+#ifndef HAP_SERVE_REQUEST_QUEUE_H_
+#define HAP_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "train/prepared.h"
+
+namespace hap::serve {
+
+/// One queued inference request. The graph is held by value: PreparedGraph
+/// tensors are shared handles, so this aliases the caller's data instead
+/// of copying it.
+struct Request {
+  PreparedGraph graph;
+  std::promise<int> promise;  // fulfilled with the predicted class
+  uint64_t enqueue_ns = 0;    // MonotonicNs at admission (queue-wait metric)
+};
+
+/// Bounded MPSC queue feeding the micro-batcher.
+///
+/// Producers Push from any thread and get backpressure as a
+/// ResourceExhausted Status when the queue is full — the caller decides
+/// whether to retry, shed, or block. The single batcher thread drains via
+/// PopBatch, which returns up to `max_batch` requests: it blocks for the
+/// first request, then keeps gathering until the batch fills or
+/// `max_delay_us` has passed since that first request was seen, trading a
+/// bounded latency tax for batch efficiency.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  /// Admits `request`, or fails with ResourceExhausted (queue full) /
+  /// FailedPrecondition (queue closed). Never blocks.
+  Status Push(Request request);
+
+  /// Gathers the next micro-batch (possibly smaller than `max_batch`).
+  /// Blocks until at least one request arrives or the queue is closed;
+  /// an empty result means closed-and-drained, i.e. time to shut down.
+  std::vector<Request> PopBatch(int max_batch, int64_t max_delay_us);
+
+  /// Stops admissions; PopBatch continues handing out what is queued.
+  void Close();
+
+  size_t size() const;
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_REQUEST_QUEUE_H_

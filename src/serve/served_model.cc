@@ -1,0 +1,68 @@
+#include "serve/served_model.h"
+
+#include "obs/trace.h"
+#include "tensor/serialize.h"
+#include "train/model_zoo.h"
+
+namespace hap::serve {
+
+StatusOr<std::shared_ptr<const ServedModel>> ServedModel::Load(
+    const ServedModelConfig& config, const std::string& checkpoint_path) {
+  HAP_TRACE_SCOPE("serve.model.load");
+  if (!IsKnownMethod(config.method)) {
+    return Status::InvalidArgument("unknown method '" + config.method + "'");
+  }
+  if (config.feature_dim <= 0 || config.hidden <= 0 ||
+      config.num_classes <= 0 || config.lanes <= 0) {
+    return Status::InvalidArgument(
+        "feature_dim, hidden, num_classes and lanes must be positive");
+  }
+  auto model = std::shared_ptr<ServedModel>(new ServedModel(config));
+  for (int lane = 0; lane < config.lanes; ++lane) {
+    // The init seed is irrelevant: every weight is overwritten by the
+    // checkpoint, which also verifies the architecture shape-by-shape.
+    Rng rng(1);
+    auto replica = std::make_unique<GraphClassifier>(
+        MakeEmbedderByName(config.method, config.feature_dim, config.hidden,
+                           &rng),
+        config.num_classes, config.hidden, &rng);
+    if (Status s = LoadModule(replica.get(), checkpoint_path); !s.ok()) {
+      return Status(s.code(), "loading '" + checkpoint_path +
+                                  "' for method " + config.method + ": " +
+                                  s.message());
+    }
+    replica->set_training(false);
+    model->replicas_.push_back(std::move(replica));
+  }
+  model->num_parameters_ = model->replicas_[0]->NumParameters();
+  return std::shared_ptr<const ServedModel>(std::move(model));
+}
+
+Status ServedModel::ValidateRequest(const PreparedGraph& graph) const {
+  if (!graph.h.defined() || !graph.adjacency.defined()) {
+    return Status::InvalidArgument("request graph has undefined tensors");
+  }
+  if (graph.h.rows() < 1) {
+    return Status::InvalidArgument("request graph has no nodes");
+  }
+  if (graph.adjacency.rows() != graph.adjacency.cols() ||
+      graph.adjacency.rows() != graph.h.rows()) {
+    return Status::InvalidArgument(
+        "request adjacency must be square and match the feature rows");
+  }
+  if (graph.h.cols() != config_.feature_dim) {
+    return Status::InvalidArgument(
+        "request feature width " + std::to_string(graph.h.cols()) +
+        " does not match model feature_dim " +
+        std::to_string(config_.feature_dim));
+  }
+  return Status::Ok();
+}
+
+int ServedModel::Predict(const PreparedGraph& graph, int lane) const {
+  HAP_CHECK_GE(lane, 0);
+  HAP_CHECK_LT(lane, lanes());
+  return replicas_[lane]->Predict(graph);
+}
+
+}  // namespace hap::serve

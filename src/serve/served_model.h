@@ -1,0 +1,66 @@
+#ifndef HAP_SERVE_SERVED_MODEL_H_
+#define HAP_SERVE_SERVED_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "train/classifier.h"
+#include "train/prepared.h"
+
+namespace hap::serve {
+
+/// Architecture of a model being served. A checkpoint stores only weights
+/// (shapes are verified on load), so the serving side re-states the
+/// architecture it expects; a mismatched checkpoint fails cleanly.
+struct ServedModelConfig {
+  std::string method = "HAP";  // a Table-3 method name (model_zoo.h)
+  int feature_dim = 0;
+  int hidden = 32;
+  int num_classes = 2;
+  /// Independent model replicas. Forwards mutate per-module scratch state
+  /// (e.g. CoarseningModule's attention snapshot), so one replica must
+  /// never run two forwards at once; distinct lanes are fully isolated.
+  int lanes = 1;
+};
+
+/// An immutable, eval-mode model loaded from a checkpoint. Instances are
+/// shared (shared_ptr<const ServedModel>) between the registry and every
+/// in-flight batch, so a hot-swap never destroys a model that a batch is
+/// still using.
+class ServedModel {
+ public:
+  /// Builds the architecture described by `config` and loads `checkpoint`
+  /// into every lane. Fails (without partial effects) on unknown method
+  /// names, unreadable files, and corrupt or mismatched checkpoints.
+  static StatusOr<std::shared_ptr<const ServedModel>> Load(
+      const ServedModelConfig& config, const std::string& checkpoint_path);
+
+  /// Checks that `graph` is something the model can run: non-empty,
+  /// square adjacency, feature width matching the architecture. The
+  /// engine rejects invalid graphs here so a hostile request gets an
+  /// InvalidArgument instead of tripping a CHECK inside the kernels.
+  Status ValidateRequest(const PreparedGraph& graph) const;
+
+  /// Arg-max class prediction on lane `lane` (0 <= lane < lanes()).
+  /// Deterministic: eval mode disables Gumbel noise, so the result is
+  /// independent of lane, batching, and thread count. The caller must
+  /// serialise calls on the same lane; distinct lanes are independent.
+  int Predict(const PreparedGraph& graph, int lane) const;
+
+  int lanes() const { return static_cast<int>(replicas_.size()); }
+  const ServedModelConfig& config() const { return config_; }
+  int64_t num_parameters() const { return num_parameters_; }
+
+ private:
+  explicit ServedModel(ServedModelConfig config) : config_(std::move(config)) {}
+
+  ServedModelConfig config_;
+  std::vector<std::unique_ptr<GraphClassifier>> replicas_;
+  int64_t num_parameters_ = 0;
+};
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_SERVED_MODEL_H_

@@ -701,6 +701,12 @@ Tensor ClampMin(const Tensor& a, float floor) {
       [floor](float x, float) { return x > floor ? 1.0f : 0.0f; });
 }
 
+Tensor ClampMax(const Tensor& a, float ceil) {
+  return UnaryOp(
+      a, [ceil](float x) { return x < ceil ? x : ceil; },
+      [ceil](float x, float) { return x < ceil ? 1.0f : 0.0f; });
+}
+
 Tensor SoftmaxRows(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
   Tensor out = MakeOpResult(m, n, {a}, [m, n](internal::TensorImpl& node) {

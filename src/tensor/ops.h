@@ -96,8 +96,13 @@ Tensor Sqrt(const Tensor& a);
 /// Elementwise square.
 Tensor Square(const Tensor& a);
 
-/// max(A, floor) with pass-through gradient where A > floor.
+/// max(A, floor) with pass-through gradient where A > floor. NaN entries
+/// compare false and are mapped to `floor`.
 Tensor ClampMin(const Tensor& a, float floor);
+
+/// min(A, ceil) with pass-through gradient where A < ceil. NaN entries
+/// compare false and are mapped to `ceil`.
+Tensor ClampMax(const Tensor& a, float ceil);
 
 /// Row-wise softmax (over columns), numerically stabilised.
 Tensor SoftmaxRows(const Tensor& a);

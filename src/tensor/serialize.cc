@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <ostream>
 
 namespace hap {
@@ -10,6 +11,8 @@ namespace {
 
 constexpr char kMagic[4] = {'H', 'A', 'P', 'T'};
 constexpr uint32_t kVersion = 1;
+// Per-tensor header: u32 rows + u32 cols.
+constexpr int64_t kTensorHeaderBytes = 8;
 
 template <typename T>
 void WritePod(std::ostream* stream, T value) {
@@ -20,6 +23,76 @@ template <typename T>
 bool ReadPod(std::istream* stream, T* value) {
   stream->read(reinterpret_cast<char*>(value), sizeof(T));
   return stream->good();
+}
+
+/// Bytes between the current read position and the end of the stream, or
+/// -1 when the stream is not seekable. Restores the read position.
+int64_t RemainingBytes(std::istream* stream) {
+  const std::istream::pos_type pos = stream->tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  stream->seekg(0, std::ios::end);
+  const std::istream::pos_type end = stream->tellg();
+  stream->seekg(pos);
+  if (end == std::istream::pos_type(-1) || !stream->good()) return -1;
+  return static_cast<int64_t>(end - pos);
+}
+
+/// Validates the fixed header (magic, version) and reads the tensor count.
+Status ReadFileHeader(std::istream* stream, uint64_t* count) {
+  char magic[4];
+  stream->read(magic, sizeof(magic));
+  if (!stream->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a HAP checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(stream, &version)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  if (!ReadPod(stream, count)) {
+    return Status::InvalidArgument("truncated checkpoint header");
+  }
+  return Status::Ok();
+}
+
+/// Rejects a tensor count the remaining stream cannot possibly hold
+/// (each tensor needs at least its 8-byte header). `remaining` is the
+/// byte count after the file header; -1 means unknown (not seekable).
+Status ValidateCount(uint64_t count, int64_t remaining) {
+  if (remaining < 0) return Status::Ok();
+  if (count > static_cast<uint64_t>(remaining) / kTensorHeaderBytes) {
+    return Status::InvalidArgument(
+        "checkpoint claims " + std::to_string(count) + " tensors but only " +
+        std::to_string(remaining) + " bytes follow the header");
+  }
+  return Status::Ok();
+}
+
+/// Rejects a tensor shape whose data cannot fit in the remaining bytes.
+/// Computed in uint64 so rows = cols = u32::max cannot overflow.
+Status ValidateShape(uint32_t rows, uint32_t cols, int64_t remaining) {
+  const uint64_t values = static_cast<uint64_t>(rows) * cols;
+  if (remaining >= 0 &&
+      values > static_cast<uint64_t>(remaining) / sizeof(float)) {
+    return Status::InvalidArgument(
+        "checkpoint tensor claims " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " values but only " +
+        std::to_string(remaining) + " bytes remain");
+  }
+  return Status::Ok();
+}
+
+/// After the last tensor the stream must be exactly exhausted; trailing
+/// bytes mean a corrupt or mismatched file.
+Status ValidateExhausted(std::istream* stream) {
+  if (stream->peek() != std::istream::traits_type::eof()) {
+    return Status::InvalidArgument(
+        "checkpoint has trailing garbage after the last tensor");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -48,43 +121,128 @@ Status LoadParameters(std::istream* stream, std::vector<Tensor>* params) {
   if (stream == nullptr || !stream->good()) {
     return Status::InvalidArgument("bad input stream");
   }
-  char magic[4];
-  stream->read(magic, sizeof(magic));
-  if (!stream->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a HAP checkpoint (bad magic)");
-  }
-  uint32_t version = 0;
-  if (!ReadPod(stream, &version) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
-  }
   uint64_t count = 0;
-  if (!ReadPod(stream, &count)) {
-    return Status::InvalidArgument("truncated checkpoint header");
+  if (Status s = ReadFileHeader(stream, &count); !s.ok()) return s;
+  if (Status s = ValidateCount(count, RemainingBytes(stream)); !s.ok()) {
+    return s;
   }
   if (count != params->size()) {
     return Status::FailedPrecondition(
         "checkpoint holds " + std::to_string(count) + " tensors, model has " +
         std::to_string(params->size()));
   }
-  for (Tensor& p : *params) {
+  // Stage every tensor before touching `params`: a failure halfway through
+  // (truncation, shape mismatch) must leave the destination — possibly a
+  // live serving model — exactly as it was.
+  std::vector<std::vector<float>> staged(params->size());
+  for (size_t i = 0; i < params->size(); ++i) {
+    Tensor& p = (*params)[i];
     uint32_t rows = 0, cols = 0;
     if (!ReadPod(stream, &rows) || !ReadPod(stream, &cols)) {
       return Status::InvalidArgument("truncated checkpoint tensor header");
     }
-    if (static_cast<int>(rows) != p.rows() ||
-        static_cast<int>(cols) != p.cols()) {
+    if (Status s = ValidateShape(rows, cols, RemainingBytes(stream));
+        !s.ok()) {
+      return s;
+    }
+    if (static_cast<int64_t>(rows) != p.rows() ||
+        static_cast<int64_t>(cols) != p.cols()) {
       return Status::FailedPrecondition(
           "shape mismatch: checkpoint " + std::to_string(rows) + "x" +
           std::to_string(cols) + " vs model " + std::to_string(p.rows()) +
           "x" + std::to_string(p.cols()));
     }
-    stream->read(reinterpret_cast<char*>(p.mutable_data()),
+    staged[i].resize(static_cast<size_t>(p.size()));
+    stream->read(reinterpret_cast<char*>(staged[i].data()),
                  static_cast<std::streamsize>(p.size() * sizeof(float)));
     if (!stream->good()) {
       return Status::InvalidArgument("truncated checkpoint tensor data");
     }
   }
+  if (Status s = ValidateExhausted(stream); !s.ok()) return s;
+  for (size_t i = 0; i < params->size(); ++i) {
+    std::memcpy((*params)[i].mutable_data(), staged[i].data(),
+                staged[i].size() * sizeof(float));
+  }
   return Status::Ok();
+}
+
+StatusOr<CheckpointInfo> ReadCheckpointInfo(std::istream* stream) {
+  if (stream == nullptr || !stream->good()) {
+    return Status::InvalidArgument("bad input stream");
+  }
+  uint64_t count = 0;
+  if (Status s = ReadFileHeader(stream, &count); !s.ok()) return s;
+  int64_t remaining = RemainingBytes(stream);
+  if (remaining < 0) {
+    return Status::InvalidArgument(
+        "checkpoint stream is not seekable; cannot validate claimed sizes");
+  }
+  if (Status s = ValidateCount(count, remaining); !s.ok()) return s;
+  CheckpointInfo info;
+  info.version = kVersion;
+  info.shapes.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rows = 0, cols = 0;
+    if (!ReadPod(stream, &rows) || !ReadPod(stream, &cols)) {
+      return Status::InvalidArgument("truncated checkpoint tensor header");
+    }
+    remaining -= kTensorHeaderBytes;
+    if (Status s = ValidateShape(rows, cols, remaining); !s.ok()) return s;
+    const uint64_t values = static_cast<uint64_t>(rows) * cols;
+    const int64_t bytes = static_cast<int64_t>(values * sizeof(float));
+    stream->seekg(bytes, std::ios::cur);
+    if (!stream->good()) {
+      return Status::InvalidArgument("truncated checkpoint tensor data");
+    }
+    remaining -= bytes;
+    info.shapes.emplace_back(rows, cols);
+    info.total_values += values;
+  }
+  if (Status s = ValidateExhausted(stream); !s.ok()) return s;
+  return info;
+}
+
+StatusOr<std::vector<Tensor>> LoadCheckpoint(std::istream* stream) {
+  if (stream == nullptr || !stream->good()) {
+    return Status::InvalidArgument("bad input stream");
+  }
+  uint64_t count = 0;
+  if (Status s = ReadFileHeader(stream, &count); !s.ok()) return s;
+  int64_t remaining = RemainingBytes(stream);
+  if (remaining < 0) {
+    return Status::InvalidArgument(
+        "checkpoint stream is not seekable; cannot validate claimed sizes");
+  }
+  if (Status s = ValidateCount(count, remaining); !s.ok()) return s;
+  std::vector<Tensor> tensors;
+  tensors.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t rows = 0, cols = 0;
+    if (!ReadPod(stream, &rows) || !ReadPod(stream, &cols)) {
+      return Status::InvalidArgument("truncated checkpoint tensor header");
+    }
+    remaining -= kTensorHeaderBytes;
+    // Validate against what is actually in the stream BEFORE allocating:
+    // a hostile header claiming u32::max x u32::max must not trigger a
+    // 16-exabyte allocation attempt.
+    if (Status s = ValidateShape(rows, cols, remaining); !s.ok()) return s;
+    if (rows > static_cast<uint32_t>(std::numeric_limits<int>::max()) ||
+        cols > static_cast<uint32_t>(std::numeric_limits<int>::max())) {
+      return Status::InvalidArgument("checkpoint tensor dimensions overflow");
+    }
+    Tensor t(static_cast<int>(rows), static_cast<int>(cols));
+    const int64_t bytes = t.size() * static_cast<int64_t>(sizeof(float));
+    stream->read(reinterpret_cast<char*>(t.mutable_data()),
+                 static_cast<std::streamsize>(bytes));
+    if (!stream->good()) {
+      return Status::InvalidArgument("truncated checkpoint tensor data");
+    }
+    remaining -= bytes;
+    tensors.push_back(std::move(t));
+  }
+  if (Status s = ValidateExhausted(stream); !s.ok()) return s;
+  return tensors;
 }
 
 Status SaveModule(const Module& module, const std::string& path) {

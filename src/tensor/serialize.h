@@ -1,8 +1,10 @@
 #ifndef HAP_TENSOR_SERIALIZE_H_
 #define HAP_TENSOR_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -17,13 +19,38 @@ namespace hap {
 /// u32 rows, u32 cols, rows*cols little-endian f32. Checkpoints are
 /// structural: loading requires the exact same parameter shapes in the
 /// same order (i.e. the same model configuration), which is verified.
+///
+/// Every loader treats the checkpoint as hostile input (a server reloads
+/// checkpoints from disk while live): sizes claimed by the header are
+/// validated against the stream length before anything is allocated,
+/// truncation anywhere mid-stream fails cleanly, trailing garbage after
+/// the last tensor is rejected, and a failed load never leaves the
+/// destination half-written.
 
 /// Writes `params` to `stream`.
 Status SaveParameters(const std::vector<Tensor>& params, std::ostream* stream);
 
 /// Reads a checkpoint from `stream` into `params` (in place; shapes must
-/// match the checkpoint exactly).
+/// match the checkpoint exactly). Atomic: on any error the tensors in
+/// `params` are left untouched — a failed hot-reload must not corrupt the
+/// model currently serving.
 Status LoadParameters(std::istream* stream, std::vector<Tensor>* params);
+
+/// Reads a checkpoint into freshly allocated tensors (shapes come from the
+/// checkpoint itself). Requires a seekable stream: every claimed size is
+/// checked against the remaining stream length *before* allocation, so a
+/// hostile header (e.g. u64::max tensor count) errors instead of
+/// attempting a huge allocation.
+StatusOr<std::vector<Tensor>> LoadCheckpoint(std::istream* stream);
+
+/// Header summary of a checkpoint (for inspection tooling); validates the
+/// same way LoadCheckpoint does but does not materialise tensor data.
+struct CheckpointInfo {
+  uint32_t version = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> shapes;  // (rows, cols)
+  uint64_t total_values = 0;
+};
+StatusOr<CheckpointInfo> ReadCheckpointInfo(std::istream* stream);
 
 /// Convenience: save/load a module's parameters to/from a file path.
 Status SaveModule(const Module& module, const std::string& path);

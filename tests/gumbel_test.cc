@@ -1,6 +1,7 @@
 #include "core/gumbel.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -76,6 +77,66 @@ TEST(GumbelTest, ReducesEdgeDensity) {
   mean_max /= n;
   // Near one-hot rows: the max entry dominates (uniform would be 1/8).
   EXPECT_GT(mean_max, 0.8);
+}
+
+TEST(GumbelTest, IsolatedNodeRowIsFiniteUniform) {
+  // An all-zero adjacency row (isolated node) clamps to eps everywhere:
+  // log(eps)/tau logits are equal, so the row must come out as an exact
+  // finite uniform distribution at the paper's tau = 0.1 — not NaN/Inf.
+  Rng rng(11);
+  Tensor a = Tensor::FromVector(3, 3, {0, 1, 0, 1, 0, 0, 0, 0, 0});
+  Tensor sampled = GumbelSoftSample(a, 0.1f, &rng, /*training=*/false);
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(std::isfinite(sampled.At(2, c)));
+    EXPECT_NEAR(sampled.At(2, c), 1.0f / 3.0f, 1e-6);
+  }
+}
+
+TEST(GumbelTest, OneNodeGraphProducesUnitRow) {
+  Rng rng(12);
+  Tensor a = Tensor::Zeros(1, 1);  // 1-node graph: no self-loop weight
+  Tensor sampled = GumbelSoftSample(a, 0.1f, &rng, /*training=*/false);
+  EXPECT_EQ(sampled.At(0, 0), 1.0f);
+  Tensor noisy = GumbelSoftSample(a, 0.1f, &rng, /*training=*/true);
+  EXPECT_EQ(noisy.At(0, 0), 1.0f);
+}
+
+TEST(GumbelTest, NonFiniteWeightsStayFinite) {
+  // Regression: an inf weight used to survive Log (log(inf) = inf), make
+  // the row max inf, and turn the whole softmax row into NaN. NaN weights
+  // must be treated as no-edge instead of propagating.
+  Rng rng(13);
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::FromVector(3, 3,
+                                {inf, 1.0f, 0.0f,   //
+                                 nan, 1.0f, 0.0f,   //
+                                 1.0f, 3.4e38f, 0.0f});
+  for (bool training : {false, true}) {
+    Tensor sampled = GumbelSoftSample(a, 0.1f, &rng, training);
+    for (int64_t i = 0; i < sampled.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(sampled.data()[i]))
+          << "entry " << i << " training=" << training;
+    }
+    // The inf weight dominates its row (clamped to 1/eps, still the max).
+    EXPECT_GT(sampled.At(0, 0), 0.99f);
+    // The NaN weight is floored to eps, so the real edge wins the row.
+    EXPECT_GT(sampled.At(1, 1), 0.99f);
+  }
+}
+
+TEST(GumbelTest, ClampLeavesOrdinaryWeightsBitIdentical) {
+  // The [eps, 1/eps] hardening must not move any value for ordinary
+  // adjacencies — training trajectories depend on this.
+  Rng rng(14);
+  Tensor a = Tensor::FromVector(2, 2, {0.0f, 1.0f, 2.5f, 0.5f});
+  Tensor hardened = GumbelSoftSample(a, 0.1f, &rng, /*training=*/false);
+  // Reference computed through the pre-hardening formula.
+  Tensor reference =
+      SoftmaxRows(MulScalar(Log(ClampMin(a, 1e-9f)), 1.0f / 0.1f));
+  for (int64_t i = 0; i < hardened.size(); ++i) {
+    EXPECT_EQ(hardened.data()[i], reference.data()[i]);
+  }
 }
 
 TEST(GumbelTest, GradientFlowsThroughSampling) {

@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -90,6 +91,26 @@ TEST(OpsTest, ExpLogSqrtSquareClamp) {
   ExpectTensorEq(Square(a), 1, 2, {1, 16});
   ExpectTensorEq(Exp(M(1, 1, {0})), 1, 1, {1});
   ExpectTensorEq(ClampMin(M(1, 3, {-1, 0.5f, 2}), 1.0f), 1, 3, {1, 1, 2});
+  ExpectTensorEq(ClampMax(M(1, 3, {-1, 0.5f, 2}), 1.0f), 1, 3, {-1, 0.5f, 1});
+}
+
+TEST(OpsTest, ClampsMapNonFiniteOntoBounds) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // NaN compares false against any bound, so both clamps replace it.
+  ExpectTensorEq(ClampMin(M(1, 3, {nan, -inf, 2}), 0.5f), 1, 3,
+                 {0.5f, 0.5f, 2});
+  ExpectTensorEq(ClampMax(M(1, 3, {nan, inf, 0}), 0.5f), 1, 3,
+                 {0.5f, 0.5f, 0});
+}
+
+TEST(OpsTest, ClampMaxGradientMasksClampedEntries) {
+  Tensor a = M(1, 3, {-1, 0.5f, 2});
+  a.set_requires_grad(true);
+  ReduceSumAll(ClampMax(a, 1.0f)).Backward();
+  EXPECT_EQ(a.GradAt(0, 0), 1.0f);
+  EXPECT_EQ(a.GradAt(0, 1), 1.0f);
+  EXPECT_EQ(a.GradAt(0, 2), 0.0f);
 }
 
 TEST(OpsTest, SoftmaxRowsSumToOne) {

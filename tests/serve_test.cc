@@ -1,0 +1,320 @@
+#include "serve/engine.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve/registry.h"
+#include "serve/request_queue.h"
+#include "serve/served_model.h"
+#include "tensor/serialize.h"
+#include "train/model_zoo.h"
+
+namespace hap::serve {
+namespace {
+
+/// A tiny untrained classifier checkpoint (weights are random but fixed
+/// by `seed`; serving only needs determinism, not accuracy).
+std::string WriteCheckpoint(const ServedModelConfig& config,
+                            const std::string& filename, uint64_t seed) {
+  Rng rng(seed);
+  GraphClassifier model(MakeEmbedderByName(config.method, config.feature_dim,
+                                           config.hidden, &rng),
+                        config.num_classes, config.hidden, &rng);
+  const std::string path = ::testing::TempDir() + "/" + filename;
+  EXPECT_TRUE(SaveModule(model, path).ok());
+  return path;
+}
+
+struct ServeFixture {
+  ServedModelConfig config;
+  GraphDataset dataset;
+  std::vector<PreparedGraph> prepared;
+  std::string checkpoint;
+  std::shared_ptr<const ServedModel> model;
+  std::vector<int> direct;  // model's own single-graph predictions
+
+  explicit ServeFixture(int lanes = 4, uint64_t weight_seed = 21) {
+    Rng rng(3);
+    dataset = MakeMutagLike(24, &rng);
+    prepared = PrepareDataset(dataset);
+    config.method = "HAP";
+    config.feature_dim = dataset.feature_spec.FeatureDim();
+    config.hidden = 8;
+    config.num_classes = dataset.num_classes;
+    config.lanes = lanes;
+    checkpoint = WriteCheckpoint(config, "serve_fixture.bin", weight_seed);
+    model = ServedModel::Load(config, checkpoint).value();
+    for (const PreparedGraph& g : prepared) {
+      direct.push_back(model->Predict(g, 0));
+    }
+  }
+};
+
+TEST(ServedModelTest, LoadRejectsBadInputs) {
+  ServeFixture fx;
+  ServedModelConfig bad = fx.config;
+  bad.method = "NoSuchMethod";
+  EXPECT_FALSE(ServedModel::Load(bad, fx.checkpoint).ok());
+  EXPECT_EQ(ServedModel::Load(fx.config, "/nonexistent/ckpt.bin")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Architecture mismatch: the checkpoint's shapes do not fit.
+  ServedModelConfig wider = fx.config;
+  wider.hidden = 16;
+  EXPECT_FALSE(ServedModel::Load(wider, fx.checkpoint).ok());
+}
+
+TEST(ServeEngineTest, PredictionsMatchDirectForwardAtAnyThreadCount) {
+  ServeFixture fx;
+  for (int threads : {1, 2}) {
+    SetNumThreads(threads);
+    InferenceEngine engine(fx.model, EngineConfig{});
+    std::vector<std::future<int>> futures;
+    for (const PreparedGraph& g : fx.prepared) {
+      StatusOr<std::future<int>> result = engine.Submit(g);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      futures.push_back(std::move(result.value()));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get(), fx.direct[i]) << "graph " << i;
+    }
+  }
+  SetNumThreads(1);
+}
+
+TEST(ServeEngineTest, RejectsMalformedGraphs) {
+  ServeFixture fx;
+  InferenceEngine engine(fx.model, EngineConfig{});
+  // Undefined tensors (default-constructed request).
+  PreparedGraph empty;
+  EXPECT_EQ(engine.Submit(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong feature width.
+  PreparedGraph narrow;
+  narrow.h = Tensor::Zeros(3, fx.config.feature_dim + 1);
+  narrow.adjacency = Tensor::Zeros(3, 3);
+  narrow.level = GraphLevel(narrow.adjacency);
+  EXPECT_EQ(engine.Submit(narrow).status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-square adjacency (level left default: the engine must reject the
+  // request before any kernel ever sees it).
+  PreparedGraph skewed;
+  skewed.h = Tensor::Zeros(3, fx.config.feature_dim);
+  skewed.adjacency = Tensor::Zeros(3, 2);
+  EXPECT_EQ(engine.Submit(skewed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeEngineTest, ServesGraphWithIsolatedNodeEndToEnd) {
+  // Degenerate-input regression (gumbel hardening): a node with no edges
+  // must flow through the whole serving path and produce a valid class.
+  ServeFixture fx;
+  Graph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);  // node 4 stays isolated
+  g.set_label(0);
+  PreparedGraph prepared = PrepareGraph(g, fx.dataset.feature_spec);
+  InferenceEngine engine(fx.model, EngineConfig{});
+  StatusOr<std::future<int>> result = engine.Submit(prepared);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const int prediction = result.value().get();
+  EXPECT_GE(prediction, 0);
+  EXPECT_LT(prediction, fx.config.num_classes);
+  EXPECT_EQ(prediction, fx.model->Predict(prepared, 0));
+}
+
+TEST(ServeEngineTest, CoalescesDuplicateGraphsWithinBatch) {
+  ServeFixture fx;
+  const uint64_t coalesced_before =
+      obs::CounterValue(obs::names::kServeCoalesced);
+  InferenceEngine engine(fx.model, EngineConfig{});
+  // Many copies of one prepared graph: shared tensor handles make the
+  // duplicates identical by pointer, so each micro-batch computes once.
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    StatusOr<std::future<int>> result = engine.Submit(fx.prepared[0]);
+    ASSERT_TRUE(result.ok());
+    futures.push_back(std::move(result.value()));
+  }
+  for (std::future<int>& f : futures) EXPECT_EQ(f.get(), fx.direct[0]);
+  engine.Shutdown();
+  EXPECT_GT(obs::CounterValue(obs::names::kServeCoalesced),
+            coalesced_before);
+}
+
+TEST(ServeEngineTest, ShutdownDrainsThenRejectsNewWork) {
+  ServeFixture fx;
+  EngineConfig config;
+  config.max_delay_us = 50000;  // force batching to lag behind submission
+  InferenceEngine engine(fx.model, config);
+  std::vector<std::future<int>> futures;
+  for (const PreparedGraph& g : fx.prepared) {
+    futures.push_back(std::move(engine.Submit(g).value()));
+  }
+  engine.Shutdown();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), fx.direct[i]);
+  }
+  EXPECT_EQ(engine.Submit(fx.prepared[0]).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RequestQueueTest, BackpressureAndCloseSemantics) {
+  RequestQueue queue(2);
+  auto make_request = [] {
+    Request r;
+    r.graph.h = Tensor::Zeros(1, 1);
+    return r;
+  };
+  EXPECT_TRUE(queue.Push(make_request()).ok());
+  EXPECT_TRUE(queue.Push(make_request()).ok());
+  EXPECT_EQ(queue.Push(make_request()).code(),
+            StatusCode::kResourceExhausted);
+
+  std::vector<Request> batch = queue.PopBatch(8, 0);
+  EXPECT_EQ(batch.size(), 2u);
+
+  EXPECT_TRUE(queue.Push(make_request()).ok());
+  queue.Close();
+  EXPECT_EQ(queue.Push(make_request()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(queue.PopBatch(8, 0).size(), 1u);  // drains after close
+  EXPECT_TRUE(queue.PopBatch(8, 0).empty());   // closed and empty
+}
+
+TEST(RequestQueueTest, PopBatchHonoursMaxBatch) {
+  RequestQueue queue(16);
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.graph.h = Tensor::Zeros(1, 1);
+    ASSERT_TRUE(queue.Push(std::move(r)).ok());
+  }
+  EXPECT_EQ(queue.PopBatch(4, 0).size(), 4u);
+  EXPECT_EQ(queue.PopBatch(4, 0).size(), 4u);
+  EXPECT_EQ(queue.PopBatch(4, 1000).size(), 2u);
+}
+
+TEST(ModelRegistryTest, VersioningAndRemoval) {
+  ServeFixture fx;
+  ModelRegistry registry;
+  auto v2 = ServedModel::Load(
+      fx.config, WriteCheckpoint(fx.config, "serve_v2.bin", 99));
+  ASSERT_TRUE(v2.ok());
+  EXPECT_FALSE(registry.Get("hap").ok());
+  ASSERT_TRUE(registry.Publish("hap", 1, fx.model).ok());
+  ASSERT_TRUE(registry.Publish("hap", 2, v2.value()).ok());
+  EXPECT_EQ(registry.Get("hap").value(), v2.value());      // latest wins
+  EXPECT_EQ(registry.Get("hap", 1).value(), fx.model);     // pinned
+  EXPECT_EQ(registry.Get("hap", 3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.List().size(), 2u);
+  ASSERT_TRUE(registry.Remove("hap", 2).ok());
+  EXPECT_EQ(registry.Get("hap").value(), fx.model);
+  EXPECT_FALSE(registry.Remove("hap", 2).ok());
+}
+
+TEST(ModelRegistryTest, FailedReloadKeepsServingOldModel) {
+  // Ties the checkpoint hardening to serving: a corrupt checkpoint must
+  // be rejected during Reload with the published model left untouched.
+  ServeFixture fx;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("hap", 1, fx.model).ok());
+
+  const std::string corrupt = ::testing::TempDir() + "/serve_corrupt.bin";
+  {
+    std::ifstream in(fx.checkpoint, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);  // truncate mid-tensor
+    std::ofstream out(corrupt, std::ios::binary);
+    out << bytes;
+  }
+  EXPECT_FALSE(registry.Reload("hap", 1, fx.config, corrupt).ok());
+  EXPECT_EQ(registry.Get("hap").value(), fx.model);
+  std::remove(corrupt.c_str());
+}
+
+TEST(ServeEngineTest, HotSwapUnderConcurrentLoad) {
+  // Satellite: N producers submit while the registry hot-swaps between
+  // two weight sets. Every future must resolve to the prediction of one
+  // of the two models — never a crash, hang, or torn read (the sanitize
+  // build in scripts/check.sh runs this under TSan/ASan).
+  ServeFixture fx;
+  auto other = ServedModel::Load(
+      fx.config, WriteCheckpoint(fx.config, "serve_other.bin", 77));
+  ASSERT_TRUE(other.ok());
+  std::vector<int> other_direct;
+  for (const PreparedGraph& g : fx.prepared) {
+    other_direct.push_back(other.value()->Predict(g, 0));
+  }
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("hap", 1, fx.model).ok());
+  EngineConfig config;
+  config.max_batch = 4;
+  InferenceEngine engine(&registry, "hap", config);
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 40;
+  std::vector<std::vector<std::future<int>>> futures(kProducers);
+  std::vector<std::vector<int>> graph_ids(kProducers);
+  std::atomic<bool> start{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int g = (p * kPerProducer + i) %
+                      static_cast<int>(fx.prepared.size());
+        while (true) {
+          StatusOr<std::future<int>> result =
+              engine.Submit(fx.prepared[g]);
+          if (result.ok()) {
+            futures[p].push_back(std::move(result.value()));
+            graph_ids[p].push_back(g);
+            break;
+          }
+          // Backpressure: retry until admitted.
+          ASSERT_EQ(result.status().code(),
+                    StatusCode::kResourceExhausted);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  start.store(true);
+  for (int swap = 0; swap < 20; ++swap) {
+    ASSERT_TRUE(registry
+                    .Publish("hap", 1,
+                             swap % 2 == 0 ? other.value() : fx.model)
+                    .ok());
+    std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  engine.Shutdown();
+
+  for (int p = 0; p < kProducers; ++p) {
+    for (size_t i = 0; i < futures[p].size(); ++i) {
+      const int g = graph_ids[p][i];
+      const int prediction = futures[p][i].get();
+      EXPECT_TRUE(prediction == fx.direct[g] ||
+                  prediction == other_direct[g])
+          << "producer " << p << " graph " << g;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hap::serve
