@@ -1,0 +1,288 @@
+// Microbench for the blocked MatMul micro-kernels (forward, dA, dB)
+// against the naive reference, plus the arena's effect on a training-step
+// loop and the cost of the hot-path instrumentation.
+//
+// Acceptance target (docs/PERFORMANCE.md): >= 3x on the forward GEMM at
+// N=256, F=64 with bit-identical results. Emits BENCH_matmul_kernels.json
+// (path overridable as argv[1]) so the perf trajectory is tracked across
+// PRs. Set HAP_BENCH_FAST=1 for a quick smoke run.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "tensor/arena.h"
+#include "tensor/matmul_kernels.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace hap::bench {
+namespace {
+
+template <typename Fn>
+double TimeMs(int repeats, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    times.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count() *
+        1000.0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+Tensor RandomTensor(int rows, int cols, Rng* rng, bool requires_grad = false) {
+  std::vector<float> v(static_cast<size_t>(rows) * cols);
+  for (auto& x : v) x = static_cast<float>(rng->Normal());
+  return Tensor::FromVector(rows, cols, std::move(v), requires_grad);
+}
+
+bool BitIdentical(const std::vector<float>& x, const std::vector<float>& y) {
+  return x.size() == y.size() &&
+         std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0;
+}
+
+struct GemmRow {
+  int m = 0, k = 0, n = 0;
+  double naive_fwd_ms = 0.0, blocked_fwd_ms = 0.0;
+  double naive_bwd_ms = 0.0, blocked_bwd_ms = 0.0;
+  double fwd_speedup = 0.0, bwd_speedup = 0.0;
+  bool bit_identical = false;
+};
+
+GemmRow MeasureGemm(int m, int k, int n, int repeats) {
+  Rng rng(0x9E3779B9u ^ (static_cast<uint64_t>(m) * k * n));
+  Tensor a = RandomTensor(m, k, &rng, /*requires_grad=*/true);
+  Tensor b = RandomTensor(k, n, &rng, /*requires_grad=*/true);
+
+  GemmRow row;
+  row.m = m;
+  row.k = k;
+  row.n = n;
+
+  auto forward = [&] { MatMul(a, b); };
+  auto backward = [&] {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    ReduceSumAll(MatMul(a, b)).Backward();
+  };
+
+  kernels::SetMatMulKernel(kernels::MatMulKernel::kNaive);
+  Tensor naive_out = MatMul(a, b);
+  row.naive_fwd_ms = TimeMs(repeats, forward);
+  row.naive_bwd_ms = TimeMs(repeats, backward);
+  std::vector<float> naive_da = a.grad();
+  std::vector<float> naive_db = b.grad();
+
+  kernels::SetMatMulKernel(kernels::MatMulKernel::kBlocked);
+  Tensor blocked_out = MatMul(a, b);
+  row.blocked_fwd_ms = TimeMs(repeats, forward);
+  row.blocked_bwd_ms = TimeMs(repeats, backward);
+  row.bit_identical = BitIdentical(blocked_out.values(), naive_out.values()) &&
+                      BitIdentical(a.grad(), naive_da) &&
+                      BitIdentical(b.grad(), naive_db);
+
+  kernels::SetMatMulKernel(kernels::MatMulKernel::kAuto);
+  row.fwd_speedup = row.naive_fwd_ms / row.blocked_fwd_ms;
+  row.bwd_speedup = row.naive_bwd_ms / row.blocked_bwd_ms;
+  return row;
+}
+
+// A small MLP training step; used to measure the arena's allocation win
+// and the instrumentation overhead end to end.
+struct StepLoop {
+  Rng rng{23};
+  Tensor w1, w2;
+  std::unique_ptr<Adam> optimizer;
+
+  StepLoop() {
+    w1 = Tensor::Xavier(64, 128, &rng);
+    w2 = Tensor::Xavier(128, 16, &rng);
+    optimizer = std::make_unique<Adam>(std::vector<Tensor>{w1, w2}, 1e-3f);
+  }
+
+  void Step() {
+    Tensor x = RandomTensor(32, 64, &rng);
+    ReduceMeanAll(MatMul(Relu(MatMul(x, w1)), w2)).Backward();
+    optimizer->Step();
+  }
+};
+
+double MeasureStepsMs(int steps, bool use_arena, int repeats) {
+  StepLoop loop;
+  auto arena = std::make_shared<TensorArena>();
+  return TimeMs(repeats, [&] {
+    if (use_arena) {
+      ArenaScope scope(arena);
+      for (int i = 0; i < steps; ++i) {
+        loop.Step();
+        arena->ResetStep();
+      }
+    } else {
+      for (int i = 0; i < steps; ++i) loop.Step();
+    }
+  });
+}
+
+// End-to-end: the same seeded training loop under forced-naive vs auto
+// dispatch. Times differ; the learned weights must not.
+struct EndToEnd {
+  double naive_ms = 0.0;
+  double auto_ms = 0.0;
+  bool identical_weights = false;
+};
+
+EndToEnd MeasureEndToEnd(int steps) {
+  EndToEnd result;
+  std::vector<float> naive_weights;
+  for (int pass = 0; pass < 2; ++pass) {
+    kernels::SetMatMulKernel(pass == 0 ? kernels::MatMulKernel::kNaive
+                                       : kernels::MatMulKernel::kAuto);
+    StepLoop loop;
+    auto arena = std::make_shared<TensorArena>();
+    const auto start = std::chrono::steady_clock::now();
+    {
+      ArenaScope scope(arena);
+      for (int i = 0; i < steps; ++i) {
+        loop.Step();
+        arena->ResetStep();
+      }
+    }
+    const double ms =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count() *
+        1000.0;
+    if (pass == 0) {
+      result.naive_ms = ms;
+      naive_weights = loop.w1.values();
+    } else {
+      result.auto_ms = ms;
+      result.identical_weights = BitIdentical(loop.w1.values(), naive_weights);
+    }
+  }
+  kernels::SetMatMulKernel(kernels::MatMulKernel::kAuto);
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_matmul_kernels.json";
+  const int repeats = FastOr(5, 15);
+
+  std::printf("CPU AVX2: %s\n", kernels::CpuHasAvx2() ? "yes" : "no");
+  std::printf("%6s %6s %6s | %10s %10s %8s | %10s %10s %8s | %s\n", "m", "k",
+              "n", "naive fwd", "block fwd", "speedup", "naive bwd",
+              "block bwd", "speedup", "bits");
+
+  // N=256, F=64 is the acceptance shape (a pooled graph level's feature
+  // transform); the rest sweep embedding-sized shapes up and down.
+  const int shapes[][3] = {
+      {256, 64, 64}, {256, 256, 64}, {128, 64, 64},
+      {64, 64, 64},  {512, 64, 128}, {32, 64, 16},
+  };
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("matmul_kernels"));
+  json.Field("avx2", kernels::CpuHasAvx2());
+  json.BeginArray("gemm");
+  bool all_bits = true;
+  double accept_speedup = 0.0;
+  for (const auto& s : shapes) {
+    const GemmRow row = MeasureGemm(s[0], s[1], s[2], repeats);
+    all_bits = all_bits && row.bit_identical;
+    if (s[0] == 256 && s[1] == 64 && s[2] == 64) {
+      accept_speedup = row.fwd_speedup;
+    }
+    std::printf(
+        "%6d %6d %6d | %8.3fms %8.3fms %7.2fx | %8.3fms %8.3fms %7.2fx | %s\n",
+        row.m, row.k, row.n, row.naive_fwd_ms, row.blocked_fwd_ms,
+        row.fwd_speedup, row.naive_bwd_ms, row.blocked_bwd_ms, row.bwd_speedup,
+        row.bit_identical ? "identical" : "DIFFER");
+    json.BeginObject();
+    json.Field("m", row.m);
+    json.Field("k", row.k);
+    json.Field("n", row.n);
+    json.Field("naive_fwd_ms", row.naive_fwd_ms);
+    json.Field("blocked_fwd_ms", row.blocked_fwd_ms);
+    json.Field("fwd_speedup", row.fwd_speedup);
+    json.Field("naive_bwd_ms", row.naive_bwd_ms);
+    json.Field("blocked_bwd_ms", row.blocked_bwd_ms);
+    json.Field("bwd_speedup", row.bwd_speedup);
+    json.Field("bit_identical", row.bit_identical);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  // Arena: same training-step loop with and without a scope installed.
+  const int steps = FastOr(10, 50);
+  const double heap_ms = MeasureStepsMs(steps, /*use_arena=*/false, repeats);
+  const double arena_ms = MeasureStepsMs(steps, /*use_arena=*/true, repeats);
+  std::printf("train steps x%d: heap %.3fms arena %.3fms (%.2fx)\n", steps,
+              heap_ms, arena_ms, heap_ms / arena_ms);
+
+  // Instrumentation: hot counters off (default) vs on. The delta is the
+  // cost of the per-kernel counters; the "off" path is the shipped one.
+  obs::SetMetricsEnabled(false);
+  const double obs_off_ms = MeasureStepsMs(steps, /*use_arena=*/true, repeats);
+  obs::SetMetricsEnabled(true);
+  const double obs_on_ms = MeasureStepsMs(steps, /*use_arena=*/true, repeats);
+  obs::SetMetricsEnabled(false);
+  std::printf("instrumentation: off %.3fms on %.3fms (+%.1f%%)\n", obs_off_ms,
+              obs_on_ms, 100.0 * (obs_on_ms - obs_off_ms) / obs_off_ms);
+
+  json.BeginObject("train_steps");
+  json.Field("steps", steps);
+  json.Field("heap_ms", heap_ms);
+  json.Field("arena_ms", arena_ms);
+  json.Field("arena_speedup", heap_ms / arena_ms);
+  json.EndObject();
+  json.BeginObject("instrumentation");
+  json.Field("hot_counters_off_ms", obs_off_ms);
+  json.Field("hot_counters_on_ms", obs_on_ms);
+  json.Field("overhead_pct", 100.0 * (obs_on_ms - obs_off_ms) / obs_off_ms);
+  json.EndObject();
+  const int e2e_steps = FastOr(20, 100);
+  const EndToEnd e2e = MeasureEndToEnd(e2e_steps);
+  all_bits = all_bits && e2e.identical_weights;
+  std::printf("end-to-end x%d steps: naive %.3fms auto %.3fms (%.2fx), "
+              "weights %s\n",
+              e2e_steps, e2e.naive_ms, e2e.auto_ms, e2e.naive_ms / e2e.auto_ms,
+              e2e.identical_weights ? "identical" : "DIFFER");
+  json.BeginObject("end_to_end");
+  json.Field("steps", e2e_steps);
+  json.Field("naive_ms", e2e.naive_ms);
+  json.Field("auto_ms", e2e.auto_ms);
+  json.Field("speedup", e2e.naive_ms / e2e.auto_ms);
+  json.Field("identical_weights", e2e.identical_weights);
+  json.EndObject();
+  json.Field("accept_shape_fwd_speedup", accept_speedup);
+  json.Field("all_bit_identical", all_bits);
+  json.EndObject();
+
+  if (!json.WriteFile(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_bits) {
+    std::fprintf(stderr, "FAIL: blocked kernels are not bit-identical\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hap::bench
+
+int main(int argc, char** argv) { return hap::bench::Main(argc, argv); }

@@ -97,6 +97,33 @@ EOF
 }
 serve_pass
 
+# --- Kernel pass (docs/PERFORMANCE.md) ----------------------------------
+# The blocked MatMul micro-kernels must stay bit-identical to the naive
+# reference under every dispatch override, and the committed kernel bench
+# JSON must exist and clear its acceptance speedup. The same parity suite
+# also runs under address,undefined in the sanitized ctest pass below.
+kernel_pass() {
+  echo "=== build: kernel parity + bench gate ==="
+  for kernel in naive blocked auto; do
+    HAP_MATMUL_KERNEL=$kernel ./build/tests/ops_test \
+      --gtest_filter='MatMulKernelParity*' > /dev/null
+    HAP_MATMUL_KERNEL=$kernel ./build/tests/sparse_parity_test > /dev/null
+  done
+  echo "kernel parity holds under naive/blocked/auto dispatch"
+  ./build/tests/arena_test > /dev/null
+  echo "arena steady state allocation-free"
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_matmul_kernels.json"))
+assert doc["all_bit_identical"], "kernel bench recorded non-identical bits"
+assert doc["accept_shape_fwd_speedup"] >= 3.0, (
+    f"acceptance shape speedup {doc['accept_shape_fwd_speedup']:.2f}x < 3x")
+print(f"kernel bench OK: {doc['accept_shape_fwd_speedup']:.2f}x at the "
+      f"acceptance shape, bit-identical")
+EOF
+}
+kernel_pass
+
 # halt_on_error keeps ctest failures attributable to one test; the
 # suppression-free defaults are intentional — the tree should stay clean.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \

@@ -18,6 +18,20 @@ inline constexpr char kMatMulNs[] = "tensor.matmul.ns";
 inline constexpr char kSpMatMulCalls[] = "tensor.spmatmul.calls";
 inline constexpr char kSpMatMulFlops[] = "tensor.spmatmul.flops";
 inline constexpr char kSpMatMulNs[] = "tensor.spmatmul.ns";
+// Kernel-dispatch decisions (docs/PERFORMANCE.md): which MatMul forward
+// kernel the dispatcher picked.
+inline constexpr char kMatMulDispatchBlocked[] =
+    "tensor.matmul.dispatch.blocked";
+inline constexpr char kMatMulDispatchNaive[] = "tensor.matmul.dispatch.naive";
+
+// --- src/tensor arena (step-scoped buffer pool, src/tensor/arena.h) ---
+inline constexpr char kMemPoolHit[] = "mem.pool.hit";
+inline constexpr char kMemPoolMiss[] = "mem.pool.miss";
+inline constexpr char kMemPoolEvicted[] = "mem.pool.evicted";
+inline constexpr char kMemPoolBytesAllocated[] = "mem.pool.bytes_allocated";
+inline constexpr char kMemPoolBytes[] = "mem.pool.bytes";  // gauge
+inline constexpr char kMemArenaSteps[] = "mem.arena.steps";
+inline constexpr char kMemScratchGrowBytes[] = "mem.scratch.grow_bytes";
 
 // --- src/graph GraphLevel ---
 inline constexpr char kGraphCacheHit[] = "graph_level.cache.hit";

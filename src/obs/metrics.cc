@@ -251,10 +251,25 @@ EnvConfig& Env() {
   return *config;
 }
 
-std::atomic<bool>& EnabledFlag() {
-  static std::atomic<bool>* flag = new std::atomic<bool>(Env().enabled);
-  return *flag;
+// Count of live HotCountersHold instances; feeds g_hot_counters_enabled.
+std::atomic<int> g_hot_counter_holds{0};
+
+void RefreshHotCountersFlag() {
+  const bool on =
+      internal::g_metrics_enabled.load(std::memory_order_relaxed) ||
+      g_hot_counter_holds.load(std::memory_order_relaxed) > 0;
+  internal::g_hot_counters_enabled.store(on, std::memory_order_relaxed);
 }
+
+// Applies the HAP_METRICS parse to the inline-visible flag during this
+// translation unit's dynamic initialisation (before main). Call sites
+// that run earlier read the default (off), matching a not-yet-parsed
+// environment.
+const bool g_env_flag_applied = [] {
+  internal::g_metrics_enabled.store(Env().enabled, std::memory_order_relaxed);
+  RefreshHotCountersFlag();
+  return true;
+}();
 
 void DumpMetricsAtExit() {
   const std::string& path = Env().dump_path;
@@ -433,12 +448,24 @@ MetricsSnapshot SnapshotMetrics() { return Registry::Instance().Snapshot(); }
 
 void ResetMetrics() { Registry::Instance().Reset(); }
 
-bool MetricsEnabled() {
-  return EnabledFlag().load(std::memory_order_relaxed);
-}
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_hot_counters_enabled{false};
+}  // namespace internal
 
 void SetMetricsEnabled(bool enabled) {
-  EnabledFlag().store(enabled, std::memory_order_relaxed);
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+  RefreshHotCountersFlag();
+}
+
+HotCountersHold::HotCountersHold() {
+  g_hot_counter_holds.fetch_add(1, std::memory_order_relaxed);
+  RefreshHotCountersFlag();
+}
+
+HotCountersHold::~HotCountersHold() {
+  g_hot_counter_holds.fetch_sub(1, std::memory_order_relaxed);
+  RefreshHotCountersFlag();
 }
 
 uint64_t MonotonicNs() {
@@ -446,13 +473,6 @@ uint64_t MonotonicNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
-}
-
-ScopedTimerNs::ScopedTimerNs(Histogram* h)
-    : h_(h), start_ns_(MetricsEnabled() ? MonotonicNs() : 0) {}
-
-ScopedTimerNs::~ScopedTimerNs() {
-  if (start_ns_ != 0) h_->Record(MonotonicNs() - start_ns_);
 }
 
 }  // namespace hap::obs

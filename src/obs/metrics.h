@@ -17,14 +17,19 @@
 // registered thread shard. Shards of exited threads are retained so
 // their contributions are never lost.
 //
-// Enabling: counters are always live (they are cheap and the run logger
-// consumes them). Histogram timing is off by default; turn it on with
-// `SetMetricsEnabled(true)` or the `HAP_METRICS` environment variable.
-// `HAP_METRICS=<path>` additionally dumps a JSON snapshot to <path> at
-// process exit ("0"/"1"/empty are treated as plain off/on switches).
+// Enabling: coarse-grained counters (per batch, per job, per cache
+// lookup) are always live — they are cheap and the run logger consumes
+// them. Per-kernel counters (every GEMM, every tensor buffer) guard on
+// `HotCountersEnabled()`, which is on when detailed metrics are on or a
+// `HotCountersHold` consumer (an active run logger) is alive. Histogram
+// timing is off by default; turn it on with `SetMetricsEnabled(true)` or
+// the `HAP_METRICS` environment variable. `HAP_METRICS=<path>`
+// additionally dumps a JSON snapshot to <path> at process exit
+// ("0"/"1"/empty are treated as plain off/on switches).
 #ifndef HAP_OBS_METRICS_H_
 #define HAP_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -150,15 +155,62 @@ void ResetMetrics();
 
 // --- Detailed-metrics switch (timing histograms) ---
 
-bool MetricsEnabled();
+namespace internal {
+// Backing flags for the inline fast paths below. `g_metrics_enabled` is
+// written only by SetMetricsEnabled (and the HAP_METRICS parse);
+// `g_hot_counters_enabled` is derived state maintained by metrics.cc:
+// true iff metrics are enabled OR at least one HotCountersHold is alive.
+// Exposed so the enabled checks compile to a single relaxed load with no
+// call — do not write these directly.
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_hot_counters_enabled;
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
 void SetMetricsEnabled(bool enabled);
+
+// --- Hot-path counter switch ---
+//
+// Most counters (serve.*, threadpool job bookkeeping, cache stats) are
+// always live: they tick at micro-batch or job granularity where one
+// sharded fetch_add is free. Per-kernel counters (tensor.matmul.*,
+// mem.pool.*) tick on every GEMM / every tensor construction, so those
+// sites guard on HotCountersEnabled(): true when detailed metrics are on
+// or while a consumer that needs per-step counter deltas (the trainers'
+// run loggers) holds a HotCountersHold. Off by default — the guard is one
+// relaxed load — so an untraced, unlogged run pays ~nothing for kernel
+// instrumentation.
+inline bool HotCountersEnabled() {
+  return internal::g_hot_counters_enabled.load(std::memory_order_relaxed);
+}
+
+// RAII consumer registration for hot counters (see above). Used by
+// RunLogger while a per-epoch JSONL log is being written.
+class HotCountersHold {
+ public:
+  HotCountersHold();
+  ~HotCountersHold();
+  HotCountersHold(const HotCountersHold&) = delete;
+  HotCountersHold& operator=(const HotCountersHold&) = delete;
+};
+
+// Monotonic clock in nanoseconds (steady_clock); shared by the timer,
+// the tracer, and call sites that time phases by hand.
+uint64_t MonotonicNs();
 
 // Records the scope's wall-clock nanoseconds into `h` when detailed
 // metrics are enabled at construction; otherwise never reads the clock.
+// Fully inline: the disabled path is one relaxed load and two register
+// writes.
 class ScopedTimerNs {
  public:
-  explicit ScopedTimerNs(Histogram* h);
-  ~ScopedTimerNs();
+  explicit ScopedTimerNs(Histogram* h)
+      : h_(h), start_ns_(MetricsEnabled() ? MonotonicNs() : 0) {}
+  ~ScopedTimerNs() {
+    if (start_ns_ != 0) h_->Record(MonotonicNs() - start_ns_);
+  }
   ScopedTimerNs(const ScopedTimerNs&) = delete;
   ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
 
@@ -166,10 +218,6 @@ class ScopedTimerNs {
   Histogram* h_;
   uint64_t start_ns_;  // 0 when disabled at construction
 };
-
-// Monotonic clock in nanoseconds (steady_clock); shared by the timer,
-// the tracer, and call sites that time phases by hand.
-uint64_t MonotonicNs();
 
 }  // namespace hap::obs
 

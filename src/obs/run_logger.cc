@@ -82,12 +82,14 @@ std::string JsonRecord::ToJsonLine() const { return "{" + body_ + "}"; }
 
 RunLogger::RunLogger(bool console, const std::string& jsonl_path)
     : console_(console) {
-  if (jsonl_path.empty()) return;
-  file_ = std::fopen(jsonl_path.c_str(), "w");
-  if (file_ == nullptr) {
-    std::fprintf(stderr, "hap::obs: cannot open run log '%s'\n",
-                 jsonl_path.c_str());
+  if (!jsonl_path.empty()) {
+    file_ = std::fopen(jsonl_path.c_str(), "w");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "hap::obs: cannot open run log '%s'\n",
+                   jsonl_path.c_str());
+    }
   }
+  if (enabled()) hot_counters_ = std::make_unique<HotCountersHold>();
 }
 
 RunLogger::~RunLogger() {

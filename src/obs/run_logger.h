@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace hap::obs {
 
@@ -56,6 +59,10 @@ class RunLogger {
  private:
   bool console_ = false;
   std::FILE* file_ = nullptr;
+  // An enabled logger consumes per-epoch kernel-counter deltas, so it
+  // keeps the gated hot-path counters (tensor.matmul.*, mem.*) live for
+  // its lifetime; a disabled logger leaves them off.
+  std::unique_ptr<HotCountersHold> hot_counters_;
 };
 
 // Cumulative values of the well-known kernel/dispatch/cache counters

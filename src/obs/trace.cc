@@ -62,13 +62,15 @@ class Tracer {
 
   bool Start(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (active_.load(std::memory_order_relaxed)) return false;
+    if (internal::g_tracing_active.load(std::memory_order_relaxed)) {
+      return false;
+    }
     path_ = path;
     start_ns_ = MonotonicNs();
     tracks_.clear();
     next_tid_ = 0;
     generation_.fetch_add(1, std::memory_order_relaxed);
-    active_.store(true, std::memory_order_relaxed);
+    internal::g_tracing_active.store(true, std::memory_order_relaxed);
     return true;
   }
 
@@ -78,8 +80,10 @@ class Tracer {
     uint64_t end_ns = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!active_.load(std::memory_order_relaxed)) return false;
-      active_.store(false, std::memory_order_relaxed);
+      if (!internal::g_tracing_active.load(std::memory_order_relaxed)) {
+        return false;
+      }
+      internal::g_tracing_active.store(false, std::memory_order_relaxed);
       // Invalidate cached thread-local tracks so late Record calls
       // re-register (and then drop) instead of appending to the
       // swapped-out buffers below.
@@ -90,8 +94,6 @@ class Tracer {
     }
     return Flush(path, tracks, end_ns);
   }
-
-  bool Active() const { return active_.load(std::memory_order_relaxed); }
 
   void Record(const char* name, char phase) {
     ThreadTrack* track = CurrentTrack();
@@ -136,7 +138,9 @@ class Tracer {
       return tls_track;
     }
     std::lock_guard<std::mutex> lock(mu_);
-    if (!active_.load(std::memory_order_relaxed)) return nullptr;
+    if (!internal::g_tracing_active.load(std::memory_order_relaxed)) {
+      return nullptr;
+    }
     auto track = std::make_unique<ThreadTrack>();
     track->tid = next_tid_++;
     track->name = PendingThreadName();
@@ -215,7 +219,6 @@ class Tracer {
   }
 
   mutable std::mutex mu_;
-  std::atomic<bool> active_{false};
   std::atomic<uint64_t> generation_{0};
   std::string path_;
   uint64_t start_ns_ = 0;
@@ -237,8 +240,6 @@ EnvSession env_session;
 
 }  // namespace
 
-bool TracingEnabled() { return Tracer::Instance().Active(); }
-
 bool StartTracing(const std::string& path) {
   return Tracer::Instance().Start(path);
 }
@@ -253,13 +254,14 @@ size_t TraceEventCount() { return Tracer::Instance().EventCount(); }
 
 size_t TraceThreadCount() { return Tracer::Instance().ThreadCount(); }
 
-TraceScope::TraceScope(const char* name)
-    : name_(name), active_(TracingEnabled()) {
-  if (active_) Tracer::Instance().Record(name_, 'B');
+namespace internal {
+
+std::atomic<bool> g_tracing_active{false};
+
+void RecordTraceEvent(const char* name, char phase) {
+  Tracer::Instance().Record(name, phase);
 }
 
-TraceScope::~TraceScope() {
-  if (active_ && TracingEnabled()) Tracer::Instance().Record(name_, 'E');
-}
+}  // namespace internal
 
 }  // namespace hap::obs

@@ -23,13 +23,25 @@
 #ifndef HAP_OBS_TRACE_H_
 #define HAP_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 
 namespace hap::obs {
 
+namespace internal {
+// Session-active flag, written only by Start/Stop under the tracer lock.
+// Exposed so TracingEnabled() and TraceScope inline to one relaxed load
+// with no function call — do not write it directly.
+extern std::atomic<bool> g_tracing_active;
+// Slow path: appends a 'B'/'E' event to the calling thread's track.
+void RecordTraceEvent(const char* name, char phase);
+}  // namespace internal
+
 // True while a trace session is recording. One relaxed atomic load.
-bool TracingEnabled();
+inline bool TracingEnabled() {
+  return internal::g_tracing_active.load(std::memory_order_relaxed);
+}
 
 // Begins a session that buffers events in memory; they are flushed to
 // `path` by StopTracing (or at process exit if still active). Returns
@@ -52,11 +64,18 @@ void SetCurrentThreadName(const std::string& name);
 size_t TraceEventCount();
 size_t TraceThreadCount();
 
+// Fully inline so the disabled path (the default) costs one relaxed
+// load per scope and never leaves the call site.
 class TraceScope {
  public:
   // `name` must outlive the session — pass a string literal.
-  explicit TraceScope(const char* name);
-  ~TraceScope();
+  explicit TraceScope(const char* name)
+      : name_(name), active_(TracingEnabled()) {
+    if (active_) internal::RecordTraceEvent(name_, 'B');
+  }
+  ~TraceScope() {
+    if (active_ && TracingEnabled()) internal::RecordTraceEvent(name_, 'E');
+  }
   TraceScope(const TraceScope&) = delete;
   TraceScope& operator=(const TraceScope&) = delete;
 

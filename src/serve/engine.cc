@@ -161,6 +161,12 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
   // forwards at once, hence waves when the batch outgrows the lane count).
   std::vector<int> predictions(groups.size(), -1);
   const int lanes = model->lanes();
+  // Per-lane tensor pools: a lane runs at most one forward at a time, so
+  // its arena is never contended. Buffers persist across batches; each
+  // batch is an arena "step", allocation-free after the first.
+  while (lane_arenas_.size() < static_cast<size_t>(lanes)) {
+    lane_arenas_.push_back(std::make_shared<TensorArena>());
+  }
   try {
     HAP_TRACE_SCOPE("serve.batch.compute");
     obs::ScopedTimerNs timer(compute);
@@ -170,9 +176,13 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
           std::min(groups.size() - wave, static_cast<size_t>(lanes)));
       GlobalThreadPool().Run(wave_size, [&](int64_t lane) {
         const size_t g = wave + static_cast<size_t>(lane);
+        ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
         predictions[g] =
             model->Predict(groups[g].front().graph, static_cast<int>(lane));
       });
+    }
+    for (int lane = 0; lane < lanes; ++lane) {
+      lane_arenas_[static_cast<size_t>(lane)]->ResetStep();
     }
   } catch (...) {
     auto error = std::current_exception();

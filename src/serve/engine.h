@@ -6,11 +6,13 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "serve/registry.h"
 #include "serve/request_queue.h"
 #include "serve/served_model.h"
+#include "tensor/arena.h"
 
 namespace hap::serve {
 
@@ -86,6 +88,11 @@ class InferenceEngine {
   RequestQueue queue_;
   std::thread batcher_;
   bool shut_down_ = false;
+  // One arena per model lane: eval forwards on a lane cycle their tensor
+  // buffers through the lane's pool, so steady-state serving performs no
+  // heap allocation. Sized lazily by ProcessBatch (only the batcher
+  // thread touches it) and grown if a hot-swap raises the lane count.
+  std::vector<std::shared_ptr<TensorArena>> lane_arenas_;
 };
 
 }  // namespace hap::serve

@@ -1,0 +1,124 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace hap {
+
+namespace {
+
+thread_local std::shared_ptr<TensorArena> tls_current_arena;
+
+}  // namespace
+
+TensorArena::TensorArena(size_t max_pooled_bytes)
+    : max_pooled_bytes_(max_pooled_bytes) {}
+
+std::vector<float> TensorArena::Acquire(size_t size) {
+  if (size == 0) return {};
+  std::vector<float> buffer;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find(size);
+    if (it != free_.end() && !it->second.empty()) {
+      buffer = std::move(it->second.back());
+      it->second.pop_back();
+      pooled_bytes_ -= size * sizeof(float);
+      --pooled_buffers_;
+      ++stats_.hits;
+      hit = true;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (hit) {
+    std::fill(buffer.begin(), buffer.end(), 0.0f);
+    if (obs::HotCountersEnabled()) {
+      static obs::Counter* hits = obs::GetCounter(obs::names::kMemPoolHit);
+      hits->Increment();
+    }
+    return buffer;
+  }
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* miss = obs::GetCounter(obs::names::kMemPoolMiss);
+    static obs::Counter* bytes =
+        obs::GetCounter(obs::names::kMemPoolBytesAllocated);
+    miss->Increment();
+    bytes->Add(size * sizeof(float));
+  }
+  return std::vector<float>(size, 0.0f);
+}
+
+void TensorArena::Release(std::vector<float>&& buffer) {
+  const size_t size = buffer.size();
+  if (size == 0) return;
+  const size_t bytes = size * sizeof(float);
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.releases;
+    if (pooled_bytes_ + bytes <= max_pooled_bytes_) {
+      free_[size].push_back(std::move(buffer));
+      pooled_bytes_ += bytes;
+      ++pooled_buffers_;
+      pooled = true;
+    } else {
+      ++stats_.evicted;
+    }
+  }
+  if (!pooled) {
+    if (obs::HotCountersEnabled()) {
+      static obs::Counter* evicted =
+          obs::GetCounter(obs::names::kMemPoolEvicted);
+      evicted->Increment();
+    }
+    // `buffer` still owns its storage here; it frees on scope exit.
+  }
+}
+
+void TensorArena::ResetStep() {
+  size_t pooled_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.steps;
+    pooled_bytes = pooled_bytes_;
+  }
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* steps = obs::GetCounter(obs::names::kMemArenaSteps);
+    static obs::Gauge* bytes = obs::GetGauge(obs::names::kMemPoolBytes);
+    steps->Increment();
+    bytes->Set(static_cast<double>(pooled_bytes));
+  }
+}
+
+void TensorArena::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+  pooled_bytes_ = 0;
+  pooled_buffers_ = 0;
+}
+
+TensorArena::Stats TensorArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.pooled_bytes = pooled_bytes_;
+  s.pooled_buffers = pooled_buffers_;
+  return s;
+}
+
+const std::shared_ptr<TensorArena>& CurrentArena() {
+  return tls_current_arena;
+}
+
+ArenaScope::ArenaScope(std::shared_ptr<TensorArena> arena)
+    : previous_(std::move(tls_current_arena)) {
+  tls_current_arena = std::move(arena);
+}
+
+ArenaScope::~ArenaScope() { tls_current_arena = std::move(previous_); }
+
+}  // namespace hap

@@ -1,0 +1,105 @@
+// Step-scoped tensor memory reuse.
+//
+// Every op result allocates a fresh `std::vector<float>` for its data (and
+// lazily one for its grad), so a training step performs hundreds of heap
+// allocations that are all dead again by the next step. A `TensorArena` is
+// a shape-keyed pool of exactly those buffers: while an `ArenaScope` is
+// installed on a thread, tensor construction draws buffers from the pool
+// and `~TensorImpl` returns them, so after one warm-up step the steady
+// state performs zero float-buffer heap allocations (`mem.pool.miss` stays
+// flat — the property tests/arena_test.cc asserts).
+//
+// Safety model: the pool recycles whole `std::vector<float>` objects, not
+// raw arena memory. A tensor that escapes its scope (a detached embedding
+// stored across steps, a gradient moved out by ParallelBatchRunner) simply
+// keeps owning its vector and frees it — or releases it back later — like
+// any other vector. There is no rewind-while-alive hazard; the arena is a
+// pure optimisation and never a lifetime constraint. `TensorImpl` pins the
+// arena it drew from via shared_ptr, so release-after-scope-death is safe.
+//
+// Step protocol: the three trainers, ParallelBatchRunner (one arena per
+// worker), and the serving InferenceEngine (one arena per lane) own the
+// arenas and call `ResetStep()` once per optimizer step / micro-batch,
+// which publishes the `mem.*` gauges and enforces the pooled-bytes cap.
+// See docs/PERFORMANCE.md "Arena lifecycle".
+#ifndef HAP_TENSOR_ARENA_H_
+#define HAP_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace hap {
+
+class TensorArena {
+ public:
+  /// `max_pooled_bytes` bounds the free-list footprint; releases beyond the
+  /// cap free the buffer instead of pooling it (counted as mem.pool.evicted).
+  explicit TensorArena(size_t max_pooled_bytes = kDefaultMaxPooledBytes);
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Returns a zero-filled buffer of exactly `size` elements, reusing a
+  /// pooled one of the same size when available (no heap traffic on a hit:
+  /// pooled buffers already have the right capacity).
+  std::vector<float> Acquire(size_t size);
+
+  /// Returns a buffer to the pool for reuse (or frees it when the pool is
+  /// at capacity). Accepts buffers of any size, including ones acquired
+  /// from another arena or plain-heap vectors.
+  void Release(std::vector<float>&& buffer);
+
+  /// Marks a step boundary: publishes pool gauges/counters and bumps the
+  /// step count. Pooled buffers are retained — cross-step reuse is the
+  /// whole point — so this is cheap enough to call every optimizer step.
+  void ResetStep();
+
+  /// Drops every pooled buffer (tests and memory-pressure handling).
+  void Trim();
+
+  struct Stats {
+    uint64_t hits = 0;      // Acquire served from the pool
+    uint64_t misses = 0;    // Acquire fell back to the heap
+    uint64_t releases = 0;  // buffers returned to the pool
+    uint64_t evicted = 0;   // releases dropped by the byte cap
+    uint64_t steps = 0;     // ResetStep calls
+    size_t pooled_bytes = 0;
+    size_t pooled_buffers = 0;
+  };
+  Stats stats() const;
+
+  static constexpr size_t kDefaultMaxPooledBytes = size_t{128} << 20;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<size_t, std::vector<std::vector<float>>> free_;
+  size_t max_pooled_bytes_;
+  size_t pooled_bytes_ = 0;
+  size_t pooled_buffers_ = 0;
+  Stats stats_;
+};
+
+/// The arena new tensor buffers are drawn from on this thread (null when no
+/// scope is installed — construction then uses the plain heap).
+const std::shared_ptr<TensorArena>& CurrentArena();
+
+/// RAII installation of `arena` as the calling thread's current arena.
+/// Scopes nest; destruction restores the previous arena.
+class ArenaScope {
+ public:
+  explicit ArenaScope(std::shared_ptr<TensorArena> arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  std::shared_ptr<TensorArena> previous_;
+};
+
+}  // namespace hap
+
+#endif  // HAP_TENSOR_ARENA_H_

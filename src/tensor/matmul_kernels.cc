@@ -1,0 +1,520 @@
+#include "tensor/matmul_kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HAP_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace hap::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+MatMulKernel ParseKernelEnv() {
+  const char* env = std::getenv("HAP_MATMUL_KERNEL");
+  if (env == nullptr || env[0] == '\0') return MatMulKernel::kAuto;
+  const std::string value(env);
+  if (value == "naive") return MatMulKernel::kNaive;
+  if (value == "blocked") return MatMulKernel::kBlocked;
+  return MatMulKernel::kAuto;
+}
+
+std::atomic<MatMulKernel>& KernelFlag() {
+  static std::atomic<MatMulKernel>* flag =
+      new std::atomic<MatMulKernel>(ParseKernelEnv());
+  return *flag;
+}
+
+// The packing cost is O(k·n) and each packed panel is reused once per
+// output row, so blocking only pays off with enough rows to amortise it
+// (m == 1 head/readout vectors stay naive) and enough columns/depth for
+// the register tile to fill. The thresholds are deterministic functions
+// of shape only — every thread and process dispatches identically.
+constexpr int64_t kMinRows = 8;
+constexpr int64_t kMinWork = 16 * 1024;  // ~2·m·k·n floor for blocking
+
+bool ShapeWantsBlocked(int64_t m, int64_t k, int64_t n) {
+  return m >= kMinRows && n >= 8 && k >= 4 && 2 * m * k * n >= kMinWork;
+}
+
+bool Dispatch(int64_t m, int64_t k, int64_t n) {
+  switch (GetMatMulKernel()) {
+    case MatMulKernel::kNaive:
+      return false;
+    case MatMulKernel::kBlocked:
+      return true;
+    case MatMulKernel::kAuto:
+      break;
+  }
+  return ShapeWantsBlocked(m, k, n);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local pack scratch: a bump buffer that grows geometrically and
+// then stays — steady-state packing performs zero heap allocations
+// (mem.scratch.grow_bytes goes flat after warm-up). One pack is live per
+// thread at a time: the dispatching thread packs, then blocks in
+// ParallelFor while workers read the panels.
+// ---------------------------------------------------------------------------
+
+struct PackScratch {
+  std::vector<float> buffer;
+
+  float* Get(size_t count) {
+    if (buffer.size() < count) {
+      const size_t grown = count > 2 * buffer.size() ? count : 2 * buffer.size();
+      if (obs::HotCountersEnabled()) {
+        static obs::Counter* grow_bytes =
+            obs::GetCounter(obs::names::kMemScratchGrowBytes);
+        grow_bytes->Add((grown - buffer.size()) * sizeof(float));
+      }
+      buffer.resize(grown);
+    }
+    return buffer.data();
+  }
+};
+
+PackScratch& Scratch() {
+  thread_local PackScratch scratch;
+  return scratch;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 micro-kernels. Multiplies and adds are separate intrinsics on
+// purpose: target("avx2") does not enable FMA, so the compiler cannot
+// contract them and per-term rounding matches the scalar reference
+// exactly. Operand order also matches the reference (`g * b`, `a * b`,
+// `acc + prod`) so NaN payload propagation is identical too.
+// ---------------------------------------------------------------------------
+
+#if HAP_KERNELS_X86
+
+__attribute__((target("avx2"))) void ForwardRowsAvx2(
+    const float* a, const float* packed_b, float* out, int64_t k, int64_t n,
+    int64_t i0, int64_t i1) {
+  const int64_t panels = n / kColPanel;
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    const float* panel = packed_b + jp * k * kColPanel;
+    const int64_t j0 = jp * kColPanel;
+    int64_t i = i0;
+    for (; i + kRowTile <= i1; i += kRowTile) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* o0 = out + (i + 0) * n + j0;
+      float* o1 = out + (i + 1) * n + j0;
+      float* o2 = out + (i + 2) * n + j0;
+      float* o3 = out + (i + 3) * n + j0;
+      __m256 c00 = _mm256_loadu_ps(o0), c01 = _mm256_loadu_ps(o0 + 8);
+      __m256 c10 = _mm256_loadu_ps(o1), c11 = _mm256_loadu_ps(o1 + 8);
+      __m256 c20 = _mm256_loadu_ps(o2), c21 = _mm256_loadu_ps(o2 + 8);
+      __m256 c30 = _mm256_loadu_ps(o3), c31 = _mm256_loadu_ps(o3 + 8);
+      for (int64_t p = 0; p < k; ++p) {
+        const __m256 b0 = _mm256_loadu_ps(panel + p * kColPanel);
+        const __m256 b1 = _mm256_loadu_ps(panel + p * kColPanel + 8);
+        float av;
+        av = a0[p];
+        if (av != 0.0f) {
+          const __m256 v = _mm256_set1_ps(av);
+          c00 = _mm256_add_ps(c00, _mm256_mul_ps(v, b0));
+          c01 = _mm256_add_ps(c01, _mm256_mul_ps(v, b1));
+        }
+        av = a1[p];
+        if (av != 0.0f) {
+          const __m256 v = _mm256_set1_ps(av);
+          c10 = _mm256_add_ps(c10, _mm256_mul_ps(v, b0));
+          c11 = _mm256_add_ps(c11, _mm256_mul_ps(v, b1));
+        }
+        av = a2[p];
+        if (av != 0.0f) {
+          const __m256 v = _mm256_set1_ps(av);
+          c20 = _mm256_add_ps(c20, _mm256_mul_ps(v, b0));
+          c21 = _mm256_add_ps(c21, _mm256_mul_ps(v, b1));
+        }
+        av = a3[p];
+        if (av != 0.0f) {
+          const __m256 v = _mm256_set1_ps(av);
+          c30 = _mm256_add_ps(c30, _mm256_mul_ps(v, b0));
+          c31 = _mm256_add_ps(c31, _mm256_mul_ps(v, b1));
+        }
+      }
+      _mm256_storeu_ps(o0, c00);
+      _mm256_storeu_ps(o0 + 8, c01);
+      _mm256_storeu_ps(o1, c10);
+      _mm256_storeu_ps(o1 + 8, c11);
+      _mm256_storeu_ps(o2, c20);
+      _mm256_storeu_ps(o2 + 8, c21);
+      _mm256_storeu_ps(o3, c30);
+      _mm256_storeu_ps(o3 + 8, c31);
+    }
+    for (; i < i1; ++i) {  // row tail, one row at a time
+      const float* arow = a + i * k;
+      float* orow = out + i * n + j0;
+      __m256 c0 = _mm256_loadu_ps(orow), c1 = _mm256_loadu_ps(orow + 8);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const __m256 v = _mm256_set1_ps(av);
+        c0 = _mm256_add_ps(c0, _mm256_mul_ps(v, _mm256_loadu_ps(panel + p * kColPanel)));
+        c1 = _mm256_add_ps(
+            c1, _mm256_mul_ps(v, _mm256_loadu_ps(panel + p * kColPanel + 8)));
+      }
+      _mm256_storeu_ps(orow, c0);
+      _mm256_storeu_ps(orow + 8, c1);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void GradARowsAvx2(
+    const float* g, const float* packed_bt, float* ga, int64_t k, int64_t n,
+    int64_t i0, int64_t i1) {
+  const int64_t chunks = k / kGradAChunk;
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* grow = g + i * n;
+    for (int64_t c = 0; c < chunks; ++c) {
+      const float* chunk = packed_bt + c * n * kGradAChunk;
+      float* garow = ga + i * k + c * kGradAChunk;
+      __m256 acc0 = _mm256_loadu_ps(garow);
+      __m256 acc1 = _mm256_loadu_ps(garow + 8);
+      __m256 acc2 = _mm256_loadu_ps(garow + 16);
+      __m256 acc3 = _mm256_loadu_ps(garow + 24);
+      for (int64_t j = 0; j < n; ++j) {
+        const float gv = grow[j];
+        if (gv == 0.0f) continue;
+        const __m256 v = _mm256_set1_ps(gv);
+        const float* bt = chunk + j * kGradAChunk;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(v, _mm256_loadu_ps(bt)));
+        acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(v, _mm256_loadu_ps(bt + 8)));
+        acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(v, _mm256_loadu_ps(bt + 16)));
+        acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(v, _mm256_loadu_ps(bt + 24)));
+      }
+      _mm256_storeu_ps(garow, acc0);
+      _mm256_storeu_ps(garow + 8, acc1);
+      _mm256_storeu_ps(garow + 16, acc2);
+      _mm256_storeu_ps(garow + 24, acc3);
+    }
+  }
+}
+
+// dB is the one kernel where the g == 0 skip sits on the vector lanes, so
+// the branch becomes a compare-and-mask: lanes with g == 0 contribute a
+// +0.0f add, which is bit-identical to skipping because the accumulator
+// (a gradient cell) can never be -0.0 — see the header contract.
+__attribute__((target("avx2"))) void GradBRowsAvx2(
+    const float* a, const float* g, float* gb, int64_t m, int64_t k, int64_t n,
+    int64_t p0, int64_t p1) {
+  const int64_t n16 = n - n % kColPanel;
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t p = p0;
+  for (; p + kRowTile <= p1; p += kRowTile) {
+    for (int64_t jc = 0; jc < n16; jc += kColPanel) {
+      float* gb0 = gb + (p + 0) * n + jc;
+      float* gb1 = gb + (p + 1) * n + jc;
+      float* gb2 = gb + (p + 2) * n + jc;
+      float* gb3 = gb + (p + 3) * n + jc;
+      __m256 c00 = _mm256_loadu_ps(gb0), c01 = _mm256_loadu_ps(gb0 + 8);
+      __m256 c10 = _mm256_loadu_ps(gb1), c11 = _mm256_loadu_ps(gb1 + 8);
+      __m256 c20 = _mm256_loadu_ps(gb2), c21 = _mm256_loadu_ps(gb2 + 8);
+      __m256 c30 = _mm256_loadu_ps(gb3), c31 = _mm256_loadu_ps(gb3 + 8);
+      for (int64_t i = 0; i < m; ++i) {
+        const __m256 g0 = _mm256_loadu_ps(g + i * n + jc);
+        const __m256 g1 = _mm256_loadu_ps(g + i * n + jc + 8);
+        const __m256 mask0 = _mm256_cmp_ps(g0, zero, _CMP_NEQ_UQ);
+        const __m256 mask1 = _mm256_cmp_ps(g1, zero, _CMP_NEQ_UQ);
+        const float* arow = a + i * k + p;
+        __m256 v;
+        v = _mm256_set1_ps(arow[0]);
+        c00 = _mm256_add_ps(c00, _mm256_and_ps(_mm256_mul_ps(g0, v), mask0));
+        c01 = _mm256_add_ps(c01, _mm256_and_ps(_mm256_mul_ps(g1, v), mask1));
+        v = _mm256_set1_ps(arow[1]);
+        c10 = _mm256_add_ps(c10, _mm256_and_ps(_mm256_mul_ps(g0, v), mask0));
+        c11 = _mm256_add_ps(c11, _mm256_and_ps(_mm256_mul_ps(g1, v), mask1));
+        v = _mm256_set1_ps(arow[2]);
+        c20 = _mm256_add_ps(c20, _mm256_and_ps(_mm256_mul_ps(g0, v), mask0));
+        c21 = _mm256_add_ps(c21, _mm256_and_ps(_mm256_mul_ps(g1, v), mask1));
+        v = _mm256_set1_ps(arow[3]);
+        c30 = _mm256_add_ps(c30, _mm256_and_ps(_mm256_mul_ps(g0, v), mask0));
+        c31 = _mm256_add_ps(c31, _mm256_and_ps(_mm256_mul_ps(g1, v), mask1));
+      }
+      _mm256_storeu_ps(gb0, c00);
+      _mm256_storeu_ps(gb0 + 8, c01);
+      _mm256_storeu_ps(gb1, c10);
+      _mm256_storeu_ps(gb1 + 8, c11);
+      _mm256_storeu_ps(gb2, c20);
+      _mm256_storeu_ps(gb2 + 8, c21);
+      _mm256_storeu_ps(gb3, c30);
+      _mm256_storeu_ps(gb3 + 8, c31);
+    }
+    // j tail: scalar with the reference's explicit skip.
+    for (int64_t pr = p; pr < p + kRowTile; ++pr) {
+      for (int64_t j = n16; j < n; ++j) {
+        float acc = gb[pr * n + j];
+        for (int64_t i = 0; i < m; ++i) {
+          const float gv = g[i * n + j];
+          if (gv == 0.0f) continue;
+          acc += gv * a[i * k + pr];
+        }
+        gb[pr * n + j] = acc;
+      }
+    }
+  }
+  // p tail: remaining rows, scalar per element (i ascending).
+  for (; p < p1; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = gb[p * n + j];
+      for (int64_t i = 0; i < m; ++i) {
+        const float gv = g[i * n + j];
+        if (gv == 0.0f) continue;
+        acc += gv * a[i * k + p];
+      }
+      gb[p * n + j] = acc;
+    }
+  }
+}
+
+#endif  // HAP_KERNELS_X86
+
+// ---------------------------------------------------------------------------
+// Scalar register-tile fallbacks: same blocking, same per-element term
+// order, plain float lanes the compiler may auto-vectorize (mul and add
+// stay separate expressions — -O2 never contracts them without FMA ISA).
+// ---------------------------------------------------------------------------
+
+void ForwardRowsScalarTile(const float* a, const float* packed_b, float* out,
+                           int64_t k, int64_t n, int64_t i0, int64_t i1) {
+  const int64_t panels = n / kColPanel;
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    const float* panel = packed_b + jp * k * kColPanel;
+    const int64_t j0 = jp * kColPanel;
+    for (int64_t i = i0; i < i1; ++i) {
+      float acc[kColPanel];
+      float* orow = out + i * n + j0;
+      for (int64_t q = 0; q < kColPanel; ++q) acc[q] = orow[q];
+      const float* arow = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = panel + p * kColPanel;
+        for (int64_t q = 0; q < kColPanel; ++q) acc[q] += av * brow[q];
+      }
+      for (int64_t q = 0; q < kColPanel; ++q) orow[q] = acc[q];
+    }
+  }
+}
+
+void GradARowsScalarTile(const float* g, const float* packed_bt, float* ga,
+                         int64_t k, int64_t n, int64_t i0, int64_t i1) {
+  const int64_t chunks = k / kGradAChunk;
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* grow = g + i * n;
+    for (int64_t c = 0; c < chunks; ++c) {
+      const float* chunk = packed_bt + c * n * kGradAChunk;
+      float* garow = ga + i * k + c * kGradAChunk;
+      float acc[kGradAChunk];
+      for (int64_t q = 0; q < kGradAChunk; ++q) acc[q] = garow[q];
+      for (int64_t j = 0; j < n; ++j) {
+        const float gv = grow[j];
+        if (gv == 0.0f) continue;
+        const float* bt = chunk + j * kGradAChunk;
+        for (int64_t q = 0; q < kGradAChunk; ++q) acc[q] += gv * bt[q];
+      }
+      for (int64_t q = 0; q < kGradAChunk; ++q) garow[q] = acc[q];
+    }
+  }
+}
+
+void GradBRowsScalarTile(const float* a, const float* g, float* gb, int64_t m,
+                         int64_t k, int64_t n, int64_t p0, int64_t p1) {
+  for (int64_t p = p0; p < p1; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = gb[p * n + j];
+      for (int64_t i = 0; i < m; ++i) {
+        const float gv = g[i * n + j];
+        if (gv == 0.0f) continue;
+        acc += gv * a[i * k + p];
+      }
+      gb[p * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+MatMulKernel GetMatMulKernel() {
+  return KernelFlag().load(std::memory_order_relaxed);
+}
+
+void SetMatMulKernel(MatMulKernel kernel) {
+  KernelFlag().store(kernel, std::memory_order_relaxed);
+}
+
+bool CpuHasAvx2() {
+#if HAP_KERNELS_X86
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+bool UseBlockedForward(int64_t m, int64_t k, int64_t n) {
+  return Dispatch(m, k, n);
+}
+bool UseBlockedGradA(int64_t m, int64_t k, int64_t n) {
+  return Dispatch(m, k, n);
+}
+bool UseBlockedGradB(int64_t m, int64_t k, int64_t n) {
+  return Dispatch(m, k, n);
+}
+
+const float* PackBPanels(const float* b, int64_t k, int64_t n) {
+  const int64_t panels = n / kColPanel;
+  float* dst = Scratch().Get(static_cast<size_t>(panels) * k * kColPanel);
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    float* panel = dst + jp * k * kColPanel;
+    const float* src = b + jp * kColPanel;
+    for (int64_t p = 0; p < k; ++p) {
+      std::memcpy(panel + p * kColPanel, src + p * n,
+                  kColPanel * sizeof(float));
+    }
+  }
+  return dst;
+}
+
+const float* PackBTransposed(const float* b, int64_t k, int64_t n) {
+  const int64_t chunks = k / kGradAChunk;
+  float* dst = Scratch().Get(static_cast<size_t>(chunks) * n * kGradAChunk);
+  for (int64_t c = 0; c < chunks; ++c) {
+    float* chunk = dst + c * n * kGradAChunk;
+    const float* src = b + c * kGradAChunk * n;
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t q = 0; q < kGradAChunk; ++q) {
+        chunk[j * kGradAChunk + q] = src[q * n + j];
+      }
+    }
+  }
+  return dst;
+}
+
+// --- Naive reference kernels: the original ops.cc loops, verbatim ---
+
+void NaiveForwardRows(const float* a, const float* b, float* out, int64_t k,
+                      int64_t n, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* orow = out + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void NaiveGradARows(const float* g, const float* b, float* ga, int64_t k,
+                    int64_t n, int64_t i0, int64_t i1) {
+  for (int64_t i = i0; i < i1; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float gv = g[i * n + j];
+      if (gv == 0.0f) continue;
+      for (int64_t p = 0; p < k; ++p) {
+        ga[i * k + p] += gv * b[p * n + j];
+      }
+    }
+  }
+}
+
+void NaiveGradBRows(const float* a, const float* g, float* gb, int64_t m,
+                    int64_t k, int64_t n, int64_t p0, int64_t p1) {
+  (void)k;
+  for (int64_t p = p0; p < p1; ++p) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = a[i * k + p];
+      for (int64_t j = 0; j < n; ++j) {
+        const float gv = g[i * n + j];
+        if (gv == 0.0f) continue;
+        gb[p * n + j] += gv * av;
+      }
+    }
+  }
+}
+
+// --- Blocked kernels: panel body + naive tails ---
+
+void BlockedForwardRows(const float* a, const float* packed_b, const float* b,
+                        float* out, int64_t k, int64_t n, int64_t i0,
+                        int64_t i1) {
+#if HAP_KERNELS_X86
+  if (CpuHasAvx2()) {
+    ForwardRowsAvx2(a, packed_b, out, k, n, i0, i1);
+  } else {
+    ForwardRowsScalarTile(a, packed_b, out, k, n, i0, i1);
+  }
+#else
+  ForwardRowsScalarTile(a, packed_b, out, k, n, i0, i1);
+#endif
+  // Column tail [n - n%16, n): reference loops on the unpacked B.
+  const int64_t n16 = n - n % kColPanel;
+  if (n16 == n) return;
+  for (int64_t i = i0; i < i1; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* orow = out + i * n;
+      for (int64_t j = n16; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void BlockedGradARows(const float* g, const float* packed_bt, const float* b,
+                      float* ga, int64_t k, int64_t n, int64_t i0,
+                      int64_t i1) {
+#if HAP_KERNELS_X86
+  if (CpuHasAvx2()) {
+    GradARowsAvx2(g, packed_bt, ga, k, n, i0, i1);
+  } else {
+    GradARowsScalarTile(g, packed_bt, ga, k, n, i0, i1);
+  }
+#else
+  GradARowsScalarTile(g, packed_bt, ga, k, n, i0, i1);
+#endif
+  // Depth tail [k - k%32, k): reference loops on the unpacked B.
+  const int64_t k32 = k - k % kGradAChunk;
+  if (k32 == k) return;
+  for (int64_t i = i0; i < i1; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float gv = g[i * n + j];
+      if (gv == 0.0f) continue;
+      for (int64_t p = k32; p < k; ++p) {
+        ga[i * k + p] += gv * b[p * n + j];
+      }
+    }
+  }
+}
+
+void BlockedGradBRows(const float* a, const float* g, float* gb, int64_t m,
+                      int64_t k, int64_t n, int64_t p0, int64_t p1) {
+#if HAP_KERNELS_X86
+  if (CpuHasAvx2()) {
+    GradBRowsAvx2(a, g, gb, m, k, n, p0, p1);
+    return;
+  }
+#endif
+  GradBRowsScalarTile(a, g, gb, m, k, n, p0, p1);
+}
+
+}  // namespace hap::kernels

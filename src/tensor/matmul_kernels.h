@@ -1,0 +1,109 @@
+// Dense GEMM micro-kernel family for MatMul's forward and backward
+// passes, plus the dispatch layer that picks between them.
+//
+// Two implementations per pass:
+//  * Naive*Rows — the original triple loops from ops.cc, kept verbatim as
+//    the bit-exactness reference and as the small-shape fast path (the
+//    blocked kernels pay an O(k·n) packing cost that only amortises over
+//    enough output rows).
+//  * Blocked*Rows — cache-blocked, register-tiled kernels: B is packed
+//    into contiguous column panels, the i-k-j loop order keeps a 4x16
+//    output tile in registers across the whole k extent, and the 16-wide
+//    j-inner loop is unrolled (AVX2 mul+add when the CPU has it, an
+//    auto-vectorizable scalar tile otherwise).
+//
+// Bit-determinism contract (docs/PERFORMANCE.md): every kernel produces
+// results bit-identical to its naive reference because, per output
+// element, it adds exactly the same terms in exactly the same order —
+//  * forward (i,j): p ascending, rows with a[i,p] == 0 skipped;
+//  * dA (i,p): j ascending, columns with g[i,j] == 0 skipped;
+//  * dB (p,j): i ascending, terms with g[i,j] == 0 skipped;
+// with matching operand order in every multiply/add and no FMA
+// contraction (fused rounding would differ from the reference). The dB
+// kernel replaces the per-lane g == 0 branch with a compare-and-mask add
+// of +0.0f, which is bit-identical here because a gradient accumulator
+// can never hold -0.0 (it starts at +0.0 and IEEE round-to-nearest
+// addition of opposite values yields +0.0). Callers split work by output
+// rows, so any ParallelFor partition yields identical bits.
+//
+// Scope: the contract covers every non-NaN result bit (including signed
+// zeros and infinities). NaN payloads/signs are unspecified — the
+// compiler may commute the reference kernel's scalar multiplies, so
+// which input NaN propagates is not reproducible even naive-vs-naive
+// across builds; kernels only guarantee NaNs appear in the same
+// elements.
+//
+// Thread-safety: Pack* routines write into a thread-local scratch arena;
+// the returned pointer stays valid until the same thread packs again.
+// Worker threads may freely *read* a pointer packed by the dispatching
+// thread (the dispatcher blocks inside ParallelFor while workers run).
+#ifndef HAP_TENSOR_MATMUL_KERNELS_H_
+#define HAP_TENSOR_MATMUL_KERNELS_H_
+
+#include <cstdint>
+
+namespace hap::kernels {
+
+// Register-tile geometry of the blocked kernels (see docs/PERFORMANCE.md).
+inline constexpr int64_t kRowTile = 4;    // MR: output rows per tile
+inline constexpr int64_t kColPanel = 16;  // NR: packed B panel width
+inline constexpr int64_t kGradAChunk = 32;  // packed-Bᵀ chunk width for dA
+
+enum class MatMulKernel {
+  kAuto,     // shape-based choice (default)
+  kNaive,    // force the reference kernels
+  kBlocked,  // force the blocked kernels (any shape; tails handled)
+};
+
+// Process-wide kernel selection. Defaults to kAuto, overridable by the
+// HAP_MATMUL_KERNEL environment variable ("naive" / "blocked" / "auto")
+// or programmatically (tests, benchmarks).
+MatMulKernel GetMatMulKernel();
+void SetMatMulKernel(MatMulKernel kernel);
+
+// True when the blocked kernels use AVX2 intrinsics on this machine
+// (otherwise they fall back to the scalar register tile).
+bool CpuHasAvx2();
+
+// Shape-based dispatch decisions under the current kernel selection.
+// Deterministic functions of shape only, so every rank/thread/process
+// makes the same choice.
+bool UseBlockedForward(int64_t m, int64_t k, int64_t n);
+bool UseBlockedGradA(int64_t m, int64_t k, int64_t n);
+bool UseBlockedGradB(int64_t m, int64_t k, int64_t n);
+
+// --- Packing (thread-local scratch; see header comment) ---
+
+// Packs B(k,n) into kColPanel-wide column panels: panel jp holds columns
+// [jp*16, jp*16+16) laid out [p*16 + q]. Only floor(n/16) full panels are
+// packed; tail columns are read from `b` directly by the kernels.
+const float* PackBPanels(const float* b, int64_t k, int64_t n);
+
+// Packs Bᵀ into kGradAChunk-wide row chunks for the dA kernel: chunk c
+// holds B rows [c*32, c*32+32) laid out [j*32 + q] (contiguous over q for
+// fixed j). Only floor(k/32) full chunks are packed.
+const float* PackBTransposed(const float* b, int64_t k, int64_t n);
+
+// --- Forward: out(m,n) += A(m,k)·B(k,n), output rows [i0, i1) ---
+// `out` rows must be zero-initialised (MakeOpResult guarantees this).
+void NaiveForwardRows(const float* a, const float* b, float* out, int64_t k,
+                      int64_t n, int64_t i0, int64_t i1);
+void BlockedForwardRows(const float* a, const float* packed_b, const float* b,
+                        float* out, int64_t k, int64_t n, int64_t i0,
+                        int64_t i1);
+
+// --- dA(m,k) += G(m,n)·Bᵀ, output rows [i0, i1) ---
+void NaiveGradARows(const float* g, const float* b, float* ga, int64_t k,
+                    int64_t n, int64_t i0, int64_t i1);
+void BlockedGradARows(const float* g, const float* packed_bt, const float* b,
+                      float* ga, int64_t k, int64_t n, int64_t i0, int64_t i1);
+
+// --- dB(k,n) += Aᵀ·G(m,n), output rows [p0, p1) ---
+void NaiveGradBRows(const float* a, const float* g, float* gb, int64_t m,
+                    int64_t k, int64_t n, int64_t p0, int64_t p1);
+void BlockedGradBRows(const float* a, const float* g, float* gb, int64_t m,
+                      int64_t k, int64_t n, int64_t p0, int64_t p1);
+
+}  // namespace hap::kernels
+
+#endif  // HAP_TENSOR_MATMUL_KERNELS_H_

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "tensor/matmul_kernels.h"
 
 namespace hap {
 
@@ -35,13 +36,23 @@ int64_t RowGrain(int64_t row_work) {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HAP_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
-  // Call/FLOP counters are always live; the timing histogram only
-  // records when detailed metrics are on. Neither touches the math.
-  static obs::Counter* calls = obs::GetCounter(obs::names::kMatMulCalls);
-  static obs::Counter* flops = obs::GetCounter(obs::names::kMatMulFlops);
+  // Per-kernel counters tick on every GEMM, so they guard on the hot
+  // switch (one relaxed load when off); the timing histogram only records
+  // when detailed metrics are on. Neither touches the math.
   static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kMatMulNs);
-  calls->Increment();
-  flops->Add(2ull * m * k * n);
+  const bool blocked_fwd =
+      kernels::UseBlockedForward(m, k, n);
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* calls = obs::GetCounter(obs::names::kMatMulCalls);
+    static obs::Counter* flops = obs::GetCounter(obs::names::kMatMulFlops);
+    static obs::Counter* disp_blocked =
+        obs::GetCounter(obs::names::kMatMulDispatchBlocked);
+    static obs::Counter* disp_naive =
+        obs::GetCounter(obs::names::kMatMulDispatchNaive);
+    calls->Increment();
+    flops->Add(2ull * m * k * n);
+    (blocked_fwd ? disp_blocked : disp_naive)->Increment();
+  }
   obs::ScopedTimerNs timer(op_ns);
   Tensor out = MakeOpResult(m, n, {a, b}, [m, k, n](internal::TensorImpl& node) {
     internal::TensorImpl& pa = Parent(node, 0);
@@ -50,63 +61,72 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     // inputs (cached propagation operators, dataset tensors) are skipped,
     // which both avoids the wasted O(mkn) work and keeps tensors shared
     // across data-parallel workers free of concurrent grad writes.
+    //
+    // Both backward paths dispatch between the reference and blocked
+    // kernels (tensor/matmul_kernels.h); every kernel preserves the
+    // per-element accumulation order, so the gradient bits match the
+    // original loops regardless of dispatch or thread count.
     if (pa.requires_grad) {
       pa.EnsureGrad();
       // dA += dOut * B^T, row-blocked over A's rows: block-private outputs.
-      ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
-                  [&](int64_t lo, int64_t hi) {
-                    for (int64_t i = lo; i < hi; ++i) {
-                      for (int j = 0; j < n; ++j) {
-                        const float g =
-                            node.grad[static_cast<size_t>(i) * n + j];
-                        if (g == 0.0f) continue;
-                        for (int p = 0; p < k; ++p) {
-                          pa.grad[static_cast<size_t>(i) * k + p] +=
-                              g * pb.data[static_cast<size_t>(p) * n + j];
-                        }
-                      }
-                    }
-                  });
+      const float* g = node.grad.data();
+      const float* bdat = pb.data.data();
+      float* ga = pa.grad.data();
+      if (kernels::UseBlockedGradA(m, k, n)) {
+        const float* packed_bt = kernels::PackBTransposed(bdat, k, n);
+        ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                    [&](int64_t lo, int64_t hi) {
+                      kernels::BlockedGradARows(g, packed_bt, bdat, ga, k, n,
+                                                lo, hi);
+                    });
+      } else {
+        ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                    [&](int64_t lo, int64_t hi) {
+                      kernels::NaiveGradARows(g, bdat, ga, k, n, lo, hi);
+                    });
+      }
     }
     if (pb.requires_grad) {
       pb.EnsureGrad();
       // dB += A^T * dOut, row-blocked over B's rows. For each (p, j) the
       // sum still runs over i ascending, matching the serial accumulation
       // order.
-      ParallelFor(0, k, RowGrain(static_cast<int64_t>(m) * n),
-                  [&](int64_t lo, int64_t hi) {
-                    for (int64_t p = lo; p < hi; ++p) {
-                      for (int i = 0; i < m; ++i) {
-                        const float av =
-                            pa.data[static_cast<size_t>(i) * k + p];
-                        for (int j = 0; j < n; ++j) {
-                          const float g =
-                              node.grad[static_cast<size_t>(i) * n + j];
-                          if (g == 0.0f) continue;
-                          pb.grad[static_cast<size_t>(p) * n + j] += g * av;
-                        }
-                      }
-                    }
-                  });
+      const float* g = node.grad.data();
+      const float* adat = pa.data.data();
+      float* gb = pb.grad.data();
+      if (kernels::UseBlockedGradB(m, k, n)) {
+        ParallelFor(0, k, RowGrain(static_cast<int64_t>(m) * n),
+                    [&](int64_t lo, int64_t hi) {
+                      kernels::BlockedGradBRows(adat, g, gb, m, k, n, lo, hi);
+                    });
+      } else {
+        ParallelFor(0, k, RowGrain(static_cast<int64_t>(m) * n),
+                    [&](int64_t lo, int64_t hi) {
+                      kernels::NaiveGradBRows(adat, g, gb, m, k, n, lo, hi);
+                    });
+      }
     }
   });
-  // Forward: i-p-j loop order for cache friendliness, row-blocked over the
-  // output rows (each block writes a disjoint row range).
+  // Forward, row-blocked over the output rows (each block writes a
+  // disjoint row range). The blocked kernel packs B into column panels
+  // once and keeps a 4x16 output tile in registers; the naive kernel is
+  // the original i-p-j loop. Identical bits either way.
   float* o = out.mutable_data();
   const float* pa = a.data();
   const float* pb = b.data();
-  ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
-              [&](int64_t lo, int64_t hi) {
-                for (int64_t i = lo; i < hi; ++i) {
-                  for (int p = 0; p < k; ++p) {
-                    const float av = pa[static_cast<size_t>(i) * k + p];
-                    if (av == 0.0f) continue;
-                    const float* brow = pb + static_cast<size_t>(p) * n;
-                    float* orow = o + static_cast<size_t>(i) * n;
-                    for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-                  }
-                }
-              });
+  if (blocked_fwd) {
+    const float* packed_b = kernels::PackBPanels(pb, k, n);
+    ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                [&](int64_t lo, int64_t hi) {
+                  kernels::BlockedForwardRows(pa, packed_b, pb, o, k, n, lo,
+                                              hi);
+                });
+  } else {
+    ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                [&](int64_t lo, int64_t hi) {
+                  kernels::NaiveForwardRows(pa, pb, o, k, n, lo, hi);
+                });
+  }
   return out;
 }
 

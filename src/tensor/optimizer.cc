@@ -42,11 +42,18 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
 }
 
 void Sgd::Step() {
+  // Moment state is sized once at construction; a parameter resized or
+  // swapped after that would silently pair with stale velocity entries.
+  HAP_CHECK_EQ(velocity_.size(), params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
+    HAP_CHECK_EQ(static_cast<int64_t>(velocity_[i].size()), p.size())
+        << "SGD velocity out of sync with parameter " << i
+        << " (parameter resized after optimizer construction?)";
     if (p.grad().empty()) continue;  // Never touched by backward this step.
     float* data = p.mutable_data();
     const auto& grad = p.grad();
+    HAP_CHECK_EQ(static_cast<int64_t>(grad.size()), p.size());
     for (int64_t j = 0; j < p.size(); ++j) {
       if (momentum_ > 0.0f) {
         velocity_[i][j] = momentum_ * velocity_[i][j] + grad[j];
@@ -79,11 +86,19 @@ void Adam::Step() {
   ++t_;
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  // Same stability contract as Sgd::Step: state buffers were allocated
+  // once in the constructor and must still match the parameter list.
+  HAP_CHECK_EQ(m_.size(), params_.size());
+  HAP_CHECK_EQ(v_.size(), params_.size());
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor& p = params_[i];
+    HAP_CHECK_EQ(static_cast<int64_t>(m_[i].size()), p.size())
+        << "Adam moments out of sync with parameter " << i
+        << " (parameter resized after optimizer construction?)";
     if (p.grad().empty()) continue;
     float* data = p.mutable_data();
     const auto& grad = p.grad();
+    HAP_CHECK_EQ(static_cast<int64_t>(grad.size()), p.size());
     for (int64_t j = 0; j < p.size(); ++j) {
       float g = grad[j];
       if (weight_decay_ > 0.0f) g += weight_decay_ * data[j];

@@ -72,11 +72,15 @@ Tensor CsrMatrix::ToDense() const {
 Tensor SpMatMul(const CsrMatrix& a, const Tensor& x) {
   HAP_CHECK_EQ(a.cols(), x.rows());
   const int m = a.rows(), n = x.cols();
-  static obs::Counter* calls = obs::GetCounter(obs::names::kSpMatMulCalls);
-  static obs::Counter* flops = obs::GetCounter(obs::names::kSpMatMulFlops);
+  // Per-kernel counters guard on the hot switch (one relaxed load when
+  // off); the timing histogram only records under detailed metrics.
   static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kSpMatMulNs);
-  calls->Increment();
-  flops->Add(2ull * a.values().size() * n);
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* calls = obs::GetCounter(obs::names::kSpMatMulCalls);
+    static obs::Counter* flops = obs::GetCounter(obs::names::kSpMatMulFlops);
+    calls->Increment();
+    flops->Add(2ull * a.values().size() * n);
+  }
   obs::ScopedTimerNs timer(op_ns);
   // Capture the CSR arrays by value into the backward closure (they are
   // cheap shared vectors relative to training state, and the matrix is

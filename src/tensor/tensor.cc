@@ -11,6 +11,31 @@ namespace {
 thread_local bool g_grad_enabled = true;
 }  // namespace
 
+namespace internal {
+
+std::vector<float> AcquireBuffer(size_t size,
+                                 std::shared_ptr<TensorArena>* arena) {
+  const std::shared_ptr<TensorArena>& current = CurrentArena();
+  if (current == nullptr || size == 0) return std::vector<float>(size, 0.0f);
+  *arena = current;
+  return current->Acquire(size);
+}
+
+TensorImpl::~TensorImpl() {
+  // Return pooled buffers for reuse. Buffers that were moved out (empty)
+  // or never arena-backed fall through to the normal vector destructor.
+  if (data_arena != nullptr && !data.empty()) {
+    data_arena->Release(std::move(data));
+  }
+  if (grad_arena != nullptr && !grad.empty()) {
+    grad_arena->Release(std::move(grad));
+  }
+}
+
+void TensorImpl::AcquireGrad() { grad = AcquireBuffer(data.size(), &grad_arena); }
+
+}  // namespace internal
+
 bool GradEnabled() { return g_grad_enabled; }
 
 NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
@@ -25,7 +50,8 @@ Tensor::Tensor(int rows, int cols, bool requires_grad) {
   impl_ = std::make_shared<internal::TensorImpl>();
   impl_->rows = rows;
   impl_->cols = cols;
-  impl_->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  impl_->data = internal::AcquireBuffer(static_cast<size_t>(rows) * cols,
+                                        &impl_->data_arena);
   impl_->requires_grad = requires_grad;
 }
 
@@ -34,6 +60,12 @@ Tensor Tensor::FromVector(int rows, int cols, std::vector<float> values,
   HAP_CHECK_EQ(static_cast<int64_t>(values.size()),
                static_cast<int64_t>(rows) * cols);
   Tensor t(rows, cols, requires_grad);
+  // The caller supplies the storage: hand the freshly acquired buffer
+  // back to its pool and adopt `values` as a plain-heap buffer.
+  if (t.impl_->data_arena != nullptr) {
+    t.impl_->data_arena->Release(std::move(t.impl_->data));
+    t.impl_->data_arena.reset();
+  }
   t.impl_->data = std::move(values);
   return t;
 }
@@ -192,7 +224,8 @@ Tensor MakeOpResult(int rows, int cols, std::vector<Tensor> inputs,
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  impl->data = internal::AcquireBuffer(static_cast<size_t>(rows) * cols,
+                                       &impl->data_arena);
   bool any_grad = false;
   for (const Tensor& input : inputs) {
     if (input.defined() && input.requires_grad()) {

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace hap {
 
@@ -23,16 +24,39 @@ struct TensorImpl {
   std::vector<float> grad;  // Allocated lazily by Tensor::Backward().
   bool requires_grad = false;
 
+  // Arenas the buffers were drawn from (null for plain-heap buffers).
+  // Held as shared_ptr so a tensor that outlives the scope that created
+  // it can still return its buffers safely; the destructor releases each
+  // non-empty buffer back to its arena for reuse. Buffers moved out of a
+  // TensorImpl (ParallelBatchRunner harvesting grads) simply become
+  // ordinary vectors — the arena is never a lifetime constraint.
+  std::shared_ptr<TensorArena> data_arena;
+  std::shared_ptr<TensorArena> grad_arena;
+
   // Autograd tape edges. `backward_fn` reads this node's grad and
   // accumulates into the parents' grads.
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
+  TensorImpl() = default;
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   int64_t size() const { return static_cast<int64_t>(rows) * cols; }
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (grad.size() != data.size()) AcquireGrad();
   }
+  // Slow path of EnsureGrad: draws the grad buffer from the calling
+  // thread's current arena (or the heap when no scope is installed).
+  void AcquireGrad();
 };
+
+// Returns a zero-filled buffer of `size` floats from the calling thread's
+// current arena (recording it in *arena), or from the heap when no
+// ArenaScope is installed. Used by tensor construction and MakeOpResult.
+std::vector<float> AcquireBuffer(size_t size,
+                                 std::shared_ptr<TensorArena>* arena);
 
 }  // namespace internal
 

@@ -115,6 +115,13 @@ ClassificationResult TrainClassifier(
   obs::RunLogger logger(config.verbose, config.log_path);
   obs::RunCounters counters_prev = obs::ReadRunCounters();
 
+  // Step-scoped tensor memory (docs/PERFORMANCE.md): buffers for the
+  // tape, eval forwards, and gradients allocated on this thread cycle
+  // through this pool (worker threads use the runner's per-worker
+  // arenas), so steady-state steps are allocation-free after warm-up.
+  auto arena = std::make_shared<TensorArena>();
+  ArenaScope arena_scope(arena);
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     HAP_TRACE_SCOPE("train.epoch");
     const uint64_t epoch_start_ns = obs::MonotonicNs();
@@ -143,6 +150,8 @@ ClassificationResult TrainClassifier(
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
+          runner->ResetStep();
         }
       } else {
         int in_batch = 0;
@@ -156,6 +165,7 @@ ClassificationResult TrainClassifier(
             grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
             ++optimizer_steps;
             optimizer.Step();
+            arena->ResetStep();
             in_batch = 0;
           }
         }
@@ -163,6 +173,7 @@ ClassificationResult TrainClassifier(
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
         }
       }
     }

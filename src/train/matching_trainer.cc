@@ -118,6 +118,12 @@ MatchingTrainResult TrainMatcher(PairScorer* scorer,
   obs::RunLogger logger(config.verbose, config.log_path);
   obs::RunCounters counters_prev = obs::ReadRunCounters();
 
+  // Step-scoped tensor memory (docs/PERFORMANCE.md): this thread's tape,
+  // eval, and gradient buffers cycle through the pool; workers use the
+  // runner's per-worker arenas.
+  auto arena = std::make_shared<TensorArena>();
+  ArenaScope arena_scope(arena);
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     HAP_TRACE_SCOPE("train.epoch");
     const uint64_t epoch_start_ns = obs::MonotonicNs();
@@ -146,6 +152,8 @@ MatchingTrainResult TrainMatcher(PairScorer* scorer,
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
+          runner->ResetStep();
         }
       } else {
         int in_batch = 0;
@@ -158,6 +166,7 @@ MatchingTrainResult TrainMatcher(PairScorer* scorer,
             grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
             ++optimizer_steps;
             optimizer.Step();
+            arena->ResetStep();
             in_batch = 0;
           }
         }
@@ -165,6 +174,7 @@ MatchingTrainResult TrainMatcher(PairScorer* scorer,
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
         }
       }
     }

@@ -28,6 +28,14 @@ ParallelBatchRunner::ParallelBatchRunner(
           << "replica parameter " << p << " has a different shape";
     }
   }
+  worker_arenas_.reserve(replica_params_.size());
+  for (size_t w = 0; w < replica_params_.size(); ++w) {
+    worker_arenas_.push_back(std::make_shared<TensorArena>());
+  }
+}
+
+void ParallelBatchRunner::ResetStep() {
+  for (const auto& arena : worker_arenas_) arena->ResetStep();
 }
 
 void ParallelBatchRunner::SyncReplicaWeights() {
@@ -58,18 +66,25 @@ double ParallelBatchRunner::RunBatch(
   const int workers = num_workers();
   const int64_t count = static_cast<int64_t>(batch.size());
   // item_grads[i][p]: gradient example i produced on parameter p (empty
-  // when backward never reached that parameter).
+  // when backward never reached that parameter). item_worker[i] records
+  // which worker (arena) produced example i's buffers so they can be
+  // returned to the right pool after the reduction.
   std::vector<std::vector<std::vector<float>>> item_grads(batch.size());
+  std::vector<int> item_worker(batch.size(), 0);
   std::vector<double> item_losses(batch.size(), 0.0);
 
   // One job per replica; each job owns a contiguous slice of the batch so
-  // no two threads ever touch the same replica or the same example.
+  // no two threads ever touch the same replica or the same example. The
+  // worker's arena scope makes every tape/grad buffer on this slice cycle
+  // through the worker's pool instead of the heap.
   GlobalThreadPool().Run(workers, [&](int64_t w) {
     const int64_t lo = count * w / workers;
     const int64_t hi = count * (w + 1) / workers;
     const int worker = static_cast<int>(w);
+    ArenaScope arena_scope(worker_arenas_[worker]);
     auto& params = replica_params_[worker];
     for (int64_t i = lo; i < hi; ++i) {
+      item_worker[i] = worker;
       // The noise an example sees is a function of its batch position only,
       // mixed through splitmix so consecutive positions decorrelate.
       reseed(worker, Rng(noise_seed_base + static_cast<uint64_t>(i)).NextU64());
@@ -91,12 +106,21 @@ double ParallelBatchRunner::RunBatch(
   // added in batch order. Parallel over parameters — the per-parameter
   // accumulation order is what fixes the floating-point result, and that
   // stays example 0, 1, 2, ... regardless of which thread reduces it.
+  //
+  // Master grad buffers are ensured up front under worker 0's arena: when
+  // replica 0 aliases the master model (the common layout), the job above
+  // moved those buffers into item_grads, and drawing the replacements
+  // from the pool they will be released back to keeps the steady-state
+  // batch allocation-free.
   HAP_TRACE_SCOPE("batch.reduce");
+  {
+    ArenaScope arena_scope(worker_arenas_[0]);
+    for (auto& param : master_params_) param.impl().EnsureGrad();
+  }
   ParallelFor(0, static_cast<int64_t>(master_params_.size()), 1,
               [&](int64_t plo, int64_t phi) {
                 for (int64_t p = plo; p < phi; ++p) {
                   internal::TensorImpl& impl = master_params_[p].impl();
-                  impl.EnsureGrad();
                   for (int64_t i = 0; i < count; ++i) {
                     const std::vector<float>& g = item_grads[i][p];
                     if (g.empty()) continue;
@@ -104,6 +128,14 @@ double ParallelBatchRunner::RunBatch(
                   }
                 }
               });
+
+  // Return the harvested per-example buffers to the pools they came from.
+  for (int64_t i = 0; i < count; ++i) {
+    TensorArena& arena = *worker_arenas_[item_worker[i]];
+    for (std::vector<float>& g : item_grads[i]) {
+      if (!g.empty()) arena.Release(std::move(g));
+    }
+  }
 
   double total = 0.0;
   for (double item_loss : item_losses) total += item_loss;

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/tensor.h"
 
 namespace hap {
@@ -49,11 +51,21 @@ class ParallelBatchRunner {
                   const std::function<void(int worker, uint64_t seed)>& reseed,
                   const std::function<Tensor(int worker, int item)>& loss);
 
+  /// Marks an optimizer-step boundary on every worker arena (metrics
+  /// bookkeeping; pooled buffers are retained for the next batch).
+  /// Trainers call this once per optimizer step.
+  void ResetStep();
+
  private:
   void SyncReplicaWeights();
 
   std::vector<Tensor> master_params_;
   std::vector<std::vector<Tensor>> replica_params_;
+  // One arena per worker: each replica's tape and gradient buffers cycle
+  // through its own pool, so steady-state batches run allocation-free.
+  // Harvested per-example grad buffers are returned to the arena of the
+  // worker that produced them after the reduction (see RunBatch).
+  std::vector<std::shared_ptr<TensorArena>> worker_arenas_;
 };
 
 }  // namespace hap

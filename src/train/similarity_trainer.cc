@@ -163,6 +163,13 @@ SimilarityTrainResult TrainSimilarity(
   obs::RunLogger logger(config.verbose, config.log_path);
   obs::RunCounters counters_prev = obs::ReadRunCounters();
 
+  // Step-scoped tensor memory (docs/PERFORMANCE.md): tape/eval/grad
+  // buffers on this thread cycle through this pool (workers use the
+  // runner's per-worker arenas); ResetStep marks optimizer-step
+  // boundaries for the mem.* metrics.
+  auto arena = std::make_shared<TensorArena>();
+  ArenaScope arena_scope(arena);
+
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     HAP_TRACE_SCOPE("train.epoch");
     const uint64_t epoch_start_ns = obs::MonotonicNs();
@@ -192,6 +199,8 @@ SimilarityTrainResult TrainSimilarity(
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
+          runner->ResetStep();
         }
       } else {
         int in_batch = 0;
@@ -205,6 +214,7 @@ SimilarityTrainResult TrainSimilarity(
             grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
             ++optimizer_steps;
             optimizer.Step();
+            arena->ResetStep();
             in_batch = 0;
           }
         }
@@ -212,6 +222,7 @@ SimilarityTrainResult TrainSimilarity(
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
         }
       }
     }
@@ -316,6 +327,9 @@ SimilarityTrainResult TrainSimGnn(
       std::max<int>(32, static_cast<int>(train_pairs.size()));
   obs::RunLogger logger(config.verbose, config.log_path);
   obs::RunCounters counters_prev = obs::ReadRunCounters();
+  // Step-scoped tensor memory (docs/PERFORMANCE.md).
+  auto arena = std::make_shared<TensorArena>();
+  ArenaScope arena_scope(arena);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     HAP_TRACE_SCOPE("train.epoch");
     const uint64_t epoch_start_ns = obs::MonotonicNs();
@@ -340,6 +354,7 @@ SimilarityTrainResult TrainSimGnn(
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();
+          arena->ResetStep();
           in_batch = 0;
         }
       }
@@ -347,6 +362,7 @@ SimilarityTrainResult TrainSimGnn(
         grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
         ++optimizer_steps;
         optimizer.Step();
+        arena->ResetStep();
       }
     }
     const uint64_t train_end_ns = obs::MonotonicNs();

@@ -1,9 +1,13 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/matmul_kernels.h"
 
 namespace hap {
 namespace {
@@ -179,6 +183,167 @@ TEST(OpsDeathTest, ShapeMismatchesCheck) {
   EXPECT_DEATH(Add(a, b), "HAP_CHECK failed");
   EXPECT_DEATH(MatMul(a, M(3, 1, {1, 2, 3})), "HAP_CHECK failed");
   EXPECT_DEATH(Log(M(1, 1, {0.0f})), "Log of non-positive");
+}
+
+
+// ---------------------------------------------------------------------------
+// Kernel parity: the blocked MatMul micro-kernels must be bit-identical to
+// the naive reference for every shape, including tile-boundary and tail
+// cases, and for inputs with zeros (skip paths), infinities, and NaNs.
+// See docs/PERFORMANCE.md for the determinism contract under test.
+// ---------------------------------------------------------------------------
+
+// Forces a kernel selection for the duration of a test.
+struct KernelGuard {
+  explicit KernelGuard(kernels::MatMulKernel k)
+      : previous(kernels::GetMatMulKernel()) {
+    kernels::SetMatMulKernel(k);
+  }
+  ~KernelGuard() { kernels::SetMatMulKernel(previous); }
+  kernels::MatMulKernel previous;
+};
+
+void ExpectBitIdentical(const std::vector<float>& got,
+                        const std::vector<float>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    uint32_t gb, wb;
+    std::memcpy(&gb, &got[i], sizeof(gb));
+    std::memcpy(&wb, &want[i], sizeof(wb));
+    EXPECT_EQ(gb, wb) << what << " differs at flat index " << i << " ("
+                      << got[i] << " vs " << want[i] << ")";
+  }
+}
+
+// Runs forward + backward of W ⊙ (A·B) summed, under the given kernel, and
+// returns {out, dA, dB} as raw float buffers.
+struct MatMulRun {
+  std::vector<float> out, da, db;
+};
+
+MatMulRun RunMatMul(kernels::MatMulKernel kernel, int m, int k, int n,
+                    const std::vector<float>& av, const std::vector<float>& bv,
+                    const std::vector<float>& wv) {
+  KernelGuard guard(kernel);
+  Tensor a = Tensor::FromVector(m, k, av, /*requires_grad=*/true);
+  Tensor b = Tensor::FromVector(k, n, bv, /*requires_grad=*/true);
+  Tensor w = Tensor::FromVector(m, n, wv);
+  Tensor out = MatMul(a, b);
+  ReduceSumAll(Mul(out, w)).Backward();
+  return {out.values(), a.grad(), b.grad()};
+}
+
+// Random values with a configurable fraction of exact zeros so the
+// kernels' skip branches (a==0 forward, g==0 backward) are exercised.
+std::vector<float> RandomWithZeros(Rng* rng, int64_t size,
+                                   double zero_fraction) {
+  std::vector<float> v(static_cast<size_t>(size));
+  for (auto& x : v) {
+    x = rng->Uniform(0.0, 1.0) < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng->Normal());
+  }
+  return v;
+}
+
+TEST(MatMulKernelParityTest, RandomShapesBitIdentical) {
+  // Tile geometry is 4 rows x 16 cols (packed panels) with 32-wide dA
+  // chunks: cover below/at/above every boundary plus degenerate and
+  // rectangular shapes.
+  const int shapes[][3] = {
+      {1, 1, 1},   {1, 7, 1},    {1, 33, 1},  {1, 5, 16},  {3, 4, 15},
+      {4, 32, 16}, {5, 33, 17},  {8, 31, 32}, {9, 8, 48},  {2, 64, 7},
+      {16, 3, 33}, {7, 40, 130}, {64, 64, 64}, {20, 33, 47},
+  };
+  Rng rng(0xC0FFEEu);
+  for (const auto& shape : shapes) {
+    const int m = shape[0], k = shape[1], n = shape[2];
+    for (double zero_fraction : {0.0, 0.3}) {
+      const std::vector<float> av =
+          RandomWithZeros(&rng, int64_t{m} * k, zero_fraction);
+      const std::vector<float> bv =
+          RandomWithZeros(&rng, int64_t{k} * n, zero_fraction);
+      const std::vector<float> wv =
+          RandomWithZeros(&rng, int64_t{m} * n, zero_fraction);
+      MatMulRun naive = RunMatMul(kernels::MatMulKernel::kNaive, m, k, n, av,
+                                  bv, wv);
+      MatMulRun blocked = RunMatMul(kernels::MatMulKernel::kBlocked, m, k, n,
+                                    av, bv, wv);
+      SCOPED_TRACE(::testing::Message() << "shape " << m << "x" << k << "x"
+                                        << n << " zeros " << zero_fraction);
+      ExpectBitIdentical(blocked.out, naive.out, "forward");
+      ExpectBitIdentical(blocked.da, naive.da, "dA");
+      ExpectBitIdentical(blocked.db, naive.db, "dB");
+    }
+  }
+}
+
+// NaN payloads/signs are outside the contract: the compiler may commute
+// the naive kernel's scalar multiplies, so which input NaN propagates (or
+// whether an invalid op produces the default -nan) is unspecified even
+// between two builds of the reference. What is guaranteed is that NaNs
+// and infinities land in exactly the same elements with the same values
+// for every non-NaN result.
+void ExpectSameUpToNanPayload(const std::vector<float>& got,
+                              const std::vector<float>& want,
+                              const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (std::isnan(got[i]) && std::isnan(want[i])) continue;
+    uint32_t gb, wb;
+    std::memcpy(&gb, &got[i], sizeof(gb));
+    std::memcpy(&wb, &want[i], sizeof(wb));
+    EXPECT_EQ(gb, wb) << what << " differs at flat index " << i << " ("
+                      << got[i] << " vs " << want[i] << ")";
+  }
+}
+
+TEST(MatMulKernelParityTest, NonFiniteValuesMatch) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const int m = 6, k = 35, n = 19;
+  Rng rng(0xBADF00Du);
+  std::vector<float> av = RandomWithZeros(&rng, int64_t{m} * k, 0.2);
+  std::vector<float> bv = RandomWithZeros(&rng, int64_t{k} * n, 0.2);
+  std::vector<float> wv = RandomWithZeros(&rng, int64_t{m} * n, 0.2);
+  av[3] = inf;
+  av[k + 1] = -inf;
+  av[2 * k + 2] = nan;
+  bv[5] = inf;
+  bv[n + 4] = nan;
+  wv[7] = -inf;
+  MatMulRun naive =
+      RunMatMul(kernels::MatMulKernel::kNaive, m, k, n, av, bv, wv);
+  MatMulRun blocked =
+      RunMatMul(kernels::MatMulKernel::kBlocked, m, k, n, av, bv, wv);
+  ExpectSameUpToNanPayload(blocked.out, naive.out, "forward");
+  ExpectSameUpToNanPayload(blocked.da, naive.da, "dA");
+  ExpectSameUpToNanPayload(blocked.db, naive.db, "dB");
+}
+
+TEST(MatMulKernelParityTest, RowPartitionsBitIdentical) {
+  // The dispatcher splits output rows across threads; any split must give
+  // the same bits as processing all rows at once. Drive the row-range
+  // kernels directly with several split points.
+  const int64_t m = 11, k = 37, n = 29;
+  Rng rng(0x5EEDu);
+  const std::vector<float> a = RandomWithZeros(&rng, m * k, 0.25);
+  const std::vector<float> b = RandomWithZeros(&rng, k * n, 0.25);
+
+  std::vector<float> whole(static_cast<size_t>(m) * n, 0.0f);
+  const float* packed = kernels::PackBPanels(b.data(), k, n);
+  kernels::BlockedForwardRows(a.data(), packed, b.data(), whole.data(), k, n,
+                              0, m);
+  for (int64_t split : {int64_t{1}, int64_t{4}, int64_t{5}, int64_t{10}}) {
+    std::vector<float> parts(static_cast<size_t>(m) * n, 0.0f);
+    const float* p = kernels::PackBPanels(b.data(), k, n);
+    kernels::BlockedForwardRows(a.data(), p, b.data(), parts.data(), k, n, 0,
+                                split);
+    kernels::BlockedForwardRows(a.data(), p, b.data(), parts.data(), k, n,
+                                split, m);
+    SCOPED_TRACE(::testing::Message() << "split at row " << split);
+    ExpectBitIdentical(parts, whole, "partitioned forward");
+  }
 }
 
 }  // namespace

@@ -100,6 +100,39 @@ TEST(OptimizerDeathTest, RejectsNonLeafParams) {
   EXPECT_DEATH(Sgd({x}, 0.1f), "trainable leaf");
 }
 
+// Moment state (velocity / m / v) is allocated once at construction and
+// paired with the parameter list by index; a parameter resized behind the
+// optimizer's back would silently read stale state, so Step asserts the
+// sizes still match.
+TEST(OptimizerDeathTest, DetectsParameterResizedAfterConstruction) {
+  Tensor x = Tensor::FromVector(1, 2, {1.0f, 2.0f}, /*requires_grad=*/true);
+  Sgd sgd({x}, 0.1f, /*momentum=*/0.9f);
+  Adam adam({x}, 0.1f);
+  x.impl().data.resize(5, 0.0f);  // simulate an out-of-band resize
+  x.impl().cols = 5;
+  x.impl().rows = 1;
+  EXPECT_DEATH(sgd.Step(), "velocity out of sync");
+  EXPECT_DEATH(adam.Step(), "moments out of sync");
+}
+
+TEST(OptimizerTest, MomentStatePersistsAcrossSteps) {
+  // With momentum, two steps under the same gradient move farther than
+  // the first step alone — only true if velocity survives between Steps.
+  Tensor x = Tensor::FromVector(1, 1, {0.0f}, /*requires_grad=*/true);
+  Sgd opt({x}, 0.1f, /*momentum=*/0.9f);
+  auto step = [&] {
+    x.ZeroGrad();
+    Square(x).Backward();
+    x.impl().grad[0] = 1.0f;  // constant unit gradient
+    opt.Step();
+  };
+  step();
+  const float first = x.At(0, 0);
+  EXPECT_NEAR(first, -0.1f, 1e-6);
+  step();
+  EXPECT_NEAR(x.At(0, 0) - first, -0.1f * 1.9f, 1e-6);
+}
+
 TEST(LinearTest, ForwardShapeAndBias) {
   Rng rng(3);
   Linear layer(4, 2, &rng);
