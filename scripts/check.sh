@@ -124,9 +124,72 @@ EOF
 }
 kernel_pass
 
+# --- Batching pass (docs/BATCHING.md) -----------------------------------
+# Cross-graph batched execution must stay bit-identical to per-graph
+# execution under every MatMul dispatch override (segment kernels + parity
+# suites; both also run plain and sanitized in the ctest passes), a live
+# fast bench run must report bit-identity, and the committed batching
+# bench JSON must exist and clear its serve-throughput gate.
+batching_pass() {
+  echo "=== build: cross-graph batching parity + bench gate ==="
+  for kernel in naive blocked auto; do
+    HAP_MATMUL_KERNEL=$kernel ./build/tests/segment_ops_test > /dev/null
+    HAP_MATMUL_KERNEL=$kernel ./build/tests/batched_parity_test > /dev/null
+  done
+  echo "batched parity holds under naive/blocked/auto dispatch"
+  HAP_BENCH_FAST=1 ./build/bench/bench_cross_graph_batching \
+    build/BENCH_cross_graph_batching.json > /dev/null
+  python3 - <<'EOF'
+import json
+live = json.load(open("build/BENCH_cross_graph_batching.json"))
+assert live["all_bit_identical"], (
+    "live batching bench: batched results diverged from per-graph")
+assert all(s["speedup_batch16_vs_1"] > 0 for s in live["serve_speedups"])
+doc = json.load(open("BENCH_cross_graph_batching.json"))
+assert doc["all_bit_identical"], (
+    "committed batching bench recorded non-identical bits")
+assert doc["meets_2x"] and doc["serve_speedup_batch16_vs_1"] >= 2.0, (
+    f"committed serve speedup {doc['serve_speedup_batch16_vs_1']:.2f}x < 2x "
+    f"at batch 16 vs 1 ({doc['gate_method']})")
+print(f"batching bench OK: {doc['serve_speedup_batch16_vs_1']:.2f}x serve "
+      f"throughput at batch 16 vs 1 ({doc['gate_method']}), bit-identical")
+EOF
+}
+batching_pass
+
+# --- Docs pass ----------------------------------------------------------
+# Every relative link in README.md and docs/*.md must resolve; a renamed
+# or deleted file fails here instead of leaving dead links.
+docs_pass() {
+  echo "=== docs: relative link check ==="
+  python3 - <<'EOF'
+import os, re, glob
+bad = []
+files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+for path in files:
+    base = os.path.dirname(path)
+    text = open(path).read()
+    # Strip fenced code blocks: links there are illustrative, not navigational.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for label, target in re.findall(r"\[([^\]]+)\]\(([^)]+)\)", text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        rel = target.split("#")[0]
+        if not rel:
+            continue  # pure fragment link
+        if not os.path.exists(os.path.normpath(os.path.join(base, rel))):
+            bad.append(f"{path}: [{label}]({target})")
+for b in bad:
+    print("dead link:", b)
+assert not bad, f"{len(bad)} dead relative link(s)"
+print(f"docs links OK: {len(files)} files checked")
+EOF
+}
+docs_pass
+
 # halt_on_error keeps ctest failures attributable to one test; the
 # suppression-free defaults are intentional — the tree should stay clean.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   run_pass build-sanitize -DHAP_SANITIZE=address,undefined
 
-echo "All checks passed (plain + observability + address,undefined)."
+echo "All checks passed (plain + observability + batching + docs + address,undefined)."

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/segment_ops.h"
 
 namespace hap {
 
@@ -133,6 +134,100 @@ CoarsenResult CoarseningModule::Forward(const Tensor& h,
         GumbelSoftSample(coarse_adj, config_.tau, &noise_rng_, training_);
   }
   return CoarsenResult(std::move(coarse_h), std::move(coarse_adj));
+}
+
+BatchedCoarsenResult CoarseningModule::ForwardBatched(
+    const Tensor& h, const BatchedLevel& level,
+    std::vector<Rng>* noise_rngs) const {
+  HAP_CHECK(SupportsBatched())
+      << "this coarsening configuration requires per-graph execution";
+  const SegmentSpec& seg = level.segments;
+  seg.Validate(h.rows());
+  HAP_CHECK_EQ(h.cols(), config_.in_features);
+  const int num_graphs = seg.num_segments();
+  if (config_.use_gumbel && training_) {
+    HAP_CHECK(noise_rngs != nullptr &&
+              static_cast<int>(noise_rngs->size()) == num_graphs)
+        << "training-mode batched coarsening needs one noise stream per graph";
+  }
+  HAP_TRACE_SCOPE("coarsen.batched");
+  static obs::Counter* calls = obs::GetCounter(obs::names::kCoarsenCalls);
+  static obs::Histogram* nodes_in =
+      obs::GetHistogram(obs::names::kCoarsenNodesIn);
+  static obs::Histogram* clusters_out =
+      obs::GetHistogram(obs::names::kCoarsenClustersOut);
+  static obs::Histogram* span_ns = obs::GetHistogram(obs::names::kCoarsenNs);
+  obs::ScopedTimerNs timer(span_ns);
+
+  // The one cross-graph fusion: C₀ = H T over all rows at once. Each
+  // segment's rows feed a single SliceRows below, so dT accumulates the
+  // per-graph contributions in ascending segment order — exactly the order
+  // the per-graph reference produces them (docs/BATCHING.md).
+  Tensor c0 = SegmentMatMulSharedB(h, gcont_transform_, seg);
+
+  std::vector<Tensor> parts;
+  parts.reserve(num_graphs);
+  std::vector<GraphLevel> new_levels;
+  new_levels.reserve(num_graphs);
+  for (int s = 0; s < num_graphs; ++s) {
+    calls->Increment();
+    nodes_in->Record(static_cast<uint64_t>(seg.size(s)));
+    clusters_out->Record(static_cast<uint64_t>(config_.num_clusters));
+    const int n = seg.size(s);
+    Tensor c = SliceRows(c0, seg.begin(s), seg.end(s));
+    if (config_.normalize_gcont) {
+      // Mirror of ComputeGCont's standardisation block.
+      const int k = c.cols();
+      Tensor mean = ReduceMeanAll(c);  // (1,1)
+      Tensor mean_full =
+          MatMul(Tensor::Ones(n, 1), MatMul(mean, Tensor::Ones(1, k)));
+      Tensor centered = Sub(c, mean_full);
+      Tensor stddev =
+          Sqrt(AddScalar(ReduceMeanAll(Square(centered)), 1e-6f));  // (1,1)
+      Tensor stddev_full =
+          MatMul(Tensor::Ones(n, 1), MatMul(stddev, Tensor::Ones(1, k)));
+      c = Div(centered, stddev_full);
+    }
+    // Mirror of ComputeAttention's GCont branch. The a₁/a₂ products stay
+    // per segment (MatMulSharedB): `c` has other direct consumers, so
+    // re-concatenating these would pre-sum grad contributions out of the
+    // reference order.
+    Tensor row_scores = MatMulSharedB(c, attn_row_, s);  // (n, 1)
+    Tensor projected = MatMulSharedB(c, attn_col_, s);   // (n, 1)
+    Tensor col_scores = MulScalar(MatMul(Transpose(c), projected),
+                                  1.0f / static_cast<float>(n));
+    Tensor logits = OuterSum(row_scores, Transpose(col_scores));  // (n, N')
+    if (config_.bilinear_moa) {
+      Tensor interaction = MulScalar(
+          MatMul(c, MatMul(Transpose(c), c)), 1.0f / static_cast<float>(n));
+      logits = Add(logits, interaction);
+    }
+    Tensor m = SoftmaxRows(LeakyRelu(logits, config_.leaky_slope));
+    // Mirror of Forward()'s cluster formation.
+    Tensor m_t = Transpose(m);
+    Tensor h_s = SliceRows(h, seg.begin(s), seg.end(s));
+    Tensor coarse_h;
+    if (config_.normalize_cluster_mass) {
+      Tensor mass = ClampMin(ReduceSumCols(m_t), 1e-9f);  // (N', 1)
+      Tensor inv_mass = Div(Tensor::Ones(mass.rows(), 1), mass);
+      coarse_h = ScaleRows(MatMul(m_t, h_s), inv_mass);
+    } else {
+      coarse_h = MatMul(m_t, h_s);
+    }
+    Tensor coarse_adj = MatMul(m_t, level.levels[s].Aggregate(m));
+    if (config_.use_gumbel) {
+      Rng* rng = noise_rngs != nullptr ? &(*noise_rngs)[s] : &noise_rng_;
+      coarse_adj = GumbelSoftSample(coarse_adj, config_.tau, rng, training_);
+    }
+    parts.push_back(std::move(coarse_h));
+    new_levels.emplace_back(coarse_adj);
+  }
+  BatchedCoarsenResult out;
+  out.h = ConcatRows(parts);
+  out.level.segments = SegmentSpec::FromSizes(
+      std::vector<int>(num_graphs, config_.num_clusters));
+  out.level.levels = std::move(new_levels);
+  return out;
 }
 
 void CoarseningModule::CollectParameters(std::vector<Tensor>* out) const {

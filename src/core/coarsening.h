@@ -80,6 +80,26 @@ class CoarseningModule : public Coarsener {
   using Coarsener::Forward;
   CoarsenResult Forward(const Tensor& h,
                         const GraphLevel& level) const override;
+
+  /// Batched execution covers the GCont-based configurations; the ablated
+  /// (!use_gcont) and paper-literal-relaxation paths multiply parameters
+  /// as left operands or slice them, which the segment grad-routing
+  /// machinery does not model, so they fall back per graph.
+  bool SupportsBatched() const override {
+    return config_.use_gcont && !config_.paper_literal_relaxation;
+  }
+
+  /// Per-segment mirror of Forward(): every graph's subgraph replays the
+  /// single-graph tape op-for-op (bit-parity guarded by batched_parity
+  /// tests). Only C₀ = H·T is fused across graphs; each segment's rows
+  /// reach its subgraph through a single slice, which preserves the
+  /// reference gradient-accumulation order. `noise_rngs` must carry one
+  /// Gumbel stream per graph when training with use_gumbel; in eval mode
+  /// it may be null. Does NOT update last_attention().
+  BatchedCoarsenResult ForwardBatched(
+      const Tensor& h, const BatchedLevel& level,
+      std::vector<Rng>* noise_rngs) const override;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
 
   /// GCont matrix C = H T (Eq. 13). Exposed for tests and analysis.

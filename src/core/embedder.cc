@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/segment_ops.h"
 
 namespace hap {
 
@@ -20,6 +21,15 @@ const char* LevelTraceName(size_t stage) {
 
 }  // namespace
 
+std::vector<Tensor> GraphEmbedder::EmbedLevelsBatched(
+    const BatchedGraph& batch, const std::vector<uint64_t>& noise_seeds) const {
+  (void)batch;
+  (void)noise_seeds;
+  HAP_CHECK(false) << "embedder does not support batched execution; "
+                      "check SupportsBatched() and fall back per graph";
+  return {};
+}
+
 FlatEmbedder::FlatEmbedder(std::unique_ptr<GnnEncoder> encoder,
                            std::unique_ptr<Readout> readout)
     : encoder_(std::move(encoder)), readout_(std::move(readout)) {
@@ -30,6 +40,13 @@ std::vector<Tensor> FlatEmbedder::EmbedLevels(const Tensor& h,
                                               const GraphLevel& level) const {
   Tensor encoded = encoder_->Forward(h, level);
   return {readout_->Forward(encoded, level)};
+}
+
+std::vector<Tensor> FlatEmbedder::EmbedLevelsBatched(
+    const BatchedGraph& batch, const std::vector<uint64_t>& noise_seeds) const {
+  (void)noise_seeds;  // flat embedders draw no training-time noise
+  Tensor encoded = encoder_->ForwardBatched(batch.h, batch.level);
+  return {readout_->ForwardBatched(encoded, batch.level)};
 }
 
 void FlatEmbedder::CollectParameters(std::vector<Tensor>* out) const {
@@ -65,6 +82,46 @@ std::vector<Tensor> HierarchicalEmbedder::EmbedLevels(
     levels.push_back(ReduceMeanRows(features));
   }
   return levels;
+}
+
+bool HierarchicalEmbedder::SupportsBatched() const {
+  for (const auto& coarsener : coarseners_) {
+    if (!coarsener->SupportsBatched()) return false;
+  }
+  return true;
+}
+
+std::vector<Tensor> HierarchicalEmbedder::EmbedLevelsBatched(
+    const BatchedGraph& batch, const std::vector<uint64_t>& noise_seeds) const {
+  const int num_graphs = batch.num_graphs();
+  // Reconstruct each graph's noise chain exactly as the per-graph path
+  // would: ReseedNoise(seed_g) feeds coarsener k the k-th draw of
+  // Rng(seed_g), so stage k below hands graph g the stream
+  // Rng(k-th draw of Rng(noise_seeds[g])).
+  std::vector<Rng> mixers;
+  if (!noise_seeds.empty()) {
+    HAP_CHECK_EQ(static_cast<int>(noise_seeds.size()), num_graphs);
+    mixers.reserve(noise_seeds.size());
+    for (uint64_t seed : noise_seeds) mixers.emplace_back(seed);
+  }
+  std::vector<Tensor> out;
+  Tensor features = batch.h;
+  BatchedLevel current = batch.level;
+  for (size_t stage = 0; stage < encoders_.size(); ++stage) {
+    HAP_TRACE_SCOPE(LevelTraceName(stage));
+    Tensor encoded = encoders_[stage]->ForwardBatched(features, current);
+    std::vector<Rng> stage_rngs;
+    if (!mixers.empty()) {
+      stage_rngs.reserve(mixers.size());
+      for (Rng& mixer : mixers) stage_rngs.emplace_back(mixer.NextU64());
+    }
+    BatchedCoarsenResult coarse = coarseners_[stage]->ForwardBatched(
+        encoded, current, mixers.empty() ? nullptr : &stage_rngs);
+    features = coarse.h;
+    current = std::move(coarse.level);
+    out.push_back(SegmentMean(features, current.segments));
+  }
+  return out;
 }
 
 void HierarchicalEmbedder::CollectParameters(std::vector<Tensor>* out) const {
@@ -104,6 +161,19 @@ std::vector<Tensor> GcnConcatEmbedder::EmbedLevels(
   for (const auto& layer : layers_) {
     x = layer->Forward(x, level);
     Tensor pooled = ReduceMeanRows(x);
+    concat = concat.defined() ? ConcatCols(concat, pooled) : pooled;
+  }
+  return {concat};
+}
+
+std::vector<Tensor> GcnConcatEmbedder::EmbedLevelsBatched(
+    const BatchedGraph& batch, const std::vector<uint64_t>& noise_seeds) const {
+  (void)noise_seeds;  // deterministic architecture
+  Tensor x = batch.h;
+  Tensor concat;
+  for (const auto& layer : layers_) {
+    x = layer->ForwardBatched(x, batch.level);
+    Tensor pooled = SegmentMean(x, batch.level.segments);
     concat = concat.defined() ? ConcatCols(concat, pooled) : pooled;
   }
   return {concat};

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gnn/encoder.h"
+#include "graph/batched_graph.h"
 #include "graph/graph_level.h"
 #include "pooling/readout.h"
 #include "tensor/module.h"
@@ -45,6 +46,21 @@ class GraphEmbedder : public Module {
 
   /// Toggles training-only stochasticity (Gumbel noise in HAP).
   virtual void set_training(bool training) { (void)training; }
+
+  /// True when EmbedLevelsBatched mirrors EmbedLevels for this
+  /// architecture/configuration; callers must fall back to per-graph
+  /// execution otherwise (docs/BATCHING.md).
+  virtual bool SupportsBatched() const { return false; }
+
+  /// Batched EmbedLevels over N concatenated graphs: per-level embeddings,
+  /// each (N_graphs, embedding_dim()), with row g bit-equal to graph g's
+  /// EmbedLevels output. `noise_seeds` carries one per-graph seed — the
+  /// value the per-graph path would pass to ReseedNoise — for training-mode
+  /// noise; pass an empty vector in eval mode. Only valid when
+  /// SupportsBatched().
+  virtual std::vector<Tensor> EmbedLevelsBatched(
+      const BatchedGraph& batch,
+      const std::vector<uint64_t>& noise_seeds) const;
 };
 
 /// GNN encoder + flat readout: the architecture of every universal /
@@ -57,6 +73,12 @@ class FlatEmbedder : public GraphEmbedder {
   using GraphEmbedder::EmbedLevels;
   std::vector<Tensor> EmbedLevels(const Tensor& h,
                                   const GraphLevel& level) const override;
+  bool SupportsBatched() const override {
+    return readout_->SupportsBatched();
+  }
+  std::vector<Tensor> EmbedLevelsBatched(
+      const BatchedGraph& batch,
+      const std::vector<uint64_t>& noise_seeds) const override;
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
 
@@ -81,6 +103,10 @@ class HierarchicalEmbedder : public GraphEmbedder {
   using GraphEmbedder::EmbedLevels;
   std::vector<Tensor> EmbedLevels(const Tensor& h,
                                   const GraphLevel& level) const override;
+  bool SupportsBatched() const override;
+  std::vector<Tensor> EmbedLevelsBatched(
+      const BatchedGraph& batch,
+      const std::vector<uint64_t>& noise_seeds) const override;
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) override;
@@ -108,6 +134,10 @@ class GcnConcatEmbedder : public GraphEmbedder {
   using GraphEmbedder::EmbedLevels;
   std::vector<Tensor> EmbedLevels(const Tensor& h,
                                   const GraphLevel& level) const override;
+  bool SupportsBatched() const override { return true; }
+  std::vector<Tensor> EmbedLevelsBatched(
+      const BatchedGraph& batch,
+      const std::vector<uint64_t>& noise_seeds) const override;
   int embedding_dim() const override { return embedding_dim_; }
   void CollectParameters(std::vector<Tensor>* out) const override;
 

@@ -38,6 +38,19 @@ Tensor GnnEncoder::Forward(const Tensor& h, const GraphLevel& level) const {
   return x;
 }
 
+Tensor GnnEncoder::ForwardBatched(const Tensor& h,
+                                  const BatchedLevel& level) const {
+  Tensor x = h;
+  if (kind_ == EncoderKind::kGcn) {
+    for (const auto& layer : gcn_layers_) x = layer->ForwardBatched(x, level);
+  } else if (kind_ == EncoderKind::kGat) {
+    for (const auto& layer : gat_layers_) x = layer->ForwardBatched(x, level);
+  } else {
+    for (const auto& layer : gin_layers_) x = layer->ForwardBatched(x, level);
+  }
+  return x;
+}
+
 void GnnEncoder::CollectParameters(std::vector<Tensor>* out) const {
   for (const auto& layer : gcn_layers_) layer->CollectParameters(out);
   for (const auto& layer : gat_layers_) layer->CollectParameters(out);

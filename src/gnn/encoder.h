@@ -33,6 +33,10 @@ class GnnEncoder : public Module {
     return Forward(h, GraphLevel(adjacency));
   }
 
+  /// Batched forward over N concatenated graphs (docs/BATCHING.md):
+  /// bit-equal per segment to Forward on each graph alone.
+  Tensor ForwardBatched(const Tensor& h, const BatchedLevel& level) const;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
 
   int out_features() const { return out_features_; }

@@ -25,6 +25,31 @@ Tensor GatLayer::Forward(const Tensor& h, const GraphLevel& level) const {
   return ApplyActivation(MatMul(attention, wh), activation_);
 }
 
+Tensor GatLayer::ForwardBatched(const Tensor& h,
+                                const BatchedLevel& level) const {
+  const SegmentSpec& seg = level.segments;
+  seg.Validate(h.rows());
+  // Shared-parameter products run fused over all graphs; the attention
+  // itself is per segment — each graph's scores normalise behind its own
+  // log mask, so nothing crosses a graph boundary.
+  Tensor wh = linear_.ForwardBatched(h, seg);
+  Tensor self_scores = SegmentMatMulSharedB(wh, attn_self_, seg);
+  Tensor neighbor_scores = SegmentMatMulSharedB(wh, attn_neighbor_, seg);
+  std::vector<Tensor> parts;
+  parts.reserve(level.levels.size());
+  for (int s = 0; s < level.num_graphs(); ++s) {
+    Tensor self_s = SliceRows(self_scores, seg.begin(s), seg.end(s));
+    Tensor neigh_s = SliceRows(neighbor_scores, seg.begin(s), seg.end(s));
+    Tensor logits =
+        LeakyRelu(OuterSum(self_s, Transpose(neigh_s)), leaky_slope_);
+    Tensor attention =
+        SoftmaxRows(Add(logits, level.levels[s].LogMask()));
+    parts.push_back(
+        MatMul(attention, SliceRows(wh, seg.begin(s), seg.end(s))));
+  }
+  return ApplyActivation(ConcatRows(parts), activation_);
+}
+
 void GatLayer::CollectParameters(std::vector<Tensor>* out) const {
   linear_.CollectParameters(out);
   out->push_back(attn_self_);

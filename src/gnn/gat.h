@@ -30,6 +30,12 @@ class GatLayer : public Module {
     return Forward(h, GraphLevel(adjacency));
   }
 
+  /// Batched forward: W and the attention-score products run as fused
+  /// GEMMs over all graphs; the segment-masked attention (per-graph
+  /// softmax behind each level's log mask) runs per segment, so scores
+  /// never leak across graphs.
+  Tensor ForwardBatched(const Tensor& h, const BatchedLevel& level) const;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

@@ -30,6 +30,21 @@ Tensor GcnLayer::Forward(const Tensor& h, const GraphLevel& level) const {
   return ApplyActivation(linear_.Forward(propagated), activation_);
 }
 
+Tensor GcnLayer::ForwardBatched(const Tensor& h,
+                                const BatchedLevel& level) const {
+  const SegmentSpec& seg = level.segments;
+  seg.Validate(h.rows());
+  std::vector<Tensor> parts;
+  parts.reserve(level.levels.size());
+  for (int s = 0; s < level.num_graphs(); ++s) {
+    Tensor h_s = SliceRows(h, seg.begin(s), seg.end(s));
+    parts.push_back(level.levels[s].Propagate(h_s));
+  }
+  Tensor propagated = ConcatRows(parts);
+  return ApplyActivation(linear_.ForwardBatched(propagated, seg),
+                         activation_);
+}
+
 void GcnLayer::CollectParameters(std::vector<Tensor>* out) const {
   linear_.CollectParameters(out);
 }

@@ -1,6 +1,7 @@
 #ifndef HAP_GNN_GCN_H_
 #define HAP_GNN_GCN_H_
 
+#include "graph/batched_graph.h"
 #include "graph/graph_level.h"
 #include "tensor/module.h"
 #include "tensor/tensor.h"
@@ -33,6 +34,11 @@ class GcnLayer : public Module {
   Tensor Forward(const Tensor& h, const Tensor& adjacency) const {
     return Forward(h, GraphLevel(adjacency));
   }
+
+  /// Batched forward over N concatenated graphs: propagation runs per
+  /// segment against each graph's cached operator, the linear as one fused
+  /// GEMM. Bit-equal per segment to Forward on that graph alone.
+  Tensor ForwardBatched(const Tensor& h, const BatchedLevel& level) const;
 
   void CollectParameters(std::vector<Tensor>* out) const override;
 

@@ -20,6 +20,21 @@ Tensor GinLayer::Forward(const Tensor& h, const GraphLevel& level) const {
   return ApplyActivation(mlp2_.Forward(hidden), activation_);
 }
 
+Tensor GinLayer::ForwardBatched(const Tensor& h,
+                                const BatchedLevel& level) const {
+  const SegmentSpec& seg = level.segments;
+  seg.Validate(h.rows());
+  std::vector<Tensor> parts;
+  parts.reserve(level.levels.size());
+  for (int s = 0; s < level.num_graphs(); ++s) {
+    Tensor h_s = SliceRows(h, seg.begin(s), seg.end(s));
+    parts.push_back(level.levels[s].Aggregate(h_s));
+  }
+  Tensor aggregated = Add(MulScalar(h, 1.0f + eps_), ConcatRows(parts));
+  Tensor hidden = Relu(mlp1_.ForwardBatched(aggregated, seg));
+  return ApplyActivation(mlp2_.ForwardBatched(hidden, seg), activation_);
+}
+
 void GinLayer::CollectParameters(std::vector<Tensor>* out) const {
   mlp1_.CollectParameters(out);
   mlp2_.CollectParameters(out);

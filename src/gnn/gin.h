@@ -25,6 +25,10 @@ class GinLayer : public Module {
     return Forward(h, GraphLevel(adjacency));
   }
 
+  /// Batched forward (see GcnLayer::ForwardBatched): per-segment sum
+  /// aggregation, fused MLP GEMMs.
+  Tensor ForwardBatched(const Tensor& h, const BatchedLevel& level) const;
+
   void CollectParameters(std::vector<Tensor>* out) const override;
 
  private:

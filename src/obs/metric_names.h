@@ -64,6 +64,7 @@ inline constexpr char kServeBatches[] = "serve.batches.total";
 inline constexpr char kServeBatchSize[] = "serve.batch.size";
 inline constexpr char kServeQueueWaitNs[] = "serve.queue_wait.ns";
 inline constexpr char kServeComputeNs[] = "serve.compute.ns";
+inline constexpr char kServeBatchedForwards[] = "serve.batched_forwards.total";
 inline constexpr char kServeReloads[] = "serve.model.reloads";
 
 }  // namespace hap::obs::names

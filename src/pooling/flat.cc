@@ -1,12 +1,18 @@
 #include "pooling/flat.h"
 
 #include "tensor/ops.h"
+#include "tensor/segment_ops.h"
 
 namespace hap {
 
 Tensor SumReadout::Forward(const Tensor& h, const GraphLevel& level) const {
   (void)level;
   return ReduceSumRows(h);
+}
+
+Tensor SumReadout::ForwardBatched(const Tensor& h,
+                                  const BatchedLevel& level) const {
+  return SegmentSum(h, level.segments);
 }
 
 void SumReadout::CollectParameters(std::vector<Tensor>* out) const {
@@ -18,6 +24,11 @@ Tensor MeanReadout::Forward(const Tensor& h, const GraphLevel& level) const {
   return ReduceMeanRows(h);
 }
 
+Tensor MeanReadout::ForwardBatched(const Tensor& h,
+                                   const BatchedLevel& level) const {
+  return SegmentMean(h, level.segments);
+}
+
 void MeanReadout::CollectParameters(std::vector<Tensor>* out) const {
   (void)out;
 }
@@ -25,6 +36,11 @@ void MeanReadout::CollectParameters(std::vector<Tensor>* out) const {
 Tensor MaxReadout::Forward(const Tensor& h, const GraphLevel& level) const {
   (void)level;
   return ReduceMaxRows(h);
+}
+
+Tensor MaxReadout::ForwardBatched(const Tensor& h,
+                                  const BatchedLevel& level) const {
+  return SegmentMax(h, level.segments);
 }
 
 void MaxReadout::CollectParameters(std::vector<Tensor>* out) const {

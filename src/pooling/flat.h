@@ -12,6 +12,9 @@ class SumReadout : public Readout {
  public:
   using Readout::Forward;
   Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
+  bool SupportsBatched() const override { return true; }
+  Tensor ForwardBatched(const Tensor& h,
+                        const BatchedLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 };
 
@@ -20,6 +23,9 @@ class MeanReadout : public Readout {
  public:
   using Readout::Forward;
   Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
+  bool SupportsBatched() const override { return true; }
+  Tensor ForwardBatched(const Tensor& h,
+                        const BatchedLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 };
 
@@ -28,6 +34,9 @@ class MaxReadout : public Readout {
  public:
   using Readout::Forward;
   Tensor Forward(const Tensor& h, const GraphLevel& level) const override;
+  bool SupportsBatched() const override { return true; }
+  Tensor ForwardBatched(const Tensor& h,
+                        const BatchedLevel& level) const override;
   void CollectParameters(std::vector<Tensor>* out) const override;
 };
 

@@ -1,0 +1,31 @@
+#include "pooling/readout.h"
+
+#include "common/check.h"
+
+namespace hap {
+
+// Defaults for poolers that have not implemented a batched mirror; callers
+// must consult SupportsBatched() and fall back to per-graph execution
+// (docs/BATCHING.md) before reaching these.
+
+Tensor Readout::ForwardBatched(const Tensor& h,
+                               const BatchedLevel& level) const {
+  (void)h;
+  (void)level;
+  HAP_CHECK(false) << "readout does not support batched execution; "
+                      "check SupportsBatched() and fall back per graph";
+  return Tensor();
+}
+
+BatchedCoarsenResult Coarsener::ForwardBatched(
+    const Tensor& h, const BatchedLevel& level,
+    std::vector<Rng>* noise_rngs) const {
+  (void)h;
+  (void)level;
+  (void)noise_rngs;
+  HAP_CHECK(false) << "coarsener does not support batched execution; "
+                      "check SupportsBatched() and fall back per graph";
+  return BatchedCoarsenResult();
+}
+
+}  // namespace hap

@@ -2,7 +2,9 @@
 #define HAP_POOLING_READOUT_H_
 
 #include <utility>
+#include <vector>
 
+#include "graph/batched_graph.h"
 #include "graph/graph_level.h"
 #include "tensor/module.h"
 #include "tensor/tensor.h"
@@ -27,6 +29,17 @@ class Readout : public Module {
 
   /// Output embedding width given `in_features` wide node features.
   virtual int OutFeatures(int in_features) const { return in_features; }
+
+  /// True when ForwardBatched mirrors Forward for this readout. The
+  /// parameter-free reductions (sum/mean/max) support batching; attention
+  /// readouts fall back per graph (docs/BATCHING.md).
+  virtual bool SupportsBatched() const { return false; }
+
+  /// Batched readout over N concatenated graphs: (N_graphs, F_out), row g
+  /// bit-equal to Forward on graph g alone. Only valid when
+  /// SupportsBatched().
+  virtual Tensor ForwardBatched(const Tensor& h,
+                                const BatchedLevel& level) const;
 };
 
 /// Result of one graph-coarsening step. `level` wraps `adjacency` so the
@@ -42,6 +55,13 @@ struct CoarsenResult {
   Tensor h;          // (N', F) cluster features
   Tensor adjacency;  // (N', N') coarsened weighted adjacency
   GraphLevel level;  // view over `adjacency`
+};
+
+/// Result of one batched coarsening step: concatenated cluster features
+/// plus the next level's segment partition and per-graph adjacency views.
+struct BatchedCoarsenResult {
+  Tensor h;            // (sum of N'_g, F) cluster features
+  BatchedLevel level;  // per-graph views over the coarsened adjacencies
 };
 
 /// A hierarchical pooler: maps a graph level (H, A) to a coarser level
@@ -64,6 +84,18 @@ class Coarsener : public Module {
   /// Toggles training-only stochasticity (HAP's Gumbel soft sampling);
   /// deterministic coarseners ignore it.
   virtual void set_training(bool training) { (void)training; }
+
+  /// True when ForwardBatched mirrors Forward for this coarsener's
+  /// configuration (see docs/BATCHING.md for the supported set).
+  virtual bool SupportsBatched() const { return false; }
+
+  /// Batched coarsening over N concatenated graphs, bit-equal per segment
+  /// to Forward on each graph alone. `noise_rngs` supplies one training-
+  /// time noise stream per graph (pass nullptr in eval mode); deterministic
+  /// coarseners ignore it. Only valid when SupportsBatched().
+  virtual BatchedCoarsenResult ForwardBatched(const Tensor& h,
+                                              const BatchedLevel& level,
+                                              std::vector<Rng>* noise_rngs) const;
 };
 
 }  // namespace hap

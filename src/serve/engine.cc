@@ -170,16 +170,45 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
   try {
     HAP_TRACE_SCOPE("serve.batch.compute");
     obs::ScopedTimerNs timer(compute);
-    for (size_t wave = 0; wave < groups.size();
-         wave += static_cast<size_t>(lanes)) {
-      const int64_t wave_size = static_cast<int64_t>(
-          std::min(groups.size() - wave, static_cast<size_t>(lanes)));
-      GlobalThreadPool().Run(wave_size, [&](int64_t lane) {
-        const size_t g = wave + static_cast<size_t>(lane);
+    if (config_.batch_distinct && model->SupportsBatchedInference()) {
+      // Batched path: split the unique graphs into one contiguous chunk
+      // per lane and run each chunk as a single segment-batched forward
+      // (docs/BATCHING.md). Predictions are bit-identical to the
+      // per-graph path below — chunking only changes kernel shapes.
+      static obs::Counter* batched_forwards =
+          obs::GetCounter(obs::names::kServeBatchedForwards);
+      const size_t chunks =
+          std::min(groups.size(), static_cast<size_t>(lanes));
+      batched_forwards->Add(chunks);
+      GlobalThreadPool().Run(static_cast<int64_t>(chunks), [&](int64_t lane) {
+        const size_t lo = groups.size() * static_cast<size_t>(lane) / chunks;
+        const size_t hi =
+            groups.size() * (static_cast<size_t>(lane) + 1) / chunks;
         ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
-        predictions[g] =
-            model->Predict(groups[g].front().graph, static_cast<int>(lane));
+        std::vector<PreparedGraph> graphs;
+        graphs.reserve(hi - lo);
+        for (size_t g = lo; g < hi; ++g) {
+          graphs.push_back(groups[g].front().graph);
+        }
+        std::vector<int> chunk_predictions =
+            model->PredictBatched(graphs, static_cast<int>(lane));
+        std::copy(chunk_predictions.begin(), chunk_predictions.end(),
+                  predictions.begin() + static_cast<int64_t>(lo));
       });
+    } else {
+      // Per-graph fallback: one forward per unique graph, fanned across
+      // the lanes in waves.
+      for (size_t wave = 0; wave < groups.size();
+           wave += static_cast<size_t>(lanes)) {
+        const int64_t wave_size = static_cast<int64_t>(
+            std::min(groups.size() - wave, static_cast<size_t>(lanes)));
+        GlobalThreadPool().Run(wave_size, [&](int64_t lane) {
+          const size_t g = wave + static_cast<size_t>(lane);
+          ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
+          predictions[g] =
+              model->Predict(groups[g].front().graph, static_cast<int>(lane));
+        });
+      }
     }
     for (int lane = 0; lane < lanes; ++lane) {
       lane_arenas_[static_cast<size_t>(lane)]->ResetStep();

@@ -34,6 +34,12 @@ struct EngineConfig {
   /// traffic; predictions are unchanged because eval-mode forwards are
   /// deterministic.
   bool coalesce = true;
+  /// Run each lane's share of the DISTINCT graphs in a micro-batch as one
+  /// batched forward (segment ops, docs/BATCHING.md) instead of one
+  /// forward per graph. Predictions are bit-identical either way (the
+  /// batched-parity contract); models whose architecture has no batched
+  /// mirror silently fall back to per-graph forwards.
+  bool batch_distinct = true;
 };
 
 /// Inference front end: admission control, micro-batching, and fan-out of

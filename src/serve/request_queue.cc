@@ -9,6 +9,7 @@ RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
 }
 
 Status RequestQueue::Push(Request request) {
+  bool wake;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
@@ -19,8 +20,9 @@ Status RequestQueue::Push(Request request) {
           "request queue full (" + std::to_string(capacity_) + ")");
     }
     queue_.push_back(std::move(request));
+    wake = queue_.size() >= waiter_needs_;
   }
-  cv_.notify_one();
+  if (wake) cv_.notify_one();
   return Status::Ok();
 }
 
@@ -29,6 +31,7 @@ std::vector<Request> RequestQueue::PopBatch(int max_batch,
   HAP_CHECK_GE(max_batch, 1);
   std::vector<Request> batch;
   std::unique_lock<std::mutex> lock(mu_);
+  waiter_needs_ = 1;  // the next push anchors the batch's delay clock
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
   if (queue_.empty()) return batch;  // closed and drained
 
@@ -41,8 +44,12 @@ std::vector<Request> RequestQueue::PopBatch(int max_batch,
       continue;
     }
     if (closed_) break;
+    // Sleep until the queue can complete this batch (pushes below that
+    // depth skip the notify) or the delay deadline releases a partial.
+    waiter_needs_ = static_cast<size_t>(max_batch) - batch.size();
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
   }
+  waiter_needs_ = 1;
   lock.unlock();
   // Producers blocked on a full queue only by re-trying Push; still wake
   // any closer waiting in Close for the drain.

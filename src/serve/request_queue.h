@@ -56,6 +56,13 @@ class RequestQueue {
   std::condition_variable cv_;
   std::deque<Request> queue_;
   bool closed_ = false;
+  // Queue depth at which the PopBatch waiter wants waking. 1 while the
+  // batcher waits for a batch's first request; the remaining batch count
+  // while it gathers. Pushes below the target skip the notify — the
+  // gather wait's deadline still releases a partial batch on time, and
+  // on a busy single core this avoids a producer/batcher context-switch
+  // ping-pong on every sub-batch push.
+  size_t waiter_needs_ = 1;
 };
 
 }  // namespace hap::serve

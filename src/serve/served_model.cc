@@ -65,4 +65,24 @@ int ServedModel::Predict(const PreparedGraph& graph, int lane) const {
   return replicas_[lane]->Predict(graph);
 }
 
+bool ServedModel::SupportsBatchedInference() const {
+  return replicas_[0]->SupportsBatched();
+}
+
+std::vector<int> ServedModel::PredictBatched(
+    const std::vector<PreparedGraph>& graphs, int lane) const {
+  HAP_CHECK_GE(lane, 0);
+  HAP_CHECK_LT(lane, lanes());
+  HAP_CHECK(!graphs.empty());
+  std::vector<Tensor> features;
+  std::vector<GraphLevel> levels;
+  features.reserve(graphs.size());
+  levels.reserve(graphs.size());
+  for (const PreparedGraph& graph : graphs) {
+    features.push_back(graph.h);
+    levels.push_back(graph.level);
+  }
+  return replicas_[lane]->PredictBatched(BatchGraphs(features, levels));
+}
+
 }  // namespace hap::serve

@@ -49,6 +49,18 @@ class ServedModel {
   /// serialise calls on the same lane; distinct lanes are independent.
   int Predict(const PreparedGraph& graph, int lane) const;
 
+  /// True when the architecture supports running several DISTINCT graphs
+  /// as one batched forward (docs/BATCHING.md); the engine falls back to
+  /// one forward per graph otherwise.
+  bool SupportsBatchedInference() const;
+
+  /// Predictions for a micro-batch of distinct graphs, one forward on lane
+  /// `lane`. Bit-identical to calling Predict on each graph alone (the
+  /// batched-parity contract). Only valid when SupportsBatchedInference();
+  /// the same per-lane serialisation rule as Predict applies.
+  std::vector<int> PredictBatched(const std::vector<PreparedGraph>& graphs,
+                                  int lane) const;
+
   int lanes() const { return static_cast<int>(replicas_.size()); }
   const ServedModelConfig& config() const { return config_; }
   int64_t num_parameters() const { return num_parameters_; }

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optimizer.h"
+#include "tensor/segment_ops.h"
 #include "train/parallel_batch.h"
 
 namespace hap {
@@ -43,6 +44,41 @@ int GraphClassifier::Predict(const PreparedGraph& graph) const {
 Tensor GraphClassifier::Loss(const PreparedGraph& graph) const {
   HAP_CHECK_GE(graph.label, 0);
   return NllLoss(LogSoftmaxRows(Logits(graph)), {graph.label});
+}
+
+Tensor GraphClassifier::LogitsBatched(
+    const BatchedGraph& batch, const std::vector<uint64_t>& noise_seeds) const {
+  std::vector<Tensor> levels =
+      embedder_->EmbedLevelsBatched(batch, noise_seeds);
+  Tensor joined = levels[0];
+  for (size_t level = 1; level < levels.size(); ++level) {
+    joined = ConcatCols(joined, levels[level]);
+  }
+  // One segment per row: the heads' weight/bias gradients then accumulate
+  // example by example, mirroring the per-graph tapes (docs/BATCHING.md).
+  const SegmentSpec seg = SegmentSpec::RowPerSegment(batch.num_graphs());
+  return head2_.ForwardBatched(Relu(head1_.ForwardBatched(joined, seg)), seg);
+}
+
+std::vector<int> GraphClassifier::PredictBatched(
+    const BatchedGraph& batch) const {
+  NoGradGuard guard;
+  Tensor logits = LogitsBatched(batch, {});
+  std::vector<int> preds(batch.num_graphs(), 0);
+  for (int g = 0; g < logits.rows(); ++g) {
+    for (int c = 1; c < logits.cols(); ++c) {
+      if (logits.At(g, c) > logits.At(g, preds[g])) preds[g] = c;
+    }
+  }
+  return preds;
+}
+
+Tensor GraphClassifier::LossesBatched(
+    const BatchedGraph& batch, const std::vector<uint64_t>& noise_seeds) const {
+  HAP_CHECK_EQ(static_cast<int>(batch.labels.size()), batch.num_graphs());
+  for (int label : batch.labels) HAP_CHECK_GE(label, 0);
+  return NllLossPerRow(LogSoftmaxRows(LogitsBatched(batch, noise_seeds)),
+                       batch.labels);
 }
 
 void GraphClassifier::CollectParameters(std::vector<Tensor>* out) const {
@@ -133,20 +169,46 @@ ClassificationResult TrainClassifier(
     {
       HAP_TRACE_SCOPE("epoch.train");
       if (data_parallel) {
+        // Batched forward (docs/BATCHING.md): each worker's slice runs as
+        // one tape over the concatenated graphs. Falls back silently to
+        // the per-example path for architectures without a batched mirror.
+        const bool batched =
+            config.batched_forward && model->SupportsBatched();
         for (size_t start = 0; start < order.size();
              start += static_cast<size_t>(config.batch_size)) {
           const size_t stop = std::min(
               order.size(), start + static_cast<size_t>(config.batch_size));
           const std::vector<int> batch(order.begin() + start,
                                        order.begin() + stop);
-          epoch_loss += runner->RunBatch(
-              batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
-              [&](int worker, uint64_t seed) {
-                models[worker]->ReseedNoise(seed);
-              },
-              [&](int worker, int item) {
-                return models[worker]->Loss(data[item]);
-              });
+          if (batched) {
+            epoch_loss += runner->RunBatchBatched(
+                batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+                [&](int worker, const std::vector<int>& items,
+                    const std::vector<uint64_t>& seeds) {
+                  std::vector<Tensor> features;
+                  std::vector<GraphLevel> levels;
+                  std::vector<int> labels;
+                  features.reserve(items.size());
+                  levels.reserve(items.size());
+                  labels.reserve(items.size());
+                  for (int item : items) {
+                    features.push_back(data[item].h);
+                    levels.push_back(data[item].level);
+                    labels.push_back(data[item].label);
+                  }
+                  return models[worker]->LossesBatched(
+                      BatchGraphs(features, levels, labels), seeds);
+                });
+          } else {
+            epoch_loss += runner->RunBatch(
+                batch, noise_seeds.NextU64(), 1.0f / config.batch_size,
+                [&](int worker, uint64_t seed) {
+                  models[worker]->ReseedNoise(seed);
+                },
+                [&](int worker, int item) {
+                  return models[worker]->Loss(data[item]);
+                });
+          }
           grad_norm_sum += optimizer.ClipGradNorm(config.clip_norm);
           ++optimizer_steps;
           optimizer.Step();

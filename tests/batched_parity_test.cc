@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/hap_model.h"
+#include "graph/batched_graph.h"
+#include "pooling/flat.h"
+#include "train/classifier.h"
+
+namespace hap {
+namespace {
+
+// The batching contract (docs/BATCHING.md): running N distinct graphs as
+// one batched tape is bit-identical to running them one at a time — same
+// training trajectory for every thread count, same inference logits.
+
+HapConfig SmallModelConfig(EncoderKind encoder, int feature_dim) {
+  HapConfig config;
+  config.encoder = encoder;
+  config.feature_dim = feature_dim;
+  config.hidden_dim = 12;
+  config.encoder_layers = 1;
+  config.cluster_sizes = {4, 1};
+  return config;
+}
+
+TrainConfig ShortTraining(int num_threads, bool batched) {
+  TrainConfig config;
+  config.epochs = 3;
+  config.patience = 0;
+  config.lr = 0.01f;
+  config.batch_size = 4;
+  config.seed = 9;
+  config.num_threads = num_threads;
+  config.batched_forward = batched;
+  return config;
+}
+
+ClassificationResult TrainSmallHap(EncoderKind encoder, int num_threads,
+                                   bool batched) {
+  Rng rng(21);
+  GraphDataset ds = MakeImdbBinaryLike(24, &rng);
+  auto data = PrepareDataset(ds);
+  Split split = SplitIndices(static_cast<int>(data.size()), &rng);
+  const HapConfig config =
+      SmallModelConfig(encoder, ds.feature_spec.FeatureDim());
+  Rng model_rng(77);
+  GraphClassifier model(MakeHapModel(config, &model_rng), ds.num_classes, 12,
+                        &model_rng);
+  EXPECT_TRUE(model.SupportsBatched());
+  auto factory = [&config, &ds]() {
+    Rng replica_rng(1);
+    return std::make_unique<GraphClassifier>(MakeHapModel(config, &replica_rng),
+                                             ds.num_classes, 12, &replica_rng);
+  };
+  return TrainClassifier(&model, data, split,
+                         ShortTraining(num_threads, batched), factory);
+}
+
+void ExpectSameTrajectory(const ClassificationResult& want,
+                          const ClassificationResult& got) {
+  ASSERT_EQ(want.epoch_losses.size(), got.epoch_losses.size());
+  ASSERT_FALSE(want.epoch_losses.empty());
+  for (size_t e = 0; e < want.epoch_losses.size(); ++e) {
+    EXPECT_EQ(want.epoch_losses[e], got.epoch_losses[e]) << "epoch " << e;
+  }
+  EXPECT_EQ(want.val_accuracy, got.val_accuracy);
+  EXPECT_EQ(want.test_accuracy, got.test_accuracy);
+  EXPECT_EQ(want.best_epoch, got.best_epoch);
+}
+
+TEST(BatchedParityTest, HapTrainingBitIdenticalAcrossModesAndThreads) {
+  // Per-example reference (the pre-batching semantics)...
+  ClassificationResult reference =
+      TrainSmallHap(EncoderKind::kGcn, /*num_threads=*/1, /*batched=*/false);
+  // ...must match the batched tape at 1, 2 and 4 threads.
+  for (int threads : {1, 2, 4}) {
+    ClassificationResult batched =
+        TrainSmallHap(EncoderKind::kGcn, threads, /*batched=*/true);
+    ExpectSameTrajectory(reference, batched);
+  }
+}
+
+TEST(BatchedParityTest, GatEncoderTrainingBitIdentical) {
+  ClassificationResult reference =
+      TrainSmallHap(EncoderKind::kGat, 1, /*batched=*/false);
+  ClassificationResult batched =
+      TrainSmallHap(EncoderKind::kGat, 2, /*batched=*/true);
+  ExpectSameTrajectory(reference, batched);
+}
+
+TEST(BatchedParityTest, GinEncoderTrainingBitIdentical) {
+  ClassificationResult reference =
+      TrainSmallHap(EncoderKind::kGin, 1, /*batched=*/false);
+  ClassificationResult batched =
+      TrainSmallHap(EncoderKind::kGin, 2, /*batched=*/true);
+  ExpectSameTrajectory(reference, batched);
+}
+
+// Flat architecture: GNN encoder + mean readout, batched through the
+// segment reductions rather than the coarsening mirror.
+ClassificationResult TrainSmallFlat(int num_threads, bool batched) {
+  Rng rng(33);
+  GraphDataset ds = MakeImdbBinaryLike(24, &rng);
+  auto data = PrepareDataset(ds);
+  Split split = SplitIndices(static_cast<int>(data.size()), &rng);
+  const int feature_dim = ds.feature_spec.FeatureDim();
+  auto make_model = [&](uint64_t seed) {
+    Rng model_rng(seed);
+    auto encoder = std::make_unique<GnnEncoder>(
+        EncoderKind::kGcn, std::vector<int>{feature_dim, 12}, &model_rng);
+    auto embedder = std::make_unique<FlatEmbedder>(
+        std::move(encoder), std::make_unique<MeanReadout>());
+    return std::make_unique<GraphClassifier>(std::move(embedder),
+                                             ds.num_classes, 12, &model_rng);
+  };
+  auto model = make_model(55);
+  EXPECT_TRUE(model->SupportsBatched());
+  auto factory = [&make_model]() { return make_model(1); };
+  return TrainClassifier(model.get(), data, split,
+                         ShortTraining(num_threads, batched), factory);
+}
+
+TEST(BatchedParityTest, FlatEmbedderTrainingBitIdentical) {
+  ClassificationResult reference = TrainSmallFlat(1, /*batched=*/false);
+  for (int threads : {1, 2, 4}) {
+    ExpectSameTrajectory(reference, TrainSmallFlat(threads, /*batched=*/true));
+  }
+}
+
+TEST(BatchedParityTest, UnsupportedCoarsenerFallsBackToPerExample) {
+  // HAP-MeanPool's ReadoutCoarsener has no batched mirror; requesting
+  // batched_forward must silently run the per-example path with identical
+  // results (this is the documented fallback, not an error).
+  Rng rng(21);
+  GraphDataset ds = MakeImdbBinaryLike(16, &rng);
+  auto data = PrepareDataset(ds);
+  Split split = SplitIndices(static_cast<int>(data.size()), &rng);
+  const HapConfig config =
+      SmallModelConfig(EncoderKind::kGcn, ds.feature_spec.FeatureDim());
+  auto make_model = [&](uint64_t seed) {
+    Rng model_rng(seed);
+    return std::make_unique<GraphClassifier>(
+        MakeHapVariant(CoarsenerKind::kMeanPool, config, &model_rng),
+        ds.num_classes, 12, &model_rng);
+  };
+  auto reference_model = make_model(77);
+  auto batched_model = make_model(77);
+  EXPECT_FALSE(batched_model->SupportsBatched());
+  auto factory = [&make_model]() { return make_model(1); };
+  ClassificationResult reference = TrainClassifier(
+      reference_model.get(), data, split, ShortTraining(1, false), factory);
+  ClassificationResult batched = TrainClassifier(
+      batched_model.get(), data, split, ShortTraining(2, true), factory);
+  ExpectSameTrajectory(reference, batched);
+}
+
+TEST(BatchedParityTest, InferenceLogitsBitIdenticalToPerGraph) {
+  Rng rng(91);
+  GraphDataset ds = MakeImdbBinaryLike(10, &rng);
+  auto data = PrepareDataset(ds);
+  const HapConfig config =
+      SmallModelConfig(EncoderKind::kGcn, ds.feature_spec.FeatureDim());
+  Rng model_rng(13);
+  GraphClassifier model(MakeHapModel(config, &model_rng), ds.num_classes, 12,
+                        &model_rng);
+  model.set_training(false);
+
+  // A batch of DISTINCT mixed-size graphs, per the serving contract.
+  std::vector<Tensor> features;
+  std::vector<GraphLevel> levels;
+  for (const PreparedGraph& g : data) {
+    features.push_back(g.h);
+    levels.push_back(g.level);
+  }
+  BatchedGraph batch = BatchGraphs(features, levels);
+  ASSERT_EQ(batch.num_graphs(), static_cast<int>(data.size()));
+
+  NoGradGuard guard;
+  Tensor batched_logits = model.LogitsBatched(batch, {});
+  std::vector<int> batched_preds = model.PredictBatched(batch);
+  for (size_t g = 0; g < data.size(); ++g) {
+    Tensor single = model.Logits(data[g]);
+    for (int c = 0; c < single.cols(); ++c) {
+      ASSERT_EQ(single.At(0, c), batched_logits.At(static_cast<int>(g), c))
+          << "graph " << g;
+    }
+    EXPECT_EQ(model.Predict(data[g]), batched_preds[g]) << "graph " << g;
+  }
+}
+
+TEST(BatchedParityTest, InferenceParityAcrossThreadCounts) {
+  Rng rng(91);
+  GraphDataset ds = MakeImdbBinaryLike(8, &rng);
+  auto data = PrepareDataset(ds);
+  const HapConfig config =
+      SmallModelConfig(EncoderKind::kGcn, ds.feature_spec.FeatureDim());
+  Rng model_rng(13);
+  GraphClassifier model(MakeHapModel(config, &model_rng), ds.num_classes, 12,
+                        &model_rng);
+  model.set_training(false);
+
+  std::vector<Tensor> features;
+  std::vector<GraphLevel> levels;
+  for (const PreparedGraph& g : data) {
+    features.push_back(g.h);
+    levels.push_back(g.level);
+  }
+  BatchedGraph batch = BatchGraphs(features, levels);
+
+  const int original = NumThreads();
+  NoGradGuard guard;
+  SetNumThreads(1);
+  Tensor serial = model.LogitsBatched(batch, {});
+  SetNumThreads(4);
+  Tensor parallel = model.LogitsBatched(batch, {});
+  SetNumThreads(original);
+  for (int g = 0; g < serial.rows(); ++g) {
+    for (int c = 0; c < serial.cols(); ++c) {
+      ASSERT_EQ(serial.At(g, c), parallel.At(g, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hap

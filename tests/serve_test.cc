@@ -155,6 +155,44 @@ TEST(ServeEngineTest, CoalescesDuplicateGraphsWithinBatch) {
             coalesced_before);
 }
 
+TEST(ServeEngineTest, BatchedDistinctGraphsMatchPerGraphForwards) {
+  // The serving half of the batching contract (docs/BATCHING.md): a
+  // micro-batch of DISTINCT graphs run as segment-batched lane chunks
+  // must predict exactly what per-graph forwards predict.
+  ServeFixture fx(/*lanes=*/2);
+  ASSERT_TRUE(fx.model->SupportsBatchedInference());
+  const uint64_t batched_before =
+      obs::CounterValue(obs::names::kServeBatchedForwards);
+  for (bool batch_distinct : {true, false}) {
+    EngineConfig config;
+    config.batch_distinct = batch_distinct;
+    config.max_batch = 16;
+    InferenceEngine engine(fx.model, config);
+    std::vector<std::future<int>> futures;
+    for (const PreparedGraph& g : fx.prepared) {
+      StatusOr<std::future<int>> result = engine.Submit(g);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      futures.push_back(std::move(result.value()));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      EXPECT_EQ(futures[i].get(), fx.direct[i])
+          << "graph " << i << " batch_distinct=" << batch_distinct;
+    }
+  }
+  EXPECT_GT(obs::CounterValue(obs::names::kServeBatchedForwards),
+            batched_before);
+}
+
+TEST(ServedModelTest, PredictBatchedMatchesPredict) {
+  ServeFixture fx(/*lanes=*/1);
+  std::vector<int> batched =
+      fx.model->PredictBatched(fx.prepared, /*lane=*/0);
+  ASSERT_EQ(batched.size(), fx.direct.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], fx.direct[i]) << "graph " << i;
+  }
+}
+
 TEST(ServeEngineTest, ShutdownDrainsThenRejectsNewWork) {
   ServeFixture fx;
   EngineConfig config;
