@@ -49,7 +49,8 @@ constexpr char kUsage[] =
     "usage: hap_serve --checkpoint path [--dataset name] [--graphs N]\n"
     "                 [--input path|-] [--method name] [--hidden N]\n"
     "                 [--requests N] [--qps N] [--max-batch N]\n"
-    "                 [--max-delay-us N] [--seed N] [--predictions-out path]\n";
+    "                 [--max-delay-us N] [--seed N] [--predictions-out path]\n"
+    "                 [--coarsen-mode dense|topk|auto] [--topk K]\n";
 
 template <typename T>
 T FlagValueOrDie(const StatusOr<T>& result) {
@@ -97,7 +98,7 @@ int main(int argc, char** argv) {
       argc, argv, 1,
       {"checkpoint", "dataset", "graphs", "input", "method", "hidden",
        "requests", "qps", "max-batch", "max-delay-us", "seed",
-       "predictions-out"});
+       "predictions-out", "coarsen-mode", "topk"});
   Flags flags = FlagValueOrDie(parsed);
   const std::string checkpoint = flags.GetString("checkpoint", "");
   if (checkpoint.empty()) {
@@ -138,6 +139,17 @@ int main(int argc, char** argv) {
   model_config.feature_dim = dataset.feature_spec.FeatureDim();
   model_config.hidden = FlagValueOrDie(flags.GetInt("hidden", 32));
   model_config.num_classes = dataset.num_classes;
+  const std::string mode_text = flags.GetString("coarsen-mode", "dense");
+  if (!ParseCoarsenMode(mode_text, &model_config.coarsen_mode)) {
+    std::fprintf(stderr, "unknown --coarsen-mode '%s' (dense|topk|auto)\n%s",
+                 mode_text.c_str(), kUsage);
+    return 2;
+  }
+  model_config.topk = FlagValueOrDie(flags.GetInt("topk", 0));
+  if (flags.Has("topk") && model_config.topk < 1) {
+    std::fprintf(stderr, "--topk must be >= 1\n%s", kUsage);
+    return 2;
+  }
 
   serve::EngineConfig engine_config;
   engine_config.max_batch =

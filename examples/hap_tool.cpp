@@ -37,6 +37,7 @@ constexpr char kUsage[] =
     "                    [--method <Table-3 name>] [--graphs N] [--epochs N]\n"
     "                    [--hidden N] [--seed N] [--save-dataset path]\n"
     "                    [--checkpoint path] [--log path.jsonl]\n"
+    "                    [--coarsen-mode dense|topk|auto] [--topk K]\n"
     "  hap_tool methods\n"
     "  hap_tool ged <n1> <n2> [--seed N]\n";
 
@@ -75,7 +76,7 @@ int RunClassify(int argc, char** argv) {
   Flags flags = ParseFlagsOrDie(
       argc, argv, 2,
       {"dataset", "method", "graphs", "epochs", "hidden", "seed",
-       "save-dataset", "checkpoint", "log"});
+       "save-dataset", "checkpoint", "log", "coarsen-mode", "topk"});
   const std::string dataset_name = flags.GetString("dataset", "mutag");
   const std::string method = flags.GetString("method", "HAP");
   const int graphs = FlagValueOrDie(flags.GetInt("graphs", 150));
@@ -85,6 +86,18 @@ int RunClassify(int argc, char** argv) {
   if (!IsKnownMethod(method)) {
     std::fprintf(stderr, "unknown method '%s'; run `hap_tool methods`\n",
                  method.c_str());
+    return 2;
+  }
+  const std::string mode_text = flags.GetString("coarsen-mode", "dense");
+  CoarsenMode coarsen_mode;
+  if (!ParseCoarsenMode(mode_text, &coarsen_mode)) {
+    std::fprintf(stderr, "unknown --coarsen-mode '%s' (dense|topk|auto)\n%s",
+                 mode_text.c_str(), kUsage);
+    return 2;
+  }
+  const int topk = FlagValueOrDie(flags.GetInt("topk", 0));
+  if (flags.Has("topk") && topk < 1) {
+    std::fprintf(stderr, "--topk must be >= 1\n%s", kUsage);
     return 2;
   }
 
@@ -104,8 +117,10 @@ int RunClassify(int argc, char** argv) {
       MakeEmbedderByName(method, dataset.feature_spec.FeatureDim(), hidden,
                          &rng),
       dataset.num_classes, hidden, &rng);
-  std::printf("method %s: %lld parameters\n", method.c_str(),
-              static_cast<long long>(model.NumParameters()));
+  model.set_coarsen_mode(coarsen_mode, topk);
+  std::printf("method %s: %lld parameters (coarsen-mode %s)\n", method.c_str(),
+              static_cast<long long>(model.NumParameters()),
+              CoarsenModeName(coarsen_mode));
 
   TrainConfig config;
   config.epochs = epochs;

@@ -157,6 +157,44 @@ EOF
 }
 batching_pass
 
+# --- Sparse-coarsening pass (docs/SPARSE.md) ----------------------------
+# The top-k/CSR coarsening ops and the sparse-native GraphLevel must
+# match their dense references under every MatMul dispatch override
+# (the suite grad-checks the fused MᵀAM and pins dense-mode defaults),
+# and the committed sparse-coarsening bench JSON must exist and clear
+# its gates: >= 5x hierarchical-forward speedup at 10k nodes, a
+# completed 100k sparse-only forward, and >= 99% prediction agreement
+# with dense mode from a non-constant classifier.
+sparse_coarsen_pass() {
+  echo "=== build: sparse coarsening parity + bench gate ==="
+  for kernel in naive blocked auto; do
+    HAP_MATMUL_KERNEL=$kernel ./build/tests/sparse_coarsen_test > /dev/null
+  done
+  echo "sparse coarsening parity holds under naive/blocked/auto dispatch"
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_sparse_coarsening.json"))
+ten_k = [c for c in doc["configs"] if c["nodes"] == 10000]
+assert ten_k and ten_k[0]["speedup_topk_vs_dense"] >= 5.0, (
+    "committed sparse-coarsening speedup at 10k below 5x")
+hundred_k = [c for c in doc["configs"] if c["nodes"] == 100000]
+assert hundred_k and hundred_k[0]["completed"], "100k forward missing"
+assert not hundred_k[0]["dense_ran"], "100k row must be sparse-only"
+agreement = doc["agreement"]
+assert agreement["topk_vs_dense"] >= 0.99, "topk agreement below 0.99"
+assert agreement["auto_vs_dense"] >= 0.99, "auto agreement below 0.99"
+assert agreement["dense_nonconstant"], (
+    "dense predictor constant: agreement numbers vacuous")
+assert doc["speedup_10k_at_least_5x"] and doc["all_forwards_completed"] \
+    and doc["agreement_met"]
+print(f"sparse coarsening bench OK: "
+      f"{ten_k[0]['speedup_topk_vs_dense']:.2f}x at 10k nodes, 100k "
+      f"sparse-only forward {hundred_k[0]['topk_forward_ms']:.0f} ms, "
+      f"agreement {agreement['topk_vs_dense']:.4f}")
+EOF
+}
+sparse_coarsen_pass
+
 # --- Docs pass ----------------------------------------------------------
 # Every relative link in README.md and docs/*.md must resolve; a renamed
 # or deleted file fails here instead of leaving dead links.
@@ -192,4 +230,4 @@ docs_pass
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   run_pass build-sanitize -DHAP_SANITIZE=address,undefined
 
-echo "All checks passed (plain + observability + batching + docs + address,undefined)."
+echo "All checks passed (plain + observability + batching + sparse coarsening + docs + address,undefined)."

@@ -10,6 +10,7 @@
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/segment_ops.h"
+#include "tensor/sparse.h"
 
 namespace hap {
 
@@ -99,6 +100,66 @@ Tensor CoarseningModule::ComputeAttention(const Tensor& c_or_h) const {
   return SoftmaxRows(LeakyRelu(logits, config_.leaky_slope));  // Eq. 14-15
 }
 
+Tensor CoarseningModule::ClusterFeatures(const Tensor& m_t,
+                                         const Tensor& h) const {
+  if (!config_.normalize_cluster_mass) return MatMul(m_t, h);  // Eq. 17
+  // H' = D_M⁻¹ Mᵀ H: attention-weighted member mean (see config).
+  Tensor mass = ClampMin(ReduceSumCols(m_t), 1e-9f);  // (N', 1)
+  Tensor inv_mass = Div(Tensor::Ones(mass.rows(), 1), mass);
+  return ScaleRows(MatMul(m_t, h), inv_mass);
+}
+
+CoarseningModule::CoarsenProducts CoarseningModule::ComputeProducts(
+    const Tensor& m, const Tensor& h, const GraphLevel& level) const {
+  static obs::Counter* mode_dense =
+      obs::GetCounter(obs::names::kCoarsenModeDense);
+  static obs::Counter* mode_topk =
+      obs::GetCounter(obs::names::kCoarsenModeTopk);
+  static obs::Counter* topk_kept =
+      obs::GetCounter(obs::names::kCoarsenTopkKept);
+  static obs::Counter* topk_dropped =
+      obs::GetCounter(obs::names::kCoarsenTopkDropped);
+  static obs::Counter* fallback =
+      obs::GetCounter(obs::names::kCoarsenSparseFallback);
+
+  const CsrMatrix* csr = nullptr;
+  if (config_.coarsen_mode == CoarsenMode::kTopkSparse) {
+    csr = level.AdjacencyCsrOrNull();
+    // No CSR view means the adjacency is taped (a coarsened inner level):
+    // converting it would detach the tape, so the dense product runs.
+    if (csr == nullptr) fallback->Increment();
+  } else if (config_.coarsen_mode == CoarsenMode::kAuto) {
+    // Mirror the level's own density-based dispatch: sparse input levels
+    // take the top-k path, dense ones stay on the reference product.
+    if (level.UseSparse()) csr = level.AdjacencyCsrOrNull();
+  }
+
+  CoarsenProducts out;
+  if (csr != nullptr) {
+    out.sparse = true;
+    mode_topk->Increment();
+    Tensor m_k = TopKMaskRows(m, config_.topk);
+    const int64_t rows = m.rows(), cols = m.cols();
+    const int64_t kept =
+        rows * std::min<int64_t>(config_.topk, cols);
+    topk_kept->Add(static_cast<uint64_t>(kept));
+    topk_dropped->Add(static_cast<uint64_t>(rows * cols - kept));
+    Tensor m_t = Transpose(m_k);
+    out.h = ClusterFeatures(m_t, h);
+    // Eq. 18 without a dense N×N' intermediate: the fused CSR triple
+    // product streams A's nonzeros against m_k's per-row nonzero lists.
+    out.adj = CsrCoarsenAdjacency(*csr, m_k);
+    return out;
+  }
+  mode_dense->Increment();
+  Tensor m_t = Transpose(m);
+  out.h = ClusterFeatures(m_t, h);
+  // Eq. 18: A' = Mᵀ A M; the inner A·M goes through the level so sparse
+  // input adjacencies use the CSR fast path.
+  out.adj = MatMul(m_t, level.Aggregate(m));
+  return out;
+}
+
 CoarsenResult CoarseningModule::Forward(const Tensor& h,
                                         const GraphLevel& level) const {
   HAP_CHECK_EQ(h.rows(), level.num_nodes());
@@ -116,24 +177,13 @@ CoarsenResult CoarseningModule::Forward(const Tensor& h,
   Tensor m = config_.use_gcont ? ComputeAttention(ComputeGCont(h))
                                : ComputeAttention(h);
   last_attention_ = m;
-  Tensor m_t = Transpose(m);
-  Tensor coarse_h;
-  if (config_.normalize_cluster_mass) {
-    // H' = D_M⁻¹ Mᵀ H: attention-weighted member mean (see config).
-    Tensor mass = ClampMin(ReduceSumCols(m_t), 1e-9f);  // (N', 1)
-    Tensor inv_mass = Div(Tensor::Ones(mass.rows(), 1), mass);
-    coarse_h = ScaleRows(MatMul(m_t, h), inv_mass);
-  } else {
-    coarse_h = MatMul(m_t, h);  // Eq. 17 literal
-  }
-  // Eq. 18: A' = Mᵀ A M; the inner A·M goes through the level so sparse
-  // input adjacencies use the CSR fast path.
-  Tensor coarse_adj = MatMul(m_t, level.Aggregate(m));
+  CoarsenProducts products = ComputeProducts(m, h, level);
+  Tensor coarse_adj = std::move(products.adj);
   if (config_.use_gumbel) {
     coarse_adj =
         GumbelSoftSample(coarse_adj, config_.tau, &noise_rng_, training_);
   }
-  return CoarsenResult(std::move(coarse_h), std::move(coarse_adj));
+  return CoarsenResult(std::move(products.h), std::move(coarse_adj));
 }
 
 BatchedCoarsenResult CoarseningModule::ForwardBatched(
@@ -203,23 +253,15 @@ BatchedCoarsenResult CoarseningModule::ForwardBatched(
       logits = Add(logits, interaction);
     }
     Tensor m = SoftmaxRows(LeakyRelu(logits, config_.leaky_slope));
-    // Mirror of Forward()'s cluster formation.
-    Tensor m_t = Transpose(m);
+    // Mirror of Forward()'s mode-dispatched cluster formation + Eq. 18.
     Tensor h_s = SliceRows(h, seg.begin(s), seg.end(s));
-    Tensor coarse_h;
-    if (config_.normalize_cluster_mass) {
-      Tensor mass = ClampMin(ReduceSumCols(m_t), 1e-9f);  // (N', 1)
-      Tensor inv_mass = Div(Tensor::Ones(mass.rows(), 1), mass);
-      coarse_h = ScaleRows(MatMul(m_t, h_s), inv_mass);
-    } else {
-      coarse_h = MatMul(m_t, h_s);
-    }
-    Tensor coarse_adj = MatMul(m_t, level.levels[s].Aggregate(m));
+    CoarsenProducts products = ComputeProducts(m, h_s, level.levels[s]);
+    Tensor coarse_adj = std::move(products.adj);
     if (config_.use_gumbel) {
       Rng* rng = noise_rngs != nullptr ? &(*noise_rngs)[s] : &noise_rng_;
       coarse_adj = GumbelSoftSample(coarse_adj, config_.tau, rng, training_);
     }
-    parts.push_back(std::move(coarse_h));
+    parts.push_back(std::move(products.h));
     new_levels.emplace_back(coarse_adj);
   }
   BatchedCoarsenResult out;

@@ -48,6 +48,16 @@ struct CoarseningConfig {
   /// size-invariant embeddings flatten it. Enable to study size-invariant
   /// pooling. The coarsened adjacency keeps the Eq. 18 form either way.
   bool normalize_cluster_mass = false;
+  /// How A' = MᵀAM is computed (docs/SPARSE.md). kDense is the default —
+  /// the bit-deterministic reference path every parity test pins. The
+  /// sparse paths change numerics (top-k drops assignment mass) and are
+  /// gated by accuracy parity instead; see CoarsenMode in
+  /// pooling/readout.h for the per-mode semantics.
+  CoarsenMode coarsen_mode = CoarsenMode::kDense;
+  /// Per-row assignment budget for the top-k sparse path: each node keeps
+  /// its k strongest cluster assignments. k >= num_clusters degenerates to
+  /// the dense assignment (TopKMaskRows is then an exact no-op).
+  int topk = 4;
   /// When true, the MOA column operand uses the paper-literal relaxation of
   /// Claim 3: C_{:,j} ∈ ℝᴺ is truncated to its first N' entries. That
   /// truncation depends on node order, so it contradicts the paper's own
@@ -113,6 +123,15 @@ class CoarseningModule : public Coarsener {
   void set_training(bool training) override { training_ = training; }
   bool training() const { return training_; }
 
+  /// Runtime override of config().coarsen_mode / config().topk (docs/
+  /// SPARSE.md); `topk` < 1 keeps the configured budget. Used by the CLI
+  /// flags and the serve loader, which construct models through the zoo
+  /// and reconfigure afterwards.
+  void set_coarsen_mode(CoarsenMode mode, int topk = 0) override {
+    config_.coarsen_mode = mode;
+    if (topk >= 1) config_.topk = topk;
+  }
+
   /// Deterministically restarts the Gumbel noise stream (see
   /// Module::ReseedNoise; used by the data-parallel trainers).
   void ReseedNoise(uint64_t seed) override { noise_rng_ = Rng(seed); }
@@ -124,6 +143,24 @@ class CoarseningModule : public Coarsener {
   const CoarseningConfig& config() const { return config_; }
 
  private:
+  /// H' and A' for one level, plus which product path ran.
+  struct CoarsenProducts {
+    Tensor h;
+    Tensor adj;
+    bool sparse = false;
+  };
+
+  /// Cluster formation H' = MᵀH (optionally mass-normalised; see config).
+  Tensor ClusterFeatures(const Tensor& m_t, const Tensor& h) const;
+
+  /// The mode-dispatched products (docs/SPARSE.md): dense MᵀAM, or the
+  /// top-k + fused-CSR path when the mode and the level's CSR availability
+  /// allow it. Falls back to dense (and counts coarsen.sparse_fallback)
+  /// when topk is requested but the level has no CSR view (taped inner
+  /// levels).
+  CoarsenProducts ComputeProducts(const Tensor& m, const Tensor& h,
+                                  const GraphLevel& level) const;
+
   CoarseningConfig config_;
   Tensor gcont_transform_;  // T: (F, N')          (when use_gcont)
   Tensor cluster_seeds_;    // (N', F)              (when !use_gcont)

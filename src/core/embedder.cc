@@ -133,6 +133,12 @@ void HierarchicalEmbedder::set_training(bool training) {
   for (const auto& coarsener : coarseners_) coarsener->set_training(training);
 }
 
+void HierarchicalEmbedder::set_coarsen_mode(CoarsenMode mode, int topk) {
+  for (const auto& coarsener : coarseners_) {
+    coarsener->set_coarsen_mode(mode, topk);
+  }
+}
+
 void HierarchicalEmbedder::ReseedNoise(uint64_t seed) {
   // Decorrelate the per-coarsener streams through the splitmix mixer so
   // stacked modules never share a noise sequence.

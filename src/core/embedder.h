@@ -47,6 +47,13 @@ class GraphEmbedder : public Module {
   /// Toggles training-only stochasticity (Gumbel noise in HAP).
   virtual void set_training(bool training) { (void)training; }
 
+  /// Selects how hierarchical coarseners compute A' = MᵀAM (docs/
+  /// SPARSE.md); flat embedders have no coarsening step and ignore it.
+  virtual void set_coarsen_mode(CoarsenMode mode, int topk = 0) {
+    (void)mode;
+    (void)topk;
+  }
+
   /// True when EmbedLevelsBatched mirrors EmbedLevels for this
   /// architecture/configuration; callers must fall back to per-graph
   /// execution otherwise (docs/BATCHING.md).
@@ -111,6 +118,9 @@ class HierarchicalEmbedder : public GraphEmbedder {
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) override;
   void ReseedNoise(uint64_t seed) override;
+
+  /// Forwards to every stage's coarsener (docs/SPARSE.md).
+  void set_coarsen_mode(CoarsenMode mode, int topk = 0) override;
 
   int NumLevels() const override {
     return static_cast<int>(coarseners_.size());

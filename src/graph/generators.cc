@@ -1,11 +1,61 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <utility>
 
 #include "common/check.h"
 
 namespace hap {
+
+CsrMatrix SparseErdosRenyiCsr(int n, double p, Rng* rng) {
+  HAP_CHECK_GE(n, 0);
+  HAP_CHECK(p >= 0.0 && p < 1.0);
+  // Geometric skipping (Batagelj–Brandes): instead of n(n-1)/2 Bernoulli
+  // trials — at 100k nodes that is 5e9 pair indices, past INT_MAX, hence
+  // the int64 arithmetic throughout — draw the gap to the next edge
+  // directly. Each gap is one Uniform() draw, so the cost is O(m).
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(
+      p * (static_cast<double>(n) * (n - 1) / 2.0) * 1.1 + 64));
+  if (p > 0.0 && n > 1) {
+    const double log_q = std::log1p(-p);
+    int64_t v = 1, w = -1;
+    while (v < n) {
+      const double r = 1.0 - rng->Uniform();  // (0, 1]
+      w += 1 + static_cast<int64_t>(std::floor(std::log(r) / log_q));
+      while (w >= v && v < n) {
+        w -= v;
+        ++v;
+      }
+      if (v < n) {
+        edges.emplace_back(static_cast<int>(v), static_cast<int>(w));
+      }
+    }
+  }
+  // Counting sort into symmetric CSR: degree pass, prefix sum, scatter,
+  // then an ascending sort of each row's slice.
+  std::vector<int> row_ptr(static_cast<size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++row_ptr[static_cast<size_t>(u) + 1];
+    ++row_ptr[static_cast<size_t>(v) + 1];
+  }
+  for (int r = 0; r < n; ++r) row_ptr[r + 1] += row_ptr[r];
+  std::vector<int> col_idx(static_cast<size_t>(2) * edges.size());
+  std::vector<int> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (const auto& [u, v] : edges) {
+    col_idx[static_cast<size_t>(cursor[u]++)] = v;
+    col_idx[static_cast<size_t>(cursor[v]++)] = u;
+  }
+  for (int r = 0; r < n; ++r) {
+    std::sort(col_idx.begin() + row_ptr[r], col_idx.begin() + row_ptr[r + 1]);
+  }
+  std::vector<float> values(col_idx.size(), 1.0f);
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
 
 Graph ErdosRenyi(int n, double p, Rng* rng) {
   HAP_CHECK_GE(n, 0);
@@ -43,14 +93,22 @@ Graph BarabasiAlbert(int n, int m, Rng* rng) {
   Graph g(n);
   // Seed: star over the first m+1 nodes so every seed node has degree >= 1.
   for (int v = 1; v <= m; ++v) g.AddEdge(0, v);
-  // Attachment pool: nodes appear proportionally to their degree.
+  // Attachment pool: nodes appear proportionally to their degree. The
+  // final pool holds two entries per edge — reserve it up front so large
+  // graphs do not pay repeated geometric regrowth (the graph ends with
+  // m + (n-m-1)*m edges; int64 keeps the product safe at 100k nodes).
   std::vector<int> pool;
+  const int64_t total_edges =
+      static_cast<int64_t>(m) + static_cast<int64_t>(n - m - 1) * m;
+  pool.reserve(static_cast<size_t>(2 * total_edges));
   for (int v = 1; v <= m; ++v) {
     pool.push_back(0);
     pool.push_back(v);
   }
+  std::vector<int> targets;
+  targets.reserve(static_cast<size_t>(m));
   for (int u = m + 1; u < n; ++u) {
-    std::vector<int> targets;
+    targets.clear();
     while (static_cast<int>(targets.size()) < m) {
       const int candidate = pool[rng->UniformInt(static_cast<int>(pool.size()))];
       if (std::find(targets.begin(), targets.end(), candidate) ==

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "graph/graph.h"
+#include "tensor/sparse.h"
 
 namespace hap {
 
@@ -13,6 +14,15 @@ namespace hap {
 
 /// G(n, p) Erdős–Rényi graph (possibly disconnected).
 Graph ErdosRenyi(int n, double p, Rng* rng);
+
+/// G(n, p) Erdős–Rényi adjacency emitted directly as a symmetric CSR
+/// matrix (unit weights, zero diagonal) without ever materialising the
+/// dense N×N form — Graph stores dense N² weights, which makes 100k-node
+/// graphs impossible through it (40 GB), while this path is O(m) memory
+/// and O(m) time via geometric skipping over the upper triangle. Feed the
+/// result to the sparse-native GraphLevel(CsrMatrix) constructor
+/// (docs/SPARSE.md).
+CsrMatrix SparseErdosRenyiCsr(int n, double p, Rng* rng);
 
 /// Erdős–Rényi conditioned on connectivity: extra random edges join
 /// components until the graph is connected.

@@ -1,7 +1,10 @@
 #include "graph/graph_level.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "graph/propagation.h"
@@ -38,6 +41,77 @@ obs::Counter* DispatchSparseCounter() {
   return c;
 }
 
+// CSR-native analogues of propagation.h's dense normalisers, for
+// sparse-native levels where the dense Ã = A + I detour is off limits.
+// Numerics deliberately mirror the dense code: degrees are the per-row
+// sums of Ã in ascending column order (dense ReduceSumCols adds exact
+// zeros, which is a no-op in float, so the two orders agree bit-for-bit),
+// clamped at the same eps, and each value is scaled row-factor-first.
+
+CsrMatrix CsrAddIdentity(const CsrMatrix& a) {
+  const int n = a.rows();
+  std::vector<int> row_ptr(n + 1, 0);
+  std::vector<int> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(a.nnz() + n);
+  values.reserve(a.nnz() + n);
+  for (int r = 0; r < n; ++r) {
+    bool placed = false;
+    for (int i = a.row_ptr()[r]; i < a.row_ptr()[r + 1]; ++i) {
+      const int c = a.col_idx()[i];
+      if (!placed && c >= r) {
+        if (c == r) {
+          col_idx.push_back(r);
+          values.push_back(a.values()[i] + 1.0f);
+          placed = true;
+          continue;
+        }
+        col_idx.push_back(r);
+        values.push_back(1.0f);
+        placed = true;
+      }
+      col_idx.push_back(c);
+      values.push_back(a.values()[i]);
+    }
+    if (!placed) {
+      col_idx.push_back(r);
+      values.push_back(1.0f);
+    }
+    row_ptr[r + 1] = static_cast<int>(col_idx.size());
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
+
+enum class CsrNorm { kSym, kRow };
+
+CsrMatrix CsrNormalize(const CsrMatrix& a, CsrNorm norm, float eps = 1e-9f) {
+  CsrMatrix a_tilde = CsrAddIdentity(a);
+  const int n = a_tilde.rows();
+  std::vector<float> factor(n);  // 1/deg (row) or 1/sqrt(deg) (sym)
+  for (int r = 0; r < n; ++r) {
+    float degree = 0.0f;
+    for (int i = a_tilde.row_ptr()[r]; i < a_tilde.row_ptr()[r + 1]; ++i) {
+      degree += a_tilde.values()[i];
+    }
+    degree = std::max(degree, eps);
+    factor[r] = norm == CsrNorm::kSym ? 1.0f / std::sqrt(degree)
+                                      : 1.0f / degree;
+  }
+  std::vector<int> row_ptr = a_tilde.row_ptr();
+  std::vector<int> col_idx = a_tilde.col_idx();
+  std::vector<float> values = a_tilde.values();
+  for (int r = 0; r < n; ++r) {
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      values[i] = norm == CsrNorm::kSym
+                      ? (values[i] * factor[r]) * factor[col_idx[i]]
+                      : values[i] * factor[r];
+    }
+  }
+  return CsrMatrix::FromParts(n, n, std::move(row_ptr), std::move(col_idx),
+                              std::move(values));
+}
+
 }  // namespace
 
 void SetSparseDispatch(SparseDispatch mode) {
@@ -49,8 +123,14 @@ SparseDispatch GetSparseDispatch() {
 }
 
 struct GraphLevel::State {
-  Tensor adjacency;
+  Tensor adjacency;  // undefined for sparse-native levels
   bool cacheable = false;
+  // Sparse-native storage (docs/SPARSE.md): when sparse_native is true the
+  // adjacency lives only here and num_nodes carries the size the dense
+  // tensor would otherwise report.
+  bool sparse_native = false;
+  CsrMatrix native_csr;
+  int num_nodes = 0;
 
   std::mutex mu;
   // All fields below are lazily filled under mu. Tensors cached here are
@@ -80,16 +160,36 @@ GraphLevel::GraphLevel(Tensor adjacency) : state_(std::make_shared<State>()) {
   HAP_CHECK(adjacency.defined()) << "GraphLevel needs a defined adjacency";
   HAP_CHECK_EQ(adjacency.rows(), adjacency.cols());
   state_->adjacency = std::move(adjacency);
+  state_->num_nodes = state_->adjacency.rows();
   const internal::TensorImpl& impl = state_->adjacency.impl();
   state_->cacheable = !impl.requires_grad && impl.parents.empty();
 }
 
+GraphLevel::GraphLevel(CsrMatrix adjacency)
+    : state_(std::make_shared<State>()) {
+  HAP_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  state_->sparse_native = true;
+  state_->num_nodes = adjacency.rows();
+  state_->native_csr = std::move(adjacency);
+  state_->cacheable = true;  // CSR values are input data, never taped
+}
+
+bool GraphLevel::has_dense_adjacency() const {
+  return defined() && !state_->sparse_native;
+}
+
 const Tensor& GraphLevel::adjacency() const {
   HAP_CHECK(defined()) << "use of undefined GraphLevel";
+  HAP_CHECK(!state_->sparse_native)
+      << "dense adjacency requested from a sparse-native GraphLevel; "
+         "check has_dense_adjacency() (docs/SPARSE.md)";
   return state_->adjacency;
 }
 
-int GraphLevel::num_nodes() const { return adjacency().rows(); }
+int GraphLevel::num_nodes() const {
+  HAP_CHECK(defined()) << "use of undefined GraphLevel";
+  return state_->num_nodes;
+}
 
 bool GraphLevel::cacheable() const { return defined() && state_->cacheable; }
 
@@ -97,7 +197,8 @@ double GraphLevel::Density() const {
   State& s = *state_;
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.has_density) {
-    s.density = EdgeDensity(s.adjacency);
+    s.density = s.sparse_native ? s.native_csr.Density()
+                                : EdgeDensity(s.adjacency);
     s.has_density = true;
   }
   return s.density;
@@ -105,6 +206,9 @@ double GraphLevel::Density() const {
 
 bool GraphLevel::UseSparse() const {
   if (!cacheable()) return false;
+  // A sparse-native level has no dense operators to dispatch to: the
+  // force-dense override cannot be honoured and is ignored.
+  if (state_->sparse_native) return true;
   switch (GetSparseDispatch()) {
     case SparseDispatch::kForceDense:
       return false;
@@ -117,6 +221,9 @@ bool GraphLevel::UseSparse() const {
 }
 
 Tensor GraphLevel::SymNormalized() const {
+  HAP_CHECK(has_dense_adjacency())
+      << "SymNormalized() on a sparse-native GraphLevel; propagation goes "
+         "through Propagate() which uses the native CSR (docs/SPARSE.md)";
   if (!cacheable()) {
     Tensor fresh = SymNormalize(adjacency());
     state_->NoteUncached(&CacheStats::sym_misses);
@@ -136,6 +243,9 @@ Tensor GraphLevel::SymNormalized() const {
 }
 
 Tensor GraphLevel::RowNormalized() const {
+  HAP_CHECK(has_dense_adjacency())
+      << "RowNormalized() on a sparse-native GraphLevel; use "
+         "PropagateRowNormalized() (docs/SPARSE.md)";
   if (!cacheable()) {
     Tensor fresh = RowNormalize(adjacency());
     state_->NoteUncached(&CacheStats::row_misses);
@@ -155,6 +265,9 @@ Tensor GraphLevel::RowNormalized() const {
 }
 
 Tensor GraphLevel::LogMask() const {
+  HAP_CHECK(has_dense_adjacency())
+      << "LogMask() on a sparse-native GraphLevel; attention readouts "
+         "require a dense-backed level (docs/SPARSE.md)";
   if (!cacheable()) {
     Tensor fresh = NeighborhoodLogMask(adjacency());
     state_->NoteUncached(&CacheStats::mask_misses);
@@ -176,6 +289,12 @@ Tensor GraphLevel::LogMask() const {
 const CsrMatrix* GraphLevel::AdjacencyCsr() const {
   if (!cacheable()) return nullptr;
   State& s = *state_;
+  if (s.sparse_native) {
+    CacheHitCounter()->Increment();
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.stats.adj_csr_hits;
+    return &s.native_csr;
+  }
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.adjacency_csr) {
     s.adjacency_csr =
@@ -190,12 +309,25 @@ const CsrMatrix* GraphLevel::AdjacencyCsr() const {
 }
 
 const CsrMatrix* GraphLevel::SymCsr() const {
-  Tensor dense = SymNormalized();  // fills the dense cache first
   if (!cacheable()) return nullptr;
   State& s = *state_;
+  if (!s.sparse_native) {
+    Tensor dense = SymNormalized();  // fills the dense cache first
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.sym_csr) {
+      s.sym_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+      ++s.stats.sym_csr_misses;
+      CacheMissCounter()->Increment();
+    } else {
+      ++s.stats.sym_csr_hits;
+      CacheHitCounter()->Increment();
+    }
+    return s.sym_csr.get();
+  }
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.sym_csr) {
-    s.sym_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+    s.sym_csr =
+        std::make_unique<CsrMatrix>(CsrNormalize(s.native_csr, CsrNorm::kSym));
     ++s.stats.sym_csr_misses;
     CacheMissCounter()->Increment();
   } else {
@@ -206,12 +338,25 @@ const CsrMatrix* GraphLevel::SymCsr() const {
 }
 
 const CsrMatrix* GraphLevel::RowCsr() const {
-  Tensor dense = RowNormalized();
   if (!cacheable()) return nullptr;
   State& s = *state_;
+  if (!s.sparse_native) {
+    Tensor dense = RowNormalized();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.row_csr) {
+      s.row_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+      ++s.stats.row_csr_misses;
+      CacheMissCounter()->Increment();
+    } else {
+      ++s.stats.row_csr_hits;
+      CacheHitCounter()->Increment();
+    }
+    return s.row_csr.get();
+  }
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.row_csr) {
-    s.row_csr = std::make_unique<CsrMatrix>(CsrMatrix::FromDense(dense));
+    s.row_csr =
+        std::make_unique<CsrMatrix>(CsrNormalize(s.native_csr, CsrNorm::kRow));
     ++s.stats.row_csr_misses;
     CacheMissCounter()->Increment();
   } else {
@@ -219,6 +364,11 @@ const CsrMatrix* GraphLevel::RowCsr() const {
     CacheHitCounter()->Increment();
   }
   return s.row_csr.get();
+}
+
+const CsrMatrix* GraphLevel::AdjacencyCsrOrNull() const {
+  if (!defined()) return nullptr;
+  return AdjacencyCsr();
 }
 
 Tensor GraphLevel::Propagate(const Tensor& x) const {
@@ -251,9 +401,11 @@ Tensor GraphLevel::Aggregate(const Tensor& x) const {
 void GraphLevel::WarmCaches() const {
   if (!cacheable()) return;
   Density();
-  SymNormalized();
-  RowNormalized();
-  LogMask();
+  if (has_dense_adjacency()) {
+    SymNormalized();
+    RowNormalized();
+    LogMask();
+  }
   if (UseSparse()) {
     AdjacencyCsr();
     SymCsr();

@@ -83,9 +83,31 @@ class GraphLevel {
   GraphLevel() = default;
   explicit GraphLevel(Tensor adjacency);
 
+  /// Sparse-native level: the adjacency exists only in CSR form and no
+  /// dense N×N tensor is ever materialised (docs/SPARSE.md). This is how
+  /// 100k-node graphs enter the system — a dense adjacency at that size
+  /// would be 40 GB. Sparse-native levels are always cacheable (the CSR
+  /// holds input data, not taped values) and always dispatch sparse;
+  /// the dense accessors (adjacency(), SymNormalized(), RowNormalized(),
+  /// LogMask()) CHECK-fail, and consumers that need them must test
+  /// has_dense_adjacency() first.
+  explicit GraphLevel(CsrMatrix adjacency);
+
   bool defined() const { return state_ != nullptr; }
+
+  /// True when this level is dense-backed and adjacency() may be called.
+  /// False for sparse-native levels (CSR only).
+  bool has_dense_adjacency() const;
+
   const Tensor& adjacency() const;
   int num_nodes() const;
+
+  /// CSR view of the raw adjacency when one is available: the native CSR
+  /// for sparse-native levels, the cached FromDense conversion for
+  /// cacheable dense levels, and nullptr for taped (non-cacheable) levels
+  /// — building CSR from a taped adjacency would detach it from the tape.
+  /// The coarsening module keys its topk/auto dispatch off this.
+  const CsrMatrix* AdjacencyCsrOrNull() const;
 
   /// True when the adjacency is a gradient-free leaf and derived operators
   /// may be cached (see class comment).

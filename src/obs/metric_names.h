@@ -18,6 +18,10 @@ inline constexpr char kMatMulNs[] = "tensor.matmul.ns";
 inline constexpr char kSpMatMulCalls[] = "tensor.spmatmul.calls";
 inline constexpr char kSpMatMulFlops[] = "tensor.spmatmul.flops";
 inline constexpr char kSpMatMulNs[] = "tensor.spmatmul.ns";
+// Fused CSR triple product MᵀAM (docs/SPARSE.md).
+inline constexpr char kCsrCoarsenCalls[] = "tensor.csrcoarsen.calls";
+inline constexpr char kCsrCoarsenFlops[] = "tensor.csrcoarsen.flops";
+inline constexpr char kCsrCoarsenNs[] = "tensor.csrcoarsen.ns";
 // Kernel-dispatch decisions (docs/PERFORMANCE.md): which MatMul forward
 // kernel the dispatcher picked.
 inline constexpr char kMatMulDispatchBlocked[] =
@@ -51,6 +55,15 @@ inline constexpr char kCoarsenCalls[] = "coarsen.calls";
 inline constexpr char kCoarsenNodesIn[] = "coarsen.nodes_in";
 inline constexpr char kCoarsenClustersOut[] = "coarsen.clusters_out";
 inline constexpr char kCoarsenNs[] = "coarsen.ns";
+// Sparsity-preserving coarsening (docs/SPARSE.md): which A' = MᵀAM path a
+// coarsening call dispatched to, the per-level assignment entries the
+// top-k sparsification kept/dropped, and topk/auto requests that had to
+// fall back to the dense product (no CSR view, e.g. taped inner levels).
+inline constexpr char kCoarsenModeDense[] = "coarsen.mode.dense";
+inline constexpr char kCoarsenModeTopk[] = "coarsen.mode.topk";
+inline constexpr char kCoarsenTopkKept[] = "coarsen.topk.nnz_kept";
+inline constexpr char kCoarsenTopkDropped[] = "coarsen.topk.nnz_dropped";
+inline constexpr char kCoarsenSparseFallback[] = "coarsen.sparse_fallback";
 
 // --- src/train ---
 inline constexpr char kTrainBatches[] = "train.batches";

@@ -1,6 +1,7 @@
 #ifndef HAP_POOLING_READOUT_H_
 #define HAP_POOLING_READOUT_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -42,19 +43,47 @@ class Readout : public Module {
                                 const BatchedLevel& level) const;
 };
 
-/// Result of one graph-coarsening step. `level` wraps `adjacency` so the
-/// next stage reuses its cached operators; the raw tensors stay exposed
-/// because tests and aux-loss code read them directly.
+/// How a hierarchical coarsener computes the next level's adjacency
+/// A' = MᵀAM (docs/SPARSE.md):
+///   kDense      — the original dense product; bit-deterministic and the
+///                 reference every parity test pins.
+///   kTopkSparse — assignment sparsification (top-k entries per MOA row)
+///                 plus the fused CSR triple product that never
+///                 materialises a dense N×N' intermediate. Changes
+///                 numerics; gated by accuracy parity, not bit parity.
+///   kAuto       — density-based dispatch mirroring GraphLevel::UseSparse
+///                 (kSparseDispatchDensity): sparse input levels take the
+///                 top-k path, dense levels (softmax-coarsened A') stay on
+///                 the dense product.
+enum class CoarsenMode {
+  kDense,
+  kTopkSparse,
+  kAuto,
+};
+
+/// Canonical CLI spelling ("dense", "topk", "auto").
+const char* CoarsenModeName(CoarsenMode mode);
+
+/// Parses the CLI spelling; returns false on unknown values (strict flag
+/// handling: a typo must fail up front, not silently train dense).
+bool ParseCoarsenMode(const std::string& text, CoarsenMode* mode);
+
+/// Result of one graph-coarsening step, carried primarily as a GraphLevel
+/// so the next stage reuses its cached/CSR operators. The raw dense tensor
+/// stays exposed for dense-backed levels because tests and aux-loss code
+/// read it directly; it is undefined when the level is sparse-native
+/// (never materialised densely).
 struct CoarsenResult {
   CoarsenResult() = default;
   CoarsenResult(Tensor h_in, Tensor adjacency_in)
       : h(std::move(h_in)),
         adjacency(std::move(adjacency_in)),
         level(adjacency) {}
+  CoarsenResult(Tensor h_in, GraphLevel level_in);
 
   Tensor h;          // (N', F) cluster features
-  Tensor adjacency;  // (N', N') coarsened weighted adjacency
-  GraphLevel level;  // view over `adjacency`
+  Tensor adjacency;  // (N', N') coarsened adjacency; undefined if sparse
+  GraphLevel level;  // primary representation of the coarsened structure
 };
 
 /// Result of one batched coarsening step: concatenated cluster features
@@ -84,6 +113,15 @@ class Coarsener : public Module {
   /// Toggles training-only stochasticity (HAP's Gumbel soft sampling);
   /// deterministic coarseners ignore it.
   virtual void set_training(bool training) { (void)training; }
+
+  /// Selects how A' = MᵀAM is computed (docs/SPARSE.md). `topk` is the
+  /// per-row assignment budget for the sparse path; values < 1 keep the
+  /// coarsener's configured budget. Coarseners without a sparse path
+  /// ignore the call (they stay dense).
+  virtual void set_coarsen_mode(CoarsenMode mode, int topk = 0) {
+    (void)mode;
+    (void)topk;
+  }
 
   /// True when ForwardBatched mirrors Forward for this coarsener's
   /// configuration (see docs/BATCHING.md for the supported set).

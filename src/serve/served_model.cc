@@ -32,6 +32,7 @@ StatusOr<std::shared_ptr<const ServedModel>> ServedModel::Load(
                                   s.message());
     }
     replica->set_training(false);
+    replica->set_coarsen_mode(config.coarsen_mode, config.topk);
     model->replicas_.push_back(std::move(replica));
   }
   model->num_parameters_ = model->replicas_[0]->NumParameters();
@@ -39,16 +40,26 @@ StatusOr<std::shared_ptr<const ServedModel>> ServedModel::Load(
 }
 
 Status ServedModel::ValidateRequest(const PreparedGraph& graph) const {
-  if (!graph.h.defined() || !graph.adjacency.defined()) {
+  // Sparse-native requests carry a CSR-backed level with no dense
+  // adjacency tensor (docs/SPARSE.md); either representation is accepted
+  // as long as its node count matches the feature rows.
+  const bool has_dense = graph.adjacency.defined();
+  const bool has_sparse = graph.level.defined() &&
+                          !graph.level.has_dense_adjacency();
+  if (!graph.h.defined() || (!has_dense && !has_sparse)) {
     return Status::InvalidArgument("request graph has undefined tensors");
   }
   if (graph.h.rows() < 1) {
     return Status::InvalidArgument("request graph has no nodes");
   }
-  if (graph.adjacency.rows() != graph.adjacency.cols() ||
-      graph.adjacency.rows() != graph.h.rows()) {
+  if (has_dense && (graph.adjacency.rows() != graph.adjacency.cols() ||
+                    graph.adjacency.rows() != graph.h.rows())) {
     return Status::InvalidArgument(
         "request adjacency must be square and match the feature rows");
+  }
+  if (!has_dense && graph.level.num_nodes() != graph.h.rows()) {
+    return Status::InvalidArgument(
+        "request CSR adjacency must match the feature rows");
   }
   if (graph.h.cols() != config_.feature_dim) {
     return Status::InvalidArgument(

@@ -23,6 +23,13 @@ struct ServedModelConfig {
   /// (e.g. CoarseningModule's attention snapshot), so one replica must
   /// never run two forwards at once; distinct lanes are fully isolated.
   int lanes = 1;
+  /// How hierarchical coarseners compute A' = MᵀAM (docs/SPARSE.md);
+  /// applied to every lane at load time. The default keeps the
+  /// bit-deterministic dense product.
+  CoarsenMode coarsen_mode = CoarsenMode::kDense;
+  /// Per-row assignment budget for the top-k sparse path; <= 0 keeps the
+  /// model's configured default.
+  int topk = 0;
 };
 
 /// An immutable, eval-mode model loaded from a checkpoint. Instances are

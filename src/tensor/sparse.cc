@@ -1,11 +1,15 @@
 #include "tensor/sparse.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <numeric>
+#include <utility>
 
 #include "common/check.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "tensor/ops.h"
 
 namespace hap {
 
@@ -50,6 +54,34 @@ CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
     ++out.row_ptr_[cell.first + 1];
   }
   for (int r = 0; r < rows; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  return out;
+}
+
+CsrMatrix CsrMatrix::FromParts(int rows, int cols, std::vector<int> row_ptr,
+                               std::vector<int> col_idx,
+                               std::vector<float> values) {
+  HAP_CHECK_GE(rows, 0);
+  HAP_CHECK_GE(cols, 0);
+  HAP_CHECK_EQ(row_ptr.size(), static_cast<size_t>(rows) + 1);
+  HAP_CHECK_EQ(col_idx.size(), values.size());
+  HAP_CHECK_EQ(row_ptr.front(), 0);
+  HAP_CHECK_EQ(row_ptr.back(), static_cast<int>(col_idx.size()));
+  for (int r = 0; r < rows; ++r) {
+    HAP_CHECK_LE(row_ptr[r], row_ptr[r + 1]);
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      HAP_CHECK(col_idx[i] >= 0 && col_idx[i] < cols);
+      if (i > row_ptr[r]) {
+        HAP_CHECK_LT(col_idx[i - 1], col_idx[i])
+            << "FromParts requires strictly ascending columns per row";
+      }
+    }
+  }
+  CsrMatrix out;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.row_ptr_ = std::move(row_ptr);
+  out.col_idx_ = std::move(col_idx);
+  out.values_ = std::move(values);
   return out;
 }
 
@@ -111,6 +143,164 @@ Tensor SpMatMul(const CsrMatrix& a, const Tensor& x) {
       const float* x_row = x.data() + static_cast<size_t>(col_idx[i]) * n;
       const float v = values[i];
       for (int j = 0; j < n; ++j) out_row[j] += v * x_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor CsrTransposeMatMul(const CsrMatrix& a, const Tensor& x) {
+  HAP_CHECK_EQ(a.rows(), x.rows());
+  const int m = a.rows(), k = a.cols(), n = x.cols();
+  static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kSpMatMulNs);
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* calls = obs::GetCounter(obs::names::kSpMatMulCalls);
+    static obs::Counter* flops = obs::GetCounter(obs::names::kSpMatMulFlops);
+    calls->Increment();
+    flops->Add(2ull * a.values().size() * n);
+  }
+  obs::ScopedTimerNs timer(op_ns);
+  const std::vector<int> row_ptr = a.row_ptr();
+  const std::vector<int> col_idx = a.col_idx();
+  const std::vector<float> values = a.values();
+  Tensor out = MakeOpResult(
+      k, n, {x},
+      [row_ptr, col_idx, values, m, n](internal::TensorImpl& node) {
+        internal::TensorImpl& px = *node.parents[0];
+        px.EnsureGrad();
+        // Out = AᵀX, so dX[r,:] += A[r,c] * dOut[c,:].
+        for (int r = 0; r < m; ++r) {
+          float* x_row = px.grad.data() + static_cast<size_t>(r) * n;
+          for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            const float* grad_row =
+                node.grad.data() + static_cast<size_t>(col_idx[i]) * n;
+            const float v = values[i];
+            for (int j = 0; j < n; ++j) x_row[j] += v * grad_row[j];
+          }
+        }
+      });
+  float* o = out.mutable_data();
+  for (int r = 0; r < m; ++r) {
+    const float* x_row = x.data() + static_cast<size_t>(r) * n;
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      float* out_row = o + static_cast<size_t>(col_idx[i]) * n;
+      const float v = values[i];
+      for (int j = 0; j < n; ++j) out_row[j] += v * x_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor TopKMaskRows(const Tensor& m, int k, bool renormalize, float eps) {
+  HAP_CHECK_GE(k, 1);
+  const int rows = m.rows(), cols = m.cols();
+  if (k >= cols) return m;  // exact no-op, documented in the header
+  // The selection itself is a constant of the tape (straight-through):
+  // build a 0/1 mask from the forward values, then mask with taped ops so
+  // the kept entries carry exact gradients.
+  Tensor mask(rows, cols);
+  float* mask_data = mask.mutable_data();
+  std::vector<int> order(cols);
+  for (int r = 0; r < rows; ++r) {
+    const float* row = m.data() + static_cast<size_t>(r) * cols;
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [row](int a, int b) {
+                        if (row[a] != row[b]) return row[a] > row[b];
+                        return a < b;  // deterministic ties: lower column
+                      });
+    float* mask_row = mask_data + static_cast<size_t>(r) * cols;
+    for (int i = 0; i < k; ++i) mask_row[order[i]] = 1.0f;
+  }
+  Tensor masked = Mul(m, mask);
+  if (!renormalize) return masked;
+  Tensor row_mass = ClampMin(ReduceSumCols(masked), eps);  // (rows, 1)
+  Tensor inv_mass = Div(Tensor::Ones(rows, 1), row_mass);
+  return ScaleRows(masked, inv_mass);
+}
+
+Tensor CsrCoarsenAdjacency(const CsrMatrix& a, const Tensor& m) {
+  HAP_CHECK_EQ(a.rows(), a.cols());
+  HAP_CHECK_EQ(a.rows(), m.rows());
+  const int n = a.rows(), c = m.cols();
+  // Per-row nonzero column lists of M: the sparsity the top-k mask
+  // created. Scanning is O(n*c); the product below touches only these.
+  std::vector<std::vector<int>> m_nz(n);
+  const float* md = m.data();
+  int64_t m_nnz = 0;
+  for (int r = 0; r < n; ++r) {
+    const float* row = md + static_cast<size_t>(r) * c;
+    for (int j = 0; j < c; ++j) {
+      if (row[j] != 0.0f) m_nz[r].push_back(j);
+    }
+    m_nnz += static_cast<int64_t>(m_nz[r].size());
+  }
+  static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kCsrCoarsenNs);
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* calls = obs::GetCounter(obs::names::kCsrCoarsenCalls);
+    static obs::Counter* flops = obs::GetCounter(obs::names::kCsrCoarsenFlops);
+    calls->Increment();
+    const double avg_k = n == 0 ? 0.0 : static_cast<double>(m_nnz) / n;
+    flops->Add(static_cast<uint64_t>(3.0 * a.values().size() * avg_k * avg_k));
+  }
+  obs::ScopedTimerNs timer(op_ns);
+  const std::vector<int> row_ptr = a.row_ptr();
+  const std::vector<int> col_idx = a.col_idx();
+  const std::vector<float> values = a.values();
+  Tensor out = MakeOpResult(
+      c, c, {m},
+      [row_ptr, col_idx, values, m_nz, n, c](internal::TensorImpl& node) {
+        internal::TensorImpl& pm = *node.parents[0];
+        pm.EnsureGrad();
+        const float* mv = pm.data.data();
+        const float* g = node.grad.data();  // (c, c)
+        // dM = A (M Gᵀ) + Aᵀ (M G). Both (n, c) products M·Gᵀ and M·G use
+        // M's nonzero lists, then stream A's nonzeros once.
+        std::vector<float> p1(static_cast<size_t>(n) * c, 0.0f);  // M Gᵀ
+        std::vector<float> p2(static_cast<size_t>(n) * c, 0.0f);  // M G
+        for (int i = 0; i < n; ++i) {
+          const float* m_row = mv + static_cast<size_t>(i) * c;
+          float* p1_row = p1.data() + static_cast<size_t>(i) * c;
+          float* p2_row = p2.data() + static_cast<size_t>(i) * c;
+          for (int c2 : m_nz[i]) {
+            const float mval = m_row[c2];
+            const float* g_col = g + c2;  // G[:, c2] strided
+            const float* g_row = g + static_cast<size_t>(c2) * c;  // G[c2, :]
+            for (int c1 = 0; c1 < c; ++c1) {
+              p1_row[c1] += mval * g_col[static_cast<size_t>(c1) * c];
+              p2_row[c1] += mval * g_row[c1];
+            }
+          }
+        }
+        // Wait-free single pass over A's nonzeros: entry (r, j, v) adds
+        // v*P1[j,:] to dM[r,:] (the A·P1 term) and v*P2[r,:] to dM[j,:]
+        // (the Aᵀ·P2 term).
+        for (int r = 0; r < n; ++r) {
+          float* dm_r = pm.grad.data() + static_cast<size_t>(r) * c;
+          const float* p2_r = p2.data() + static_cast<size_t>(r) * c;
+          for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+            const int j = col_idx[i];
+            const float v = values[i];
+            const float* p1_j = p1.data() + static_cast<size_t>(j) * c;
+            float* dm_j = pm.grad.data() + static_cast<size_t>(j) * c;
+            for (int q = 0; q < c; ++q) {
+              dm_r[q] += v * p1_j[q];
+              dm_j[q] += v * p2_r[q];
+            }
+          }
+        }
+      });
+  float* o = out.mutable_data();
+  for (int r = 0; r < n; ++r) {
+    const float* m_r = md + static_cast<size_t>(r) * c;
+    for (int i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      const int j = col_idx[i];
+      const float v = values[i];
+      const float* m_j = md + static_cast<size_t>(j) * c;
+      for (int c1 : m_nz[r]) {
+        const float left = m_r[c1] * v;
+        float* out_row = o + static_cast<size_t>(c1) * c;
+        for (int c2 : m_nz[j]) out_row[c2] += left * m_j[c2];
+      }
     }
   }
   return out;

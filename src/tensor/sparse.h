@@ -48,6 +48,13 @@ class CsrMatrix {
                                 const std::vector<int>& col_indices,
                                 const std::vector<float>& values);
 
+  /// Adopts prebuilt CSR arrays (validated: monotone row_ptr, in-range,
+  /// per-row ascending column indices). The O(m) path for generators that
+  /// assemble large graphs directly in CSR form without a dense detour.
+  static CsrMatrix FromParts(int rows, int cols, std::vector<int> row_ptr,
+                             std::vector<int> col_idx,
+                             std::vector<float> values);
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
@@ -72,6 +79,36 @@ class CsrMatrix {
 /// Sparse-dense product A(m,k) * X(k,n) -> (m,n) in O(nnz * n).
 /// Differentiable with respect to X only: dX += Aᵀ dOut.
 Tensor SpMatMul(const CsrMatrix& a, const Tensor& x);
+
+/// Transposed sparse-dense product Aᵀ(k,m) * X(m,n) -> (k,n) in
+/// O(nnz * n), without materialising the transposed CSR. Differentiable
+/// with respect to X only: dX += A dOut.
+Tensor CsrTransposeMatMul(const CsrMatrix& a, const Tensor& x);
+
+/// Top-k-per-row assignment sparsification (docs/SPARSE.md): keeps the k
+/// largest entries of each row of `m` (ties broken toward the lower column
+/// index, so the result is deterministic) and zeroes the rest. With
+/// `renormalize` the surviving entries are rescaled to restore each row's
+/// unit mass — the row-stochastic-assignment invariant MOA's softmax
+/// established (all-zero rows stay zero via the eps clamp).
+///
+/// Gradients are straight-through with respect to the selection: the
+/// mask is a constant of the tape, and the kept entries carry the exact
+/// gradient of the masked (and renormalised) forward. When k >= cols the
+/// call is an exact no-op and returns `m` unchanged (bit-determinism for
+/// degenerate budgets). Designed for nonnegative assignment matrices;
+/// selection is by value, not magnitude.
+Tensor TopKMaskRows(const Tensor& m, int k, bool renormalize = true,
+                    float eps = 1e-9f);
+
+/// Fused coarsened adjacency A' = Mᵀ A M -> (c, c) for a CSR A(n,n) and a
+/// (typically top-k-sparsified) dense assignment M(n,c), in
+/// O(nnz(A) * k² + n*c) where k is the max nonzeros per row of M. Neither
+/// the dense (n,c) intermediate A·M nor any dense n×n operand is ever
+/// materialised — the kernel streams A's nonzeros against M's per-row
+/// nonzero lists. Differentiable with respect to M only (A holds input
+/// adjacency data): dM = A (M dOutᵀ) + Aᵀ (M dOut).
+Tensor CsrCoarsenAdjacency(const CsrMatrix& a, const Tensor& m);
 
 /// Fraction of entries of `dense` with |value| > threshold. The default is
 /// the shared kSparsityThreshold so the reported density matches the entry

@@ -93,6 +93,10 @@ class GraphClassifier : public Module {
 
   void CollectParameters(std::vector<Tensor>* out) const override;
   void set_training(bool training) { embedder_->set_training(training); }
+  /// Passthrough to the embedder's coarsening-mode switch (docs/SPARSE.md).
+  void set_coarsen_mode(CoarsenMode mode, int topk = 0) {
+    embedder_->set_coarsen_mode(mode, topk);
+  }
   void ReseedNoise(uint64_t seed) override { embedder_->ReseedNoise(seed); }
   const GraphEmbedder& embedder() const { return *embedder_; }
 

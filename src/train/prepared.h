@@ -16,10 +16,13 @@ namespace hap {
 /// `level` is cacheable: its normalized/CSR operators are built once here
 /// (WarmCaches) and reused across every epoch, eval pass, and
 /// data-parallel worker.
+/// Sparse-native graphs (docs/SPARSE.md) leave `adjacency` undefined and
+/// carry a CSR-backed `level` instead; consumers that need the dense
+/// tensor must check level.has_dense_adjacency() first.
 struct PreparedGraph {
   Tensor h;          // (N, F) initial node features
-  Tensor adjacency;  // (N, N) raw weights
-  GraphLevel level;  // cached view over `adjacency`
+  Tensor adjacency;  // (N, N) raw weights; undefined when sparse-native
+  GraphLevel level;  // cached view over the adjacency (dense or CSR)
   int label = -1;
 };
 

@@ -1,0 +1,395 @@
+// Tests for the sparsity-preserving coarsening stack (docs/SPARSE.md):
+// top-k assignment sparsification, the transposed and fused-triple-product
+// CSR kernels, the sparse-native GraphLevel, and the CoarsenMode dispatch
+// in the coarsening module.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coarsening.h"
+#include "core/hap_model.h"
+#include "graph/generators.h"
+#include "graph/graph_level.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace hap {
+namespace {
+
+// Dense reference for the fused product: Mᵀ (A M).
+Tensor DenseCoarsen(const Tensor& a, const Tensor& m) {
+  return MatMul(Transpose(m), MatMul(a, m));
+}
+
+TEST(TopKMaskRowsTest, KeepsLargestAndRenormalizes) {
+  Tensor m = Tensor::FromVector(2, 4,
+                                {0.1f, 0.4f, 0.3f, 0.2f,  //
+                                 0.25f, 0.25f, 0.25f, 0.25f});
+  Tensor out = TopKMaskRows(m, 2);
+  // Row 0 keeps columns 1 and 2, renormalised to unit mass.
+  EXPECT_FLOAT_EQ(out.At(0, 0), 0.0f);
+  EXPECT_NEAR(out.At(0, 1), 0.4f / 0.7f, 1e-6);
+  EXPECT_NEAR(out.At(0, 2), 0.3f / 0.7f, 1e-6);
+  EXPECT_FLOAT_EQ(out.At(0, 3), 0.0f);
+  // Row 1 is all ties: deterministic tie-break keeps the LOWEST columns.
+  EXPECT_NEAR(out.At(1, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(out.At(1, 1), 0.5f, 1e-6);
+  EXPECT_FLOAT_EQ(out.At(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 3), 0.0f);
+}
+
+TEST(TopKMaskRowsTest, BudgetAtLeastColsIsExactNoOp) {
+  Tensor m = Tensor::FromVector(2, 3, {0.2f, 0.5f, 0.3f, 0.1f, 0.1f, 0.8f});
+  Tensor out = TopKMaskRows(m, 3);
+  // Not merely numerically equal: the same handle, so bits cannot drift.
+  EXPECT_EQ(out.data(), m.data());
+  Tensor out_large = TopKMaskRows(m, 100);
+  EXPECT_EQ(out_large.data(), m.data());
+}
+
+TEST(TopKMaskRowsTest, ZeroRowStaysZeroUnderRenormalize) {
+  Tensor m = Tensor::FromVector(2, 3, {0.0f, 0.0f, 0.0f, 0.6f, 0.3f, 0.1f});
+  Tensor out = TopKMaskRows(m, 2);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 2), 0.0f);
+  EXPECT_NEAR(out.At(1, 0) + out.At(1, 1), 1.0f, 1e-6);
+}
+
+TEST(TopKMaskRowsTest, NoRenormalizeKeepsRawValues) {
+  Tensor m = Tensor::FromVector(1, 3, {0.6f, 0.3f, 0.1f});
+  Tensor out = TopKMaskRows(m, 2, /*renormalize=*/false);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(out.At(0, 1), 0.3f);
+  EXPECT_FLOAT_EQ(out.At(0, 2), 0.0f);
+}
+
+TEST(TopKMaskRowsTest, GradientMatchesNumerical) {
+  // Logits are well separated so the finite-difference perturbation never
+  // flips the selection (straight-through contract: the mask is constant).
+  Rng rng(3);
+  Tensor logits = Tensor::FromVector(
+      3, 4,
+      {2.0f, -1.0f, 0.5f, -2.0f,  //
+       -1.5f, 1.0f, 2.5f, -0.5f,  //
+       0.8f, -2.2f, -1.0f, 2.1f});
+  logits.set_requires_grad(true);
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor m = SoftmaxRows(in[0]);
+        return ReduceSumAll(Square(TopKMaskRows(m, 2)));
+      },
+      {logits});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(CsrTransposeMatMulTest, MatchesDenseTransposeProduct) {
+  Rng rng(4);
+  Graph g = ConnectedErdosRenyi(8, 0.35, &rng);
+  Tensor adjacency = g.AdjacencyMatrix();
+  Tensor x = Tensor::Randn(8, 5, &rng);
+  Tensor reference = MatMul(Transpose(adjacency), x);
+  Tensor sparse = CsrTransposeMatMul(CsrMatrix::FromDense(adjacency), x);
+  ASSERT_EQ(sparse.rows(), reference.rows());
+  ASSERT_EQ(sparse.cols(), reference.cols());
+  for (int64_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(sparse.data()[i], reference.data()[i], 1e-5);
+  }
+}
+
+TEST(CsrTransposeMatMulTest, GradientMatchesNumerical) {
+  Rng rng(5);
+  Graph g = ConnectedErdosRenyi(6, 0.4, &rng);
+  CsrMatrix csr = CsrMatrix::FromDense(g.AdjacencyMatrix());
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return ReduceSumAll(Square(CsrTransposeMatMul(csr, in[0])));
+      },
+      {Tensor::Randn(6, 3, &rng, 1.0f, /*requires_grad=*/true)});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(CsrCoarsenAdjacencyTest, MatchesDenseTripleProduct) {
+  Rng rng(6);
+  Graph g = ConnectedErdosRenyi(10, 0.3, &rng);
+  Tensor adjacency = g.AdjacencyMatrix();
+  Tensor m = SoftmaxRows(Tensor::Randn(10, 4, &rng));
+  Tensor m_k = TopKMaskRows(m, 2);
+  Tensor reference = DenseCoarsen(adjacency, m_k);
+  Tensor fused = CsrCoarsenAdjacency(CsrMatrix::FromDense(adjacency), m_k);
+  ASSERT_EQ(fused.rows(), 4);
+  ASSERT_EQ(fused.cols(), 4);
+  for (int64_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(fused.data()[i], reference.data()[i], 1e-5);
+  }
+}
+
+TEST(CsrCoarsenAdjacencyTest, GradientMatchesNumerical) {
+  Rng rng(7);
+  Graph g = ConnectedErdosRenyi(6, 0.45, &rng);
+  CsrMatrix csr = CsrMatrix::FromDense(g.AdjacencyMatrix());
+  GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        return ReduceSumAll(Square(CsrCoarsenAdjacency(csr, in[0])));
+      },
+      {Tensor::Randn(6, 3, &rng, 1.0f, /*requires_grad=*/true)});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(CsrCoarsenAdjacencyTest, GradientMatchesDenseReferenceGradient) {
+  // Same upstream gradient, fused vs unfused: dM must agree.
+  Rng rng(8);
+  Graph g = ConnectedErdosRenyi(7, 0.4, &rng);
+  Tensor adjacency = g.AdjacencyMatrix();
+  CsrMatrix csr = CsrMatrix::FromDense(adjacency);
+  Tensor base = Tensor::Randn(7, 3, &rng);
+
+  Tensor m_fused = base.Detach().set_requires_grad(true);
+  ReduceSumAll(Square(CsrCoarsenAdjacency(csr, m_fused))).Backward();
+
+  Tensor m_ref = base.Detach().set_requires_grad(true);
+  ReduceSumAll(Square(DenseCoarsen(adjacency, m_ref))).Backward();
+
+  for (int64_t i = 0; i < base.size(); ++i) {
+    EXPECT_NEAR(m_fused.grad()[i], m_ref.grad()[i], 1e-4);
+  }
+}
+
+TEST(CsrCoarsenAdjacencyTest, DegenerateShapes) {
+  // Single-node graph with no edges: empty CSR row, 1-cluster assignment.
+  CsrMatrix empty = CsrMatrix::FromParts(1, 1, {0, 0}, {}, {});
+  Tensor m1 = Tensor::FromVector(1, 1, {1.0f});
+  Tensor out1 = CsrCoarsenAdjacency(empty, m1);
+  EXPECT_FLOAT_EQ(out1.At(0, 0), 0.0f);
+
+  // Isolated nodes: rows 1 and 3 have no incident edges.
+  Tensor adjacency = Tensor::FromVector(4, 4,
+                                        {0, 0, 1, 0,  //
+                                         0, 0, 0, 0,  //
+                                         1, 0, 0, 0,  //
+                                         0, 0, 0, 0});
+  Tensor m = SoftmaxRows(Tensor::FromVector(
+      4, 2, {1.0f, -1.0f, 0.5f, 0.5f, -1.0f, 1.0f, 0.0f, 0.0f}));
+  Tensor fused = CsrCoarsenAdjacency(CsrMatrix::FromDense(adjacency), m);
+  Tensor reference = DenseCoarsen(adjacency, m);
+  for (int64_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(fused.data()[i], reference.data()[i], 1e-6);
+  }
+}
+
+TEST(SparseNativeGraphLevelTest, BasicContract) {
+  Rng rng(9);
+  CsrMatrix csr = SparseErdosRenyiCsr(50, 0.1, &rng);
+  GraphLevel level(csr);
+  EXPECT_TRUE(level.defined());
+  EXPECT_FALSE(level.has_dense_adjacency());
+  EXPECT_EQ(level.num_nodes(), 50);
+  EXPECT_TRUE(level.cacheable());
+  EXPECT_TRUE(level.UseSparse());
+  ASSERT_NE(level.AdjacencyCsrOrNull(), nullptr);
+  EXPECT_EQ(level.AdjacencyCsrOrNull()->nnz(), csr.nnz());
+}
+
+TEST(SparseNativeGraphLevelTest, PropagationMatchesDenseBackedLevel) {
+  Rng rng(10);
+  CsrMatrix csr = SparseErdosRenyiCsr(40, 0.12, &rng);
+  GraphLevel sparse_level(csr);
+  GraphLevel dense_level(csr.ToDense());
+  Tensor x = Tensor::Randn(40, 6, &rng);
+  Tensor sym_sparse = sparse_level.Propagate(x);
+  Tensor sym_dense = MatMul(dense_level.SymNormalized(), x);
+  for (int64_t i = 0; i < sym_dense.size(); ++i) {
+    EXPECT_NEAR(sym_sparse.data()[i], sym_dense.data()[i], 1e-5);
+  }
+  Tensor row_sparse = sparse_level.PropagateRowNormalized(x);
+  Tensor row_dense = MatMul(dense_level.RowNormalized(), x);
+  for (int64_t i = 0; i < row_dense.size(); ++i) {
+    EXPECT_NEAR(row_sparse.data()[i], row_dense.data()[i], 1e-5);
+  }
+  Tensor agg_sparse = sparse_level.Aggregate(x);
+  Tensor agg_dense = MatMul(dense_level.adjacency(), x);
+  for (int64_t i = 0; i < agg_dense.size(); ++i) {
+    EXPECT_NEAR(agg_sparse.data()[i], agg_dense.data()[i], 1e-5);
+  }
+}
+
+TEST(SparseErdosRenyiCsrTest, SymmetricZeroDiagonalDeterministic) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  CsrMatrix a = SparseErdosRenyiCsr(200, 0.05, &rng_a);
+  CsrMatrix b = SparseErdosRenyiCsr(200, 0.05, &rng_b);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  // Symmetry + zero diagonal + sorted columns.
+  Tensor dense = a.ToDense();
+  for (int u = 0; u < 200; ++u) {
+    EXPECT_EQ(dense.At(u, u), 0.0f);
+    for (int v = 0; v < u; ++v) EXPECT_EQ(dense.At(u, v), dense.At(v, u));
+  }
+  for (int r = 0; r < 200; ++r) {
+    for (int i = a.row_ptr()[r] + 1; i < a.row_ptr()[r + 1]; ++i) {
+      EXPECT_LT(a.col_idx()[i - 1], a.col_idx()[i]);
+    }
+  }
+  // Density in the right ballpark (expected 0.05 off-diagonal).
+  EXPECT_GT(a.Density(), 0.02);
+  EXPECT_LT(a.Density(), 0.09);
+}
+
+TEST(CoarsenModeTest, ParseAndName) {
+  CoarsenMode mode;
+  EXPECT_TRUE(ParseCoarsenMode("dense", &mode));
+  EXPECT_EQ(mode, CoarsenMode::kDense);
+  EXPECT_TRUE(ParseCoarsenMode("topk", &mode));
+  EXPECT_EQ(mode, CoarsenMode::kTopkSparse);
+  EXPECT_TRUE(ParseCoarsenMode("auto", &mode));
+  EXPECT_EQ(mode, CoarsenMode::kAuto);
+  EXPECT_FALSE(ParseCoarsenMode("Dense", &mode));
+  EXPECT_FALSE(ParseCoarsenMode("", &mode));
+  EXPECT_STREQ(CoarsenModeName(CoarsenMode::kDense), "dense");
+  EXPECT_STREQ(CoarsenModeName(CoarsenMode::kTopkSparse), "topk");
+  EXPECT_STREQ(CoarsenModeName(CoarsenMode::kAuto), "auto");
+}
+
+CoarseningConfig SmallConfig() {
+  CoarseningConfig config;
+  config.in_features = 6;
+  config.num_clusters = 4;
+  config.use_gumbel = false;  // deterministic comparisons
+  return config;
+}
+
+TEST(CoarsenModeTest, DenseModeUnchangedByDefault) {
+  Rng rng(12);
+  CoarseningModule module(SmallConfig(), &rng);
+  module.set_training(false);
+  Rng data_rng(13);
+  Graph g = ConnectedErdosRenyi(12, 0.3, &data_rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  Tensor h = Tensor::Randn(12, 6, &data_rng);
+  CoarsenResult dense_default = module.Forward(h, level);
+  module.set_coarsen_mode(CoarsenMode::kDense);
+  CoarsenResult dense_explicit = module.Forward(h, level);
+  for (int64_t i = 0; i < dense_default.adjacency.size(); ++i) {
+    EXPECT_EQ(dense_default.adjacency.data()[i],
+              dense_explicit.adjacency.data()[i]);
+  }
+}
+
+TEST(CoarsenModeTest, TopkModeMatchesMaskedDenseReference) {
+  Rng rng(14);
+  CoarseningModule module(SmallConfig(), &rng);
+  module.set_training(false);
+  Rng data_rng(15);
+  Graph g = ConnectedErdosRenyi(12, 0.3, &data_rng);
+  Tensor adjacency = g.AdjacencyMatrix();
+  GraphLevel level(adjacency);
+  Tensor h = Tensor::Randn(12, 6, &data_rng);
+
+  module.set_coarsen_mode(CoarsenMode::kTopkSparse, /*topk=*/2);
+  CoarsenResult sparse = module.Forward(h, level);
+  // Reference: the same masked assignment through the dense products.
+  Tensor m_k = TopKMaskRows(module.last_attention(), 2);
+  Tensor h_ref = MatMul(Transpose(m_k), h);
+  Tensor adj_ref = DenseCoarsen(adjacency, m_k);
+  ASSERT_EQ(sparse.h.rows(), 4);
+  for (int64_t i = 0; i < h_ref.size(); ++i) {
+    EXPECT_NEAR(sparse.h.data()[i], h_ref.data()[i], 1e-5);
+  }
+  for (int64_t i = 0; i < adj_ref.size(); ++i) {
+    EXPECT_NEAR(sparse.adjacency.data()[i], adj_ref.data()[i], 1e-5);
+  }
+}
+
+TEST(CoarsenModeTest, TopkFallsBackOnTapedLevel) {
+  obs::Counter* fallback =
+      obs::GetCounter(obs::names::kCoarsenSparseFallback);
+  const uint64_t before = fallback->Value();
+  Rng rng(16);
+  CoarseningModule module(SmallConfig(), &rng);
+  module.set_training(false);
+  module.set_coarsen_mode(CoarsenMode::kTopkSparse, 2);
+  Rng data_rng(17);
+  // A taped adjacency (requires_grad) has no CSR view: the module must
+  // fall back to the dense product and count the event.
+  Tensor adjacency =
+      Tensor::Randn(10, 10, &data_rng, 1.0f, /*requires_grad=*/true);
+  Tensor h = Tensor::Randn(10, 6, &data_rng);
+  CoarsenResult result = module.Forward(h, GraphLevel(Square(adjacency)));
+  EXPECT_EQ(result.adjacency.rows(), 4);
+  EXPECT_GT(fallback->Value(), before);
+}
+
+TEST(CoarsenModeTest, TopkBudgetAtLeastClustersMatchesDenseBitwise) {
+  // k >= N' makes TopKMaskRows a no-op, so the only difference from dense
+  // mode is the fused kernel — which must then agree with the dense
+  // product to float tolerance on every entry.
+  Rng rng(18);
+  CoarseningModule module(SmallConfig(), &rng);
+  module.set_training(false);
+  Rng data_rng(19);
+  Graph g = ConnectedErdosRenyi(9, 0.4, &data_rng);
+  GraphLevel level(g.AdjacencyMatrix());
+  Tensor h = Tensor::Randn(9, 6, &data_rng);
+  CoarsenResult dense = module.Forward(h, level);
+  module.set_coarsen_mode(CoarsenMode::kTopkSparse, /*topk=*/4);
+  CoarsenResult sparse = module.Forward(h, level);
+  for (int64_t i = 0; i < dense.adjacency.size(); ++i) {
+    EXPECT_NEAR(sparse.adjacency.data()[i], dense.adjacency.data()[i], 1e-5);
+  }
+}
+
+TEST(CoarsenModeTest, AutoDispatchesSparseOnSparseNativeLevel) {
+  obs::Counter* topk_mode = obs::GetCounter(obs::names::kCoarsenModeTopk);
+  const uint64_t before = topk_mode->Value();
+  Rng rng(20);
+  CoarseningConfig config = SmallConfig();
+  CoarseningModule module(config, &rng);
+  module.set_training(false);
+  module.set_coarsen_mode(CoarsenMode::kAuto, 2);
+  Rng data_rng(21);
+  GraphLevel level(SparseErdosRenyiCsr(60, 0.05, &data_rng));
+  Tensor h = Tensor::Randn(60, 6, &data_rng);
+  CoarsenResult result = module.Forward(h, level);
+  EXPECT_EQ(result.h.rows(), 4);
+  EXPECT_GT(topk_mode->Value(), before);
+}
+
+TEST(SparseCoarsenEndToEndTest, HapForwardBackwardOnSparseNativeLevel) {
+  // Full hierarchical model on a CSR-only input level: forward must never
+  // request the dense adjacency, and backward must flow to parameters.
+  Rng rng(22);
+  HapConfig config;
+  config.feature_dim = 6;
+  config.hidden_dim = 8;
+  config.cluster_sizes = {4, 1};
+  auto model = MakeHapModel(config, &rng);
+  model->set_training(false);
+  model->set_coarsen_mode(CoarsenMode::kTopkSparse, 2);
+  Rng data_rng(23);
+  GraphLevel level(SparseErdosRenyiCsr(80, 0.04, &data_rng));
+  Tensor h = Tensor::Randn(80, 6, &data_rng);
+  std::vector<Tensor> embeddings = model->EmbedLevels(h, level);
+  ASSERT_EQ(embeddings.size(), 2u);
+  Tensor loss = ReduceSumAll(Square(embeddings.back()));
+  loss.Backward();
+  std::vector<Tensor> params;
+  model->CollectParameters(&params);
+  bool any_nonzero_grad = false;
+  for (const Tensor& p : params) {
+    for (float g_i : p.grad()) {
+      if (g_i != 0.0f) {
+        any_nonzero_grad = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_nonzero_grad);
+}
+
+}  // namespace
+}  // namespace hap
