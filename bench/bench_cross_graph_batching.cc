@@ -131,6 +131,10 @@ TrainResult MeasureTraining(const std::string& method,
 struct ServeResult {
   double wall_ms = 0.0;
   double qps = 0.0;
+  // Per-run end-to-end latency percentiles from the engine's
+  // serve.latency.ns sketch (microseconds; obs/sketch.h error contract).
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
   bool bit_identical = true;
 };
 
@@ -148,6 +152,8 @@ ServeResult RunClosedLoop(const std::shared_ptr<const ServedModel>& model,
                           const std::vector<PreparedGraph>& prepared,
                           const std::vector<int>& stream,
                           const std::vector<int>& reference) {
+  const obs::SketchSnapshot latency_before =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs);
   InferenceEngine engine(model, config);
   ServeResult run;
   const size_t concurrency = static_cast<size_t>(config.max_batch);
@@ -176,6 +182,11 @@ ServeResult RunClosedLoop(const std::shared_ptr<const ServedModel>& model,
                     .count();
   engine.Shutdown();
   run.qps = static_cast<double>(stream.size()) / (run.wall_ms / 1000.0);
+  const obs::SketchSnapshot latency =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs)
+          .DeltaSince(latency_before);
+  run.latency_p50_us = latency.Quantile(0.50) / 1e3;
+  run.latency_p99_us = latency.Quantile(0.99) / 1e3;
   return run;
 }
 
@@ -195,6 +206,10 @@ int main(int argc, char** argv) {
   const std::vector<std::string> methods = {"SumPool", "MeanPool", "HAP"};
 
   SetNumThreads(1);  // isolate batching from thread fan-out
+  // Latency percentiles come from the engine's streaming sketches
+  // (metrics must be on); the obs check.sh pass pins that enabling
+  // metrics leaves training bits unchanged.
+  obs::SetMetricsEnabled(true);
 
   // Mixed-size distinct graph pool: MUTAG-like sizes (~10–28 nodes), so
   // per-graph GEMMs sit below the blocked-kernel threshold while batched
@@ -324,6 +339,8 @@ int main(int argc, char** argv) {
         if (run.qps > best[ci].qps) {
           best[ci].qps = run.qps;
           best[ci].wall_ms = run.wall_ms;
+          best[ci].latency_p50_us = run.latency_p50_us;
+          best[ci].latency_p99_us = run.latency_p99_us;
         }
       }
     }
@@ -333,9 +350,10 @@ int main(int argc, char** argv) {
       if (c.batch_distinct && c.max_batch == 1) qps1[m] = best_run.qps;
       if (c.batch_distinct && c.max_batch == 16) qps16[m] = best_run.qps;
       std::printf(
-          "  %-8s max_batch %2d %-14s: %8.0f req/s  (%s)\n", method.c_str(),
-          c.max_batch, c.batch_distinct ? "batched" : "per-graph",
-          best_run.qps,
+          "  %-8s max_batch %2d %-14s: %8.0f req/s  p99 %7.0f us  (%s)\n",
+          method.c_str(), c.max_batch,
+          c.batch_distinct ? "batched" : "per-graph", best_run.qps,
+          best_run.latency_p99_us,
           best_run.bit_identical ? "bit-identical" : "MISMATCH");
       json.BeginObject();
       json.Field("method", method);
@@ -343,6 +361,8 @@ int main(int argc, char** argv) {
       json.Field("batch_distinct", c.batch_distinct);
       json.Field("wall_ms", best_run.wall_ms);
       json.Field("throughput_qps", best_run.qps);
+      json.Field("latency_p50_us", best_run.latency_p50_us);
+      json.Field("latency_p99_us", best_run.latency_p99_us);
       json.Field("bit_identical", best_run.bit_identical);
       json.EndObject();
     }

@@ -15,9 +15,18 @@
 // bit-identical to the model's direct single-graph forwards (eval mode is
 // deterministic; batching and thread width must not change results).
 //
+// Latency percentiles come from the engine's own streaming sketches
+// (serve.latency.ns / serve.queue_wait.ns, obs/sketch.h): each run takes
+// a sketch snapshot before and after, and DeltaSince + Quantile give the
+// run's p50/p99 within the sketch's documented <= 2% error — the same
+// numbers a production scrape would report. A final control pair reruns
+// one configuration with metrics off vs on and records the throughput
+// ratio (metrics_overhead), pinning the instrumentation cost in the JSON.
+//
 // Emits BENCH_serve_throughput.json (path overridable as argv[1]).
 // Set HAP_BENCH_FAST=1 for a quick smoke run.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -48,6 +57,11 @@ struct RunResult {
   double wall_ms = 0.0;
   double qps = 0.0;
   double coalesce_factor = 1.0;  // requests per unique forward
+  // End-to-end and queue-wait percentiles from the engine's sketches
+  // (microseconds); zero when metrics were disabled for the run.
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+  double queue_wait_p99_us = 0.0;
   bool bit_identical = true;
 };
 
@@ -63,6 +77,10 @@ RunResult RunClosedLoop(const std::shared_ptr<const ServedModel>& model,
       obs::CounterValue(obs::names::kServeRequests);
   const uint64_t coalesced_before =
       obs::CounterValue(obs::names::kServeCoalesced);
+  const obs::SketchSnapshot latency_before =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs);
+  const obs::SketchSnapshot queue_wait_before =
+      obs::SnapshotSketch(obs::names::kServeQueueWaitNs);
 
   InferenceEngine engine(model, config);
   std::vector<std::future<int>> futures;
@@ -96,6 +114,15 @@ RunResult RunClosedLoop(const std::shared_ptr<const ServedModel>& model,
     run.coalesce_factor = static_cast<double>(admitted) /
                           static_cast<double>(admitted - coalesced);
   }
+  const obs::SketchSnapshot latency =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs)
+          .DeltaSince(latency_before);
+  const obs::SketchSnapshot queue_wait =
+      obs::SnapshotSketch(obs::names::kServeQueueWaitNs)
+          .DeltaSince(queue_wait_before);
+  run.latency_p50_us = latency.Quantile(0.50) / 1e3;
+  run.latency_p99_us = latency.Quantile(0.99) / 1e3;
+  run.queue_wait_p99_us = queue_wait.Quantile(0.99) / 1e3;
   return run;
 }
 
@@ -108,6 +135,9 @@ int main(int argc, char** argv) {
 
   const std::string out_path =
       argc > 1 ? argv[1] : "BENCH_serve_throughput.json";
+  // Sketch-based latency percentiles need detailed metrics; the overhead
+  // control below measures what that costs.
+  obs::SetMetricsEnabled(true);
   const int requests = FastOr(400, 3000);
   const int pool_size = 32;
   const int hot_graphs = 2;
@@ -184,9 +214,10 @@ int main(int argc, char** argv) {
       if (threads == 1 && max_batch == 1) qps_batch1_t1 = run.qps;
       if (threads == 1 && max_batch == 16) qps_batch16_t1 = run.qps;
       std::printf(
-          "threads %d  max_batch %2d : %8.0f req/s  (%.1f req/forward, "
-          "%s)\n",
-          threads, max_batch, run.qps, run.coalesce_factor,
+          "threads %d  max_batch %2d : %8.0f req/s  p50 %6.0f us  "
+          "p99 %7.0f us  (%.1f req/forward, %s)\n",
+          threads, max_batch, run.qps, run.latency_p50_us,
+          run.latency_p99_us, run.coalesce_factor,
           run.bit_identical ? "bit-identical" : "MISMATCH");
       json.BeginObject();
       json.Field("threads", threads);
@@ -194,11 +225,61 @@ int main(int argc, char** argv) {
       json.Field("wall_ms", run.wall_ms);
       json.Field("throughput_qps", run.qps);
       json.Field("coalesce_factor", run.coalesce_factor);
+      json.Field("latency_p50_us", run.latency_p50_us);
+      json.Field("latency_p99_us", run.latency_p99_us);
+      json.Field("queue_wait_p99_us", run.queue_wait_p99_us);
       json.Field("bit_identical", run.bit_identical);
       json.EndObject();
     }
   }
   json.EndArray();
+
+  // Metrics-overhead control: the batched single-thread configuration
+  // once with detailed metrics (sketches, stage stamps) off and once on,
+  // best of `overhead_reps` each to shed scheduler noise. The ratio is
+  // reported, not gated — it documents what always-on telemetry costs.
+  {
+    SetNumThreads(1);
+    const int overhead_reps = FastOr(1, 5);
+    ServedModelConfig lanes_config = model_config;
+    lanes_config.lanes = 16;
+    auto model = ServedModel::Load(lanes_config, checkpoint);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<int> reference;
+    reference.reserve(prepared.size());
+    for (const PreparedGraph& g : prepared) {
+      reference.push_back(model.value()->Predict(g, 0));
+    }
+    EngineConfig config;
+    config.max_batch = 16;
+    config.max_delay_us = 200;
+    double qps_off = 0.0, qps_on = 0.0;
+    for (int rep = 0; rep < overhead_reps; ++rep) {
+      obs::SetMetricsEnabled(false);
+      const RunResult off = RunClosedLoop(model.value(), config, prepared,
+                                          stream, reference);
+      obs::SetMetricsEnabled(true);
+      const RunResult on = RunClosedLoop(model.value(), config, prepared,
+                                         stream, reference);
+      all_identical = all_identical && off.bit_identical && on.bit_identical;
+      qps_off = std::max(qps_off, off.qps);
+      qps_on = std::max(qps_on, on.qps);
+    }
+    const double overhead_pct =
+        qps_off > 0.0 ? (qps_off - qps_on) / qps_off * 100.0 : 0.0;
+    std::printf(
+        "metrics overhead (1 thread, max_batch 16): off %8.0f req/s, "
+        "on %8.0f req/s (%.1f%%)\n",
+        qps_off, qps_on, overhead_pct);
+    json.BeginObject("metrics_overhead");
+    json.Field("qps_metrics_off", qps_off);
+    json.Field("qps_metrics_on", qps_on);
+    json.Field("overhead_pct", overhead_pct);
+    json.EndObject();
+  }
   SetNumThreads(1);
 
   const double speedup =

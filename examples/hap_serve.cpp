@@ -10,7 +10,12 @@
 //   hap_serve --checkpoint path [--dataset mutag|imdb-b|...] [--graphs N]
 //             [--input path|-] [--method HAP] [--hidden N] [--requests N]
 //             [--qps N] [--max-batch N] [--max-delay-us N] [--seed N]
-//             [--predictions-out path]
+//             [--predictions-out path] [--access-log path]
+//
+// Latency percentiles come from the engine's own streaming sketches
+// (serve.latency.ns / serve.queue_wait.ns — docs/OBSERVABILITY.md), the
+// same numbers the telemetry exporter scrapes. --access-log writes one
+// JSON line per request with the full stage breakdown.
 //
 // Graphs come from --input (a SaveDataset file, or `-` for graph blocks
 // on stdin) when given, otherwise from the --dataset generator. Requests
@@ -50,7 +55,8 @@ constexpr char kUsage[] =
     "                 [--input path|-] [--method name] [--hidden N]\n"
     "                 [--requests N] [--qps N] [--max-batch N]\n"
     "                 [--max-delay-us N] [--seed N] [--predictions-out path]\n"
-    "                 [--coarsen-mode dense|topk|auto] [--topk K]\n";
+    "                 [--coarsen-mode dense|topk|auto] [--topk K]\n"
+    "                 [--access-log path]\n";
 
 template <typename T>
 T FlagValueOrDie(const StatusOr<T>& result) {
@@ -83,14 +89,6 @@ std::vector<Graph> ReadGraphsFromStream(std::istream* stream) {
   return graphs;
 }
 
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const size_t index = static_cast<size_t>(
-      q * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(index, values.size() - 1)];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,7 +96,7 @@ int main(int argc, char** argv) {
       argc, argv, 1,
       {"checkpoint", "dataset", "graphs", "input", "method", "hidden",
        "requests", "qps", "max-batch", "max-delay-us", "seed",
-       "predictions-out", "coarsen-mode", "topk"});
+       "predictions-out", "coarsen-mode", "topk", "access-log"});
   Flags flags = FlagValueOrDie(parsed);
   const std::string checkpoint = flags.GetString("checkpoint", "");
   if (checkpoint.empty()) {
@@ -156,7 +154,14 @@ int main(int argc, char** argv) {
       FlagValueOrDie(flags.GetInt("max-batch", engine_config.max_batch));
   engine_config.max_delay_us = FlagValueOrDie(flags.GetInt(
       "max-delay-us", static_cast<int>(engine_config.max_delay_us)));
+  engine_config.access_log_path = flags.GetString("access-log", "");
   model_config.lanes = engine_config.max_batch;
+
+  // The latency report below reads the engine's streaming sketches,
+  // which (like all detailed metrics) only record when metrics are on.
+  // Metrics never perturb predictions — serve parity is checked with
+  // them enabled.
+  obs::SetMetricsEnabled(true);
 
   StatusOr<std::shared_ptr<const serve::ServedModel>> model =
       serve::ServedModel::Load(model_config, checkpoint);
@@ -174,24 +179,19 @@ int main(int argc, char** argv) {
   const auto start = Clock::now();
   const size_t total = static_cast<size_t>(requests);
   std::vector<std::future<int>> futures(total);
-  std::vector<Clock::time_point> submit_time(total);
   std::vector<int> predictions(total, -1);
-  std::vector<double> latency_ms(total, 0.0);
   std::atomic<size_t> submitted{0};
 
-  // A concurrent drain thread records each request's completion as it
-  // happens; batches resolve in admission order, so waiting in order
-  // yields accurate per-request latencies while the replay is still
-  // submitting.
+  // A concurrent drain thread reaps each request's completion as it
+  // happens, so the replay keeps submitting while earlier batches
+  // resolve; per-request latency is measured by the engine itself
+  // (serve.latency.ns sketch, admission to future-resolve).
   std::thread drain([&] {
     for (size_t i = 0; i < total; ++i) {
       while (submitted.load(std::memory_order_acquire) <= i) {
         std::this_thread::yield();
       }
       predictions[i] = futures[i].get();
-      latency_ms[i] = std::chrono::duration<double, std::milli>(
-                          Clock::now() - submit_time[i])
-                          .count();
     }
   });
 
@@ -202,7 +202,6 @@ int main(int argc, char** argv) {
                       static_cast<int64_t>(i) * 1000000 / qps));
     }
     const PreparedGraph& graph = prepared[i % prepared.size()];
-    submit_time[i] = Clock::now();
     while (true) {
       StatusOr<std::future<int>> result = engine.Submit(graph);
       if (result.ok()) {
@@ -228,11 +227,19 @@ int main(int argc, char** argv) {
   for (const obs::HistogramSnapshot& h : snapshot.histograms) {
     if (h.name == obs::names::kServeBatchSize) mean_batch = h.Mean();
   }
+  const obs::SketchSnapshot latency =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs);
+  const obs::SketchSnapshot queue_wait =
+      obs::SnapshotSketch(obs::names::kServeQueueWaitNs);
   std::printf("replayed %zu requests over %zu graphs in %.3f s\n", total,
               prepared.size(), wall_s);
-  std::printf("throughput %.0f req/s   latency p50 %.3f ms  p99 %.3f ms\n",
-              static_cast<double>(total) / wall_s,
-              Percentile(latency_ms, 0.50), Percentile(latency_ms, 0.99));
+  std::printf(
+      "throughput %.0f req/s   latency p50 %.3f ms  p99 %.3f ms  "
+      "p999 %.3f ms\n",
+      static_cast<double>(total) / wall_s, latency.Quantile(0.50) / 1e6,
+      latency.Quantile(0.99) / 1e6, latency.Quantile(0.999) / 1e6);
+  std::printf("queue wait p50 %.3f ms  p99 %.3f ms\n",
+              queue_wait.Quantile(0.50) / 1e6, queue_wait.Quantile(0.99) / 1e6);
   std::printf("mean batch %.2f   coalesced %llu of %llu requests\n",
               mean_batch,
               static_cast<unsigned long long>(

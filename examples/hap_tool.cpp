@@ -9,19 +9,28 @@
 //   hap_tool methods                  # list available methods
 //   hap_tool ged <n1> <n2> [--seed N] # compare GED algorithms on two
 //                                     # random molecule-like graphs
+//   hap_tool metrics-dump <snapshot.json>  # pretty-print a HAP_METRICS
+//                                          # / exporter JSON snapshot
 //
 // Examples:
 //   hap_tool classify --dataset mutag --method HAP-GAT --epochs 30
 //   hap_tool classify --dataset collab --method DiffPool
 //   hap_tool ged 8 9
+//   HAP_METRICS=/tmp/m.json hap_serve ... && hap_tool metrics-dump /tmp/m.json
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/flags.h"
+#include "common/json.h"
 #include "ged/ged.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/sketch.h"
 #include "tensor/serialize.h"
 #include "train/classifier.h"
 #include "train/metrics.h"
@@ -39,7 +48,8 @@ constexpr char kUsage[] =
     "                    [--checkpoint path] [--log path.jsonl]\n"
     "                    [--coarsen-mode dense|topk|auto] [--topk K]\n"
     "  hap_tool methods\n"
-    "  hap_tool ged <n1> <n2> [--seed N]\n";
+    "  hap_tool ged <n1> <n2> [--seed N]\n"
+    "  hap_tool metrics-dump <snapshot.json>\n";
 
 /// Extracts the value from a fallible flag lookup, or prints the error plus
 /// usage and exits 2. Flag parsing is strict: mistyped flags must not be
@@ -182,6 +192,142 @@ int RunGed(int argc, char** argv) {
   return 0;
 }
 
+// --- metrics-dump ---------------------------------------------------
+
+// Rebuilds the dense bucket array of a histogram/sketch snapshot from
+// the sparse bucket_low/bucket_count pair the JSON dump carries. The
+// low edge identifies the bucket: feeding it back through the bucket
+// function recovers the index.
+template <typename SnapshotT, typename BucketFn>
+bool RebuildBuckets(const JsonValue& entry, int num_buckets, BucketFn bucket_of,
+                    SnapshotT* snap) {
+  const JsonValue* name = entry.Find("name");
+  const JsonValue* count = entry.Find("count");
+  const JsonValue* sum = entry.Find("sum");
+  const JsonValue* lows = entry.Find("bucket_low");
+  const JsonValue* counts = entry.Find("bucket_count");
+  if (name == nullptr || !name->is_string() || count == nullptr ||
+      !count->is_number() || sum == nullptr || !sum->is_number() ||
+      lows == nullptr || !lows->is_array() || counts == nullptr ||
+      !counts->is_array() || lows->array().size() != counts->array().size()) {
+    return false;
+  }
+  snap->name = name->string_value();
+  snap->count = static_cast<uint64_t>(count->number_value());
+  snap->sum = static_cast<uint64_t>(sum->number_value());
+  snap->buckets.assign(num_buckets, 0);
+  for (size_t i = 0; i < lows->array().size(); ++i) {
+    if (!lows->array()[i].is_number() || !counts->array()[i].is_number()) {
+      return false;
+    }
+    const int b =
+        bucket_of(static_cast<uint64_t>(lows->array()[i].number_value()));
+    snap->buckets[b] +=
+        static_cast<uint64_t>(counts->array()[i].number_value());
+  }
+  return true;
+}
+
+int RunMetricsDump(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    std::fprintf(stderr, "metrics-dump needs a snapshot path\n%s", kUsage);
+    return 2;
+  }
+  const std::string path = argv[2];
+  Flags flags = ParseFlagsOrDie(argc, argv, 3, {});
+  (void)flags;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<JsonValue> parsed = ParseJson(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  // Accept both a raw HAP_METRICS snapshot and the exporter's JSON
+  // ({"cumulative":<snapshot>,...}).
+  const JsonValue* root = &parsed.value();
+  if (const JsonValue* cumulative = root->Find("cumulative");
+      cumulative != nullptr) {
+    root = cumulative;
+  }
+
+  const JsonValue* counters = root->Find("counters");
+  if (counters != nullptr && counters->is_array()) {
+    std::vector<std::pair<std::string, uint64_t>> rows;
+    for (const JsonValue& c : counters->array()) {
+      const JsonValue* name = c.Find("name");
+      const JsonValue* value = c.Find("value");
+      if (name == nullptr || value == nullptr) continue;
+      rows.emplace_back(name->string_value(),
+                        static_cast<uint64_t>(value->number_value()));
+    }
+    std::sort(rows.begin(), rows.end());
+    std::printf("counters (%zu):\n", rows.size());
+    for (const auto& [name, value] : rows) {
+      std::printf("  %-44s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  const JsonValue* gauges = root->Find("gauges");
+  if (gauges != nullptr && gauges->is_array() && !gauges->array().empty()) {
+    std::printf("gauges (%zu):\n", gauges->array().size());
+    for (const JsonValue& g : gauges->array()) {
+      const JsonValue* name = g.Find("name");
+      const JsonValue* value = g.Find("value");
+      if (name == nullptr || value == nullptr) continue;
+      std::printf("  %-44s %20.6g\n", name->string_value().c_str(),
+                  value->number_value());
+    }
+  }
+  const JsonValue* histograms = root->Find("histograms");
+  if (histograms != nullptr && histograms->is_array() &&
+      !histograms->array().empty()) {
+    std::printf(
+        "histograms (%zu):      count          mean           p50           "
+        "p90           p99\n",
+        histograms->array().size());
+    for (const JsonValue& entry : histograms->array()) {
+      obs::HistogramSnapshot h;
+      if (!RebuildBuckets(entry, obs::kHistogramBuckets, obs::HistogramBucket,
+                          &h)) {
+        std::fprintf(stderr, "  (malformed histogram entry skipped)\n");
+        continue;
+      }
+      std::printf("  %-20s %7llu %13.1f %13.1f %13.1f %13.1f\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.Mean(), h.QuantileInterpolated(0.5),
+                  h.QuantileInterpolated(0.9), h.QuantileInterpolated(0.99));
+    }
+  }
+  const JsonValue* sketches = root->Find("sketches");
+  if (sketches != nullptr && sketches->is_array() &&
+      !sketches->array().empty()) {
+    std::printf(
+        "sketches (%zu):        count          mean           p50           "
+        "p99          p999\n",
+        sketches->array().size());
+    for (const JsonValue& entry : sketches->array()) {
+      obs::SketchSnapshot s;
+      if (!RebuildBuckets(entry, obs::kSketchBuckets, obs::SketchBucket, &s)) {
+        std::fprintf(stderr, "  (malformed sketch entry skipped)\n");
+        continue;
+      }
+      std::printf("  %-20s %7llu %13.1f %13.1f %13.1f %13.1f\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.Mean(), s.Quantile(0.5), s.Quantile(0.99),
+                  s.Quantile(0.999));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +345,7 @@ int main(int argc, char** argv) {
   }
   if (command == "classify") return RunClassify(argc, argv);
   if (command == "ged") return RunGed(argc, argv);
+  if (command == "metrics-dump") return RunMetricsDump(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), kUsage);
   return 2;
 }

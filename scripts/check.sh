@@ -93,9 +93,123 @@ assert doc["speedup_batch16_vs_batch1"] > 0
 print(f"serve bench OK: batched speedup "
       f"{doc['speedup_batch16_vs_batch1']:.2f}x, "
       f"coalesce {runs[1]['coalesce_factor']:.1f} req/forward")
+
+# Bench-trajectory guard (docs/OBSERVABILITY.md): the live run's sketch
+# percentiles must land near the committed bench's. The replay is a
+# closed loop that submits the whole stream up front, so queue backlog
+# — and with it absolute latency — scales with the request count;
+# comparing p50/p99 *per request* makes fast (400-request) and full
+# (3000-request) runs commensurable. The 10x two-sided tolerance is
+# deliberately generous: it absorbs machine-speed and scheduler noise
+# while still catching order-of-magnitude latency regressions and
+# sketch-math breakage (a wrong bucket decode shifts quantiles far
+# beyond 10x).
+live = doc
+committed = json.load(open("BENCH_serve_throughput.json"))
+for live_run, committed_run in zip(live["runs"], committed["runs"]):
+    assert (live_run["threads"] == committed_run["threads"]
+            and live_run["max_batch"] == committed_run["max_batch"])
+    for key in ("latency_p50_us", "latency_p99_us"):
+        live_norm = live_run[key] / live["requests"]
+        committed_norm = committed_run[key] / committed["requests"]
+        assert live_norm > 0 and committed_norm > 0, f"{key} missing/zero"
+        ratio = live_norm / committed_norm
+        assert 0.1 <= ratio <= 10.0, (
+            f"threads {live_run['threads']} max_batch "
+            f"{live_run['max_batch']}: live {key} {live_run[key]:.0f} us "
+            f"vs committed {committed_run[key]:.0f} us — per-request "
+            f"ratio {ratio:.2f} outside [0.1, 10]")
+    assert live_run["latency_p99_us"] >= live_run["latency_p50_us"]
+print("serve latency trajectory OK: live sketch p50/p99 within 10x "
+      "of committed (per-request normalized)")
 EOF
 }
 serve_pass
+
+# --- Telemetry pass (docs/OBSERVABILITY.md) -----------------------------
+# One serve replay must produce, in a single run: a grammar-valid
+# Prometheus text file plus JSON snapshot from the HAP_PROM exporter, a
+# Chrome trace whose per-request flow events are complete (each request
+# id binds producer -> batcher -> lane exactly once per stage), and an
+# access log with one well-formed JSON line per request whose stage
+# stamps are causally ordered. The snapshot must then survive the
+# hap_tool metrics-dump pretty-printer.
+telemetry_pass() {
+  echo "=== build: serve telemetry smoke ==="
+  rm -f build/metrics.prom build/metrics.prom.json build/serve_trace.json \
+    build/access.jsonl
+  HAP_PROM=build/metrics.prom HAP_TRACE=build/serve_trace.json \
+    ./build/examples/hap_serve --checkpoint build/serve_ckpt.bin \
+    --dataset mutag --method HAP --hidden 8 --requests 200 --seed 7 \
+    --access-log build/access.jsonl > /dev/null
+  python3 - <<'EOF'
+import json, re
+
+# Prometheus text exposition: TYPE lines, legal names, numeric samples,
+# cumulative le-bucketed histograms ending in +Inf.
+name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+typed = {}
+series = {}
+for line in open("build/metrics.prom"):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("#"):
+        parts = line.split()
+        assert parts[0] == "#" and parts[1] == "TYPE", f"bad comment: {line}"
+        assert parts[3] in ("counter", "gauge", "histogram"), line
+        typed[parts[2]] = parts[3]
+        continue
+    m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$", line)
+    assert m, f"unparseable sample: {line}"
+    name, labels, value = m.groups()
+    float(value)  # numeric (inf allowed)
+    base = re.sub(r"_(bucket|sum|count)$", "", name)
+    assert name in typed or base in typed, f"sample without TYPE: {name}"
+    if labels and "le=" in labels:
+        series.setdefault(name, []).append(line)
+assert any(t == "histogram" for t in typed.values()), "no histograms exported"
+for name, buckets in series.items():
+    assert any('le="+Inf"' in b for b in buckets), f"{name} missing +Inf"
+    counts = [float(b.rsplit(" ", 1)[1]) for b in buckets]
+    assert counts == sorted(counts), f"{name} buckets not cumulative"
+assert "hap_serve_latency_ns" in typed, "serve latency sketch not exported"
+
+# Exporter JSON: cumulative snapshot + interval sketch quantiles +
+# scrape sections (serve exemplars ride along here).
+doc = json.load(open("build/metrics.prom.json"))
+assert "cumulative" in doc and "interval_sketches" in doc and "sections" in doc
+exemplars = json.loads(doc["sections"]["serve_exemplars"]) \
+    if isinstance(doc["sections"]["serve_exemplars"], str) \
+    else doc["sections"]["serve_exemplars"]
+assert "slow" in exemplars and "sampled" in exemplars
+
+# Flow events: every request id appears exactly once per stage, and the
+# producer ('s') and batcher ('t') run on different tracks.
+trace = json.load(open("build/serve_trace.json"))
+flows = {}
+for e in trace["traceEvents"]:
+    if e.get("cat") == "flow":
+        assert e["ph"] in ("s", "t", "f"), e
+        flows.setdefault(e["id"], []).append(e["ph"])
+assert flows, "no flow events in serve trace"
+for fid, phases in flows.items():
+    assert sorted(phases) == ["f", "s", "t"], f"request {fid}: {phases}"
+
+# Access log: one JSON line per request, causally ordered stage stamps.
+lines = [json.loads(l) for l in open("build/access.jsonl")]
+assert len(lines) == 200, f"access log has {len(lines)} lines, want 200"
+for r in lines:
+    assert (r["enqueue_ns"] <= r["seal_ns"] <= r["forward_start_ns"]
+            <= r["forward_end_ns"] <= r["resolve_ns"]), r
+assert len({r["id"] for r in lines}) == 200, "duplicate request ids"
+print(f"telemetry smoke OK: {len(typed)} exported metric families, "
+      f"{len(flows)} request flows, {len(lines)} access-log lines")
+EOF
+  ./build/examples/hap_tool metrics-dump build/metrics.prom.json > /dev/null
+  echo "metrics-dump renders the exporter snapshot"
+}
+telemetry_pass
 
 # --- Kernel pass (docs/PERFORMANCE.md) ----------------------------------
 # The blocked MatMul micro-kernels must stay bit-identical to the naive

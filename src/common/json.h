@@ -1,0 +1,79 @@
+// Minimal JSON reader for tooling that consumes this repo's own JSON
+// artifacts (HAP_METRICS snapshots, BENCH_*.json, trace files). It
+// parses full RFC 8259 documents into a tree of JsonValue nodes:
+// objects keep insertion order (handy for diff-stable pretty printing),
+// numbers are doubles (the artifacts we read stay well inside the 2^53
+// exact-integer range), and parse errors come back as a Status naming
+// the byte offset — tools print it and exit instead of crashing on a
+// truncated dump.
+//
+// This is a reader for trusted local files, not a streaming or
+// validating parser: nesting depth is bounded (kMaxDepth) to keep
+// malicious/corrupt input from overflowing the stack, but there is no
+// SAX interface and no incremental feed.
+#ifndef HAP_COMMON_JSON_H_
+#define HAP_COMMON_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hap {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors CHECK-fail on kind mismatch (callers test kind()
+  // or use the is_*() predicates on fallible paths).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array() const;
+  // Members in document order. Duplicate keys are kept as-is (last one
+  // wins in Find).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue Null();
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue String(std::string value);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Maximum container nesting ParseJson accepts.
+inline constexpr int kMaxJsonDepth = 64;
+
+// Parses one complete JSON document (trailing whitespace allowed,
+// trailing garbage is an error). Errors name the byte offset.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace hap
+
+#endif  // HAP_COMMON_JSON_H_

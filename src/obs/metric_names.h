@@ -79,6 +79,22 @@ inline constexpr char kServeQueueWaitNs[] = "serve.queue_wait.ns";
 inline constexpr char kServeComputeNs[] = "serve.compute.ns";
 inline constexpr char kServeBatchedForwards[] = "serve.batched_forwards.total";
 inline constexpr char kServeReloads[] = "serve.model.reloads";
+// Per-request stage latencies (docs/OBSERVABILITY.md "Request tracing"):
+// Sketch metrics (tail-accurate quantiles), recorded per request when
+// telemetry is on. Stages partition the end-to-end latency:
+//   queue_wait (admission → batch seal, kServeQueueWaitNs above) +
+//   dispatch (batch seal → lane forward start) +
+//   forward (lane forward start → end) +
+//   resolve (forward end → future resolved).
+inline constexpr char kServeStageDispatchNs[] = "serve.stage.dispatch.ns";
+inline constexpr char kServeStageForwardNs[] = "serve.stage.forward.ns";
+inline constexpr char kServeStageResolveNs[] = "serve.stage.resolve.ns";
+// End-to-end request latency, admission to future-resolve.
+inline constexpr char kServeLatencyNs[] = "serve.latency.ns";
+// Slow-request exemplars captured / normal requests reservoir-sampled
+// (src/serve/telemetry.h).
+inline constexpr char kServeExemplarsSlow[] = "serve.exemplars.slow";
+inline constexpr char kServeExemplarsSampled[] = "serve.exemplars.sampled";
 
 }  // namespace hap::obs::names
 

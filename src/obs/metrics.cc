@@ -20,15 +20,21 @@ struct Shard {
   std::atomic<uint64_t> hist_count[kMaxHistograms] = {};
   std::atomic<uint64_t> hist_sum[kMaxHistograms] = {};
   std::atomic<uint64_t> hist_buckets[kMaxHistograms][kHistogramBuckets] = {};
-};
+  std::atomic<uint64_t> sketch_count[kMaxSketches] = {};
+  std::atomic<uint64_t> sketch_sum[kMaxSketches] = {};
+  // Sketch bucket arrays are kSketchBuckets cells each, so they are
+  // allocated lazily on the owning thread's first Record of that sketch
+  // (most threads — pool workers timing kernels — never record one).
+  // Only the owning thread stores the pointer; readers acquire so the
+  // zero-initialised cells are visible before the pointer is.
+  std::atomic<std::atomic<uint64_t>*> sketch_buckets[kMaxSketches] = {};
 
-[[noreturn]] void CapacityAbort(const char* kind, const std::string& name) {
-  std::fprintf(stderr,
-               "hap::obs: %s registry full while registering '%s' "
-               "(raise kMax* in obs/metrics.h)\n",
-               kind, name.c_str());
-  std::abort();
-}
+  ~Shard() {
+    for (auto& cells : sketch_buckets) {
+      delete[] cells.load(std::memory_order_relaxed);
+    }
+  }
+};
 
 void AppendEscaped(std::string* out, const std::string& s) {
   for (char c : s) {
@@ -58,7 +64,9 @@ class Registry {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = counter_ids_.find(name);
     if (it != counter_ids_.end()) return counters_[it->second].get();
-    if (num_counters_ >= kMaxCounters) CapacityAbort("counter", name);
+    if (num_counters_ >= kMaxCounters) {
+      CapacityAbort("counter", name, counter_names_, num_counters_);
+    }
     const int id = num_counters_++;
     counter_names_[id] = name;
     counter_ids_.emplace(name, id);
@@ -70,7 +78,9 @@ class Registry {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = gauge_ids_.find(name);
     if (it != gauge_ids_.end()) return gauges_[it->second].get();
-    if (num_gauges_ >= kMaxGauges) CapacityAbort("gauge", name);
+    if (num_gauges_ >= kMaxGauges) {
+      CapacityAbort("gauge", name, gauge_names_, num_gauges_);
+    }
     const int id = num_gauges_++;
     gauge_names_[id] = name;
     gauge_ids_.emplace(name, id);
@@ -82,7 +92,9 @@ class Registry {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = histogram_ids_.find(name);
     if (it != histogram_ids_.end()) return histograms_[it->second].get();
-    if (num_histograms_ >= kMaxHistograms) CapacityAbort("histogram", name);
+    if (num_histograms_ >= kMaxHistograms) {
+      CapacityAbort("histogram", name, histogram_names_, num_histograms_);
+    }
     const int id = num_histograms_++;
     histogram_names_[id] = name;
     histogram_ids_.emplace(name, id);
@@ -90,10 +102,30 @@ class Registry {
     return histograms_[id].get();
   }
 
+  Sketch* GetSketch(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sketch_ids_.find(name);
+    if (it != sketch_ids_.end()) return sketches_[it->second].get();
+    if (num_sketches_ >= kMaxSketches) {
+      CapacityAbort("sketch", name, sketch_names_, num_sketches_);
+    }
+    const int id = num_sketches_++;
+    sketch_names_[id] = name;
+    sketch_ids_.emplace(name, id);
+    sketches_[id] = std::unique_ptr<Sketch>(new Sketch(id));
+    return sketches_[id].get();
+  }
+
   int FindCounter(const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = counter_ids_.find(name);
     return it == counter_ids_.end() ? -1 : it->second;
+  }
+
+  int FindSketch(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sketch_ids_.find(name);
+    return it == sketch_ids_.end() ? -1 : it->second;
   }
 
   Shard* RegisterShard() {
@@ -131,6 +163,33 @@ class Registry {
     return total;
   }
 
+  uint64_t SumSketchCount(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->sketch_count[id].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  uint64_t SumSketchSum(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->sketch_sum[id].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  SketchSnapshot SnapshotOneSketch(int id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    SketchSnapshot snap;
+    snap.name = sketch_names_[id];
+    snap.buckets.assign(kSketchBuckets, 0);
+    AccumulateSketchLocked(id, &snap);
+    return snap;
+  }
+
   void SetGaugeBits(int id, uint64_t bits) {
     gauge_cells_[id].store(bits, std::memory_order_relaxed);
   }
@@ -143,6 +202,7 @@ class Registry {
   const std::string& HistogramName(int id) const {
     return histogram_names_[id];
   }
+  const std::string& SketchName(int id) const { return sketch_names_[id]; }
 
   MetricsSnapshot Snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -178,6 +238,13 @@ class Registry {
         }
       }
     }
+    snap.sketches.resize(num_sketches_);
+    for (int id = 0; id < num_sketches_; ++id) {
+      SketchSnapshot& s = snap.sketches[id];
+      s.name = sketch_names_[id];
+      s.buckets.assign(kSketchBuckets, 0);
+      AccumulateSketchLocked(id, &s);
+    }
     return snap;
   }
 
@@ -190,6 +257,15 @@ class Registry {
       for (auto& row : shard->hist_buckets) {
         for (auto& c : row) c.store(0, std::memory_order_relaxed);
       }
+      for (auto& c : shard->sketch_count) c.store(0, std::memory_order_relaxed);
+      for (auto& c : shard->sketch_sum) c.store(0, std::memory_order_relaxed);
+      for (auto& cells : shard->sketch_buckets) {
+        std::atomic<uint64_t>* row = cells.load(std::memory_order_acquire);
+        if (row == nullptr) continue;
+        for (int b = 0; b < kSketchBuckets; ++b) {
+          row[b].store(0, std::memory_order_relaxed);
+        }
+      }
     }
     for (auto& g : gauge_cells_) g.store(0, std::memory_order_relaxed);
   }
@@ -197,19 +273,48 @@ class Registry {
  private:
   Registry() = default;
 
+  [[noreturn]] void CapacityAbort(const char* kind, const std::string& name,
+                                  const std::string* names, int count) const {
+    std::fprintf(stderr,
+                 "hap::obs: %s registry full (capacity %d) while registering "
+                 "'%s' (raise kMax* in obs/metrics.h). Registered %s names:\n",
+                 kind, count, name.c_str(), kind);
+    for (int i = 0; i < count; ++i) {
+      std::fprintf(stderr, "  %s\n", names[i].c_str());
+    }
+    std::abort();
+  }
+
+  void AccumulateSketchLocked(int id, SketchSnapshot* snap) const {
+    for (const auto& shard : shards_) {
+      snap->count += shard->sketch_count[id].load(std::memory_order_relaxed);
+      snap->sum += shard->sketch_sum[id].load(std::memory_order_relaxed);
+      const std::atomic<uint64_t>* cells =
+          shard->sketch_buckets[id].load(std::memory_order_acquire);
+      if (cells == nullptr) continue;
+      for (int b = 0; b < kSketchBuckets; ++b) {
+        snap->buckets[b] += cells[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
   mutable std::mutex mu_;
   int num_counters_ = 0;
   int num_gauges_ = 0;
   int num_histograms_ = 0;
+  int num_sketches_ = 0;
   std::unordered_map<std::string, int> counter_ids_;
   std::unordered_map<std::string, int> gauge_ids_;
   std::unordered_map<std::string, int> histogram_ids_;
+  std::unordered_map<std::string, int> sketch_ids_;
   std::string counter_names_[kMaxCounters];
   std::string gauge_names_[kMaxGauges];
   std::string histogram_names_[kMaxHistograms];
+  std::string sketch_names_[kMaxSketches];
   std::unique_ptr<Counter> counters_[kMaxCounters];
   std::unique_ptr<Gauge> gauges_[kMaxGauges];
   std::unique_ptr<Histogram> histograms_[kMaxHistograms];
+  std::unique_ptr<Sketch> sketches_[kMaxSketches];
   std::atomic<uint64_t> gauge_cells_[kMaxGauges] = {};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
@@ -347,6 +452,32 @@ const std::string& Histogram::name() const {
   return Registry::Instance().HistogramName(id_);
 }
 
+void Sketch::Record(uint64_t value) {
+  Shard* shard = LocalShard();
+  shard->sketch_count[id_].fetch_add(1, std::memory_order_relaxed);
+  shard->sketch_sum[id_].fetch_add(value, std::memory_order_relaxed);
+  std::atomic<uint64_t>* cells =
+      shard->sketch_buckets[id_].load(std::memory_order_relaxed);
+  if (cells == nullptr) {
+    // Only the owning thread writes this slot, so there is no race to
+    // lose; the release store publishes the zero-initialised cells to
+    // concurrent snapshotters.
+    cells = new std::atomic<uint64_t>[kSketchBuckets]();
+    shard->sketch_buckets[id_].store(cells, std::memory_order_release);
+  }
+  cells[SketchBucket(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Sketch::Count() const {
+  return Registry::Instance().SumSketchCount(id_);
+}
+
+uint64_t Sketch::Sum() const { return Registry::Instance().SumSketchSum(id_); }
+
+const std::string& Sketch::name() const {
+  return Registry::Instance().SketchName(id_);
+}
+
 Counter* GetCounter(const std::string& name) {
   return Registry::Instance().GetCounter(name);
 }
@@ -359,9 +490,24 @@ Histogram* GetHistogram(const std::string& name) {
   return Registry::Instance().GetHistogram(name);
 }
 
+Sketch* GetSketch(const std::string& name) {
+  return Registry::Instance().GetSketch(name);
+}
+
 uint64_t CounterValue(const std::string& name) {
   const int id = Registry::Instance().FindCounter(name);
   return id < 0 ? 0 : Registry::Instance().SumCounter(id);
+}
+
+SketchSnapshot SnapshotSketch(const std::string& name) {
+  const int id = Registry::Instance().FindSketch(name);
+  if (id < 0) {
+    SketchSnapshot empty;
+    empty.name = name;
+    empty.buckets.assign(kSketchBuckets, 0);
+    return empty;
+  }
+  return Registry::Instance().SnapshotOneSketch(id);
 }
 
 double HistogramSnapshot::Mean() const {
@@ -380,6 +526,83 @@ uint64_t HistogramSnapshot::ApproxQuantile(double q) const {
     if (cumulative >= target) return HistogramBucketLow(b);
   }
   return HistogramBucketLow(kHistogramBuckets - 1);
+}
+
+namespace {
+
+// Shared interpolated-quantile walk over any bucketed layout. `low(b)` /
+// `high(b)` give bucket b's [low, high) span. Recorded values are
+// integers, so a bucket only holds values in [low, high - 1]; the q-th
+// value's rank is spread evenly over that inclusive span. Width-1
+// (exact) buckets therefore return their value exactly.
+template <typename LowFn, typename HighFn>
+double InterpolatedQuantile(const std::vector<uint64_t>& buckets,
+                            uint64_t count, double q, LowFn low, HighFn high) {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= target) {
+      const double within =
+          static_cast<double>(target - cumulative - 1) + 0.5;
+      const double fraction = within / static_cast<double>(buckets[b]);
+      const double lo = static_cast<double>(low(static_cast<int>(b)));
+      const double hi = static_cast<double>(high(static_cast<int>(b))) - 1.0;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += buckets[b];
+  }
+  return static_cast<double>(high(static_cast<int>(buckets.size()) - 1) - 1);
+}
+
+}  // namespace
+
+double HistogramSnapshot::QuantileInterpolated(double q) const {
+  return InterpolatedQuantile(
+      buckets, count, q, [](int b) { return HistogramBucketLow(b); },
+      [](int b) {
+        return b + 1 < kHistogramBuckets ? HistogramBucketLow(b + 1)
+                                         : uint64_t{1} << kHistogramBuckets;
+      });
+}
+
+double SketchSnapshot::Mean() const {
+  return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+}
+
+double SketchSnapshot::Quantile(double q) const {
+  return InterpolatedQuantile(buckets, count, q,
+                              [](int b) { return SketchBucketLow(b); },
+                              [](int b) { return SketchBucketHigh(b); });
+}
+
+void SketchSnapshot::MergeFrom(const SketchSnapshot& other) {
+  if (buckets.size() != static_cast<size_t>(kSketchBuckets)) {
+    buckets.assign(kSketchBuckets, 0);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < other.buckets.size() && b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+SketchSnapshot SketchSnapshot::DeltaSince(const SketchSnapshot& earlier) const {
+  SketchSnapshot delta;
+  delta.name = name;
+  delta.count = count - earlier.count;
+  delta.sum = sum - earlier.sum;
+  delta.buckets.assign(kSketchBuckets, 0);
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const uint64_t before =
+        b < earlier.buckets.size() ? earlier.buckets[b] : 0;
+    delta.buckets[b] = buckets[b] - before;
+  }
+  return delta;
 }
 
 std::string MetricsSnapshot::ToJson() const {
@@ -437,6 +660,42 @@ std::string MetricsSnapshot::ToJson() const {
       if (!first) out.push_back(',');
       first = false;
       AppendU64(&out, h.buckets[b]);
+    }
+    out.append("]}");
+  }
+  out.append("],\"sketches\":[");
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const SketchSnapshot& s = sketches[i];
+    if (i) out.push_back(',');
+    out.append("{\"name\":\"");
+    AppendEscaped(&out, s.name);
+    out.append("\",\"count\":");
+    AppendU64(&out, s.count);
+    out.append(",\"sum\":");
+    AppendU64(&out, s.sum);
+    out.append(",\"mean\":");
+    AppendDouble(&out, s.Mean());
+    out.append(",\"p50\":");
+    AppendDouble(&out, s.Quantile(0.5));
+    out.append(",\"p99\":");
+    AppendDouble(&out, s.Quantile(0.99));
+    out.append(",\"p999\":");
+    AppendDouble(&out, s.Quantile(0.999));
+    out.append(",\"bucket_low\":[");
+    bool first = true;
+    for (int b = 0; b < kSketchBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      AppendU64(&out, SketchBucketLow(b));
+    }
+    out.append("],\"bucket_count\":[");
+    first = true;
+    for (int b = 0; b < kSketchBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      AppendU64(&out, s.buckets[b]);
     }
     out.append("]}");
   }

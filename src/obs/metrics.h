@@ -35,14 +35,20 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch.h"
+
 namespace hap::obs {
 
 // Fixed registry capacities. Metric handles are created once per site
 // (function-local static), so these bound distinct names, not call
-// volume. Exceeding a capacity aborts with a message naming the metric.
-inline constexpr int kMaxCounters = 128;
+// volume. Exceeding a capacity aborts with a message naming the metric
+// and listing every name already registered (a capacity overflow is
+// almost always a site minting names dynamically — the listing makes the
+// collision obvious).
+inline constexpr int kMaxCounters = 192;
 inline constexpr int kMaxGauges = 64;
-inline constexpr int kMaxHistograms = 64;
+inline constexpr int kMaxHistograms = 96;
+inline constexpr int kMaxSketches = 32;
 
 // Histogram buckets are powers of two: bucket 0 holds value 0, bucket b
 // (b >= 1) holds values in [2^(b-1), 2^b). 48 buckets cover u64 values
@@ -97,12 +103,34 @@ class Histogram {
   int id_;
 };
 
+// Streaming quantile sketch (HDR-style; bucket scheme and <= 2% error
+// contract in obs/sketch.h). Use for latency distributions that need
+// tail quantiles (p99/p999); keep the coarse `Histogram` for size-style
+// metrics where ~2x bucket error is fine. Same hot-path cost model as
+// Histogram: one TLS shard `fetch_add` per Record. Per-shard bucket
+// storage is allocated on a thread's first Record of that sketch, so
+// threads that never record a sketch pay nothing.
+class Sketch {
+ public:
+  void Record(uint64_t value);
+  uint64_t Count() const;
+  uint64_t Sum() const;
+  const std::string& name() const;
+
+  // Internal — obtain handles via GetSketch().
+  explicit Sketch(int id) : id_(id) {}
+
+ private:
+  int id_;
+};
+
 // Registers (or finds) a metric by name. Handles are stable for the
 // process lifetime; fetch them once per site via a function-local
 // static. Registering the same name twice returns the same handle.
 Counter* GetCounter(const std::string& name);
 Gauge* GetGauge(const std::string& name);
 Histogram* GetHistogram(const std::string& name);
+Sketch* GetSketch(const std::string& name);
 
 // Convenience reader: aggregated value of a counter, 0 if the name has
 // never been registered (so readers need not force registration).
@@ -134,15 +162,51 @@ struct HistogramSnapshot {
   // Approximate quantile (0 <= q <= 1) from the log-scale buckets:
   // returns the lower bound of the bucket holding the q-th value.
   uint64_t ApproxQuantile(double q) const;
+  // Quantile with linear interpolation inside the bucket holding the
+  // q-th value: the bucket's [low, high) span is split evenly over its
+  // occupants, which is the standard histogram-quantile estimator
+  // (Prometheus' histogram_quantile does the same). Error is bounded by
+  // the bucket width — up to ~2x for these power-of-two buckets, so use
+  // a Sketch when you need tight tail quantiles; this helper exists so
+  // benches and tools stop hand-rolling bucket walks.
+  double QuantileInterpolated(double q) const;
+};
+
+struct SketchSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::vector<uint64_t> buckets;  // size kSketchBuckets
+
+  double Mean() const;
+  // Quantile (0 <= q <= 1) with linear interpolation inside the bucket
+  // holding the q-th value. Inherits the sketch error contract
+  // (obs/sketch.h): <= 2% relative error, exact for values < 128.
+  double Quantile(double q) const;
+  // Bucket-wise accumulation: merging snapshots from different shards,
+  // scrape intervals, or processes preserves the per-bucket error
+  // contract exactly. Merging snapshots of differently-named sketches is
+  // allowed (the name is left alone); bucket layouts are global constants
+  // so the arrays always line up.
+  void MergeFrom(const SketchSnapshot& other);
+  // Bucket-wise difference against an earlier snapshot of the same
+  // sketch: the distribution of values recorded in between (used by the
+  // exporter's per-interval views and the benches' per-run quantiles).
+  SketchSnapshot DeltaSince(const SketchSnapshot& earlier) const;
 };
 
 struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<SketchSnapshot> sketches;
 
   std::string ToJson() const;
 };
+
+// Aggregated snapshot of one sketch by name; empty (count 0, zeroed
+// buckets) if the name has never been registered.
+SketchSnapshot SnapshotSketch(const std::string& name);
 
 // Aggregates every registered shard. Safe to call concurrently with
 // writers (values are relaxed sums, momentarily stale, never torn).

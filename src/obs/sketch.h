@@ -1,0 +1,94 @@
+// Bucket math for the streaming quantile sketch (obs/metrics.h declares
+// the `Sketch` metric type that uses it).
+//
+// The sketch is an HDR-style histogram: values are binned by their
+// power-of-two magnitude (the "major" bucket, as in the coarse
+// `Histogram`) and each major bucket is subdivided into
+// `kSketchSubBuckets` linear sub-buckets — the next 6 bits below the
+// leading bit. Concretely:
+//
+//  * values in [0, 2*kSketchSubBuckets) are recorded exactly (one bucket
+//    per integer value);
+//  * a value v >= 2*kSketchSubBuckets lands in a bucket of width
+//    2^(bit_width(v) - 7), i.e. width <= v / kSketchSubBuckets.
+//
+// Error contract: a bucket's midpoint is within `width/2` of every value
+// in the bucket, so any quantile estimate read off the sketch (see
+// SketchSnapshot::Quantile) is within
+//
+//     1 / (2 * kSketchSubBuckets)  =  1/128  <  0.8%
+//
+// relative error of some sample at that rank, and within 1/64 (< 1.6%)
+// even when reading bucket edges instead of midpoints. Values below
+// 2*kSketchSubBuckets are exact. `tests/telemetry_test.cc` verifies the
+// <= 2% documented bound against exact sorted-sample quantiles on
+// randomized streams.
+//
+// The flattened bucket index space is small enough (kSketchBuckets
+// cells) to keep per-thread shards cheap, and snapshots are mergeable by
+// bucket-wise addition (SketchSnapshot::MergeFrom) — shards, intervals,
+// and processes aggregate without rank error beyond the per-bucket
+// contract above.
+#ifndef HAP_OBS_SKETCH_H_
+#define HAP_OBS_SKETCH_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace hap::obs {
+
+// Linear sub-buckets per power-of-two magnitude. 64 gives the <= 1.6%
+// worst-case relative bucket width documented above.
+inline constexpr int kSketchSubBuckets = 64;
+// Sub-bucket resolution starts at magnitude 2^7 (= 2 * kSketchSubBuckets);
+// everything below is exact.
+inline constexpr int kSketchFirstSplitMajor = 7;
+// Major buckets mirror the coarse histogram's range: bit widths up to 48
+// cover u64 values to 2^47 (~39 hours in nanoseconds); larger values
+// clamp into the top major bucket.
+inline constexpr int kSketchMajorBuckets = 48;
+inline constexpr int kSketchBuckets =
+    2 * kSketchSubBuckets +
+    (kSketchMajorBuckets - kSketchFirstSplitMajor) * kSketchSubBuckets;
+
+// Flattened bucket index for `value`. Exact below 2*kSketchSubBuckets,
+// magnitude-relative above. The first split major is bit width
+// kSketchFirstSplitMajor + 1 (the smallest non-exact values), so its
+// row sits directly after the exact range.
+inline int SketchBucket(uint64_t value) {
+  if (value < 2 * kSketchSubBuckets) return static_cast<int>(value);
+  int major = std::bit_width(value);  // >= kSketchFirstSplitMajor + 1
+  if (major > kSketchMajorBuckets) major = kSketchMajorBuckets;
+  // Top kSketchSubBuckets-worth of bits: (value >> shift) is in
+  // [kSketchSubBuckets, 2*kSketchSubBuckets).
+  const int shift = major - kSketchFirstSplitMajor;
+  uint64_t top = value >> shift;
+  // Clamped magnitudes (major was capped) can exceed the sub range.
+  if (top >= 2 * kSketchSubBuckets) top = 2 * kSketchSubBuckets - 1;
+  return 2 * kSketchSubBuckets +
+         (major - kSketchFirstSplitMajor - 1) * kSketchSubBuckets +
+         static_cast<int>(top) - kSketchSubBuckets;
+}
+
+// Inclusive lower bound of bucket `b`.
+inline uint64_t SketchBucketLow(int b) {
+  if (b < 2 * kSketchSubBuckets) return static_cast<uint64_t>(b);
+  const int rest = b - 2 * kSketchSubBuckets;
+  // Inverse of the index math above: row r holds major
+  // kSketchFirstSplitMajor + 1 + r, whose values shift right by r + 1.
+  const int shift = rest / kSketchSubBuckets + 1;
+  const int sub = rest % kSketchSubBuckets;
+  return static_cast<uint64_t>(kSketchSubBuckets + sub) << shift;
+}
+
+// Exclusive upper bound of bucket `b` (the next bucket's lower bound);
+// the top bucket reports the clamp boundary's width.
+inline uint64_t SketchBucketHigh(int b) {
+  if (b + 1 < kSketchBuckets) return SketchBucketLow(b + 1);
+  const int shift = kSketchMajorBuckets - kSketchFirstSplitMajor;
+  return static_cast<uint64_t>(2 * kSketchSubBuckets) << shift;
+}
+
+}  // namespace hap::obs
+
+#endif  // HAP_OBS_SKETCH_H_

@@ -15,8 +15,9 @@ namespace {
 
 struct TraceEvent {
   const char* name;  // string literal owned by the call site
-  char phase;        // 'B' or 'E'
+  char phase;        // 'B', 'E', or flow phase 's'/'t'/'f'
   uint64_t ts_ns;    // since session start
+  uint64_t flow_id;  // flow-chain id for 's'/'t'/'f'; unused for 'B'/'E'
 };
 
 // One track per thread that recorded during the session. The per-track
@@ -95,12 +96,12 @@ class Tracer {
     return Flush(path, tracks, end_ns);
   }
 
-  void Record(const char* name, char phase) {
+  void Record(const char* name, char phase, uint64_t flow_id = 0) {
     ThreadTrack* track = CurrentTrack();
     if (track == nullptr) return;
     const uint64_t ts = MonotonicNs() - start_ns_;
     std::lock_guard<std::mutex> lock(track->mu);
-    track->events.push_back(TraceEvent{name, phase, ts});
+    track->events.push_back(TraceEvent{name, phase, ts, flow_id});
   }
 
   void NameCurrentThread(const std::string& name) {
@@ -154,15 +155,25 @@ class Tracer {
   }
 
   static void AppendEvent(std::string* out, bool* first, int tid,
-                          const char* name, char phase, uint64_t ts_ns) {
+                          const char* name, char phase, uint64_t ts_ns,
+                          uint64_t flow_id = 0) {
     if (!*first) out->append(",\n");
     *first = false;
-    char buf[64];
+    char buf[96];
     out->append("{\"name\":\"");
     AppendEscaped(out, name);
     std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d",
                   phase, tid);
     out->append(buf);
+    if (phase == 's' || phase == 't' || phase == 'f') {
+      // Flow events need a category + chain id; "bp":"e" on the
+      // terminator binds the arrowhead to the enclosing slice rather
+      // than the next slice on the track.
+      std::snprintf(buf, sizeof(buf), ",\"cat\":\"flow\",\"id\":%llu",
+                    static_cast<unsigned long long>(flow_id));
+      out->append(buf);
+      if (phase == 'f') out->append(",\"bp\":\"e\"");
+    }
     std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f}",
                   static_cast<double>(ts_ns) / 1000.0);
     out->append(buf);
@@ -198,12 +209,17 @@ class Tracer {
       for (const TraceEvent& event : track->events) {
         if (event.phase == 'B') {
           open.push_back(event.name);
-        } else {
+        } else if (event.phase == 'E') {
           if (open.empty()) continue;  // orphan end: drop
           open.pop_back();
+        } else {
+          // Flow events ('s'/'t'/'f') ride along without touching the
+          // span stack; drop any emitted outside a slice so the file
+          // never contains a detached flow.
+          if (open.empty()) continue;
         }
         AppendEvent(&out, &first, track->tid, event.name, event.phase,
-                    event.ts_ns);
+                    event.ts_ns, event.flow_id);
       }
       while (!open.empty()) {
         AppendEvent(&out, &first, track->tid, open.back(), 'E', end_ns);
@@ -260,6 +276,10 @@ std::atomic<bool> g_tracing_active{false};
 
 void RecordTraceEvent(const char* name, char phase) {
   Tracer::Instance().Record(name, phase);
+}
+
+void RecordFlowEvent(const char* name, char phase, uint64_t id) {
+  Tracer::Instance().Record(name, phase, id);
 }
 
 }  // namespace internal

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace hap::obs {
@@ -36,6 +37,8 @@ namespace internal {
 extern std::atomic<bool> g_tracing_active;
 // Slow path: appends a 'B'/'E' event to the calling thread's track.
 void RecordTraceEvent(const char* name, char phase);
+// Slow path: appends a flow event ('s'/'t'/'f') with the given flow id.
+void RecordFlowEvent(const char* name, char phase, uint64_t id);
 }  // namespace internal
 
 // True while a trace session is recording. One relaxed atomic load.
@@ -63,6 +66,19 @@ void SetCurrentThreadName(const std::string& name);
 // session (0 when idle).
 size_t TraceEventCount();
 size_t TraceThreadCount();
+
+// Emits a flow event tying causally-linked spans on different threads
+// into one arrow chain in the viewer (Perfetto draws id-matched flows
+// as arrows between the slices that enclose them). `phase` is 's'
+// (flow start), 't' (flow step), or 'f' (flow end); `id` groups the
+// chain — the serve stack uses the per-request ID. Call *inside* an
+// open TraceScope on the same thread: trace viewers bind a flow event
+// to its enclosing slice, so a flow emitted outside any span renders
+// detached. Disabled path is one relaxed load, same contract as
+// TraceScope. `name` must be a string literal (it labels the arrow).
+inline void TraceFlow(const char* name, char phase, uint64_t id) {
+  if (TracingEnabled()) internal::RecordFlowEvent(name, phase, id);
+}
 
 // Fully inline so the disabled path (the default) costs one relaxed
 // load per scope and never leaves the call site.

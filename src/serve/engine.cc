@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <map>
 #include <stdexcept>
@@ -11,10 +12,17 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/telemetry.h"
 
 namespace hap::serve {
 
 namespace {
+
+// Per-process request id sequence (ids are minted in Submit and thread a
+// request through queue → batcher → lane as one trace flow). Shared
+// across engines so two engines in one process never collide on a flow
+// id; starts at 1 so id 0 means "never admitted".
+std::atomic<uint64_t> g_next_request_id{1};
 
 /// Identity of a request's graph for coalescing. PreparedGraph tensors
 /// are shared handles, so two requests carrying the same prepared graph
@@ -35,6 +43,7 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const ServedModel> model,
       queue_(config.queue_capacity) {
   HAP_CHECK(model_ != nullptr);
   HAP_CHECK_GE(config_.max_batch, 1);
+  InitTelemetry();
   batcher_ = std::thread([this] { BatchLoop(); });
 }
 
@@ -47,7 +56,20 @@ InferenceEngine::InferenceEngine(const ModelRegistry* registry,
       queue_(config.queue_capacity) {
   HAP_CHECK(registry_ != nullptr);
   HAP_CHECK_GE(config_.max_batch, 1);
+  InitTelemetry();
   batcher_ = std::thread([this] { BatchLoop(); });
+}
+
+void InferenceEngine::InitTelemetry() {
+  // Exemplars ride every exporter scrape once a serve stack exists.
+  RegisterExemplarScrapeSection();
+  if (!config_.access_log_path.empty()) {
+    access_log_ = std::fopen(config_.access_log_path.c_str(), "w");
+    if (access_log_ == nullptr) {
+      std::fprintf(stderr, "serve: cannot open access log '%s'; disabled\n",
+                   config_.access_log_path.c_str());
+    }
+  }
 }
 
 InferenceEngine::~InferenceEngine() { Shutdown(); }
@@ -57,6 +79,10 @@ void InferenceEngine::Shutdown() {
   shut_down_ = true;
   queue_.Close();
   if (batcher_.joinable()) batcher_.join();
+  if (access_log_ != nullptr) {
+    std::fclose(access_log_);
+    access_log_ = nullptr;
+  }
 }
 
 StatusOr<std::shared_ptr<const ServedModel>> InferenceEngine::CurrentModel()
@@ -82,8 +108,15 @@ StatusOr<std::future<int>> InferenceEngine::Submit(
   }
   Request request;
   request.graph = graph;
+  request.id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
   request.enqueue_ns = obs::MonotonicNs();
   std::future<int> result = request.promise.get_future();
+  if (obs::TracingEnabled()) {
+    // Admission span on the producer's track; the flow start inside it
+    // is what the batcher's 't' and the lane's 'f' chain back to.
+    HAP_TRACE_SCOPE("serve.submit");
+    obs::TraceFlow("serve.request", 's', request.id);
+  }
   if (Status s = queue_.Push(std::move(request)); !s.ok()) {
     rejected->Increment();
     return s;
@@ -109,17 +142,37 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
       obs::GetCounter(obs::names::kServeCoalesced);
   static obs::Histogram* batch_size =
       obs::GetHistogram(obs::names::kServeBatchSize);
-  static obs::Histogram* queue_wait =
-      obs::GetHistogram(obs::names::kServeQueueWaitNs);
-  static obs::Histogram* compute =
-      obs::GetHistogram(obs::names::kServeComputeNs);
+  // Latency distributions are Sketches (tail-accurate quantiles,
+  // docs/OBSERVABILITY.md); batch size stays a coarse Histogram.
+  static obs::Sketch* queue_wait =
+      obs::GetSketch(obs::names::kServeQueueWaitNs);
+  static obs::Sketch* compute = obs::GetSketch(obs::names::kServeComputeNs);
+  static obs::Sketch* stage_dispatch =
+      obs::GetSketch(obs::names::kServeStageDispatchNs);
+  static obs::Sketch* stage_forward =
+      obs::GetSketch(obs::names::kServeStageForwardNs);
+  static obs::Sketch* stage_resolve =
+      obs::GetSketch(obs::names::kServeStageResolveNs);
+  static obs::Sketch* latency = obs::GetSketch(obs::names::kServeLatencyNs);
+
+  // One gate for the whole batch: stage stamps, flow events, exemplars,
+  // and the access log all hang off it, so a run with everything off
+  // pays two relaxed loads per batch and nothing per request.
+  const bool tracing = obs::TracingEnabled();
+  const bool metrics = obs::MetricsEnabled();
+  const bool telemetry = metrics || tracing || access_log_ != nullptr;
 
   batches->Increment();
   batch_size->Record(batch.size());
-  if (obs::MetricsEnabled()) {
+  if (telemetry) {
+    // Batch-seal stamp (queue exit): the same instant for every member
+    // by construction — the batch is sealed as a unit.
     const uint64_t now = obs::MonotonicNs();
-    for (const Request& request : batch) {
-      queue_wait->Record(now - request.enqueue_ns);
+    for (Request& request : batch) {
+      request.seal_ns = now;
+      if (metrics) queue_wait->Record(now - request.enqueue_ns);
+      // Flow step on the batcher track, inside the serve.batch span.
+      if (tracing) obs::TraceFlow("serve.request", 't', request.id);
     }
   }
 
@@ -167,9 +220,31 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
   while (lane_arenas_.size() < static_cast<size_t>(lanes)) {
     lane_arenas_.push_back(std::make_shared<TensorArena>());
   }
+  // Stamps forward start/end on every request in groups [lo, hi) —
+  // per-request attribution of lane time (the same instant for all
+  // members of a chunk: the chunk is one forward).
+  const auto stamp_forward = [&groups](size_t lo, size_t hi, uint64_t start,
+                                       uint64_t end) {
+    for (size_t g = lo; g < hi; ++g) {
+      for (Request& request : groups[g]) {
+        request.forward_start_ns = start;
+        request.forward_end_ns = end;
+      }
+    }
+  };
+  // Flow terminators for groups [lo, hi), emitted inside the lane span
+  // so the arrowhead binds to the lane slice ("bp":"e").
+  const auto flow_finish = [&groups](size_t lo, size_t hi) {
+    for (size_t g = lo; g < hi; ++g) {
+      for (const Request& request : groups[g]) {
+        obs::TraceFlow("serve.request", 'f', request.id);
+      }
+    }
+  };
+
+  const uint64_t compute_start = metrics ? obs::MonotonicNs() : 0;
   try {
     HAP_TRACE_SCOPE("serve.batch.compute");
-    obs::ScopedTimerNs timer(compute);
     if (config_.batch_distinct && model->SupportsBatchedInference()) {
       // Batched path: split the unique graphs into one contiguous chunk
       // per lane and run each chunk as a single segment-batched forward
@@ -184,6 +259,9 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
         const size_t lo = groups.size() * static_cast<size_t>(lane) / chunks;
         const size_t hi =
             groups.size() * (static_cast<size_t>(lane) + 1) / chunks;
+        HAP_TRACE_SCOPE("serve.lane.forward");
+        if (tracing) flow_finish(lo, hi);
+        const uint64_t start = telemetry ? obs::MonotonicNs() : 0;
         ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
         std::vector<PreparedGraph> graphs;
         graphs.reserve(hi - lo);
@@ -194,6 +272,7 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
             model->PredictBatched(graphs, static_cast<int>(lane));
         std::copy(chunk_predictions.begin(), chunk_predictions.end(),
                   predictions.begin() + static_cast<int64_t>(lo));
+        if (telemetry) stamp_forward(lo, hi, start, obs::MonotonicNs());
       });
     } else {
       // Per-graph fallback: one forward per unique graph, fanned across
@@ -204,9 +283,13 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
             std::min(groups.size() - wave, static_cast<size_t>(lanes)));
         GlobalThreadPool().Run(wave_size, [&](int64_t lane) {
           const size_t g = wave + static_cast<size_t>(lane);
+          HAP_TRACE_SCOPE("serve.lane.forward");
+          if (tracing) flow_finish(g, g + 1);
+          const uint64_t start = telemetry ? obs::MonotonicNs() : 0;
           ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
           predictions[g] =
               model->Predict(groups[g].front().graph, static_cast<int>(lane));
+          if (telemetry) stamp_forward(g, g + 1, start, obs::MonotonicNs());
         });
       }
     }
@@ -221,11 +304,51 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
     return;
   }
 
+  if (metrics) compute->Record(obs::MonotonicNs() - compute_start);
+
+  // Resolve stamp: taken once before the fan-out so every member of the
+  // batch reports the same boundary (set_value order is bookkeeping, not
+  // a meaningful latency difference).
+  const uint64_t resolve_ns = telemetry ? obs::MonotonicNs() : 0;
   for (size_t g = 0; g < groups.size(); ++g) {
     for (Request& request : groups[g]) {
       request.promise.set_value(predictions[g]);
     }
   }
+  if (!telemetry) return;
+
+  // Waiters are unblocked; record per-request telemetry at leisure.
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const Request& request : groups[g]) {
+      if (metrics) {
+        stage_dispatch->Record(request.forward_start_ns - request.seal_ns);
+        stage_forward->Record(request.forward_end_ns -
+                              request.forward_start_ns);
+        stage_resolve->Record(resolve_ns - request.forward_end_ns);
+        latency->Record(resolve_ns - request.enqueue_ns);
+      }
+      if (metrics || access_log_ != nullptr) {
+        RequestExemplar exemplar;
+        exemplar.id = request.id;
+        exemplar.enqueue_ns = request.enqueue_ns;
+        exemplar.seal_ns = request.seal_ns;
+        exemplar.forward_start_ns = request.forward_start_ns;
+        exemplar.forward_end_ns = request.forward_end_ns;
+        exemplar.resolve_ns = resolve_ns;
+        exemplar.latency_ns = resolve_ns - request.enqueue_ns;
+        exemplar.batch_size = static_cast<int>(batch.size());
+        exemplar.coalesced_group = static_cast<int>(groups[g].size());
+        exemplar.prediction = predictions[g];
+        if (metrics) ExemplarStore::Instance().Record(exemplar);
+        if (access_log_ != nullptr) {
+          const std::string line = exemplar.ToJson();
+          std::fwrite(line.data(), 1, line.size(), access_log_);
+          std::fputc('\n', access_log_);
+        }
+      }
+    }
+  }
+  if (access_log_ != nullptr) std::fflush(access_log_);
 }
 
 }  // namespace hap::serve

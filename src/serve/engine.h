@@ -2,6 +2,7 @@
 #define HAP_SERVE_ENGINE_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <future>
 #include <memory>
 #include <string>
@@ -40,6 +41,12 @@ struct EngineConfig {
   /// batched-parity contract); models whose architecture has no batched
   /// mirror silently fall back to per-graph forwards.
   bool batch_distinct = true;
+  /// Non-empty: append one JSON line per completed request (id, stage
+  /// timestamps, latency, batch size, prediction — the RequestExemplar
+  /// fields) to this path. Opening the access log turns on per-request
+  /// stage stamping for every batch; leave empty (the default) to keep
+  /// the disabled-mode cost at one relaxed load per gate.
+  std::string access_log_path;
 };
 
 /// Inference front end: admission control, micro-batching, and fan-out of
@@ -86,6 +93,7 @@ class InferenceEngine {
   StatusOr<std::shared_ptr<const ServedModel>> CurrentModel() const;
   void BatchLoop();
   void ProcessBatch(std::vector<Request> batch);
+  void InitTelemetry();
 
   const EngineConfig config_;
   const ModelRegistry* registry_ = nullptr;  // nullptr => fixed model
@@ -99,6 +107,9 @@ class InferenceEngine {
   // heap allocation. Sized lazily by ProcessBatch (only the batcher
   // thread touches it) and grown if a hot-swap raises the lane count.
   std::vector<std::shared_ptr<TensorArena>> lane_arenas_;
+  // Per-request JSONL access log (EngineConfig::access_log_path).
+  // Written only by the batcher thread; closed by Shutdown.
+  std::FILE* access_log_ = nullptr;
 };
 
 }  // namespace hap::serve

@@ -16,10 +16,23 @@ namespace hap::serve {
 /// One queued inference request. The graph is held by value: PreparedGraph
 /// tensors are shared handles, so this aliases the caller's data instead
 /// of copying it.
+///
+/// `id` and the stage stamps implement per-request causal tracing
+/// (docs/OBSERVABILITY.md): the id is minted once per admission by
+/// InferenceEngine::Submit and threads the request through queue →
+/// batcher → lane as one flow; the stamps mark the stage boundaries
+/// (admission → batch seal → forward start/end → future resolve) that
+/// the serve.stage.* sketches and slow-request exemplars are built from.
+/// Only `enqueue_ns` is always stamped (the always-on queue-wait
+/// metric); the rest stay 0 unless telemetry is enabled for the batch.
 struct Request {
   PreparedGraph graph;
   std::promise<int> promise;  // fulfilled with the predicted class
+  uint64_t id = 0;            // monotonic per-engine-process request id
   uint64_t enqueue_ns = 0;    // MonotonicNs at admission (queue-wait metric)
+  uint64_t seal_ns = 0;       // batch sealed (queue exit) on the batcher
+  uint64_t forward_start_ns = 0;  // lane forward began (lane thread)
+  uint64_t forward_end_ns = 0;    // lane forward returned (lane thread)
 };
 
 /// Bounded MPSC queue feeding the micro-batcher.

@@ -1,0 +1,167 @@
+#include "serve/telemetry.h"
+
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "obs/exporter.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+
+namespace hap::serve {
+
+std::string RequestExemplar::ToJson() const {
+  obs::JsonRecord record;
+  record.Add("id", id)
+      .Add("enqueue_ns", enqueue_ns)
+      .Add("seal_ns", seal_ns)
+      .Add("forward_start_ns", forward_start_ns)
+      .Add("forward_end_ns", forward_end_ns)
+      .Add("resolve_ns", resolve_ns)
+      .Add("latency_ns", latency_ns)
+      .Add("batch_size", batch_size)
+      .Add("coalesced_group", coalesced_group)
+      .Add("prediction", prediction);
+  return record.ToJsonLine();
+}
+
+namespace {
+
+uint64_t InitialSlowThresholdNs() {
+  const char* env = std::getenv("HAP_SLOW_REQUEST_NS");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0') return parsed;
+  }
+  return kDefaultSlowThresholdNs;
+}
+
+// All store state lives here so ExemplarStore itself stays an empty
+// facade (Instance() returns a leaked singleton, like the registry).
+struct StoreState {
+  mutable std::mutex mu;
+  uint64_t slow_threshold_ns = InitialSlowThresholdNs();
+  std::deque<RequestExemplar> slow;          // ring, newest at back
+  std::vector<RequestExemplar> reservoir;    // uniform sample
+  uint64_t normal_seen = 0;                  // stream length for reservoir
+  // Deterministic LCG (Numerical Recipes constants) for reservoir
+  // replacement — keeps sampling reproducible and off the libc RNG.
+  uint64_t rng = 0x9e3779b97f4a7c15ull;
+
+  uint64_t NextRandom() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 16;
+  }
+};
+
+StoreState& State() {
+  static StoreState* state = new StoreState();
+  return *state;
+}
+
+}  // namespace
+
+ExemplarStore::ExemplarStore() = default;
+
+ExemplarStore& ExemplarStore::Instance() {
+  static ExemplarStore* store = new ExemplarStore();
+  return *store;
+}
+
+void ExemplarStore::Record(const RequestExemplar& exemplar) {
+  static obs::Counter* slow_count =
+      obs::GetCounter(obs::names::kServeExemplarsSlow);
+  static obs::Counter* sampled_count =
+      obs::GetCounter(obs::names::kServeExemplarsSampled);
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (exemplar.latency_ns >= state.slow_threshold_ns) {
+    slow_count->Increment();
+    state.slow.push_back(exemplar);
+    if (state.slow.size() > kSlowExemplarCapacity) state.slow.pop_front();
+    return;
+  }
+  // Algorithm R: keep each of the N normal requests seen so far with
+  // probability capacity/N.
+  ++state.normal_seen;
+  if (state.reservoir.size() < kSampledExemplarCapacity) {
+    sampled_count->Increment();
+    state.reservoir.push_back(exemplar);
+    return;
+  }
+  const uint64_t slot = state.NextRandom() % state.normal_seen;
+  if (slot < state.reservoir.size()) {
+    sampled_count->Increment();
+    state.reservoir[slot] = exemplar;
+  }
+}
+
+std::vector<RequestExemplar> ExemplarStore::SlowSnapshot() const {
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return {state.slow.begin(), state.slow.end()};
+}
+
+std::vector<RequestExemplar> ExemplarStore::SampleSnapshot() const {
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.reservoir;
+}
+
+std::string ExemplarStore::ScrapeJson() const {
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::string out = "{\"slow_threshold_ns\":";
+  out += std::to_string(state.slow_threshold_ns);
+  out += ",\"slow\":[";
+  bool first = true;
+  for (const RequestExemplar& e : state.slow) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += e.ToJson();
+  }
+  out += "],\"sampled\":[";
+  first = true;
+  for (const RequestExemplar& e : state.reservoir) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += e.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+uint64_t ExemplarStore::slow_threshold_ns() const {
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.slow_threshold_ns;
+}
+
+void ExemplarStore::SetSlowThresholdNs(uint64_t ns) {
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.slow_threshold_ns = ns;
+}
+
+void ExemplarStore::Reset() {
+  StoreState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.slow.clear();
+  state.reservoir.clear();
+  state.normal_seen = 0;
+  state.rng = 0x9e3779b97f4a7c15ull;
+}
+
+void RegisterExemplarScrapeSection() {
+  static const bool registered = [] {
+    obs::RegisterScrapeSection("serve_exemplars", [] {
+      return ExemplarStore::Instance().ScrapeJson();
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace hap::serve

@@ -1,0 +1,87 @@
+// Slow-request exemplars for the serve stack (docs/OBSERVABILITY.md).
+//
+// Aggregate sketches answer "what is p99?"; exemplars answer "what did a
+// p99 request actually do?". The batcher records one RequestExemplar per
+// completed request when telemetry is on; the store keeps
+//  * a ring buffer of the most recent requests whose end-to-end latency
+//    crossed the slow threshold (full stage breakdown preserved), and
+//  * a reservoir sample of normal requests (uniform over the stream, so
+//    the sample stays representative no matter how long the process
+//    runs).
+// Both are dumped as a JSON scrape section with every TelemetryExporter
+// scrape (obs/exporter.h), so a Prometheus alert on hap_serve_latency_ns
+// can be debugged from the same scrape that fired it.
+//
+// Threshold: HAP_SLOW_REQUEST_NS in the environment, else
+// kDefaultSlowThresholdNs (10ms); override programmatically with
+// SetSlowThresholdNs. Recording costs one mutex acquisition on the
+// batcher thread per request and happens only when the engine's
+// telemetry gate is already open, so the disabled-mode cost contract is
+// untouched.
+#ifndef HAP_SERVE_TELEMETRY_H_
+#define HAP_SERVE_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hap::serve {
+
+inline constexpr uint64_t kDefaultSlowThresholdNs = 10'000'000;  // 10ms
+inline constexpr int kSlowExemplarCapacity = 64;
+inline constexpr int kSampledExemplarCapacity = 32;
+
+/// Full stage breakdown of one completed request. Timestamps are
+/// absolute MonotonicNs so exemplars line up with trace files; the
+/// stage durations the sketches record are their pairwise differences.
+struct RequestExemplar {
+  uint64_t id = 0;
+  uint64_t enqueue_ns = 0;
+  uint64_t seal_ns = 0;
+  uint64_t forward_start_ns = 0;
+  uint64_t forward_end_ns = 0;
+  uint64_t resolve_ns = 0;
+  uint64_t latency_ns = 0;  // resolve - enqueue
+  int batch_size = 0;       // size of the micro-batch the request rode in
+  int coalesced_group = 0;  // requests sharing its forward (>=1)
+  int prediction = -1;
+
+  std::string ToJson() const;
+};
+
+/// Process-wide exemplar store (one serve stack per process in practice;
+/// engines share it the way they share the metrics registry).
+class ExemplarStore {
+ public:
+  static ExemplarStore& Instance();
+
+  /// Classifies by latency vs the slow threshold and stores accordingly.
+  void Record(const RequestExemplar& exemplar);
+
+  /// Most recent slow requests, oldest first (<= kSlowExemplarCapacity).
+  std::vector<RequestExemplar> SlowSnapshot() const;
+  /// Current reservoir sample (<= kSampledExemplarCapacity).
+  std::vector<RequestExemplar> SampleSnapshot() const;
+
+  /// {"slow_threshold_ns":...,"slow":[...],"sampled":[...]} — the JSON
+  /// scrape section the exporter embeds.
+  std::string ScrapeJson() const;
+
+  uint64_t slow_threshold_ns() const;
+  void SetSlowThresholdNs(uint64_t ns);
+
+  /// Drops all stored exemplars (tests / between bench reps).
+  void Reset();
+
+ private:
+  ExemplarStore();
+};
+
+/// Registers the exemplar scrape section with the telemetry exporter
+/// (idempotent; called by the engine on construction so a scrape always
+/// carries exemplars once a serve stack exists).
+void RegisterExemplarScrapeSection();
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_TELEMETRY_H_

@@ -1,0 +1,88 @@
+// common/json.h: round-trips against this repo's own emitters and
+// rejection of malformed documents with positioned errors.
+#include "common/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/run_logger.h"
+
+namespace hap {
+namespace {
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  StatusOr<JsonValue> v = ParseJson(
+      "{\"a\":1,\"b\":-2.5e3,\"c\":\"x\\ny\",\"d\":[true,false,null],"
+      "\"e\":{\"nested\":[]}}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue& root = v.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("a")->number_value(), 1.0);
+  EXPECT_EQ(root.Find("b")->number_value(), -2500.0);
+  EXPECT_EQ(root.Find("c")->string_value(), "x\ny");
+  ASSERT_TRUE(root.Find("d")->is_array());
+  ASSERT_EQ(root.Find("d")->array().size(), 3u);
+  EXPECT_TRUE(root.Find("d")->array()[0].bool_value());
+  EXPECT_FALSE(root.Find("d")->array()[1].bool_value());
+  EXPECT_TRUE(root.Find("d")->array()[2].is_null());
+  EXPECT_TRUE(root.Find("e")->Find("nested")->array().empty());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, PreservesMemberOrderAndHandlesEscapes) {
+  StatusOr<JsonValue> v =
+      ParseJson("{\"z\":1,\"a\":2,\"q\":\"\\u0041\\\"\\\\\\/\"}");
+  ASSERT_TRUE(v.ok());
+  const auto& members = v.value().members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(v.value().Find("q")->string_value(), "A\"\\/");
+}
+
+TEST(JsonTest, RejectsMalformedInputWithPosition) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01x", "\"unterm",
+        "{\"a\":1} trailing", "[1 2]", "{\"a\":1,}", "nan", "--1"}) {
+    StatusOr<JsonValue> v = ParseJson(bad);
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+    if (!v.ok()) {
+      EXPECT_NE(v.status().message().find("byte"), std::string::npos);
+    }
+  }
+}
+
+TEST(JsonTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 2; ++i) deep.push_back('[');
+  for (int i = 0; i < kMaxJsonDepth + 2; ++i) deep.push_back(']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string ok;
+  for (int i = 0; i < 10; ++i) ok.push_back('[');
+  for (int i = 0; i < 10; ++i) ok.push_back(']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+// The parser must accept everything this repo's own emitters produce.
+TEST(JsonTest, RoundTripsOwnEmitters) {
+  obs::JsonRecord record;
+  record.Add("epoch", 3)
+      .Add("loss", 0.625)
+      .Add("name", "a\"b\\c\n")
+      .Add("done", true);
+  StatusOr<JsonValue> line = ParseJson(record.ToJsonLine());
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line.value().Find("name")->string_value(), "a\"b\\c\n");
+
+  obs::GetCounter("test.json.counter")->Add(5);
+  obs::GetSketch("test.json.sketch")->Record(12345);
+  StatusOr<JsonValue> snapshot = ParseJson(obs::SnapshotMetrics().ToJson());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_TRUE(snapshot.value().Find("counters")->is_array());
+  EXPECT_TRUE(snapshot.value().Find("sketches")->is_array());
+}
+
+}  // namespace
+}  // namespace hap

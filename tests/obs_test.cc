@@ -221,7 +221,27 @@ TEST(MetricsTest, GaugeIsLastWriterWins) {
 
 TEST(MetricsTest, RegistryReturnsSameHandleForSameName) {
   EXPECT_EQ(obs::GetCounter("test.obs.dup"), obs::GetCounter("test.obs.dup"));
+  EXPECT_EQ(obs::GetSketch("test.obs.dup_sketch"),
+            obs::GetSketch("test.obs.dup_sketch"));
   EXPECT_EQ(obs::CounterValue("test.obs.never_registered"), 0u);
+}
+
+using MetricsDeathTest = ::testing::Test;
+
+TEST(MetricsDeathTest, RegistrationPastCapacityAbortsNamingTheMetric) {
+  // Satellite (registry hardening): filling a registry to capacity must
+  // abort naming the colliding metric and listing what is registered —
+  // a capacity overflow is almost always a site minting names
+  // dynamically, and the listing exposes it. The whole fill runs inside
+  // the death statement (a forked child), so the parent registry stays
+  // untouched.
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i <= obs::kMaxSketches; ++i) {
+          obs::GetSketch("death.sketch." + std::to_string(i));
+        }
+      },
+      "sketch registry full.*death\\.sketch\\.");
 }
 
 TEST(MetricsTest, ScopedTimerOnlyRecordsWhenEnabled) {
