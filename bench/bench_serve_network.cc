@@ -1,0 +1,460 @@
+// Network serving harness (docs/SERVING.md "Network front end & SLOs"):
+// drives the epoll front end over real loopback TCP with an *open-loop*
+// load generator — requests are sent on a fixed schedule regardless of
+// how fast responses come back, which is what exposes queueing collapse
+// and makes load shedding observable (a closed loop self-throttles and
+// can never overload the server).
+//
+// Default (in-process) mode stands up a ModelRegistry + InferenceEngine
+// + serve::Server in this process, then replays two load points through
+// the binary wire protocol:
+//   * light    — a rate the server absorbs: the gate is zero shed and
+//                zero deadline misses,
+//   * overload — far past capacity with a small queue: the gate is that
+//                shedding engages (typed ResourceExhausted frames) and
+//                every request still gets exactly one response.
+// Server-side latency percentiles come from the engine's own
+// serve.latency.ns sketch (before/after DeltaSince, <= 2% tail error);
+// client-side percentiles from per-request send→receive stamps matched
+// by wire ticket. Emits BENCH_serve_network.json (override: --out).
+//
+// With --port N the binary is a pure client for an external hap_served
+// (used by scripts/check.sh): one load point at --qps, client-side
+// stats only, JSON to --out.
+//
+// Set HAP_BENCH_FAST=1 for a quick smoke run.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "common/socket.h"
+#include "common/thread_pool.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "tensor/serialize.h"
+#include "train/classifier.h"
+#include "train/prepared.h"
+
+namespace hap::bench {
+namespace {
+
+using namespace hap::serve;
+
+struct LoadPointResult {
+  int sent = 0;
+  int ok = 0;
+  int shed = 0;     // kError frames with RESOURCE_EXHAUSTED
+  int failed = 0;   // any other error frame
+  double wall_s = 0.0;
+  double achieved_qps = 0.0;
+  std::vector<uint64_t> latencies_ns;  // client-side, ok + shed + failed
+};
+
+double ClientQuantileMs(std::vector<uint64_t>& lat, double q) {
+  if (lat.empty()) return 0.0;
+  std::sort(lat.begin(), lat.end());
+  const size_t idx = std::min(
+      lat.size() - 1, static_cast<size_t>(q * static_cast<double>(lat.size())));
+  return static_cast<double>(lat[idx]) / 1e6;
+}
+
+/// Replays `requests` predict frames at `qps` (0 = as fast as the
+/// sockets take them) round-robin over `connections` connections.
+/// Every request gets exactly one response (prediction or typed error),
+/// so the receivers' per-connection expected counts are exact.
+StatusOr<LoadPointResult> RunLoad(int port,
+                                  const std::vector<std::string>& payloads,
+                                  int requests, int qps, int connections,
+                                  uint32_t deadline_ms) {
+  struct Conn {
+    int fd = -1;
+    int expected = 0;
+    std::mutex mu;
+    std::unordered_map<uint64_t, uint64_t> send_ns;  // ticket -> stamp
+    // Receiver-local tallies, merged after join.
+    int ok = 0, shed = 0, failed = 0;
+    std::vector<uint64_t> latencies_ns;
+    Status error;
+  };
+  std::vector<std::unique_ptr<Conn>> conns;
+  for (int i = 0; i < connections; ++i) {
+    StatusOr<int> fd = ConnectLoopback(port);
+    if (!fd.ok()) {
+      for (auto& c : conns) CloseFd(c->fd);
+      return fd.status();
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd.value();
+    conn->expected = requests / connections +
+                     (i < requests % connections ? 1 : 0);
+    conns.push_back(std::move(conn));
+  }
+
+  std::vector<std::thread> receivers;
+  receivers.reserve(conns.size());
+  for (auto& conn_ptr : conns) {
+    Conn* conn = conn_ptr.get();
+    receivers.emplace_back([conn] {
+      std::string payload;
+      for (int r = 0; r < conn->expected; ++r) {
+        StatusOr<WireHeader> header = RecvFrame(conn->fd, &payload);
+        if (!header.ok()) {
+          conn->error = header.status();
+          return;
+        }
+        const uint64_t now = obs::MonotonicNs();
+        uint64_t sent_at = 0;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          auto it = conn->send_ns.find(header.value().ticket);
+          if (it != conn->send_ns.end()) {
+            sent_at = it->second;
+            conn->send_ns.erase(it);
+          }
+        }
+        if (sent_at != 0) conn->latencies_ns.push_back(now - sent_at);
+        if (header.value().type == FrameType::kPredictOk) {
+          ++conn->ok;
+        } else if (header.value().status == StatusCode::kResourceExhausted) {
+          ++conn->shed;
+        } else {
+          ++conn->failed;
+        }
+      }
+    });
+  }
+
+  LoadPointResult result;
+  const auto start = std::chrono::steady_clock::now();
+  Status send_error;
+  for (int i = 0; i < requests; ++i) {
+    if (qps > 0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(static_cast<int64_t>(i) *
+                                            1'000'000 / qps));
+    }
+    Conn* conn = conns[static_cast<size_t>(i) % conns.size()].get();
+    const auto ticket = static_cast<uint64_t>(i);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->send_ns.emplace(ticket, obs::MonotonicNs());
+    }
+    send_error = SendPredict(conn->fd, ticket, deadline_ms,
+                             payloads[static_cast<size_t>(i) %
+                                      payloads.size()]);
+    if (!send_error.ok()) break;
+    ++result.sent;
+  }
+  for (std::thread& t : receivers) t.join();
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (auto& conn : conns) {
+    CloseFd(conn->fd);
+    if (!send_error.ok()) continue;
+    if (!conn->error.ok()) return conn->error;
+    result.ok += conn->ok;
+    result.shed += conn->shed;
+    result.failed += conn->failed;
+    result.latencies_ns.insert(result.latencies_ns.end(),
+                               conn->latencies_ns.begin(),
+                               conn->latencies_ns.end());
+  }
+  if (!send_error.ok()) return send_error;
+  result.achieved_qps =
+      result.wall_s > 0.0 ? static_cast<double>(result.sent) / result.wall_s
+                          : 0.0;
+  return result;
+}
+
+struct ServerDeltas {
+  double p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+  uint64_t shed_total = 0, shed_queue = 0, shed_latency = 0;
+  uint64_t deadline_miss = 0, cache_hit = 0, cache_miss = 0;
+};
+
+struct CounterBaseline {
+  obs::SketchSnapshot latency;
+  uint64_t shed_total = 0, shed_queue = 0, shed_latency = 0;
+  uint64_t deadline_miss = 0, cache_hit = 0, cache_miss = 0;
+};
+
+CounterBaseline TakeBaseline() {
+  CounterBaseline base;
+  base.latency = obs::SnapshotSketch(obs::names::kServeLatencyNs);
+  base.shed_total = obs::CounterValue(obs::names::kServeShedTotal);
+  base.shed_queue = obs::CounterValue(obs::names::kServeShedQueueDepth);
+  base.shed_latency = obs::CounterValue(obs::names::kServeShedLatency);
+  base.deadline_miss = obs::CounterValue(obs::names::kServeDeadlineMiss);
+  base.cache_hit = obs::CounterValue(obs::names::kServeCacheHit);
+  base.cache_miss = obs::CounterValue(obs::names::kServeCacheMiss);
+  return base;
+}
+
+ServerDeltas TakeDeltas(const CounterBaseline& base) {
+  ServerDeltas d;
+  const obs::SketchSnapshot window =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs)
+          .DeltaSince(base.latency);
+  d.p50_ms = window.Quantile(0.50) / 1e6;
+  d.p99_ms = window.Quantile(0.99) / 1e6;
+  d.p999_ms = window.Quantile(0.999) / 1e6;
+  d.shed_total =
+      obs::CounterValue(obs::names::kServeShedTotal) - base.shed_total;
+  d.shed_queue =
+      obs::CounterValue(obs::names::kServeShedQueueDepth) - base.shed_queue;
+  d.shed_latency =
+      obs::CounterValue(obs::names::kServeShedLatency) - base.shed_latency;
+  d.deadline_miss =
+      obs::CounterValue(obs::names::kServeDeadlineMiss) - base.deadline_miss;
+  d.cache_hit = obs::CounterValue(obs::names::kServeCacheHit) - base.cache_hit;
+  d.cache_miss =
+      obs::CounterValue(obs::names::kServeCacheMiss) - base.cache_miss;
+  return d;
+}
+
+void WriteClientFields(JsonWriter* json, LoadPointResult& r) {
+  json->Field("sent", r.sent);
+  json->Field("ok", r.ok);
+  json->Field("shed", r.shed);
+  json->Field("failed", r.failed);
+  json->Field("wall_s", r.wall_s);
+  json->Field("achieved_send_qps", r.achieved_qps);
+  json->Field("client_p50_ms", ClientQuantileMs(r.latencies_ns, 0.50));
+  json->Field("client_p99_ms", ClientQuantileMs(r.latencies_ns, 0.99));
+  json->Field("client_p999_ms", ClientQuantileMs(r.latencies_ns, 0.999));
+}
+
+}  // namespace
+}  // namespace hap::bench
+
+int main(int argc, char** argv) {
+  using namespace hap;
+  using namespace hap::bench;
+  using namespace hap::serve;
+
+  StatusOr<Flags> parsed = Flags::Parse(
+      argc, argv, 1,
+      {"out", "port", "qps", "requests", "connections", "deadline-ms"});
+  if (!parsed.ok()) {
+    std::fprintf(stderr,
+                 "%s\nusage: bench_serve_network [--out path] [--port N]\n"
+                 "  [--qps N] [--requests N] [--connections N]\n"
+                 "  [--deadline-ms N]\n",
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  Flags flags = parsed.value();
+  auto int_flag = [&flags](const char* name, int fallback) {
+    StatusOr<int> v = flags.GetInt(name, fallback);
+    if (!v.ok()) {
+      std::fprintf(stderr, "%s\n", v.status().message().c_str());
+      std::exit(2);
+    }
+    return v.value();
+  };
+  const int connections = int_flag("connections", 4);
+
+  // --- External-client mode (scripts/check.sh drives hap_served) ---
+  if (flags.Has("port")) {
+    const int port = int_flag("port", 0);
+    const int qps = int_flag("qps", 200);
+    const int requests = int_flag("requests", 200);
+    const auto deadline_ms =
+        static_cast<uint32_t>(int_flag("deadline-ms", 0));
+    const std::string out = flags.GetString("out", "serve_network_client.json");
+
+    Rng rng(11);
+    GraphDataset dataset = MakeMutagLike(8, &rng);
+    std::vector<std::string> payloads;
+    for (const Graph& g : dataset.graphs) {
+      std::ostringstream text;
+      WriteGraph(g, &text);
+      payloads.push_back(text.str());
+    }
+    StatusOr<LoadPointResult> run =
+        RunLoad(port, payloads, requests, qps, connections, deadline_ms);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    LoadPointResult r = std::move(run).value();
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("bench", std::string("serve_network_client"));
+    json.Field("offered_qps", qps);
+    WriteClientFields(&json, r);
+    const bool accounted = r.ok + r.shed + r.failed == r.sent;
+    json.Field("all_accounted", accounted);
+    json.EndObject();
+    if (!json.WriteFile(out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("%d sent  %d ok  %d shed  %d failed  -> %s\n", r.sent, r.ok,
+                r.shed, r.failed, out.c_str());
+    return accounted ? 0 : 1;
+  }
+
+  // --- In-process mode: engine + server + load points in one process ---
+  const std::string out = flags.GetString("out", "BENCH_serve_network.json");
+  obs::SetMetricsEnabled(true);
+  SetNumThreads(2);
+
+  Rng rng(11);
+  GraphDataset dataset = MakeMutagLike(16, &rng);
+  std::vector<std::string> payloads;
+  for (const Graph& g : dataset.graphs) {
+    std::ostringstream text;
+    WriteGraph(g, &text);
+    payloads.push_back(text.str());
+  }
+
+  ServedModelConfig model_config;
+  model_config.method = "HAP";
+  model_config.feature_dim = dataset.feature_spec.FeatureDim();
+  model_config.hidden = 8;
+  model_config.num_classes = dataset.num_classes;
+  model_config.lanes = 16;
+  const std::string checkpoint = "bench_serve_network_ckpt.tmp";
+  {
+    Rng init(5);
+    GraphClassifier writer(
+        MakeEmbedderByName(model_config.method, model_config.feature_dim,
+                           model_config.hidden, &init),
+        model_config.num_classes, model_config.hidden, &init);
+    if (!SaveModule(writer, checkpoint).ok()) {
+      std::fprintf(stderr, "cannot write %s\n", checkpoint.c_str());
+      return 1;
+    }
+  }
+
+  ModelRegistry registry;
+  if (Status s = registry.Reload("model", 1, model_config, checkpoint);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  EngineConfig engine_config;
+  engine_config.max_batch = 16;
+  engine_config.max_delay_us = 200;
+  // Small queue so the overload point actually queues out instead of
+  // absorbing the whole burst.
+  engine_config.queue_capacity = 64;
+  InferenceEngine engine(&registry, "model", engine_config);
+
+  ServerConfig server_config;
+  server_config.admission.shed_queue_depth = 48;
+  Server server(&engine, dataset.feature_spec, server_config);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  struct LoadPoint {
+    const char* name;
+    int qps;  // 0 = unpaced burst
+    int requests;
+    uint32_t deadline_ms;
+  };
+  const LoadPoint points[] = {
+      // Light: well under capacity (the engine does thousands of req/s
+      // on one core — see BENCH_serve_throughput.json); generous
+      // deadline, so the gate "no shed, no deadline miss" is robust.
+      {"light", FastOr(100, 400), FastOr(150, 800), 1000},
+      // Overload: an unpaced burst of more requests than the queue
+      // holds; shedding must engage and still answer every frame.
+      {"overload", 0, FastOr(600, 4000), 0},
+  };
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", std::string("serve_network"));
+  json.Field("connections", connections);
+  json.Field("max_batch", engine_config.max_batch);
+  json.Field("queue_capacity", static_cast<int>(engine_config.queue_capacity));
+  json.Field("shed_queue_depth",
+             static_cast<int>(server_config.admission.shed_queue_depth));
+  bool light_clean = true;
+  bool overload_shed = false;
+  bool all_accounted = true;
+  json.BeginArray("load_points");
+  for (const LoadPoint& point : points) {
+    const CounterBaseline base = TakeBaseline();
+    StatusOr<LoadPointResult> run = RunLoad(server.port(), payloads,
+                                            point.requests, point.qps,
+                                            connections, point.deadline_ms);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s: %s\n", point.name,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    LoadPointResult r = std::move(run).value();
+    const ServerDeltas deltas = TakeDeltas(base);
+    const bool accounted = r.ok + r.shed + r.failed == r.sent;
+    all_accounted = all_accounted && accounted;
+    if (std::string(point.name) == "light") {
+      light_clean = r.shed == 0 && r.failed == 0 && deltas.deadline_miss == 0;
+    } else {
+      overload_shed = r.shed > 0;
+    }
+    std::printf(
+        "%-8s offered %5d qps: %d sent  %d ok  %d shed  %d failed  "
+        "server p50 %.2f ms  p99 %.2f ms  p999 %.2f ms  misses %llu\n",
+        point.name, point.qps, r.sent, r.ok, r.shed, r.failed, deltas.p50_ms,
+        deltas.p99_ms, deltas.p999_ms,
+        static_cast<unsigned long long>(deltas.deadline_miss));
+    json.BeginObject();
+    json.Field("name", std::string(point.name));
+    json.Field("offered_qps", point.qps);
+    json.Field("deadline_ms", static_cast<int>(point.deadline_ms));
+    WriteClientFields(&json, r);
+    json.Field("all_accounted", accounted);
+    json.Field("server_p50_ms", deltas.p50_ms);
+    json.Field("server_p99_ms", deltas.p99_ms);
+    json.Field("server_p999_ms", deltas.p999_ms);
+    json.Field("shed_total", static_cast<int>(deltas.shed_total));
+    json.Field("shed_queue_depth", static_cast<int>(deltas.shed_queue));
+    json.Field("shed_latency", static_cast<int>(deltas.shed_latency));
+    json.Field("deadline_miss", static_cast<int>(deltas.deadline_miss));
+    json.Field("cache_hit", static_cast<int>(deltas.cache_hit));
+    json.Field("cache_miss", static_cast<int>(deltas.cache_miss));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("light_no_shed_no_miss", light_clean);
+  json.Field("overload_shed_engaged", overload_shed);
+  json.Field("all_accounted", all_accounted);
+  json.EndObject();
+
+  server.Stop();
+  engine.Shutdown();
+  SetNumThreads(1);
+  std::remove(checkpoint.c_str());
+
+  if (!json.WriteFile(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("light clean: %s   overload shed: %s   -> %s\n",
+              light_clean ? "yes" : "NO", overload_shed ? "yes" : "NO",
+              out.c_str());
+  return (light_clean && overload_shed && all_accounted) ? 0 : 1;
+}

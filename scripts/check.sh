@@ -211,6 +211,121 @@ EOF
 }
 telemetry_pass
 
+# --- Network serving pass (docs/SERVING.md) -----------------------------
+# Put the network front end through its SLO machinery over loopback TCP:
+# a light open-loop load must come back clean (every request answered,
+# nothing shed, zero deadline misses), a checkpoint hot-swap must land
+# mid-load via POST /reload, /metrics must stay grammar-valid over the
+# wire, and an unpaced burst must engage typed load shedding with every
+# frame still answered. The committed network bench JSON must exist and
+# clear its own gates.
+network_pass() {
+  echo "=== build: network serving smoke ==="
+  rm -f build/served_port build/serve_net_client_light.json \
+    build/serve_net_client_burst.json
+  ./build/examples/hap_served --checkpoint build/serve_ckpt.bin \
+    --dataset mutag --method HAP --hidden 8 --port 0 \
+    --port-file build/served_port --shed-queue-depth 48 > /dev/null &
+  local served_pid=$!
+  local port=""
+  for _ in $(seq 100); do
+    if [ -s build/served_port ]; then port=$(cat build/served_port); break; fi
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "hap_served never published its port"
+    kill "${served_pid}" 2>/dev/null || true
+    exit 1
+  fi
+
+  # Light open-loop load with a generous deadline; while it runs, hot-swap
+  # the model through the HTTP front end (ModelRegistry publish mid-load).
+  ./build/bench/bench_serve_network --port "${port}" --qps 200 \
+    --requests 400 --deadline-ms 2000 \
+    --out build/serve_net_client_light.json > /dev/null &
+  local light_pid=$!
+  sleep 0.5
+  python3 - "${port}" <<'EOF'
+import json, sys, urllib.request
+port = sys.argv[1]
+req = urllib.request.Request(f"http://127.0.0.1:{port}/reload", data=b"",
+                             method="POST")
+body = json.loads(urllib.request.urlopen(req, timeout=10).read())
+assert body.get("reloaded") is True, body
+EOF
+  wait "${light_pid}"
+  echo "hot-swap OK: POST /reload landed mid-load"
+
+  # Unpaced burst: shedding must engage, typed, with every frame answered
+  # (the client exits non-zero if any request went unaccounted).
+  ./build/bench/bench_serve_network --port "${port}" --qps 0 \
+    --requests 2000 --out build/serve_net_client_burst.json > /dev/null
+
+  python3 - "${port}" <<'EOF'
+import json, re, sys, urllib.request
+port = sys.argv[1]
+light = json.load(open("build/serve_net_client_light.json"))
+assert light["all_accounted"] and light["ok"] == light["sent"] == 400, light
+assert light["shed"] == 0 and light["failed"] == 0, light
+burst = json.load(open("build/serve_net_client_burst.json"))
+assert burst["all_accounted"], burst
+assert burst["shed"] > 0, "burst never engaged shedding"
+assert burst["ok"] > 0, "burst starved admitted requests"
+assert burst["failed"] == 0, burst
+
+stats = json.loads(urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/stats", timeout=10).read())
+counters = stats["counters"]
+assert counters["serve.model.reloads"] >= 1, "hot-swap not recorded"
+assert counters["serve.deadline_miss.total"] == 0, (
+    "light load missed deadlines")
+assert counters["serve.shed.total"] == burst["shed"], (
+    "server shed accounting disagrees with client rejects")
+assert stats["latency_ns"]["count"] > 0 and stats["latency_ns"]["p99"] > 0
+
+# /metrics over the wire: same text-exposition grammar contract as the
+# file exporter, plus the serve counters the SLO machinery feeds.
+text = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+typed = {}
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("#"):
+        parts = line.split()
+        assert parts[0] == "#" and parts[1] == "TYPE", line
+        assert parts[3] in ("counter", "gauge", "histogram"), line
+        typed[parts[2]] = parts[3]
+        continue
+    m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$", line)
+    assert m, f"unparseable sample over the wire: {line}"
+    float(m.group(3))
+for name in ("hap_serve_shed_total", "hap_serve_net_requests_binary",
+             "hap_serve_latency_ns"):
+    assert name in typed, f"{name} missing from /metrics"
+print(f"network smoke OK: light {light['ok']}/{light['sent']} clean "
+      f"(client p99 {light['client_p99_ms']:.2f} ms), burst shed "
+      f"{burst['shed']}/{burst['sent']} typed, {len(typed)} families "
+      f"over the wire")
+EOF
+  kill "${served_pid}"
+  wait "${served_pid}" 2>/dev/null || true
+
+  python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_serve_network.json"))
+assert doc["light_no_shed_no_miss"], "committed bench: light load unclean"
+assert doc["overload_shed_engaged"], "committed bench: overload never shed"
+assert doc["all_accounted"], "committed bench: unaccounted requests"
+points = {p["name"]: p for p in doc["load_points"]}
+light, over = points["light"], points["overload"]
+print(f"network bench OK: light p99 {light['server_p99_ms']:.2f} ms "
+      f"({light['ok']}/{light['sent']} ok), overload shed "
+      f"{over['shed_total']} with p99 {over['server_p99_ms']:.2f} ms")
+EOF
+}
+network_pass
+
 # --- Kernel pass (docs/PERFORMANCE.md) ----------------------------------
 # The blocked MatMul micro-kernels must stay bit-identical to the naive
 # reference under every dispatch override, and the committed kernel bench

@@ -171,15 +171,23 @@ std::string RenderExporterJson(const MetricsSnapshot& snap,
 namespace {
 
 // Writes `content` to `path` atomically (tmp + rename) so a concurrent
-// reader never sees a torn file.
+// reader never sees a torn file. Every step is checked — fwrite can
+// return short and fclose can surface a deferred flush error (e.g. a
+// full disk) — and a failed write removes the tmp file instead of
+// renaming it into place, so a scrape consumer never reads a truncated
+// exposition; the previously published file stays intact.
 bool AtomicWrite(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) return false;
   const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
-  if (written != content.size()) return false;
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size() || !closed ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -192,6 +200,8 @@ struct TelemetryExporter::Impl {
   bool stop = false;
   MetricsSnapshot prev;  // last scrape, for interval deltas (guarded by mu)
   int listen_fd = -1;
+  // Logged-skip state; atomic because ScrapeOnce may race the loop.
+  std::atomic<bool> write_failing{false};
 
   bool Scrape() {
     MetricsSnapshot snap = SnapshotMetrics();
@@ -205,7 +215,24 @@ struct TelemetryExporter::Impl {
     const std::string prom = RenderPrometheus(snap);
     const bool ok_prom = AtomicWrite(options.path, prom);
     const bool ok_json = AtomicWrite(options.path + ".json", json);
-    return ok_prom && ok_json;
+    const bool ok = ok_prom && ok_json;
+    // A failing disk degrades to a logged skip — the last good scrape
+    // stays published, and the log fires on state *changes* so a full
+    // disk does not also fill stderr (one line per outage, one on
+    // recovery).
+    if (write_failing.exchange(!ok) != !ok) {
+      if (ok) {
+        std::fprintf(stderr,
+                     "hap::obs: telemetry scrape write to '%s' recovered\n",
+                     options.path.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "hap::obs: telemetry scrape write to '%s' failed; "
+                     "keeping last published scrape\n",
+                     options.path.c_str());
+      }
+    }
+    return ok;
   }
 
   void FileLoop() {

@@ -95,6 +95,29 @@ inline constexpr char kServeLatencyNs[] = "serve.latency.ns";
 // (src/serve/telemetry.h).
 inline constexpr char kServeExemplarsSlow[] = "serve.exemplars.slow";
 inline constexpr char kServeExemplarsSampled[] = "serve.exemplars.sampled";
+// SLO machinery (docs/SERVING.md "Network front end & SLOs").
+// Load shedding: requests refused with a typed ResourceExhausted before
+// touching the batcher, split by trigger (queue depth vs live-latency
+// SLO breach). serve.shed.total is the sum of the two.
+inline constexpr char kServeShedTotal[] = "serve.shed.total";
+inline constexpr char kServeShedQueueDepth[] = "serve.shed.queue_depth";
+inline constexpr char kServeShedLatency[] = "serve.shed.latency";
+// Requests that resolved after their absolute deadline (they still get
+// their prediction; the counter is the SLO signal).
+inline constexpr char kServeDeadlineMiss[] = "serve.deadline_miss.total";
+// Content-hash prepared-graph cache (serve/graph_cache.h): identical
+// wire requests re-use one PreparedGraph, so GraphLevel warm caches —
+// and the engine's pointer-identity coalescing — carry across requests.
+inline constexpr char kServeCacheHit[] = "serve.cache.hit";
+inline constexpr char kServeCacheMiss[] = "serve.cache.miss";
+inline constexpr char kServeCacheEvicted[] = "serve.cache.evicted";
+// Network front end (serve/server.h): connections accepted over the
+// listener's lifetime, requests decoded per protocol, and frames/HTTP
+// requests the server could not parse (the connection is closed).
+inline constexpr char kServeNetConnections[] = "serve.net.connections";
+inline constexpr char kServeNetRequestsBinary[] = "serve.net.requests.binary";
+inline constexpr char kServeNetRequestsHttp[] = "serve.net.requests.http";
+inline constexpr char kServeNetProtocolErrors[] = "serve.net.protocol_errors";
 
 }  // namespace hap::obs::names
 

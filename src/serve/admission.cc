@@ -1,0 +1,65 @@
+#include "serve/admission.h"
+
+#include <string>
+
+#include "obs/metric_names.h"
+
+namespace hap::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+void AdmissionController::MaybeRefreshLatency(uint64_t now_ns) {
+  const uint64_t last = last_refresh_ns_.load(std::memory_order_acquire);
+  if (now_ns - last < config_.refresh_window_ns) return;
+  // One refresher per window; losers of the try_lock just use the
+  // current breach flag.
+  std::unique_lock<std::mutex> lock(refresh_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (now_ns - last_refresh_ns_.load(std::memory_order_relaxed) <
+      config_.refresh_window_ns) {
+    return;  // another caller refreshed while we waited
+  }
+  obs::SketchSnapshot now_snap =
+      obs::SnapshotSketch(obs::names::kServeLatencyNs);
+  const obs::SketchSnapshot window = now_snap.DeltaSince(last_snapshot_);
+  bool breached = false;
+  if (window.count >= config_.min_window_count) {
+    breached = window.Quantile(0.99) >
+               static_cast<double>(config_.slo_p99_ns);
+  }
+  latency_breached_.store(breached, std::memory_order_relaxed);
+  last_snapshot_ = std::move(now_snap);
+  last_refresh_ns_.store(now_ns, std::memory_order_release);
+}
+
+Status AdmissionController::Admit(size_t queue_depth) {
+  if (config_.shed_queue_depth > 0 &&
+      queue_depth >= config_.shed_queue_depth) {
+    static obs::Counter* total = obs::GetCounter(obs::names::kServeShedTotal);
+    static obs::Counter* by_queue =
+        obs::GetCounter(obs::names::kServeShedQueueDepth);
+    total->Increment();
+    by_queue->Increment();
+    return Status::ResourceExhausted(
+        "shed: queue depth " + std::to_string(queue_depth) + " >= " +
+        std::to_string(config_.shed_queue_depth));
+  }
+  if (config_.slo_p99_ns > 0) {
+    MaybeRefreshLatency(obs::MonotonicNs());
+    if (latency_breached_.load(std::memory_order_relaxed)) {
+      static obs::Counter* total =
+          obs::GetCounter(obs::names::kServeShedTotal);
+      static obs::Counter* by_latency =
+          obs::GetCounter(obs::names::kServeShedLatency);
+      total->Increment();
+      by_latency->Increment();
+      return Status::ResourceExhausted(
+          "shed: windowed p99 latency above SLO " +
+          std::to_string(config_.slo_p99_ns) + "ns");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace hap::serve

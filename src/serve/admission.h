@@ -1,0 +1,78 @@
+// Admission control for the serving front end (docs/SERVING.md
+// "Network front end & SLOs"): decide *before* a request touches the
+// batcher whether to shed it with a typed ResourceExhausted.
+//
+// Two independent triggers, checked in order:
+//   1. Queue depth — the engine's queue holds >= shed_queue_depth
+//      requests. This is the cheap backstop: the engine itself would
+//      reject at queue_capacity anyway, but shedding at the front end
+//      returns a clean typed error instead of burning a Submit.
+//   2. Live latency — the windowed p99 of the serve.latency.ns sketch
+//      exceeds slo_p99_ns. The sketch is scraped lazily (at most once
+//      per refresh window, from whatever thread happens to call Admit)
+//      so the admission check itself stays O(1) and never blocks the
+//      event loop on metric aggregation.
+//
+// Recovery is built in: while everything is being shed, almost nothing
+// completes, so the next latency window has fewer than min_window_count
+// samples and the breach flag clears — admission resumes, and if the
+// overload persists the next full window trips it again.
+#ifndef HAP_SERVE_ADMISSION_H_
+#define HAP_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hap::serve {
+
+struct AdmissionConfig {
+  /// Shed when the engine queue holds at least this many requests.
+  /// 0 disables the queue-depth trigger (callers usually pass the
+  /// engine's queue_capacity, or a fraction of it).
+  size_t shed_queue_depth = 0;
+  /// Shed while the windowed p99 of serve.latency.ns exceeds this.
+  /// 0 disables the latency trigger.
+  uint64_t slo_p99_ns = 0;
+  /// How often the latency sketch is re-scraped (lazy, on Admit).
+  uint64_t refresh_window_ns = 250'000'000;  // 250 ms
+  /// Minimum completions inside a window before its p99 is trusted; a
+  /// near-empty window (startup, or full shed) never trips the breach.
+  uint64_t min_window_count = 16;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// OK to admit, or ResourceExhausted naming the trigger. Ticks
+  /// serve.shed.total plus the per-trigger counter on a shed.
+  /// `queue_depth` is the caller's momentary engine queue depth.
+  Status Admit(size_t queue_depth);
+
+  /// Last computed latency-breach state (test/stats visibility).
+  bool latency_breached() const {
+    return latency_breached_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void MaybeRefreshLatency(uint64_t now_ns);
+
+  const AdmissionConfig config_;
+  std::atomic<bool> latency_breached_{false};
+  // Guards the scrape state below; held only by the one caller per
+  // window that actually refreshes (others skip on the timestamp).
+  std::mutex refresh_mu_;
+  std::atomic<uint64_t> last_refresh_ns_{0};
+  obs::SketchSnapshot last_snapshot_;
+};
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_ADMISSION_H_

@@ -75,8 +75,10 @@ void InferenceEngine::InitTelemetry() {
 InferenceEngine::~InferenceEngine() { Shutdown(); }
 
 void InferenceEngine::Shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  // exchange + mutex: the first caller does the work, later (possibly
+  // concurrent) callers wait for it to finish instead of racing the join.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   queue_.Close();
   if (batcher_.joinable()) batcher_.join();
   if (access_log_ != nullptr) {
@@ -91,8 +93,8 @@ StatusOr<std::shared_ptr<const ServedModel>> InferenceEngine::CurrentModel()
   return registry_->Get(model_name_);
 }
 
-StatusOr<std::future<int>> InferenceEngine::Submit(
-    const PreparedGraph& graph) {
+Status InferenceEngine::Admit(const PreparedGraph& graph,
+                              uint64_t deadline_ns, Request request) {
   static obs::Counter* requests =
       obs::GetCounter(obs::names::kServeRequests);
   static obs::Counter* rejected =
@@ -106,11 +108,16 @@ StatusOr<std::future<int>> InferenceEngine::Submit(
     rejected->Increment();
     return s;
   }
-  Request request;
   request.graph = graph;
   request.id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
   request.enqueue_ns = obs::MonotonicNs();
-  std::future<int> result = request.promise.get_future();
+  if (deadline_ns != 0) {
+    request.deadline_ns = deadline_ns;
+  } else if (config_.default_deadline_us > 0) {
+    request.deadline_ns =
+        request.enqueue_ns +
+        static_cast<uint64_t>(config_.default_deadline_us) * 1000;
+  }
   if (obs::TracingEnabled()) {
     // Admission span on the producer's track; the flow start inside it
     // is what the batcher's 't' and the lane's 'f' chain back to.
@@ -122,7 +129,26 @@ StatusOr<std::future<int>> InferenceEngine::Submit(
     return s;
   }
   requests->Increment();
+  return Status::Ok();
+}
+
+StatusOr<std::future<int>> InferenceEngine::Submit(const PreparedGraph& graph,
+                                                   uint64_t deadline_ns) {
+  Request request;
+  std::future<int> result = request.promise.get_future();
+  if (Status s = Admit(graph, deadline_ns, std::move(request)); !s.ok()) {
+    return s;
+  }
   return result;
+}
+
+Status InferenceEngine::SubmitAsync(const PreparedGraph& graph,
+                                    uint64_t deadline_ns,
+                                    std::function<void(StatusOr<int>)> done) {
+  HAP_CHECK(done != nullptr);
+  Request request;
+  request.callback = std::move(done);
+  return Admit(graph, deadline_ns, std::move(request));
 }
 
 void InferenceEngine::BatchLoop() {
@@ -196,15 +222,30 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
     }
   }
 
+  // Fails every waiter in the batch: future holders get `error`,
+  // network-path callbacks get `status`. Either way nobody is left
+  // unresolved — the no-broken-promise contract the Shutdown stress
+  // test pins down.
+  const auto fail_all = [&groups](const Status& status,
+                                  const std::exception_ptr& error) {
+    for (std::vector<Request>& group : groups) {
+      for (Request& request : group) {
+        if (request.callback) {
+          request.callback(status);
+        } else {
+          request.promise.set_exception(error);
+        }
+      }
+    }
+  };
+
   StatusOr<std::shared_ptr<const ServedModel>> resolved = CurrentModel();
   if (!resolved.ok()) {
     // The model vanished between admission and dispatch (registry Remove
     // mid-flight). Fail the waiters rather than hanging them.
-    auto error = std::make_exception_ptr(
-        std::runtime_error(resolved.status().ToString()));
-    for (std::vector<Request>& group : groups) {
-      for (Request& request : group) request.promise.set_exception(error);
-    }
+    fail_all(resolved.status(),
+             std::make_exception_ptr(
+                 std::runtime_error(resolved.status().ToString())));
     return;
   }
   const std::shared_ptr<const ServedModel>& model = resolved.value();
@@ -298,9 +339,14 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
     }
   } catch (...) {
     auto error = std::current_exception();
-    for (std::vector<Request>& group : groups) {
-      for (Request& request : group) request.promise.set_exception(error);
+    std::string what = "batch forward failed";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
     }
+    fail_all(Status::Internal(what), error);
     return;
   }
 
@@ -308,11 +354,36 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
 
   // Resolve stamp: taken once before the fan-out so every member of the
   // batch reports the same boundary (set_value order is bookkeeping, not
-  // a meaningful latency difference).
-  const uint64_t resolve_ns = telemetry ? obs::MonotonicNs() : 0;
+  // a meaningful latency difference). Deadline accounting needs the
+  // clock even with telemetry off.
+  bool any_deadline = false;
+  for (const std::vector<Request>& group : groups) {
+    for (const Request& request : group) {
+      if (request.deadline_ns != 0) any_deadline = true;
+    }
+  }
+  const uint64_t resolve_ns =
+      (telemetry || any_deadline) ? obs::MonotonicNs() : 0;
+  if (any_deadline) {
+    // Counted before the waiters unblock so a client that just resolved
+    // reads an up-to-date miss counter.
+    static obs::Counter* deadline_miss =
+        obs::GetCounter(obs::names::kServeDeadlineMiss);
+    for (const std::vector<Request>& group : groups) {
+      for (const Request& request : group) {
+        if (request.deadline_ns != 0 && resolve_ns > request.deadline_ns) {
+          deadline_miss->Increment();
+        }
+      }
+    }
+  }
   for (size_t g = 0; g < groups.size(); ++g) {
     for (Request& request : groups[g]) {
-      request.promise.set_value(predictions[g]);
+      if (request.callback) {
+        request.callback(predictions[g]);
+      } else {
+        request.promise.set_value(predictions[g]);
+      }
     }
   }
   if (!telemetry) return;

@@ -1,10 +1,13 @@
 #ifndef HAP_SERVE_ENGINE_H_
 #define HAP_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +50,14 @@ struct EngineConfig {
   /// stage stamping for every batch; leave empty (the default) to keep
   /// the disabled-mode cost at one relaxed load per gate.
   std::string access_log_path;
+  /// Default per-request deadline budget applied by Submit/SubmitAsync
+  /// when the caller passes none (0 = requests without an explicit
+  /// deadline carry no deadline). Deadlines cap how long the batcher
+  /// waits for stragglers (the batch seals early rather than guarantee a
+  /// miss) and resolve-past-deadline requests tick
+  /// serve.deadline_miss.total — they still get their prediction; the
+  /// counter is the SLO signal, shedding happens at admission.
+  int64_t default_deadline_us = 0;
 };
 
 /// Inference front end: admission control, micro-batching, and fan-out of
@@ -80,17 +91,38 @@ class InferenceEngine {
   /// predicted class once its micro-batch completes. Fails with
   /// InvalidArgument (malformed graph), ResourceExhausted (queue full —
   /// retry later), FailedPrecondition (shut down), or NotFound (model
-  /// missing from the registry).
-  StatusOr<std::future<int>> Submit(const PreparedGraph& graph);
+  /// missing from the registry). `deadline_ns` is an absolute
+  /// obs::MonotonicNs deadline (0 = apply the config default).
+  StatusOr<std::future<int>> Submit(const PreparedGraph& graph,
+                                    uint64_t deadline_ns = 0);
+
+  /// Completion-callback variant for event-loop callers (the network
+  /// server) that must never block on a future. On an OK return, `done`
+  /// is invoked exactly once — with the prediction, or with the Status
+  /// of a mid-flight failure (model removed, forward threw) — from the
+  /// batcher thread, including during the Shutdown drain; a non-OK
+  /// return means the request was never admitted and `done` will not be
+  /// called. `done` must be quick and must not re-enter the engine.
+  Status SubmitAsync(const PreparedGraph& graph, uint64_t deadline_ns,
+                     std::function<void(StatusOr<int>)> done);
 
   /// Stops admissions, drains every queued request, and joins the
-  /// batcher. Idempotent; also runs on destruction.
+  /// batcher. Idempotent and safe to race from several threads; also
+  /// runs on destruction.
   void Shutdown();
+
+  /// Requests currently queued (admission-control signal; momentarily
+  /// stale by construction).
+  size_t queue_depth() const { return queue_.size(); }
 
   const EngineConfig& config() const { return config_; }
 
  private:
   StatusOr<std::shared_ptr<const ServedModel>> CurrentModel() const;
+  /// Shared admission path: validates, stamps id/enqueue/deadline, and
+  /// pushes. On OK the request is owned by the queue.
+  Status Admit(const PreparedGraph& graph, uint64_t deadline_ns,
+               Request request);
   void BatchLoop();
   void ProcessBatch(std::vector<Request> batch);
   void InitTelemetry();
@@ -101,7 +133,8 @@ class InferenceEngine {
   std::shared_ptr<const ServedModel> model_;  // fixed-model mode only
   RequestQueue queue_;
   std::thread batcher_;
-  bool shut_down_ = false;
+  std::mutex shutdown_mu_;  // serialises concurrent Shutdown calls
+  std::atomic<bool> shut_down_{false};
   // One arena per model lane: eval forwards on a lane cycle their tensor
   // buffers through the lane's pool, so steady-state serving performs no
   // heap allocation. Sized lazily by ProcessBatch (only the batcher

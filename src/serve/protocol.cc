@@ -1,0 +1,128 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "common/socket.h"
+
+namespace hap::serve {
+
+namespace {
+
+void PutU16(uint8_t* out, uint16_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32(uint8_t* out, uint32_t v) {
+  out[0] = static_cast<uint8_t>(v);
+  out[1] = static_cast<uint8_t>(v >> 8);
+  out[2] = static_cast<uint8_t>(v >> 16);
+  out[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void PutU64(uint8_t* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void EncodeWireHeader(const WireHeader& header, uint8_t* out) {
+  PutU32(out, kWireMagic);
+  out[4] = static_cast<uint8_t>(header.type);
+  out[5] = static_cast<uint8_t>(header.status);
+  PutU16(out + 6, 0);
+  PutU32(out + 8, header.deadline_ms);
+  PutU32(out + 12, header.payload_len);
+  PutU64(out + 16, header.ticket);
+}
+
+StatusOr<WireHeader> DecodeWireHeader(const uint8_t* data) {
+  if (GetU32(data) != kWireMagic) {
+    return Status::InvalidArgument("wire frame: bad magic");
+  }
+  const uint8_t type = data[4];
+  if (type < static_cast<uint8_t>(FrameType::kPredict) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    return Status::InvalidArgument("wire frame: unknown type " +
+                                   std::to_string(type));
+  }
+  const uint8_t status = data[5];
+  if (status > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("wire frame: unknown status code " +
+                                   std::to_string(status));
+  }
+  if (GetU16(data + 6) != 0) {
+    return Status::InvalidArgument("wire frame: reserved bits set");
+  }
+  WireHeader header;
+  header.type = static_cast<FrameType>(type);
+  header.status = static_cast<StatusCode>(status);
+  header.deadline_ms = GetU32(data + 8);
+  header.payload_len = GetU32(data + 12);
+  if (header.payload_len > kWireMaxPayload) {
+    return Status::InvalidArgument(
+        "wire frame: payload_len " + std::to_string(header.payload_len) +
+        " exceeds limit " + std::to_string(kWireMaxPayload));
+  }
+  header.ticket = GetU64(data + 16);
+  return header;
+}
+
+Status SendFrame(int fd, const WireHeader& header, const std::string& payload) {
+  WireHeader h = header;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  std::string frame(kWireHeaderSize + payload.size(), '\0');
+  EncodeWireHeader(h, reinterpret_cast<uint8_t*>(&frame[0]));
+  std::memcpy(&frame[kWireHeaderSize], payload.data(), payload.size());
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+StatusOr<WireHeader> RecvFrame(int fd, std::string* payload) {
+  uint8_t raw[kWireHeaderSize];
+  Status s = RecvAll(fd, raw, sizeof(raw));
+  if (!s.ok()) return s;
+  StatusOr<WireHeader> header = DecodeWireHeader(raw);
+  if (!header.ok()) return header.status();
+  payload->assign(header.value().payload_len, '\0');
+  if (header.value().payload_len > 0) {
+    s = RecvAll(fd, &(*payload)[0], payload->size());
+    if (!s.ok()) return s;
+  }
+  return header;
+}
+
+Status SendPredict(int fd, uint64_t ticket, uint32_t deadline_ms,
+                   const std::string& graph_text) {
+  WireHeader header;
+  header.type = FrameType::kPredict;
+  header.deadline_ms = deadline_ms;
+  header.ticket = ticket;
+  return SendFrame(fd, header, graph_text);
+}
+
+StatusOr<int> DecodePrediction(const std::string& payload) {
+  if (payload.size() != 4) {
+    return Status::InvalidArgument("prediction payload must be 4 bytes, got " +
+                                   std::to_string(payload.size()));
+  }
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(payload.data());
+  return static_cast<int>(static_cast<int32_t>(GetU32(p)));
+}
+
+}  // namespace hap::serve

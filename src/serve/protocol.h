@@ -1,0 +1,88 @@
+// Length-prefixed binary framing for the serving front end
+// (docs/SERVING.md "Network front end & SLOs"). One frame = a fixed
+// 24-byte little-endian header followed by `payload_len` payload bytes:
+//
+//   offset  size  field
+//        0     4  magic        0x89 'H' 'A' 'P' (byte order on the wire:
+//                              0x89 first — never a printable HTTP method
+//                              letter, so the server can sniff protocol
+//                              from the first byte of a connection)
+//        4     1  type         FrameType
+//        5     1  status       StatusCode (kError frames; 0 otherwise)
+//        6     2  reserved     must be 0
+//        8     4  deadline_ms  request budget relative to server receipt;
+//                              0 = server default (responses echo 0)
+//       12     4  payload_len  payload bytes after the header
+//       16     8  ticket       caller-chosen id echoed in the response,
+//                              so clients may pipeline requests on one
+//                              connection and match out-of-order replies
+//
+// Payloads: kPredict carries one graph in the text format of
+// graph/io.h (`graph N label` / `node …` / `edge …`); kPredictOk
+// carries a 4-byte little-endian int32 predicted class; kError carries
+// a UTF-8 message (status holds the code).
+//
+// Everything here is host-independent: fields are serialised
+// byte-by-byte little-endian, not memcpy'd structs.
+#ifndef HAP_SERVE_PROTOCOL_H_
+#define HAP_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hap::serve {
+
+/// First byte of `kWireMagic` as it appears on the wire; the server
+/// treats a connection whose first byte is anything else as HTTP.
+inline constexpr uint8_t kWireMagicByte = 0x89;
+/// Full magic, little-endian: bytes 0x89 'H' 'A' 'P'.
+inline constexpr uint32_t kWireMagic = 0x50414889u;  // "\x89HAP"
+
+inline constexpr size_t kWireHeaderSize = 24;
+/// Upper bound on payload_len the server will accept (a malformed or
+/// hostile length prefix must not turn into a giant allocation).
+inline constexpr uint32_t kWireMaxPayload = 8u << 20;  // 8 MiB
+
+enum class FrameType : uint8_t {
+  kPredict = 1,    // client -> server: graph text payload
+  kPredictOk = 2,  // server -> client: int32 prediction payload
+  kError = 3,      // server -> client: status code + message payload
+};
+
+struct WireHeader {
+  FrameType type = FrameType::kPredict;
+  StatusCode status = StatusCode::kOk;
+  uint32_t deadline_ms = 0;
+  uint32_t payload_len = 0;
+  uint64_t ticket = 0;
+};
+
+/// Serialises `header` into exactly kWireHeaderSize bytes at `out`.
+void EncodeWireHeader(const WireHeader& header, uint8_t* out);
+
+/// Parses kWireHeaderSize bytes. Fails with InvalidArgument on a bad
+/// magic, unknown frame type, non-zero reserved bits, or a payload_len
+/// above kWireMaxPayload.
+StatusOr<WireHeader> DecodeWireHeader(const uint8_t* data);
+
+// --- Blocking client-side helpers (bench client, tests) ---
+
+/// Writes one frame (header + payload) to a blocking socket.
+Status SendFrame(int fd, const WireHeader& header, const std::string& payload);
+
+/// Reads one frame from a blocking socket; returns the header and
+/// fills `*payload`. OutOfRange on clean EOF before a full frame.
+StatusOr<WireHeader> RecvFrame(int fd, std::string* payload);
+
+/// Convenience: encodes a kPredict frame for `graph_text`.
+Status SendPredict(int fd, uint64_t ticket, uint32_t deadline_ms,
+                   const std::string& graph_text);
+
+/// Decodes the int32 payload of a kPredictOk frame.
+StatusOr<int> DecodePrediction(const std::string& payload);
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_PROTOCOL_H_

@@ -1,6 +1,9 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "obs/metrics.h"
 
 namespace hap::serve {
 
@@ -31,23 +34,40 @@ std::vector<Request> RequestQueue::PopBatch(int max_batch,
   HAP_CHECK_GE(max_batch, 1);
   std::vector<Request> batch;
   std::unique_lock<std::mutex> lock(mu_);
-  waiter_needs_ = 1;  // the next push anchors the batch's delay clock
+  waiter_needs_ = 1;
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
   if (queue_.empty()) return batch;  // closed and drained
 
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::microseconds(max_delay_us);
+  // The delay window is anchored at the moment the batch's FIRST request
+  // was enqueued, not at this wake-up: a request that already sat in the
+  // queue while the previous batch drained has spent its delay budget,
+  // and a slow drain must release it immediately instead of charging a
+  // second full max_delay_us on top of the queue wait. Requests admitted
+  // outside an engine (tests, tools) may carry enqueue_ns == 0; those
+  // have no admission stamp to anchor on, so the wake-up is the best
+  // available anchor.
+  uint64_t anchor_ns = queue_.front().enqueue_ns;
+  if (anchor_ns == 0) anchor_ns = obs::MonotonicNs();
+  uint64_t release_ns =
+      anchor_ns + static_cast<uint64_t>(max_delay_us) * 1000;
   while (static_cast<int>(batch.size()) < max_batch) {
     if (!queue_.empty()) {
+      // A member's absolute deadline caps the release point: waiting for
+      // stragglers past it would turn a makeable request into a certain
+      // deadline miss, so the batch seals early and ships what it has.
+      const uint64_t deadline_ns = queue_.front().deadline_ns;
+      if (deadline_ns != 0) release_ns = std::min(release_ns, deadline_ns);
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
       continue;
     }
     if (closed_) break;
+    const uint64_t now_ns = obs::MonotonicNs();
+    if (now_ns >= release_ns) break;  // window spent: release the partial
     // Sleep until the queue can complete this batch (pushes below that
-    // depth skip the notify) or the delay deadline releases a partial.
+    // depth skip the notify) or the release point frees a partial batch.
     waiter_needs_ = static_cast<size_t>(max_batch) - batch.size();
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    cv_.wait_for(lock, std::chrono::nanoseconds(release_ns - now_ns));
   }
   waiter_needs_ = 1;
   lock.unlock();

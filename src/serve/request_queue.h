@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <vector>
@@ -28,8 +29,18 @@ namespace hap::serve {
 struct Request {
   PreparedGraph graph;
   std::promise<int> promise;  // fulfilled with the predicted class
+  /// Non-empty on the network path: invoked exactly once with the
+  /// prediction or a failure Status instead of resolving `promise`
+  /// (InferenceEngine::SubmitAsync). Runs on the batcher thread, so it
+  /// must be quick and must not re-enter the engine.
+  std::function<void(StatusOr<int>)> callback;
   uint64_t id = 0;            // monotonic per-engine-process request id
   uint64_t enqueue_ns = 0;    // MonotonicNs at admission (queue-wait metric)
+  /// Absolute MonotonicNs deadline; 0 means none. The batcher seals a
+  /// gathering batch early when the oldest member's deadline would
+  /// otherwise pass while it waits for stragglers, and the engine counts
+  /// serve.deadline_miss.total when a request resolves past its deadline.
+  uint64_t deadline_ns = 0;
   uint64_t seal_ns = 0;       // batch sealed (queue exit) on the batcher
   uint64_t forward_start_ns = 0;  // lane forward began (lane thread)
   uint64_t forward_end_ns = 0;    // lane forward returned (lane thread)
@@ -42,8 +53,15 @@ struct Request {
 /// whether to retry, shed, or block. The single batcher thread drains via
 /// PopBatch, which returns up to `max_batch` requests: it blocks for the
 /// first request, then keeps gathering until the batch fills or
-/// `max_delay_us` has passed since that first request was seen, trading a
-/// bounded latency tax for batch efficiency.
+/// `max_delay_us` has passed since that first request was *enqueued*,
+/// trading a bounded latency tax for batch efficiency. Anchoring the
+/// window at the first member's enqueue_ns (not the batcher's wake-up)
+/// is what makes the engine.h contract — added latency bounded by
+/// max_delay_us — hold even when the batcher drains slowly: a request
+/// that already waited in the queue is not charged a second full delay
+/// window. Requests carrying a deadline_ns additionally seal the batch
+/// early when the oldest member's deadline precedes the delay window's
+/// release point.
 class RequestQueue {
  public:
   explicit RequestQueue(size_t capacity);

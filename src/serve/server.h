@@ -1,0 +1,111 @@
+// Network front end for the inference engine (docs/SERVING.md "Network
+// front end & SLOs"): one epoll event-loop thread on a loopback TCP
+// listener, speaking two protocols sniffed from a connection's first
+// byte —
+//   * 0x89  → the length-prefixed binary framing of serve/protocol.h
+//             (pipelined: many kPredict frames in flight per
+//             connection, responses matched by ticket), and
+//   * else  → HTTP/1.1 with keep-alive:
+//               POST /predict   JSON graph  -> {"prediction": k}
+//               GET  /metrics   Prometheus text exposition
+//               GET  /healthz   "ok"
+//               GET  /stats     JSON serving counters + quantiles
+//               POST /reload    invokes ServerConfig::reload_handler
+//
+// The event loop never blocks on inference: predictions go through
+// InferenceEngine::SubmitAsync, whose completion callback (batcher
+// thread) appends to a mutex-guarded completion list and rings an
+// eventfd the loop polls. The completion state is owned by a
+// shared_ptr captured in every callback, so callbacks that fire after
+// the server stopped (the engine drains its queue on Shutdown) land in
+// an orphaned list instead of touching freed memory.
+//
+// SLO machinery at admission: every predict request passes the
+// AdmissionController first (typed ResourceExhausted shed on queue
+// depth or a live p99 breach — never a blocked event loop), then the
+// GraphCache (identical wire payloads share one PreparedGraph, so
+// warm-cache reuse and engine coalescing survive serialisation), then
+// SubmitAsync with an absolute deadline derived from the request's
+// deadline_ms (0 = the engine's configured default).
+//
+// HTTP status mapping: OK→200, InvalidArgument→400, NotFound→404,
+// ResourceExhausted→429, FailedPrecondition→503, anything else→500.
+#ifndef HAP_SERVE_SERVER_H_
+#define HAP_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "graph/featurize.h"
+#include "serve/admission.h"
+#include "serve/engine.h"
+#include "serve/graph_cache.h"
+
+namespace hap::serve {
+
+/// Largest node count a network request may carry. Graph stores a dense
+/// N x N weight matrix, so an unbounded N in a tiny text payload would
+/// be a memory-amplification hole; the paper's corpora stay under ~600
+/// nodes, so this bound is generous.
+inline constexpr int kMaxRequestNodes = 4096;
+
+struct ServerConfig {
+  /// Loopback port to listen on; 0 = kernel-assigned (read back via
+  /// port()).
+  int port = 0;
+  /// Admission control (see admission.h). shed_queue_depth == 0 is
+  /// resolved to the engine's queue_capacity at Start.
+  AdmissionConfig admission;
+  /// Prepared-graph cache entries.
+  size_t cache_capacity = 256;
+  /// POST /reload handler (e.g. ModelRegistry reload of the serving
+  /// checkpoint). Runs on the event-loop thread; keep it quick. When
+  /// empty, /reload answers 404.
+  std::function<Status()> reload_handler;
+};
+
+class Server {
+ public:
+  /// `engine` must outlive the server and stay alive until after
+  /// Stop(); `spec` is the feature spec requests are prepared with
+  /// (must match the served model's).
+  Server(InferenceEngine* engine, const FeatureSpec& spec,
+         const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and starts the event-loop thread. Fails
+  /// (without partial effects) if the port cannot be bound.
+  Status Start();
+
+  /// Stops accepting, closes every connection, joins the loop thread.
+  /// Idempotent. In-flight engine requests complete against the
+  /// orphaned completion list and are dropped.
+  void Stop();
+
+  /// Port actually bound (resolves port 0); -1 before Start.
+  int port() const { return port_; }
+
+ private:
+  struct Loop;  // epoll state, connections, completion plumbing
+
+  InferenceEngine* const engine_;
+  const FeatureSpec spec_;
+  ServerConfig config_;
+  AdmissionController admission_;
+  GraphCache cache_;
+  std::unique_ptr<Loop> loop_;
+  std::thread thread_;
+  int port_ = -1;
+  bool started_ = false;
+};
+
+}  // namespace hap::serve
+
+#endif  // HAP_SERVE_SERVER_H_

@@ -1,8 +1,10 @@
 #include "serve/engine.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <iterator>
 #include <string>
 #include <thread>
@@ -14,6 +16,7 @@
 #include "graph/generators.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "serve/admission.h"
 #include "serve/registry.h"
 #include "serve/request_queue.h"
 #include "serve/served_model.h"
@@ -352,6 +355,154 @@ TEST(ServeEngineTest, HotSwapUnderConcurrentLoad) {
           << "producer " << p << " graph " << g;
     }
   }
+}
+
+TEST(RequestQueueTest, PopBatchAnchorsDelayAtFirstEnqueue) {
+  // Regression for the batching-delay accounting bug: the delay window
+  // must be anchored at the first batched request's *enqueue*, not the
+  // batcher's wake-up. A request that already aged past the whole
+  // window in the queue is released immediately; pre-fix, PopBatch
+  // re-anchored at wake-up and slept another full max_delay on top.
+  RequestQueue queue(8);
+  Request request;
+  request.graph.h = Tensor::Zeros(1, 1);
+  request.enqueue_ns = obs::MonotonicNs();
+  ASSERT_TRUE(queue.Push(std::move(request)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  const uint64_t t0 = obs::MonotonicNs();
+  std::vector<Request> batch = queue.PopBatch(8, /*max_delay_us=*/200'000);
+  const uint64_t elapsed_ms = (obs::MonotonicNs() - t0) / 1'000'000;
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LT(elapsed_ms, 100u)
+      << "partial batch held for a second full delay window";
+}
+
+TEST(RequestQueueTest, DeadlineSealsGatherEarly) {
+  // A queued deadline caps the gather window: with max_delay at 10 s
+  // but the sole request due in 30 ms, the partial batch must release
+  // at the deadline, not the delay window.
+  RequestQueue queue(8);
+  Request request;
+  request.graph.h = Tensor::Zeros(1, 1);
+  request.enqueue_ns = obs::MonotonicNs();
+  request.deadline_ns = request.enqueue_ns + 30'000'000;
+  ASSERT_TRUE(queue.Push(std::move(request)).ok());
+
+  const uint64_t t0 = obs::MonotonicNs();
+  std::vector<Request> batch =
+      queue.PopBatch(8, /*max_delay_us=*/10'000'000);
+  const uint64_t elapsed_ms = (obs::MonotonicNs() - t0) / 1'000'000;
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LT(elapsed_ms, 5000u) << "deadline did not seal the batch early";
+}
+
+TEST(ServeEngineTest, SubmitShutdownStressLeavesNoUnresolvedFuture) {
+  // Producers race Submit against two concurrent Shutdown calls. Every
+  // future a producer obtained must resolve to a prediction — a
+  // broken_promise here means a request was admitted and then dropped
+  // between the queue and the drain.
+  ServeFixture fx;
+  for (int round = 0; round < 4; ++round) {
+    EngineConfig config;
+    config.max_batch = 4;
+    config.max_delay_us = 100;
+    auto engine = std::make_unique<InferenceEngine>(fx.model, config);
+    constexpr int kProducers = 4;
+    std::vector<std::vector<std::future<int>>> futures(kProducers);
+    std::atomic<bool> start{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!start.load()) std::this_thread::yield();
+        for (int i = 0; i < 200; ++i) {
+          StatusOr<std::future<int>> result =
+              engine->Submit(fx.prepared[static_cast<size_t>(i) %
+                                         fx.prepared.size()]);
+          if (result.ok()) {
+            futures[p].push_back(std::move(result.value()));
+          } else if (result.status().code() ==
+                     StatusCode::kFailedPrecondition) {
+            return;  // engine shut down mid-loop — expected
+          }
+          // ResourceExhausted: backpressure, just keep going.
+        }
+      });
+    }
+    start.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(round));
+    std::thread closer_a([&] { engine->Shutdown(); });
+    std::thread closer_b([&] { engine->Shutdown(); });
+    closer_a.join();
+    closer_b.join();
+    for (std::thread& t : producers) t.join();
+    for (auto& per_producer : futures) {
+      for (std::future<int>& f : per_producer) {
+        EXPECT_NO_THROW(f.get()) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(ServeEngineTest, CountsDeadlineMisses) {
+  // A 1 us default deadline guarantees every request resolves late: the
+  // request still gets its prediction, and the miss counter (the SLO
+  // signal) ticks.
+  ServeFixture fx;
+  const uint64_t before = obs::CounterValue(obs::names::kServeDeadlineMiss);
+  EngineConfig config;
+  config.default_deadline_us = 1;
+  InferenceEngine engine(fx.model, config);
+  StatusOr<std::future<int>> result = engine.Submit(fx.prepared[0]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().get(), fx.direct[0]);
+  EXPECT_GT(obs::CounterValue(obs::names::kServeDeadlineMiss), before);
+}
+
+TEST(AdmissionTest, QueueDepthShedsTyped) {
+  AdmissionConfig config;
+  config.shed_queue_depth = 4;
+  AdmissionController admission(config);
+  const uint64_t total_before =
+      obs::CounterValue(obs::names::kServeShedTotal);
+  const uint64_t queue_before =
+      obs::CounterValue(obs::names::kServeShedQueueDepth);
+
+  EXPECT_TRUE(admission.Admit(3).ok());
+  const Status shed = admission.Admit(4);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(obs::CounterValue(obs::names::kServeShedTotal) - total_before,
+            1u);
+  EXPECT_EQ(
+      obs::CounterValue(obs::names::kServeShedQueueDepth) - queue_before,
+      1u);
+  // Sheds at the front end never block: the moment the queue drains,
+  // admission resumes.
+  EXPECT_TRUE(admission.Admit(0).ok());
+}
+
+TEST(AdmissionTest, LatencyBreachShedsAndRecovers) {
+  AdmissionConfig config;
+  config.slo_p99_ns = 1'000'000;   // 1 ms SLO
+  config.refresh_window_ns = 1;    // re-scrape on every Admit
+  config.min_window_count = 8;
+  AdmissionController admission(config);
+  // First Admit absorbs whatever earlier tests recorded into the global
+  // serve.latency.ns sketch as this controller's baseline.
+  (void)admission.Admit(0);
+
+  obs::Sketch* latency = obs::GetSketch(obs::names::kServeLatencyNs);
+  for (int i = 0; i < 64; ++i) latency->Record(50'000'000);  // 50 ms
+  const Status shed = admission.Admit(0);
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(admission.latency_breached());
+  EXPECT_GT(obs::CounterValue(obs::names::kServeShedLatency), 0u);
+
+  // The shed window produced no new completions, so the next refresh
+  // sees a near-empty delta (below min_window_count) and admission
+  // recovers — the built-in overload exit.
+  EXPECT_TRUE(admission.Admit(0).ok());
+  EXPECT_FALSE(admission.latency_breached());
 }
 
 }  // namespace

@@ -348,6 +348,33 @@ TEST(ExporterTest, FileModeWritesAtomicPromAndJson) {
   obs::ResetMetrics();
 }
 
+TEST(ExporterTest, FileModeReportsFailureWithoutCrashing) {
+  obs::ResetMetrics();
+  obs::GetCounter("test.exporter.fail")->Add(1);
+  obs::TelemetryExporter::Options options;
+  // Unwritable target: the parent directory does not exist, so the
+  // tmp-file open fails. ScrapeOnce must report false (logged skip),
+  // leave no tmp litter behind, and the exporter must stay usable.
+  options.path = testing::TempDir() + "/no_such_dir/hap_exporter.prom";
+  options.interval_ms = 100000;
+  obs::TelemetryExporter exporter(options);
+  EXPECT_FALSE(exporter.ScrapeOnce());
+  EXPECT_FALSE(std::ifstream(options.path).good());
+  EXPECT_FALSE(std::ifstream(options.path + ".tmp").good());
+
+  // A later scrape to a writable path succeeds: transient disk trouble
+  // does not wedge the exporter.
+  obs::TelemetryExporter::Options good;
+  good.path = testing::TempDir() + "/hap_exporter_recovered.prom";
+  good.interval_ms = 100000;
+  obs::TelemetryExporter recovered(good);
+  EXPECT_TRUE(recovered.ScrapeOnce());
+  EXPECT_TRUE(std::ifstream(good.path).good());
+  exporter.Stop();
+  recovered.Stop();
+  obs::ResetMetrics();
+}
+
 TEST(ExporterTest, IntervalSketchesAreDeltas) {
   obs::ResetMetrics();
   obs::Sketch* sketch = obs::GetSketch("test.exporter.delta");
