@@ -56,7 +56,7 @@ constexpr char kUsage[] =
     "                 [--requests N] [--qps N] [--max-batch N]\n"
     "                 [--max-delay-us N] [--seed N] [--predictions-out path]\n"
     "                 [--coarsen-mode dense|topk|auto] [--topk K]\n"
-    "                 [--access-log path]\n";
+    "                 [--precision fp32|bf16|int8] [--access-log path]\n";
 
 template <typename T>
 T FlagValueOrDie(const StatusOr<T>& result) {
@@ -96,7 +96,8 @@ int main(int argc, char** argv) {
       argc, argv, 1,
       {"checkpoint", "dataset", "graphs", "input", "method", "hidden",
        "requests", "qps", "max-batch", "max-delay-us", "seed",
-       "predictions-out", "coarsen-mode", "topk", "access-log"});
+       "predictions-out", "coarsen-mode", "topk", "precision",
+       "access-log"});
   Flags flags = FlagValueOrDie(parsed);
   const std::string checkpoint = flags.GetString("checkpoint", "");
   if (checkpoint.empty()) {
@@ -148,8 +149,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--topk must be >= 1\n%s", kUsage);
     return 2;
   }
+  // One flag drives both halves of the precision knob: the model side
+  // (calibration scales prepared at load) and the engine side (the
+  // PrecisionScope each lane installs per batch).
+  const std::string precision_text = flags.GetString("precision", "fp32");
+  Precision precision = Precision::kFp32;
+  if (!ParsePrecision(precision_text, &precision)) {
+    std::fprintf(stderr, "unknown --precision '%s' (fp32|bf16|int8)\n%s",
+                 precision_text.c_str(), kUsage);
+    return 2;
+  }
+  model_config.precision = precision;
+  if (precision == Precision::kInt8) {
+    // Calibrate activation absmax on a small slice of the replay pool
+    // when the checkpoint carries no scales of its own.
+    const size_t sample = std::min<size_t>(prepared.size(), 8);
+    model_config.calibration_graphs.assign(prepared.begin(),
+                                           prepared.begin() + sample);
+  }
 
   serve::EngineConfig engine_config;
+  engine_config.precision = precision;
   engine_config.max_batch =
       FlagValueOrDie(flags.GetInt("max-batch", engine_config.max_batch));
   engine_config.max_delay_us = FlagValueOrDie(flags.GetInt(
@@ -169,10 +189,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
-  std::printf("serving %s (%lld parameters, %d lanes) from %s\n",
+  std::printf("serving %s (%lld parameters, %d lanes, %s) from %s\n",
               model_config.method.c_str(),
               static_cast<long long>(model.value()->num_parameters()),
-              model.value()->lanes(), checkpoint.c_str());
+              model.value()->lanes(), PrecisionName(precision),
+              checkpoint.c_str());
 
   serve::InferenceEngine engine(model.value(), engine_config);
   using Clock = std::chrono::steady_clock;

@@ -17,7 +17,8 @@
 //              [--shed-queue-depth N] [--slo-p99-ms N]
 //              [--default-deadline-ms N] [--cache-capacity N]
 //              [--coarsen-mode dense|topk|auto] [--topk K]
-//              [--access-log path]
+//              [--precision fp32|bf16|int8] [--max-connections N]
+//              [--idle-timeout-ms N] [--access-log path]
 //
 // --port 0 (the default) asks the kernel for a port; --port-file writes
 // the bound port as one line so scripts can discover it. The process
@@ -38,6 +39,7 @@
 #include "serve/engine.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "train/prepared.h"
 
 namespace {
 
@@ -51,7 +53,8 @@ constexpr char kUsage[] =
     "                  [--slo-p99-ms N] [--default-deadline-ms N]\n"
     "                  [--cache-capacity N]\n"
     "                  [--coarsen-mode dense|topk|auto] [--topk K]\n"
-    "                  [--access-log path]\n";
+    "                  [--precision fp32|bf16|int8] [--max-connections N]\n"
+    "                  [--idle-timeout-ms N] [--access-log path]\n";
 
 template <typename T>
 T FlagValueOrDie(const StatusOr<T>& result) {
@@ -86,7 +89,8 @@ int main(int argc, char** argv) {
       {"checkpoint", "dataset", "method", "hidden", "port", "port-file",
        "lanes", "max-batch", "max-delay-us", "queue-capacity",
        "shed-queue-depth", "slo-p99-ms", "default-deadline-ms",
-       "cache-capacity", "coarsen-mode", "topk", "access-log"});
+       "cache-capacity", "coarsen-mode", "topk", "precision",
+       "max-connections", "idle-timeout-ms", "access-log"});
   Flags flags = FlagValueOrDie(parsed);
   const std::string checkpoint = flags.GetString("checkpoint", "");
   if (checkpoint.empty()) {
@@ -112,8 +116,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   model_config.topk = FlagValueOrDie(flags.GetInt("topk", 0));
+  // One flag drives both precision halves: scale preparation at model
+  // load and the per-lane PrecisionScope at batch execution.
+  const std::string precision_text = flags.GetString("precision", "fp32");
+  Precision precision = Precision::kFp32;
+  if (!ParsePrecision(precision_text, &precision)) {
+    std::fprintf(stderr, "unknown --precision '%s' (fp32|bf16|int8)\n%s",
+                 precision_text.c_str(), kUsage);
+    return 2;
+  }
+  model_config.precision = precision;
+  if (precision == Precision::kInt8) {
+    // The checkpoint may carry its own scales (v2); otherwise calibrate
+    // on a generated sample from the architecture's dataset family.
+    GraphDataset sample =
+        MakeDatasetByName(flags.GetString("dataset", "mutag"), 8, &rng);
+    model_config.calibration_graphs = PrepareDataset(sample);
+  }
 
   serve::EngineConfig engine_config;
+  engine_config.precision = precision;
   engine_config.max_batch =
       FlagValueOrDie(flags.GetInt("max-batch", engine_config.max_batch));
   engine_config.max_delay_us = FlagValueOrDie(flags.GetInt(
@@ -150,6 +172,10 @@ int main(int argc, char** argv) {
   server_config.admission.slo_p99_ns =
       1'000'000ull *
       static_cast<uint64_t>(FlagValueOrDie(flags.GetInt("slo-p99-ms", 0)));
+  server_config.max_connections = static_cast<size_t>(
+      FlagValueOrDie(flags.GetInt("max-connections", 0)));
+  server_config.idle_timeout_ms =
+      FlagValueOrDie(flags.GetInt("idle-timeout-ms", 0));
   // POST /reload: re-load the checkpoint at the next version. The
   // version counter lives in the closure; concurrent reloads serialise
   // inside the registry.
@@ -168,8 +194,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("hap_served: %s (%d lanes) on 127.0.0.1:%d\n",
-              model_config.method.c_str(), model_config.lanes, server.port());
+  std::printf("hap_served: %s (%d lanes, %s) on 127.0.0.1:%d\n",
+              model_config.method.c_str(), model_config.lanes,
+              PrecisionName(precision), server.port());
   std::fflush(stdout);
 
   const std::string port_file = flags.GetString("port-file", "");

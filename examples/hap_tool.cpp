@@ -252,7 +252,8 @@ int RunMetricsDump(int argc, char** argv) {
   }
   // Accept both a raw HAP_METRICS snapshot and the exporter's JSON
   // ({"cumulative":<snapshot>,...}).
-  const JsonValue* root = &parsed.value();
+  const JsonValue* top = &parsed.value();
+  const JsonValue* root = top;
   if (const JsonValue* cumulative = root->Find("cumulative");
       cumulative != nullptr) {
     root = cumulative;
@@ -323,6 +324,41 @@ int RunMetricsDump(int argc, char** argv) {
                   s.name.c_str(), static_cast<unsigned long long>(s.count),
                   s.Mean(), s.Quantile(0.5), s.Quantile(0.99),
                   s.Quantile(0.999));
+    }
+  }
+  // Exporter JSON can carry delta windows only (no cumulative bucket
+  // arrays); its "interval_sketches" entries ship pre-computed
+  // quantiles. Render those when the cumulative section yielded no
+  // sketch block, so a delta-only dump still prints quantiles instead
+  // of nothing.
+  if (sketches == nullptr || !sketches->is_array() ||
+      sketches->array().empty()) {
+    const JsonValue* interval = top->Find("interval_sketches");
+    if (interval != nullptr && interval->is_array() &&
+        !interval->array().empty()) {
+      std::printf(
+          "interval sketches (%zu):  count         p50           p99"
+          "          p999\n",
+          interval->array().size());
+      for (const JsonValue& entry : interval->array()) {
+        const JsonValue* name = entry.Find("name");
+        const JsonValue* count = entry.Find("count");
+        const JsonValue* p50 = entry.Find("p50");
+        const JsonValue* p99 = entry.Find("p99");
+        const JsonValue* p999 = entry.Find("p999");
+        if (name == nullptr || !name->is_string() || count == nullptr ||
+            !count->is_number() || p50 == nullptr || !p50->is_number() ||
+            p99 == nullptr || !p99->is_number() || p999 == nullptr ||
+            !p999->is_number()) {
+          std::fprintf(stderr, "  (malformed interval sketch skipped)\n");
+          continue;
+        }
+        std::printf("  %-20s %7llu %13.1f %13.1f %13.1f\n",
+                    name->string_value().c_str(),
+                    static_cast<unsigned long long>(count->number_value()),
+                    p50->number_value(), p99->number_value(),
+                    p999->number_value());
+      }
     }
   }
   return 0;

@@ -90,6 +90,10 @@ assert doc["all_bit_identical"], "served predictions diverged from direct forwar
 runs = doc["runs"]
 assert len(runs) == 4 and all("throughput_qps" in r for r in runs)
 assert doc["speedup_batch16_vs_batch1"] > 0
+parity = {p["precision"]: p for p in doc["precision_parity"]}
+assert set(parity) == {"fp32", "bf16", "int8"}, parity
+assert doc["parity_pass"] and doc["parity_min_agreement"] >= 0.99, (
+    f"precision parity below 99%: {parity}")
 print(f"serve bench OK: batched speedup "
       f"{doc['speedup_batch16_vs_batch1']:.2f}x, "
       f"coalesce {runs[1]['coalesce_factor']:.1f} req/forward")
@@ -424,6 +428,46 @@ EOF
 }
 sparse_coarsen_pass
 
+# --- Quantization pass (docs/PERFORMANCE.md) ----------------------------
+# Reduced-precision serving must clear its accuracy gates live: a fast
+# bench_quantized_gemm run exercises the int8/bf16 GEMM family end to end
+# (per-shape sweep + serve replay at all three precisions) and exits
+# non-zero unless classification agreement >= 99% and similarity-ranking
+# Kendall-tau >= 0.98 hold vs fp32. The quant unit suite re-runs under
+# every MatMul dispatch override (it also runs plain and sanitized in the
+# ctest passes), and the committed bench JSON must exist and clear both
+# the accuracy gates and the 1.5x end-to-end int8 throughput gate.
+quant_pass() {
+  echo "=== build: quantized GEMM accuracy + bench gate ==="
+  for kernel in naive blocked auto; do
+    HAP_MATMUL_KERNEL=$kernel ./build/tests/quant_test > /dev/null
+  done
+  echo "quant kernels hold under naive/blocked/auto dispatch"
+  HAP_BENCH_FAST=1 ./build/bench/bench_quantized_gemm \
+    build/BENCH_quantized_gemm.json > /dev/null
+  python3 - <<'EOF'
+import json
+live = json.load(open("build/BENCH_quantized_gemm.json"))
+assert live["accuracy_gates_pass"], (
+    "live quantized bench failed its agreement/Kendall-tau gates")
+doc = json.load(open("BENCH_quantized_gemm.json"))
+assert doc["accuracy_gates_pass"], (
+    "committed quantized bench recorded failed accuracy gates")
+serve = {s["precision"]: s for s in doc["serve"]}
+for p in ("bf16", "int8"):
+    assert serve[p]["agreement_vs_fp32"] >= 0.99, serve[p]
+    assert serve[p]["kendall_tau_vs_fp32"] >= 0.98, serve[p]
+assert doc["meets_1p5x_e2e"] and doc["e2e_speedup_int8_vs_fp32"] >= 1.5, (
+    f"committed int8 serve speedup "
+    f"{doc['e2e_speedup_int8_vs_fp32']:.2f}x < 1.5x vs fp32")
+print(f"quantized bench OK: int8 serve "
+      f"{doc['e2e_speedup_int8_vs_fp32']:.2f}x e2e, agreement "
+      f"{serve['int8']['agreement_vs_fp32']:.4f}, tau "
+      f"{serve['int8']['kendall_tau_vs_fp32']:.4f}")
+EOF
+}
+quant_pass
+
 # --- Docs pass ----------------------------------------------------------
 # Every relative link in README.md and docs/*.md must resolve; a renamed
 # or deleted file fails here instead of leaving dead links.
@@ -459,4 +503,11 @@ docs_pass
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
   run_pass build-sanitize -DHAP_SANITIZE=address,undefined
 
-echo "All checks passed (plain + observability + batching + sparse coarsening + docs + address,undefined)."
+# Quantized kernels poke raw packed buffers with intrinsics — run the
+# quant suite once more, explicitly, from the sanitized build (it is in
+# the ctest pass above; this line keeps the guarantee legible).
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+  ./build-sanitize/tests/quant_test > /dev/null
+echo "quant suite clean under address,undefined"
+
+echo "All checks passed (plain + observability + batching + sparse coarsening + quantization + docs + address,undefined)."

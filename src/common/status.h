@@ -18,6 +18,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -51,6 +52,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

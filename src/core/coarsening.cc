@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "tensor/segment_ops.h"
 #include "tensor/sparse.h"
 
@@ -57,9 +58,7 @@ Tensor CoarseningModule::ComputeAttention(const Tensor& c_or_h) const {
   if (config_.use_gcont) {
     const Tensor& c = c_or_h;
     HAP_CHECK_EQ(c.cols(), config_.num_clusters);
-    // Row operand: s₁_i = a₁ · C_{i,:}.
-    Tensor row_scores = MatMul(c, attn_row_);  // (N, 1)
-    Tensor col_scores;                         // (N', 1)
+    Tensor col_scores;  // (N', 1)
     if (config_.paper_literal_relaxation) {
       // Paper-literal Claim 3: the comparison of C_{:,j} ∈ ℝᴺ against
       // a₂ ∈ ℝ^{N'} uses only the first min(N, N') entries; missing
@@ -76,6 +75,22 @@ Tensor CoarseningModule::ComputeAttention(const Tensor& c_or_h) const {
       col_scores = MulScalar(MatMul(Transpose(c), projected),
                              1.0f / static_cast<float>(n));
     }
+    if (config_.bilinear_moa && !GradEnabled() &&
+        PrecisionScope::Current() != Precision::kFp32) {
+      // Reduced-precision eval folds the whole MOA scoring into one
+      // fused GEMM:  s₁_i + s₂_j + (C CᵀC/N)_{ij} = (C·W)_{ij} + s₂_j
+      // with W = a₁𝟙ᵀ + CᵀC/N (since (C·a₁𝟙ᵀ)_{ij} = s₁_i), so the
+      // dominant N·N'² product runs quantized with the bias+LeakyReLU
+      // epilogue fused into its dequant pass. fp32 keeps the composed
+      // ops below bit-for-bit — this path never changes fp32 results.
+      Tensor w = Add(
+          MulScalar(MatMul(Transpose(c), c), 1.0f / static_cast<float>(n)),
+          MatMul(attn_row_, Tensor::Ones(1, config_.num_clusters)));
+      return SoftmaxRows(MatMulBiasLeakyRelu(
+          c, w, Transpose(col_scores), config_.leaky_slope));  // Eq. 14-15
+    }
+    // Row operand: s₁_i = a₁ · C_{i,:}.
+    Tensor row_scores = MatMul(c, attn_row_);              // (N, 1)
     logits = OuterSum(row_scores, Transpose(col_scores));  // (N, N')
     if (config_.bilinear_moa) {
       // Cross-attention interaction C_{i,:}·ĉ_j with ĉ_j = CᵀC_{:,j}/N:
@@ -155,7 +170,15 @@ CoarseningModule::CoarsenProducts CoarseningModule::ComputeProducts(
   Tensor m_t = Transpose(m);
   out.h = ClusterFeatures(m_t, h);
   // Eq. 18: A' = Mᵀ A M; the inner A·M goes through the level so sparse
-  // input adjacencies use the CSR fast path.
+  // input adjacencies use the CSR fast path. The adjacency products are
+  // pinned to fp32 even under a reduced-precision serving scope
+  // (tensor/quant.h): A' feeds the eval-time soft sampling
+  // softmax(log A'/tau), whose 1/tau exponent turns a quantizer's
+  // *absolute* error on small A' entries into O(1) logit shifts —
+  // cluster-assignment flips, not smooth noise. Structure stays exact;
+  // the O(N²·F) feature-path GEMMs keep the reduced-precision win and
+  // these O(N²·N') products are a sliver of the forward.
+  PrecisionScope structure_fp32(Precision::kFp32);
   out.adj = MatMul(m_t, level.Aggregate(m));
   return out;
 }

@@ -27,6 +27,10 @@ inline constexpr char kCsrCoarsenNs[] = "tensor.csrcoarsen.ns";
 inline constexpr char kMatMulDispatchBlocked[] =
     "tensor.matmul.dispatch.blocked";
 inline constexpr char kMatMulDispatchNaive[] = "tensor.matmul.dispatch.naive";
+// Reduced-precision eval dispatch (tensor/quant.h): forwards that ran on
+// the int8 or bf16 kernel family instead of the fp32 contract kernels.
+inline constexpr char kMatMulDispatchInt8[] = "tensor.matmul.dispatch.int8";
+inline constexpr char kMatMulDispatchBf16[] = "tensor.matmul.dispatch.bf16";
 
 // --- src/tensor arena (step-scoped buffer pool, src/tensor/arena.h) ---
 inline constexpr char kMemPoolHit[] = "mem.pool.hit";
@@ -105,6 +109,10 @@ inline constexpr char kServeShedLatency[] = "serve.shed.latency";
 // Requests that resolved after their absolute deadline (they still get
 // their prediction; the counter is the SLO signal).
 inline constexpr char kServeDeadlineMiss[] = "serve.deadline_miss.total";
+// Requests whose deadline had already passed when their batch sealed:
+// the engine resolves them with DEADLINE_EXCEEDED instead of spending a
+// lane forward on a result nobody will read.
+inline constexpr char kServeDeadlineSkipped[] = "serve.deadline_miss.skipped";
 // Content-hash prepared-graph cache (serve/graph_cache.h): identical
 // wire requests re-use one PreparedGraph, so GraphLevel warm caches —
 // and the engine's pointer-identity coalescing — carry across requests.
@@ -118,6 +126,11 @@ inline constexpr char kServeNetConnections[] = "serve.net.connections";
 inline constexpr char kServeNetRequestsBinary[] = "serve.net.requests.binary";
 inline constexpr char kServeNetRequestsHttp[] = "serve.net.requests.http";
 inline constexpr char kServeNetProtocolErrors[] = "serve.net.protocol_errors";
+// Slowloris defences (ServerConfig::{max_connections, idle_timeout_ms}):
+// connections refused because the cap was reached, and established
+// connections reaped after sitting idle past the timeout.
+inline constexpr char kServeNetConnRefused[] = "serve.net.conn_refused";
+inline constexpr char kServeNetIdleClosed[] = "serve.net.idle_closed";
 
 }  // namespace hap::obs::names
 

@@ -202,6 +202,41 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
     }
   }
 
+  // Shed requests whose deadline already expired while they waited in the
+  // queue: they get DEADLINE_EXCEEDED now instead of occupying a lane to
+  // compute an answer the client has given up on. Mid-compute expiry is
+  // handled separately below (the prediction still resolves).
+  {
+    bool any_expirable = false;
+    for (const Request& request : batch) {
+      if (request.deadline_ns != 0) any_expirable = true;
+    }
+    if (any_expirable) {
+      static obs::Counter* skipped =
+          obs::GetCounter(obs::names::kServeDeadlineSkipped);
+      const uint64_t now = obs::MonotonicNs();
+      std::vector<Request> live;
+      live.reserve(batch.size());
+      for (Request& request : batch) {
+        if (request.deadline_ns != 0 && now >= request.deadline_ns) {
+          skipped->Increment();
+          const Status status = Status::DeadlineExceeded(
+              "deadline expired before dispatch");
+          if (request.callback) {
+            request.callback(status);
+          } else {
+            request.promise.set_exception(std::make_exception_ptr(
+                std::runtime_error(status.ToString())));
+          }
+        } else {
+          live.push_back(std::move(request));
+        }
+      }
+      batch = std::move(live);
+      if (batch.empty()) return;
+    }
+  }
+
   // Group requests that carry the same prepared graph: one forward per
   // group, the result fanned back to every member.
   std::vector<std::vector<Request>> groups;
@@ -304,6 +339,10 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
         if (tracing) flow_finish(lo, hi);
         const uint64_t start = telemetry ? obs::MonotonicNs() : 0;
         ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
+        // Precision is thread-local state, so the scope lives on the pool
+        // thread running this lane's forward, not on the batcher.
+        PrecisionScope precision_scope(
+            config_.precision, model->lane_scales(static_cast<int>(lane)));
         std::vector<PreparedGraph> graphs;
         graphs.reserve(hi - lo);
         for (size_t g = lo; g < hi; ++g) {
@@ -328,6 +367,8 @@ void InferenceEngine::ProcessBatch(std::vector<Request> batch) {
           if (tracing) flow_finish(g, g + 1);
           const uint64_t start = telemetry ? obs::MonotonicNs() : 0;
           ArenaScope arena_scope(lane_arenas_[static_cast<size_t>(lane)]);
+          PrecisionScope precision_scope(
+              config_.precision, model->lane_scales(static_cast<int>(lane)));
           predictions[g] =
               model->Predict(groups[g].front().graph, static_cast<int>(lane));
           if (telemetry) stamp_forward(g, g + 1, start, obs::MonotonicNs());

@@ -17,6 +17,7 @@
 #include "serve/request_queue.h"
 #include "serve/served_model.h"
 #include "tensor/arena.h"
+#include "tensor/quant.h"
 
 namespace hap::serve {
 
@@ -54,10 +55,17 @@ struct EngineConfig {
   /// when the caller passes none (0 = requests without an explicit
   /// deadline carry no deadline). Deadlines cap how long the batcher
   /// waits for stragglers (the batch seals early rather than guarantee a
-  /// miss) and resolve-past-deadline requests tick
-  /// serve.deadline_miss.total — they still get their prediction; the
-  /// counter is the SLO signal, shedding happens at admission.
+  /// miss). A request whose deadline has already passed when its batch is
+  /// dispatched is shed with DEADLINE_EXCEEDED before any compute
+  /// (serve.deadline_miss.skipped); one that expires mid-compute still
+  /// resolves with its prediction and ticks serve.deadline_miss.total.
   int64_t default_deadline_us = 0;
+  /// Forward-pass precision for lane compute (tensor/quant.h). Installed
+  /// as a PrecisionScope on each lane's pool thread per batch; int8 picks
+  /// up the served model's pre-quantized lane scales automatically. The
+  /// fp32 default keeps every forward bit-deterministic; bf16/int8 trade
+  /// bounded rounding error for throughput (docs/PERFORMANCE.md).
+  Precision precision = Precision::kFp32;
 };
 
 /// Inference front end: admission control, micro-batching, and fan-out of

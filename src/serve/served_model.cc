@@ -26,7 +26,12 @@ StatusOr<std::shared_ptr<const ServedModel>> ServedModel::Load(
         MakeEmbedderByName(config.method, config.feature_dim, config.hidden,
                            &rng),
         config.num_classes, config.hidden, &rng);
-    if (Status s = LoadModule(replica.get(), checkpoint_path); !s.ok()) {
+    // Lane 0 also captures the checkpoint's v2 scale section (if any);
+    // the entries are index-keyed, so one read serves every lane.
+    std::vector<QuantScaleEntry>* scales_out =
+        lane == 0 ? &model->scale_entries_ : nullptr;
+    if (Status s = LoadModule(replica.get(), checkpoint_path, scales_out);
+        !s.ok()) {
       return Status(s.code(), "loading '" + checkpoint_path +
                                   "' for method " + config.method + ": " +
                                   s.message());
@@ -36,7 +41,37 @@ StatusOr<std::shared_ptr<const ServedModel>> ServedModel::Load(
     model->replicas_.push_back(std::move(replica));
   }
   model->num_parameters_ = model->replicas_[0]->NumParameters();
+  if (config.precision == Precision::kInt8) {
+    if (model->scale_entries_.empty() && !config.calibration_graphs.empty()) {
+      // Checkpoint carries no scales: calibrate activation absmax on the
+      // held-out sample. Predict runs under NoGradGuard, so the observer
+      // sees exactly the eval-time activations at each weight GEMM.
+      CalibrationObserver observer;
+      for (const PreparedGraph& graph : config.calibration_graphs) {
+        if (Status s = model->ValidateRequest(graph); !s.ok()) {
+          return Status(s.code(), "calibration graph: " + s.message());
+        }
+        (void)model->replicas_[0]->Predict(graph);
+      }
+      model->scale_entries_ =
+          observer.Entries(model->replicas_[0]->Parameters());
+    }
+    // Pre-quantize every lane's weight panels once, at load time. With no
+    // entries at all (no checkpoint scales, no calibration sample) the
+    // per-lane tables stay empty and every GEMM quantizes dynamically.
+    for (int lane = 0; lane < config.lanes; ++lane) {
+      model->lane_scales_.push_back(QuantScales::Build(
+          model->scale_entries_, model->replicas_[lane]->Parameters()));
+    }
+  }
   return std::shared_ptr<const ServedModel>(std::move(model));
+}
+
+const QuantScales* ServedModel::lane_scales(int lane) const {
+  if (lane_scales_.empty()) return nullptr;
+  HAP_CHECK_GE(lane, 0);
+  HAP_CHECK_LT(lane, static_cast<int>(lane_scales_.size()));
+  return &lane_scales_[lane];
 }
 
 Status ServedModel::ValidateRequest(const PreparedGraph& graph) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "tensor/quant.h"
 #include "train/classifier.h"
 #include "train/prepared.h"
 
@@ -30,6 +31,17 @@ struct ServedModelConfig {
   /// Per-row assignment budget for the top-k sparse path; <= 0 keeps the
   /// model's configured default.
   int topk = 0;
+  /// Eval-only forward precision prepared at load time (tensor/quant.h).
+  /// int8 needs activation scales: they come from the checkpoint's v2
+  /// scale section when present, else are calibrated on
+  /// `calibration_graphs`, else every activation quantizes dynamically.
+  /// Execution opts in per batch via EngineConfig::precision — a loaded
+  /// model never changes fp32 results by itself.
+  Precision precision = Precision::kFp32;
+  /// Held-out sample for absmax calibration (see above). Only read at
+  /// Load, only when precision == int8 and the checkpoint carries no
+  /// scales.
+  std::vector<PreparedGraph> calibration_graphs;
 };
 
 /// An immutable, eval-mode model loaded from a checkpoint. Instances are
@@ -72,11 +84,28 @@ class ServedModel {
   const ServedModelConfig& config() const { return config_; }
   int64_t num_parameters() const { return num_parameters_; }
 
+  /// The precision this model was prepared for at load time.
+  Precision precision() const { return config_.precision; }
+  /// Pre-quantized weight panels for lane `lane`, or nullptr when the
+  /// model was prepared at fp32/bf16 (no scales needed). Callers install
+  /// these via PrecisionScope on the thread running the lane forward.
+  const QuantScales* lane_scales(int lane) const;
+  /// The index-keyed scale entries backing lane_scales (for inspection
+  /// and re-serialization; empty unless precision == int8).
+  const std::vector<QuantScaleEntry>& scale_entries() const {
+    return scale_entries_;
+  }
+
  private:
   explicit ServedModel(ServedModelConfig config) : config_(std::move(config)) {}
 
   ServedModelConfig config_;
   std::vector<std::unique_ptr<GraphClassifier>> replicas_;
+  /// One QuantScales per replica (same order), built from scale_entries_;
+  /// empty unless config_.precision == int8. Replicas hold distinct
+  /// weight tensors, so each lane binds the entries to its own pointers.
+  std::vector<QuantScales> lane_scales_;
+  std::vector<QuantScaleEntry> scale_entries_;
   int64_t num_parameters_ = 0;
 };
 

@@ -80,6 +80,7 @@ struct Connection {
   bool close_after_flush = false;
   bool http_pending = false;      // one async /predict outstanding
   bool http_keep_alive = true;    // for the pending response
+  uint64_t last_activity_ns = 0;  // idle-timeout bookkeeping
 };
 
 std::pair<int, const char*> HttpStatusFor(StatusCode code) {
@@ -95,6 +96,8 @@ std::pair<int, const char*> HttpStatusFor(StatusCode code) {
       return {429, "Too Many Requests"};
     case StatusCode::kFailedPrecondition:
       return {503, "Service Unavailable"};
+    case StatusCode::kDeadlineExceeded:
+      return {504, "Gateway Timeout"};
     default:
       return {500, "Internal Server Error"};
   }
@@ -215,6 +218,8 @@ std::string StatsJson(size_t queue_depth) {
       obs::names::kServeCacheMiss,       obs::names::kServeCacheEvicted,
       obs::names::kServeNetConnections,  obs::names::kServeNetRequestsBinary,
       obs::names::kServeNetRequestsHttp, obs::names::kServeNetProtocolErrors,
+      obs::names::kServeDeadlineSkipped, obs::names::kServeNetConnRefused,
+      obs::names::kServeNetIdleClosed,
   };
   std::string out = "{\"queue_depth\":" + std::to_string(queue_depth);
   out += ",\"counters\":{";
@@ -263,8 +268,17 @@ struct Server::Loop {
   void Run() {
     epoll_event events[64];
     bool stopping = false;
+    // With an idle timeout configured the loop must wake even when no fd
+    // is ready, so stale connections get swept; without one it blocks
+    // forever as before.
+    const int64_t idle_ms = server->config_.idle_timeout_ms;
+    const int wait_ms =
+        idle_ms > 0
+            ? static_cast<int>(std::max<int64_t>(
+                  10, std::min<int64_t>(idle_ms / 2, 1000)))
+            : -1;
     while (!stopping) {
-      const int n = ::epoll_wait(epoll_fd, events, 64, -1);
+      const int n = ::epoll_wait(epoll_fd, events, 64, wait_ms);
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
@@ -284,15 +298,57 @@ struct Server::Loop {
           HandleConn(tag, events[i].events);
         }
       }
+      if (idle_ms > 0) SweepIdle(static_cast<uint64_t>(idle_ms) * 1'000'000);
+    }
+  }
+
+  /// Closes connections whose last socket activity is older than
+  /// `timeout_ns`. A connection with a predict in flight is exempt: its
+  /// completion refreshes the stamp when the response is appended, so a
+  /// slow forward cannot time out its own client.
+  void SweepIdle(uint64_t timeout_ns) {
+    static obs::Counter* idle_closed =
+        obs::GetCounter(obs::names::kServeNetIdleClosed);
+    const uint64_t now = obs::MonotonicNs();
+    std::vector<uint64_t> stale;
+    for (const auto& [id, conn] : conns) {
+      if (conn.http_pending) continue;
+      if (now - conn.last_activity_ns >= timeout_ns) stale.push_back(id);
+    }
+    for (uint64_t id : stale) {
+      idle_closed->Increment();
+      CloseConn(id);
     }
   }
 
   void AcceptAll() {
     static obs::Counter* accepted =
         obs::GetCounter(obs::names::kServeNetConnections);
+    static obs::Counter* refused =
+        obs::GetCounter(obs::names::kServeNetConnRefused);
+    const size_t cap = server->config_.max_connections;
     while (true) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) break;  // EAGAIN / transient — retry on next wake
+      if (cap > 0 && conns.size() >= cap) {
+        // At the cap: refuse with a typed response instead of letting a
+        // slowloris herd pin fds. Best-effort single write — the
+        // response fits any fresh socket buffer; binary clients just
+        // observe the close.
+        static const std::string kRefusalBody =
+            "{\"error\":\"connection limit reached\","
+            "\"code\":\"RESOURCE_EXHAUSTED\"}\n";
+        static const std::string kRefusal =
+            "HTTP/1.1 503 Service Unavailable\r\n"
+            "Content-Type: application/json\r\nContent-Length: " +
+            std::to_string(kRefusalBody.size()) +
+            "\r\nConnection: close\r\n\r\n" + kRefusalBody;
+        [[maybe_unused]] ssize_t n =
+            ::send(fd, kRefusal.data(), kRefusal.size(), MSG_NOSIGNAL);
+        refused->Increment();
+        CloseFd(fd);
+        continue;
+      }
       if (!SetNonBlocking(fd).ok()) {
         CloseFd(fd);
         continue;
@@ -300,6 +356,7 @@ struct Server::Loop {
       const uint64_t id = next_conn_id++;
       Connection conn;
       conn.fd = fd;
+      conn.last_activity_ns = obs::MonotonicNs();
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.u64 = id;
@@ -334,6 +391,7 @@ struct Server::Loop {
     auto it = conns.find(id);
     if (it == conns.end()) return;
     Connection& conn = it->second;
+    conn.last_activity_ns = obs::MonotonicNs();
     if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
       CloseConn(id);
       return;
@@ -639,6 +697,7 @@ struct Server::Loop {
       auto it = conns.find(c.conn_id);
       if (it == conns.end()) continue;  // connection closed mid-flight
       Connection& conn = it->second;
+      conn.last_activity_ns = obs::MonotonicNs();
       if (c.http) {
         conn.http_pending = false;
         if (c.status.ok()) {

@@ -29,7 +29,8 @@
 // deadline_ms (0 = the engine's configured default).
 //
 // HTTP status mapping: OK→200, InvalidArgument→400, NotFound→404,
-// ResourceExhausted→429, FailedPrecondition→503, anything else→500.
+// ResourceExhausted→429, FailedPrecondition→503, DeadlineExceeded→504,
+// anything else→500.
 #ifndef HAP_SERVE_SERVER_H_
 #define HAP_SERVE_SERVER_H_
 
@@ -66,6 +67,16 @@ struct ServerConfig {
   /// checkpoint). Runs on the event-loop thread; keep it quick. When
   /// empty, /reload answers 404.
   std::function<Status()> reload_handler;
+  /// Open-connection cap (0 = unlimited). A connection accepted at the
+  /// cap is answered with a typed HTTP 503 and closed immediately
+  /// (serve.net.conn_refused), so a slowloris herd cannot exhaust the
+  /// loop's fd table. Binary clients at the cap just see the close.
+  size_t max_connections = 0;
+  /// Close connections with no socket activity for this long (0 =
+  /// never; counted by serve.net.idle_closed). Activity includes
+  /// responses written for in-flight predicts, so a slow forward does
+  /// not kill its own connection.
+  int64_t idle_timeout_ms = 0;
 };
 
 class Server {

@@ -40,6 +40,7 @@
 #ifndef HAP_TENSOR_MATMUL_KERNELS_H_
 #define HAP_TENSOR_MATMUL_KERNELS_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace hap::kernels {
@@ -103,6 +104,99 @@ void NaiveGradBRows(const float* a, const float* g, float* gb, int64_t m,
                     int64_t k, int64_t n, int64_t p0, int64_t p1);
 void BlockedGradBRows(const float* a, const float* g, float* gb, int64_t m,
                       int64_t k, int64_t n, int64_t p0, int64_t p1);
+
+// ===========================================================================
+// Reduced-precision forward kernels (eval only — see tensor/quant.h).
+//
+// These are explicitly OUTSIDE the bit-determinism contract above: int8
+// quantizes both operands (symmetric per-tensor, scale = absmax/127) and
+// accumulates exact i32 dot products with an fp32 dequant epilogue; bf16
+// truncates both operands round-to-nearest-even to bfloat16 and then runs
+// the ordinary fp32 kernels (fp32 accumulation). Training never reaches
+// them: ops.cc refuses the quantized paths on any taped tensor.
+//
+// int8 layout: A is packed as m rows of k zero-padded up to a multiple
+// of kInt8KPack. B is packed into COLUMN-GROUP PANELS: ceil(n/8) groups
+// of 8 columns, each group holding k_pad/2 depth-pairs interleaved as
+// [b(2p, j), b(2p+1, j)] for the 8 columns j of the group — exactly the
+// operand shape vpmaddwd wants against a broadcast A depth-pair. The
+// kernel accumulates C tiles directly (no horizontal sums), so the cost
+// per output is flat in k and the layout wins even at k = 64. Zero
+// padding is exact in integer arithmetic, unlike fp32 tails.
+//
+// Quantized values are int8-range ([-127, 127]) but STORED pre-widened
+// as int16: vpmaddwd consumes i16 lanes directly, so widening once at
+// pack time deletes the per-iteration sign-extension (vpmovsxbw + lane
+// extracts) that would otherwise choke the shuffle port and leave the
+// kernel no faster than fp32.
+// ===========================================================================
+
+// Depth padding quantum of the int8 packed layout (two AVX2 registers of
+// int16 lanes per step).
+inline constexpr int64_t kInt8KPack = 32;
+
+// k rounded up to the packed-depth quantum.
+constexpr int64_t RoundUpK(int64_t k) {
+  return (k + kInt8KPack - 1) / kInt8KPack * kInt8KPack;
+}
+
+// Element count of a packed B panel: ceil(n/8) groups of 8 columns, each
+// RoundUpK(k) deep.
+constexpr int64_t Int8PackedBCount(int64_t k, int64_t n) {
+  return (n + 7) / 8 * 8 * RoundUpK(k);
+}
+
+// max |data[i]| over count values (0 for an empty or all-zero range).
+float AbsMax(const float* data, int64_t count);
+
+// Quantizes count values: q = clamp(round_half_even(x * inv_scale),
+// -127, 127). NaN maps to 0. Values are int8-range, storage is int16
+// (the packed-layout convention above).
+void QuantizeSymmetric(const float* src, int64_t count, float inv_scale,
+                       int16_t* dst);
+
+// Packs A(m,k) row-major into m rows of RoundUpK(k) int16, zero padded.
+// dst must hold m * RoundUpK(k) elements.
+void PackAInt8(const float* a, int64_t m, int64_t k, float inv_scale,
+               int16_t* dst);
+
+// Packs B(k,n) into the column-group panel layout described above:
+// group g (columns [8g, 8g+8)), depth-pair p lives at
+// dst[g * 8 * RoundUpK(k) + p * 16 + (j - 8g) * 2 + s] = quant(b[2p+s][j])
+// with out-of-range k and n lanes zero. dst must hold
+// Int8PackedBCount(k, n) elements. Weight operands are packed once at
+// model load (tensor/quant.h WeightQuant); activations per call into
+// scratch.
+void PackBInt8Panels(const float* b, int64_t k, int64_t n, float inv_scale,
+                     int16_t* dst);
+
+// out(m,n) rows [i0, i1) = scale · (A·B) with exact i32 accumulation,
+// where aq is the m×k_pad packed A and bq a packed B panel (layouts
+// above) and scale = a_scale · b_scale. When bias is non-null a fused
+// epilogue runs instead: out = leaky_relu(scale·acc + bias[j],
+// leaky_alpha) — the MOA attention-scoring hot path. Safe against i32
+// overflow to k ≈ 2^17.
+void Int8GemmRows(const int16_t* aq, const int16_t* bq, float* out,
+                  int64_t k_pad, int64_t n, float scale, const float* bias,
+                  float leaky_alpha, int64_t i0, int64_t i1);
+
+// dst[i] = round_to_nearest_even_bf16(src[i]) widened back to fp32
+// (low 16 mantissa bits zero). src == dst is allowed.
+void TruncateBf16(const float* src, float* dst, int64_t count);
+
+// Shape heuristic for the int8 path: quantizing/packing costs O(m·k + k·n)
+// and only amortises over enough dot-product work; small shapes stay on
+// the (often already faster) fp32 kernels. Deterministic in shape only.
+bool ShapeWantsInt8(int64_t m, int64_t k, int64_t n);
+
+// Thread-local reduced-precision scratch (same lifetime rules as Pack*:
+// valid until the same thread requests the same buffer again; workers may
+// read the dispatcher's buffers during ParallelFor). A and B buffers are
+// distinct so one GEMM can hold both operands packed at once.
+int16_t* Int8ScratchA(size_t count);
+int16_t* Int8ScratchB(size_t count);
+float* FloatScratchA(size_t count);
+float* FloatScratchB(size_t count);
 
 }  // namespace hap::kernels
 

@@ -8,6 +8,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "tensor/matmul_kernels.h"
+#include "tensor/quant.h"
 
 namespace hap {
 
@@ -31,11 +32,142 @@ int64_t RowGrain(int64_t row_work) {
   return kParallelGrainWork / std::max<int64_t>(row_work, 1) + 1;
 }
 
+// --- Reduced-precision MatMul forwards (tensor/quant.h) ---
+// These produce untaped results only: MatMul's guard refuses non-fp32
+// scopes whenever the product would land on the tape, so the backward
+// closure below can never run.
+
+// While a CalibrationObserver is installed on this thread, an
+// activation·parameter product records the activation's absmax keyed by
+// the parameter. The requires_grad asymmetry identifies the site shape:
+// parameters keep requires_grad in eval, activations never have it under
+// the NoGradGuard the calibration forwards run in.
+inline void MaybeRecordCalibration(const Tensor& a, const Tensor& b) {
+  CalibrationObserver* cal = CalibrationObserver::Current();
+  if (cal == nullptr) return;
+  if (b.requires_grad() && !a.requires_grad()) {
+    cal->Record(b.impl_ptr().get(), kernels::AbsMax(a.data(), a.size()));
+  }
+}
+
+// int8 product with optional fused bias+LeakyReLU epilogue. The weight
+// operand reuses pre-quantized panels (and the calibrated activation
+// scale) when the active QuantScales knows it; everything else is
+// quantized dynamically per call.
+Tensor Int8MatMul(const Tensor& a, const Tensor& b, const float* bias,
+                  float leaky_alpha) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kMatMulNs);
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* calls = obs::GetCounter(obs::names::kMatMulCalls);
+    static obs::Counter* flops = obs::GetCounter(obs::names::kMatMulFlops);
+    static obs::Counter* disp =
+        obs::GetCounter(obs::names::kMatMulDispatchInt8);
+    calls->Increment();
+    flops->Add(2ull * m * k * n);
+    disp->Increment();
+  }
+  obs::ScopedTimerNs timer(op_ns);
+  const int64_t k_pad = kernels::RoundUpK(k);
+
+  const QuantScales* scales = PrecisionScope::CurrentScales();
+  const WeightQuant* wq =
+      scales == nullptr ? nullptr : scales->Find(b.impl_ptr().get());
+  const int16_t* bq;
+  float b_scale;
+  float a_absmax;
+  if (wq != nullptr) {
+    bq = wq->packed.data();
+    b_scale = wq->weight_scale;
+    a_absmax = wq->act_absmax > 0.0f
+                   ? wq->act_absmax
+                   : kernels::AbsMax(a.data(), a.size());
+  } else {
+    const float b_absmax = kernels::AbsMax(b.data(), b.size());
+    b_scale = b_absmax > 0.0f ? b_absmax / 127.0f : 1.0f;
+    int16_t* bbuf = kernels::Int8ScratchB(
+        static_cast<size_t>(kernels::Int8PackedBCount(k, n)));
+    kernels::PackBInt8Panels(b.data(), k, n, 1.0f / b_scale, bbuf);
+    bq = bbuf;
+    a_absmax = kernels::AbsMax(a.data(), a.size());
+  }
+  const float a_scale = a_absmax > 0.0f ? a_absmax / 127.0f : 1.0f;
+  int16_t* aq = kernels::Int8ScratchA(static_cast<size_t>(m) * k_pad);
+  kernels::PackAInt8(a.data(), m, k, 1.0f / a_scale, aq);
+  const float scale = a_scale * b_scale;
+
+  Tensor out = MakeOpResult(m, n, {}, [](internal::TensorImpl&) {
+    HAP_CHECK(false) << "int8 MatMul result must never be taped";
+  });
+  float* o = out.mutable_data();
+  ParallelFor(0, m, RowGrain(k_pad * n), [&](int64_t lo, int64_t hi) {
+    kernels::Int8GemmRows(aq, bq, o, k_pad, n, scale, bias, leaky_alpha, lo,
+                          hi);
+  });
+  return out;
+}
+
+// bf16 product: truncate both operands round-to-nearest-even, then run
+// the ordinary fp32 kernels (fp32 accumulation).
+Tensor Bf16MatMul(const Tensor& a, const Tensor& b) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  static obs::Histogram* op_ns = obs::GetHistogram(obs::names::kMatMulNs);
+  if (obs::HotCountersEnabled()) {
+    static obs::Counter* calls = obs::GetCounter(obs::names::kMatMulCalls);
+    static obs::Counter* flops = obs::GetCounter(obs::names::kMatMulFlops);
+    static obs::Counter* disp =
+        obs::GetCounter(obs::names::kMatMulDispatchBf16);
+    calls->Increment();
+    flops->Add(2ull * m * k * n);
+    disp->Increment();
+  }
+  obs::ScopedTimerNs timer(op_ns);
+  float* fa = kernels::FloatScratchA(static_cast<size_t>(m) * k);
+  float* fb = kernels::FloatScratchB(static_cast<size_t>(k) * n);
+  kernels::TruncateBf16(a.data(), fa, static_cast<int64_t>(m) * k);
+  kernels::TruncateBf16(b.data(), fb, static_cast<int64_t>(k) * n);
+  Tensor out = MakeOpResult(m, n, {}, [](internal::TensorImpl&) {
+    HAP_CHECK(false) << "bf16 MatMul result must never be taped";
+  });
+  float* o = out.mutable_data();
+  if (kernels::UseBlockedForward(m, k, n)) {
+    const float* packed_b = kernels::PackBPanels(fb, k, n);
+    ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                [&](int64_t lo, int64_t hi) {
+                  kernels::BlockedForwardRows(fa, packed_b, fb, o, k, n, lo,
+                                              hi);
+                });
+  } else {
+    ParallelFor(0, m, RowGrain(static_cast<int64_t>(k) * n),
+                [&](int64_t lo, int64_t hi) {
+                  kernels::NaiveForwardRows(fa, fb, o, k, n, lo, hi);
+                });
+  }
+  return out;
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   HAP_CHECK_EQ(a.cols(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  MaybeRecordCalibration(a, b);
+  if (const Precision prec = PrecisionScope::Current();
+      prec != Precision::kFp32) {
+    // Reduced precision is eval-only: refuse loudly rather than silently
+    // corrupting a training tape with non-deterministic forward bits.
+    HAP_CHECK(!GradEnabled() || (!a.requires_grad() && !b.requires_grad()))
+        << "reduced-precision MatMul (" << PrecisionName(prec)
+        << ") refuses taped tensors; wrap eval-only code in NoGradGuard";
+    if (prec == Precision::kInt8 && kernels::ShapeWantsInt8(m, k, n)) {
+      return Int8MatMul(a, b, /*bias=*/nullptr, /*leaky_alpha=*/0.0f);
+    }
+    if (prec == Precision::kBf16) {
+      return Bf16MatMul(a, b);
+    }
+    // Small-shape int8 falls through: quantize+pack costs more than the
+    // fp32 blocked kernels save there (docs/PERFORMANCE.md).
+  }
   // Per-kernel counters tick on every GEMM, so they guard on the hot
   // switch (one relaxed load when off); the timing histogram only records
   // when detailed metrics are on. Neither touches the math.
@@ -127,6 +259,39 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                   kernels::NaiveForwardRows(pa, pb, o, k, n, lo, hi);
                 });
   }
+  return out;
+}
+
+Tensor MatMulBiasLeakyRelu(const Tensor& a, const Tensor& b,
+                           const Tensor& bias, float alpha) {
+  HAP_CHECK_EQ(a.cols(), b.rows());
+  HAP_CHECK_EQ(bias.rows(), 1);
+  HAP_CHECK_EQ(bias.cols(), b.cols());
+  if (GradEnabled() && (a.requires_grad() || b.requires_grad() ||
+                        bias.requires_grad())) {
+    // Taped: compose the existing ops so gradients flow through the
+    // standard backward closures. Forward bits are identical to the
+    // fused pass below, which applies the same epilogue element order.
+    return LeakyRelu(AddRowBroadcast(MatMul(a, b), bias), alpha);
+  }
+  const int m = a.rows(), n = b.cols();
+  const Precision prec = PrecisionScope::Current();
+  if (prec == Precision::kInt8 &&
+      kernels::ShapeWantsInt8(m, a.cols(), n)) {
+    return Int8MatMul(a, b, bias.data(), alpha);
+  }
+  Tensor out = MatMul(a, b);  // untaped; bf16 scope handled inside
+  float* o = out.mutable_data();
+  const float* bi = bias.data();
+  ParallelFor(0, m, RowGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* orow = o + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float v = orow[j] + bi[j];
+        orow[j] = v >= 0.0f ? v : alpha * v;
+      }
+    }
+  });
   return out;
 }
 

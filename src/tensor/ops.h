@@ -13,7 +13,22 @@ namespace hap {
 // HAP_CHECK. See DESIGN.md "Numerical conventions".
 
 /// Matrix product A(m,k) * B(k,n) -> (m,n).
+///
+/// Eval-only reduced precision: under a non-fp32 PrecisionScope
+/// (tensor/quant.h) the forward dispatches the int8 or bf16 kernel
+/// family instead (shape permitting) and HAP_CHECK-fails if the result
+/// would be taped — training always runs the bit-deterministic fp32
+/// kernels. While a CalibrationObserver is installed, activation·weight
+/// sites record the activation's absmax for later quantization.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Fused leaky_relu(A·B + bias, alpha) with bias a 1xN row. The taped
+/// path composes MatMul/AddRowBroadcast/LeakyRelu (bit-identical,
+/// gradients flow); the untaped eval path runs one fused pass, and under
+/// an int8 PrecisionScope the bias+LeakyReLU epilogue fuses into the
+/// quantized GEMM — the MOA attention-scoring hot path (Eq. 14).
+Tensor MatMulBiasLeakyRelu(const Tensor& a, const Tensor& b,
+                           const Tensor& bias, float alpha = 0.2f);
 
 /// Elementwise sum of equally shaped tensors.
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -11,8 +11,12 @@ namespace {
 
 constexpr char kMagic[4] = {'H', 'A', 'P', 'T'};
 constexpr uint32_t kVersion = 1;
+// Version 2 appends the quantization-scale section (serialize.h).
+constexpr uint32_t kVersionQuant = 2;
 // Per-tensor header: u32 rows + u32 cols.
 constexpr int64_t kTensorHeaderBytes = 8;
+// Per scale entry: u32 param_index + f32 act_absmax + f32 weight_absmax.
+constexpr int64_t kScaleEntryBytes = 12;
 
 template <typename T>
 void WritePod(std::ostream* stream, T value) {
@@ -38,22 +42,63 @@ int64_t RemainingBytes(std::istream* stream) {
 }
 
 /// Validates the fixed header (magic, version) and reads the tensor count.
-Status ReadFileHeader(std::istream* stream, uint64_t* count) {
+/// Accepts v1 (tensors only) and v2 (tensors + quantization scales).
+Status ReadFileHeader(std::istream* stream, uint64_t* count,
+                      uint32_t* version) {
   char magic[4];
   stream->read(magic, sizeof(magic));
   if (!stream->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a HAP checkpoint (bad magic)");
   }
-  uint32_t version = 0;
-  if (!ReadPod(stream, &version)) {
+  if (!ReadPod(stream, version)) {
     return Status::InvalidArgument("truncated checkpoint header");
   }
-  if (version != kVersion) {
+  if (*version != kVersion && *version != kVersionQuant) {
     return Status::InvalidArgument("unsupported checkpoint version " +
-                                   std::to_string(version));
+                                   std::to_string(*version));
   }
   if (!ReadPod(stream, count)) {
     return Status::InvalidArgument("truncated checkpoint header");
+  }
+  return Status::Ok();
+}
+
+/// Reads (or, for v1, no-ops) the quantization-scale section that follows
+/// the last tensor. Validates the claimed entry count against the stream
+/// and every param_index against `tensor_count`. `out` may be null (the
+/// section is still consumed and validated).
+Status ReadScaleSection(std::istream* stream, uint32_t version,
+                        uint64_t tensor_count,
+                        std::vector<QuantScaleEntry>* out) {
+  if (out != nullptr) out->clear();
+  if (version < kVersionQuant) return Status::Ok();
+  uint64_t count = 0;
+  if (!ReadPod(stream, &count)) {
+    return Status::InvalidArgument("truncated quantization-scale header");
+  }
+  const int64_t remaining = RemainingBytes(stream);
+  if (remaining >= 0 &&
+      count > static_cast<uint64_t>(remaining) / kScaleEntryBytes) {
+    return Status::InvalidArgument(
+        "checkpoint claims " + std::to_string(count) +
+        " quantization scales but only " + std::to_string(remaining) +
+        " bytes follow");
+  }
+  if (out != nullptr) out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    QuantScaleEntry entry;
+    if (!ReadPod(stream, &entry.param_index) ||
+        !ReadPod(stream, &entry.act_absmax) ||
+        !ReadPod(stream, &entry.weight_absmax)) {
+      return Status::InvalidArgument("truncated quantization-scale entry");
+    }
+    if (entry.param_index >= tensor_count) {
+      return Status::InvalidArgument(
+          "quantization scale references tensor " +
+          std::to_string(entry.param_index) + " of " +
+          std::to_string(tensor_count));
+    }
+    if (out != nullptr) out->push_back(entry);
   }
   return Status::Ok();
 }
@@ -97,13 +142,24 @@ Status ValidateExhausted(std::istream* stream) {
 
 }  // namespace
 
-Status SaveParameters(const std::vector<Tensor>& params,
-                      std::ostream* stream) {
+Status SaveParameters(const std::vector<Tensor>& params, std::ostream* stream,
+                      const std::vector<QuantScaleEntry>* scales) {
   if (stream == nullptr || !stream->good()) {
     return Status::InvalidArgument("bad output stream");
   }
+  const bool with_scales = scales != nullptr && !scales->empty();
+  if (with_scales) {
+    for (const QuantScaleEntry& entry : *scales) {
+      if (entry.param_index >= params.size()) {
+        return Status::InvalidArgument(
+            "quantization scale references tensor " +
+            std::to_string(entry.param_index) + " of " +
+            std::to_string(params.size()));
+      }
+    }
+  }
   stream->write(kMagic, sizeof(kMagic));
-  WritePod(stream, kVersion);
+  WritePod(stream, with_scales ? kVersionQuant : kVersion);
   WritePod(stream, static_cast<uint64_t>(params.size()));
   for (const Tensor& p : params) {
     if (!p.defined()) return Status::InvalidArgument("undefined parameter");
@@ -112,17 +168,27 @@ Status SaveParameters(const std::vector<Tensor>& params,
     stream->write(reinterpret_cast<const char*>(p.data()),
                   static_cast<std::streamsize>(p.size() * sizeof(float)));
   }
+  if (with_scales) {
+    WritePod(stream, static_cast<uint64_t>(scales->size()));
+    for (const QuantScaleEntry& entry : *scales) {
+      WritePod(stream, entry.param_index);
+      WritePod(stream, entry.act_absmax);
+      WritePod(stream, entry.weight_absmax);
+    }
+  }
   stream->flush();
   if (!stream->good()) return Status::Internal("checkpoint write failed");
   return Status::Ok();
 }
 
-Status LoadParameters(std::istream* stream, std::vector<Tensor>* params) {
+Status LoadParameters(std::istream* stream, std::vector<Tensor>* params,
+                      std::vector<QuantScaleEntry>* scales) {
   if (stream == nullptr || !stream->good()) {
     return Status::InvalidArgument("bad input stream");
   }
   uint64_t count = 0;
-  if (Status s = ReadFileHeader(stream, &count); !s.ok()) return s;
+  uint32_t version = 0;
+  if (Status s = ReadFileHeader(stream, &count, &version); !s.ok()) return s;
   if (Status s = ValidateCount(count, RemainingBytes(stream)); !s.ok()) {
     return s;
   }
@@ -159,11 +225,17 @@ Status LoadParameters(std::istream* stream, std::vector<Tensor>* params) {
       return Status::InvalidArgument("truncated checkpoint tensor data");
     }
   }
+  std::vector<QuantScaleEntry> staged_scales;
+  if (Status s = ReadScaleSection(stream, version, count, &staged_scales);
+      !s.ok()) {
+    return s;
+  }
   if (Status s = ValidateExhausted(stream); !s.ok()) return s;
   for (size_t i = 0; i < params->size(); ++i) {
     std::memcpy((*params)[i].mutable_data(), staged[i].data(),
                 staged[i].size() * sizeof(float));
   }
+  if (scales != nullptr) *scales = std::move(staged_scales);
   return Status::Ok();
 }
 
@@ -172,7 +244,8 @@ StatusOr<CheckpointInfo> ReadCheckpointInfo(std::istream* stream) {
     return Status::InvalidArgument("bad input stream");
   }
   uint64_t count = 0;
-  if (Status s = ReadFileHeader(stream, &count); !s.ok()) return s;
+  uint32_t version = 0;
+  if (Status s = ReadFileHeader(stream, &count, &version); !s.ok()) return s;
   int64_t remaining = RemainingBytes(stream);
   if (remaining < 0) {
     return Status::InvalidArgument(
@@ -180,7 +253,7 @@ StatusOr<CheckpointInfo> ReadCheckpointInfo(std::istream* stream) {
   }
   if (Status s = ValidateCount(count, remaining); !s.ok()) return s;
   CheckpointInfo info;
-  info.version = kVersion;
+  info.version = version;
   info.shapes.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t rows = 0, cols = 0;
@@ -199,6 +272,11 @@ StatusOr<CheckpointInfo> ReadCheckpointInfo(std::istream* stream) {
     info.shapes.emplace_back(rows, cols);
     info.total_values += values;
   }
+  std::vector<QuantScaleEntry> scales;
+  if (Status s = ReadScaleSection(stream, version, count, &scales); !s.ok()) {
+    return s;
+  }
+  info.num_scales = scales.size();
   if (Status s = ValidateExhausted(stream); !s.ok()) return s;
   return info;
 }
@@ -208,7 +286,8 @@ StatusOr<std::vector<Tensor>> LoadCheckpoint(std::istream* stream) {
     return Status::InvalidArgument("bad input stream");
   }
   uint64_t count = 0;
-  if (Status s = ReadFileHeader(stream, &count); !s.ok()) return s;
+  uint32_t version = 0;
+  if (Status s = ReadFileHeader(stream, &count, &version); !s.ok()) return s;
   int64_t remaining = RemainingBytes(stream);
   if (remaining < 0) {
     return Status::InvalidArgument(
@@ -241,21 +320,26 @@ StatusOr<std::vector<Tensor>> LoadCheckpoint(std::istream* stream) {
     remaining -= bytes;
     tensors.push_back(std::move(t));
   }
+  if (Status s = ReadScaleSection(stream, version, count, nullptr); !s.ok()) {
+    return s;
+  }
   if (Status s = ValidateExhausted(stream); !s.ok()) return s;
   return tensors;
 }
 
-Status SaveModule(const Module& module, const std::string& path) {
+Status SaveModule(const Module& module, const std::string& path,
+                  const std::vector<QuantScaleEntry>* scales) {
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) return Status::NotFound("cannot open " + path);
-  return SaveParameters(module.Parameters(), &out);
+  return SaveParameters(module.Parameters(), &out, scales);
 }
 
-Status LoadModule(Module* module, const std::string& path) {
+Status LoadModule(Module* module, const std::string& path,
+                  std::vector<QuantScaleEntry>* scales) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("cannot open " + path);
   std::vector<Tensor> params = module->Parameters();
-  return LoadParameters(&in, &params);
+  return LoadParameters(&in, &params, scales);
 }
 
 }  // namespace hap

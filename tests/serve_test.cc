@@ -444,19 +444,45 @@ TEST(ServeEngineTest, SubmitShutdownStressLeavesNoUnresolvedFuture) {
   }
 }
 
-TEST(ServeEngineTest, CountsDeadlineMisses) {
-  // A 1 us default deadline guarantees every request resolves late: the
-  // request still gets its prediction, and the miss counter (the SLO
-  // signal) ticks.
+TEST(ServeEngineTest, SkipsForwardsExpiredBeforeDispatch) {
+  // A 1 us default deadline guarantees expiry before the batch seals:
+  // the lane never computes an answer the client has given up on. The
+  // future resolves typed (DEADLINE_EXCEEDED surfaced as an exception)
+  // and the skip counter ticks instead of the miss counter.
   ServeFixture fx;
-  const uint64_t before = obs::CounterValue(obs::names::kServeDeadlineMiss);
+  const uint64_t skipped_before =
+      obs::CounterValue(obs::names::kServeDeadlineSkipped);
   EngineConfig config;
   config.default_deadline_us = 1;
   InferenceEngine engine(fx.model, config);
   StatusOr<std::future<int>> result = engine.Submit(fx.prepared[0]);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().get(), fx.direct[0]);
-  EXPECT_GT(obs::CounterValue(obs::names::kServeDeadlineMiss), before);
+  EXPECT_THROW(result.value().get(), std::runtime_error);
+  EXPECT_GT(obs::CounterValue(obs::names::kServeDeadlineSkipped),
+            skipped_before);
+}
+
+TEST(ServeEngineTest, CountsMidComputeDeadlineMisses) {
+  // A deadline generous enough to survive the dispatch-time skip check
+  // (dispatch is queue-pop work, microseconds) but shorter than a large
+  // graph's hierarchical forward — 20% density keeps the graph on the
+  // dense O(N^2) coarsening path, so the forward reliably outlasts 2 ms:
+  // the prediction still resolves — and must match the direct forward —
+  // while the miss counter (the SLO signal) ticks.
+  ServeFixture fx;
+  Rng rng(17);
+  const Graph big = ConnectedErdosRenyi(1500, 0.2, &rng);
+  const PreparedGraph prepared = PrepareGraph(big, fx.dataset.feature_spec);
+  const int direct = fx.model->Predict(prepared, 0);
+  const uint64_t miss_before =
+      obs::CounterValue(obs::names::kServeDeadlineMiss);
+  EngineConfig config;
+  config.default_deadline_us = 2'000;
+  InferenceEngine engine(fx.model, config);
+  StatusOr<std::future<int>> result = engine.Submit(prepared);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().get(), direct);
+  EXPECT_GT(obs::CounterValue(obs::names::kServeDeadlineMiss), miss_before);
 }
 
 TEST(AdmissionTest, QueueDepthShedsTyped) {
